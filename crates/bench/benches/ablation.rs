@@ -1,0 +1,108 @@
+//! Ablations of the design choices called out in DESIGN.md:
+//!
+//! * **hop interval** — how often the gated trace-cache bank rotates
+//!   (the paper fixes 10 M cycles; here swept relative to the run length),
+//! * **bias rule strength** — the "halve the share per N °C" constant of
+//!   the thermal-aware mapping (§3.2.2; the paper found 3 °C best),
+//! * **steering policy** — dependence-aware versus round-robin, which
+//!   changes the inter-cluster copy traffic the distributed frontend sees.
+//!
+//! Each sweep is printed once; Criterion then times one representative
+//! configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distfront::{average_temps, run_suite, slowdown, ExperimentConfig, AMBIENT_C};
+use distfront_bench::{bench_uops, kernel_app};
+use distfront_cache::mapping::MappingPolicy;
+use distfront_trace::AppProfile;
+use distfront_uarch::steer::SteeringPolicy;
+use std::hint::black_box;
+
+fn ablation_apps() -> Vec<AppProfile> {
+    ["gzip", "crafty", "swim", "art"]
+        .iter()
+        .map(|n| *AppProfile::by_name(n).unwrap())
+        .collect()
+}
+
+fn sweep_hop_interval(uops: u64) {
+    println!("\n-- ablation: hop interval (bank hopping, TC metrics) --");
+    let apps = ablation_apps();
+    let base = run_suite(&ExperimentConfig::baseline().with_uops(uops), &apps);
+    let bt = average_temps(&base);
+    for divisor in [1u64, 2, 4, 8] {
+        let mut cfg = ExperimentConfig::bank_hopping().with_uops(uops);
+        cfg.interval_cycles = (cfg.interval_cycles / divisor).max(10_000);
+        let interval = cfg.interval_cycles;
+        let res = run_suite(&cfg, &apps);
+        let t = average_temps(&res);
+        let tc = bt.trace_cache.reduction_vs(&t.trace_cache, AMBIENT_C);
+        println!(
+            "  interval {interval:>9} cycles: TC peak -{:.1}% avg -{:.1}%  slowdown {:+.1}%",
+            tc.abs_max_c * 100.0,
+            tc.average_c * 100.0,
+            slowdown(&base, &res) * 100.0
+        );
+    }
+}
+
+fn sweep_bias_strength(uops: u64) {
+    println!("\n-- ablation: bias rule (halve share per N degC) --");
+    let apps = ablation_apps();
+    let base = run_suite(&ExperimentConfig::baseline().with_uops(uops), &apps);
+    let bt = average_temps(&base);
+    for step in [1.0f64, 3.0, 6.0, 12.0] {
+        let mut cfg = ExperimentConfig::hopping_and_biasing().with_uops(uops);
+        cfg.processor.trace_cache.policy = MappingPolicy { halve_step_c: step };
+        let res = run_suite(&cfg, &apps);
+        let t = average_temps(&res);
+        let tc = bt.trace_cache.reduction_vs(&t.trace_cache, AMBIENT_C);
+        println!(
+            "  halve per {step:>4.1} C: TC peak -{:.1}% avg -{:.1}%  slowdown {:+.1}%",
+            tc.abs_max_c * 100.0,
+            tc.average_c * 100.0,
+            slowdown(&base, &res) * 100.0
+        );
+    }
+    println!("  (paper: 3 C per factor of two)");
+}
+
+fn sweep_steering(uops: u64) {
+    println!("\n-- ablation: steering policy (distributed frontend) --");
+    let apps = ablation_apps();
+    let base = run_suite(&ExperimentConfig::baseline().with_uops(uops), &apps);
+    for policy in [SteeringPolicy::DependenceBalance, SteeringPolicy::RoundRobin] {
+        let mut cfg = ExperimentConfig::distributed_rename_commit().with_uops(uops);
+        cfg.processor.steering = policy;
+        let res = run_suite(&cfg, &apps);
+        let copies: f64 = res.iter().map(|r| r.cpi).sum::<f64>() / res.len() as f64;
+        println!(
+            "  {policy:?}: slowdown {:+.1}% (mean CPI {copies:.2})",
+            slowdown(&base, &res) * 100.0
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let uops = bench_uops() / 2;
+    sweep_hop_interval(uops);
+    sweep_bias_strength(uops);
+    sweep_steering(uops);
+    println!();
+
+    c.bench_function("ablation/round_robin_app_run", |b| {
+        let app = kernel_app();
+        b.iter(|| {
+            let mut cfg = ExperimentConfig::distributed_rename_commit().with_uops(20_000);
+            cfg.processor.steering = SteeringPolicy::RoundRobin;
+            black_box(distfront::run_app(&cfg, &app))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

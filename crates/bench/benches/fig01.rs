@@ -1,0 +1,39 @@
+//! Figure 1: temperature comparison of the processor elements on the
+//! baseline machine — peak and average increase over the 45 °C ambient for
+//! Processor / Frontend / Backend / UL2, averaged over the 26 SPEC2000
+//! profiles.
+//!
+//! The figure is regenerated and printed once; Criterion then times a
+//! single-application baseline run as the tracked kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distfront::{figure1, run_app, ExperimentConfig};
+use distfront_bench::{bench_uops, evaluation_apps, kernel_app};
+use std::hint::black_box;
+
+fn regenerate_figure() {
+    let uops = bench_uops();
+    println!("\nregenerating Figure 1 ({uops} uops x 26 apps)...");
+    let table = figure1(evaluation_apps(), uops);
+    println!("{table}");
+    println!("paper shape: frontend among the hottest elements (~62 C peak");
+    println!("rise, ~25 C average rise); UL2 the coolest.\n");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+    let app = kernel_app();
+    c.bench_function("fig01/baseline_app_run", |b| {
+        b.iter(|| {
+            let cfg = ExperimentConfig::baseline().with_uops(20_000);
+            black_box(run_app(&cfg, &app))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 12: distributed renaming and commit — reduction of the
+//! temperature rise (AbsMax / Average / AvgMax) for the reorder buffer,
+//! rename table and trace cache, plus the slowdown, averaged over the 26
+//! SPEC2000 profiles.
+//!
+//! Paper values: ~32/33 % (ROB peak/average), ~34/35 % (RAT), an indirect
+//! trace-cache reduction, and a 2 % slowdown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distfront::{figure12, run_app, ExperimentConfig};
+use distfront_bench::{bench_uops, evaluation_apps, kernel_app};
+use std::hint::black_box;
+
+fn regenerate_figure() {
+    let uops = bench_uops();
+    println!("\nregenerating Figure 12 ({uops} uops x 26 apps x 2 configs)...");
+    let table = figure12(evaluation_apps(), uops);
+    println!("{table}");
+    println!("paper shape: ROB and RAT rises cut by roughly a third with ~2 %");
+    println!("slowdown; the trace cache benefits indirectly via heat spreading.\n");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+    let app = kernel_app();
+    c.bench_function("fig12/distributed_app_run", |b| {
+        b.iter(|| {
+            let cfg = ExperimentConfig::distributed_rename_commit().with_uops(20_000);
+            black_box(run_app(&cfg, &app))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

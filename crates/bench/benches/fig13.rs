@@ -1,0 +1,40 @@
+//! Figure 13: the sub-banked thermal-aware trace cache — address biasing,
+//! blank silicon, bank hopping, and bank hopping + address biasing, each
+//! against the baseline, averaged over the 26 SPEC2000 profiles.
+//!
+//! Paper values: biasing alone trims the TC peak (~4 %) but not the average;
+//! hopping cuts average ~17 % / peak ~12 % and beats statically-gated blank
+//! silicon; the combination reaches 14 % peak / 18 % average at a 3–4 %
+//! slowdown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distfront::{figure13, run_app, ExperimentConfig};
+use distfront_bench::{bench_uops, evaluation_apps, kernel_app};
+use std::hint::black_box;
+
+fn regenerate_figure() {
+    let uops = bench_uops();
+    println!("\nregenerating Figure 13 ({uops} uops x 26 apps x 5 configs)...");
+    let table = figure13(evaluation_apps(), uops);
+    println!("{table}");
+    println!("paper shape: hopping > blank silicon on the trace-cache peak;");
+    println!("biasing alone moves the peak, not the average.\n");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+    let app = kernel_app();
+    c.bench_function("fig13/hopping_app_run", |b| {
+        b.iter(|| {
+            let cfg = ExperimentConfig::hopping_and_biasing().with_uops(20_000);
+            black_box(run_app(&cfg, &app))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

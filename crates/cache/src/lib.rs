@@ -1,0 +1,41 @@
+//! Cache substrates for the `distfront` simulator.
+//!
+//! This crate implements every cache-like structure the paper's processor
+//! depends on:
+//!
+//! * [`set_assoc::SetAssocCache`] — a generic set-associative cache with LRU
+//!   replacement, used as the building block for everything below,
+//! * [`trace_cache::TraceCache`] — the sub-banked trace cache of §3.2 with
+//!   *bank hopping* (§3.2.1, one extra bank, one always Vdd-gated, rotating)
+//!   and the *thermal-aware biased mapping function* (§3.2.2),
+//! * [`mapping::BankMapTable`] — the 32-entry combination→bank table of
+//!   Fig. 9, including the "halve the share per 3 °C above the mean" bias
+//!   rule,
+//! * [`l1d::L1DataCache`] and [`ul2::UnifiedL2`] — the per-cluster data
+//!   caches and the shared second-level cache of Table 1.
+//!
+//! # Examples
+//!
+//! ```
+//! use distfront_cache::trace_cache::{TraceCache, TraceCacheConfig, TraceKey};
+//!
+//! let mut tc = TraceCache::new(TraceCacheConfig::baseline_two_banks());
+//! let key = TraceKey::new(0x40_0000, 0b101);
+//! assert!(!tc.lookup(key)); // cold miss
+//! tc.insert(key);
+//! assert!(tc.lookup(key));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod l1d;
+pub mod mapping;
+pub mod set_assoc;
+pub mod stats;
+pub mod trace_cache;
+pub mod ul2;
+
+pub use mapping::{BankMapTable, MappingPolicy, COMBINATIONS};
+pub use stats::CacheStats;
+pub use trace_cache::{TraceCache, TraceCacheConfig, TraceKey};

@@ -1,0 +1,331 @@
+//! The trace-cache bank mapping function (§3.2.2, Fig. 9).
+//!
+//! Every trace-cache access XOR-folds two five-bit fields of the trace
+//! address (branch bits + PC of the first micro-op) into a five-bit
+//! *combination*, which indexes a 32-entry table assigning that combination
+//! to a bank. A *balanced* table gives each bank `32 / N` combinations; the
+//! *thermal-aware* table re-divides the entries every interval so that a
+//! bank's share is halved for every 3 °C it sits above the mean bank
+//! temperature (the paper's experimentally-determined rule).
+
+/// Number of entries in the mapping table (2^5 combinations).
+pub const COMBINATIONS: usize = 32;
+
+/// XOR-folds a trace address into a five-bit combination.
+///
+/// The trace-cache address is formed from the PC of the first micro-op of
+/// the trace plus the branch-direction bits of the trace; two five-bit
+/// fields of it are XORed, as in the paper. PCs are 16-byte aligned so the
+/// low four bits are dropped first.
+///
+/// # Examples
+///
+/// ```
+/// use distfront_cache::mapping::combination;
+///
+/// let c = combination(0x40_0000, 0b101);
+/// assert!(c < 32);
+/// ```
+pub fn combination(start_pc: u64, branch_bits: u8) -> usize {
+    let addr = (start_pc >> 4) ^ (u64::from(branch_bits) << 2);
+    let lo = addr & 0x1f;
+    let hi = (addr >> 5) & 0x1f;
+    ((lo ^ hi) & 0x1f) as usize
+}
+
+/// Parameters of the thermal-aware bias rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MappingPolicy {
+    /// A bank's activity share is divided by two for every `halve_step_c`
+    /// degrees Celsius it is above the mean bank temperature. The paper
+    /// found 3 °C to work best.
+    pub halve_step_c: f64,
+}
+
+impl MappingPolicy {
+    /// The paper's rule: halve per 3 °C.
+    pub fn paper() -> Self {
+        MappingPolicy { halve_step_c: 3.0 }
+    }
+
+    /// Relative weight of a bank at temperature `t` given the mean `mean`.
+    pub fn weight(&self, t: f64, mean: f64) -> f64 {
+        debug_assert!(self.halve_step_c > 0.0);
+        2f64.powf(-(t - mean) / self.halve_step_c)
+    }
+}
+
+impl Default for MappingPolicy {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The combination→bank table of Fig. 9.
+///
+/// `banks` below are *physical* bank indices; when bank hopping gates a
+/// bank, the table is rebuilt over the enabled subset only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankMapTable {
+    entries: [u8; COMBINATIONS],
+}
+
+impl BankMapTable {
+    /// Builds a balanced table over `enabled`: each bank receives an equal
+    /// contiguous range of combinations (±1 when 32 is not divisible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enabled` is empty or has more than 32 banks.
+    pub fn balanced(enabled: &[usize]) -> Self {
+        Self::from_shares(enabled, &vec![1.0; enabled.len()])
+    }
+
+    /// Builds a biased table from per-bank temperatures: colder banks get
+    /// more combinations, following `policy`.
+    ///
+    /// `enabled` and `temps_c` run parallel (temperature of `enabled[i]` is
+    /// `temps_c[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are empty or of different lengths.
+    pub fn biased(enabled: &[usize], temps_c: &[f64], policy: MappingPolicy) -> Self {
+        assert_eq!(
+            enabled.len(),
+            temps_c.len(),
+            "banks and temperatures must pair up"
+        );
+        let mean = temps_c.iter().sum::<f64>() / temps_c.len() as f64;
+        let weights: Vec<f64> = temps_c.iter().map(|&t| policy.weight(t, mean)).collect();
+        Self::from_shares(enabled, &weights)
+    }
+
+    /// Builds a table giving each enabled bank a share of the 32 entries
+    /// proportional to its weight (largest-remainder apportionment; every
+    /// bank with nonzero weight keeps at least one entry so its contents
+    /// stay reachable).
+    pub fn from_shares(enabled: &[usize], weights: &[f64]) -> Self {
+        assert!(!enabled.is_empty(), "at least one bank must be enabled");
+        assert!(enabled.len() <= COMBINATIONS, "too many banks");
+        assert_eq!(enabled.len(), weights.len());
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        // Ideal (real-valued) share per bank, then floor with a 1-entry
+        // minimum, then distribute the remainder by largest fraction.
+        let n = enabled.len();
+        let mut counts = vec![1usize; n];
+        let mut fracs: Vec<(f64, usize)> = Vec::with_capacity(n);
+        let budget = COMBINATIONS - n; // after the 1-entry minimums
+        let mut assigned = 0;
+        for (i, &w) in weights.iter().enumerate() {
+            let ideal = w / total * budget as f64;
+            let fl = ideal.floor() as usize;
+            counts[i] += fl;
+            assigned += fl;
+            fracs.push((ideal - fl as f64, i));
+        }
+        fracs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        for k in 0..(budget - assigned) {
+            counts[fracs[k % n].1] += 1;
+        }
+
+        let mut entries = [0u8; COMBINATIONS];
+        let mut pos = 0;
+        for (i, &bank) in enabled.iter().enumerate() {
+            for _ in 0..counts[i] {
+                entries[pos] = bank as u8;
+                pos += 1;
+            }
+        }
+        debug_assert_eq!(pos, COMBINATIONS);
+        BankMapTable { entries }
+    }
+
+    /// The bank assigned to `combination`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `combination >= 32`.
+    pub fn bank_for(&self, combination: usize) -> usize {
+        usize::from(self.entries[combination])
+    }
+
+    /// Number of combinations currently assigned to `bank`.
+    pub fn share_of(&self, bank: usize) -> usize {
+        self.entries.iter().filter(|&&b| usize::from(b) == bank).count()
+    }
+
+    /// Reassigns every combination mapped to `from` over to `to` (used when
+    /// hopping gates bank `from` and enables bank `to`).
+    pub fn retarget(&mut self, from: usize, to: usize) {
+        for e in &mut self.entries {
+            if usize::from(*e) == from {
+                *e = to as u8;
+            }
+        }
+    }
+
+    /// Iterator over `(combination, bank)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.entries.iter().enumerate().map(|(c, &b)| (c, usize::from(b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combination_is_five_bits() {
+        for pc in (0..4096u64).map(|i| 0x40_0000 + i * 16) {
+            for bb in 0..8u8 {
+                assert!(combination(pc, bb) < COMBINATIONS);
+            }
+        }
+    }
+
+    #[test]
+    fn combination_spreads_addresses() {
+        // Sequential trace start addresses should cover many combinations.
+        let mut seen = [false; COMBINATIONS];
+        for i in 0..256u64 {
+            seen[combination(0x40_0000 + i * 16, 0)] = true;
+        }
+        let covered = seen.iter().filter(|&&s| s).count();
+        assert!(covered >= 24, "only {covered}/32 combinations covered");
+    }
+
+    #[test]
+    fn branch_bits_affect_combination() {
+        let pc = 0x40_0040;
+        let distinct: std::collections::HashSet<_> =
+            (0..8u8).map(|bb| combination(pc, bb)).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn balanced_two_banks_is_fig9() {
+        // Fig. 9: entries 0..16 -> bank 0, 16..32 -> bank 1.
+        let t = BankMapTable::balanced(&[0, 1]);
+        assert_eq!(t.share_of(0), 16);
+        assert_eq!(t.share_of(1), 16);
+        for c in 0..16 {
+            assert_eq!(t.bank_for(c), 0);
+        }
+        for c in 16..32 {
+            assert_eq!(t.bank_for(c), 1);
+        }
+    }
+
+    #[test]
+    fn balanced_three_banks_near_equal() {
+        let t = BankMapTable::balanced(&[0, 1, 2]);
+        let shares = [t.share_of(0), t.share_of(1), t.share_of(2)];
+        assert_eq!(shares.iter().sum::<usize>(), 32);
+        for s in shares {
+            assert!((10..=12).contains(&s), "share {s}");
+        }
+    }
+
+    #[test]
+    fn biased_equal_temps_is_balanced() {
+        let t = BankMapTable::biased(&[0, 1], &[70.0, 70.0], MappingPolicy::paper());
+        assert_eq!(t.share_of(0), 16);
+        assert_eq!(t.share_of(1), 16);
+    }
+
+    #[test]
+    fn biased_three_degrees_halves_share() {
+        // Bank 1 is 3 degrees above bank 0 => weights 2^(+0.5) vs 2^(-0.5),
+        // i.e. bank 0 gets 2x the share of bank 1 (paper's factor-of-two
+        // per 3 C rule, measured between the banks).
+        let t = BankMapTable::biased(&[0, 1], &[67.0, 70.0], MappingPolicy::paper());
+        let (s0, s1) = (t.share_of(0) as f64, t.share_of(1) as f64);
+        assert!((s0 / s1 - 2.0).abs() < 0.3, "ratio {}", s0 / s1);
+        assert_eq!(t.share_of(0) + t.share_of(1), 32);
+    }
+
+    #[test]
+    fn biased_hot_bank_keeps_minimum_entry() {
+        // Extremely hot bank still keeps >= 1 combination so its contents
+        // remain reachable.
+        let t = BankMapTable::biased(&[0, 1], &[50.0, 110.0], MappingPolicy::paper());
+        assert!(t.share_of(1) >= 1);
+        assert!(t.share_of(0) >= 28);
+    }
+
+    #[test]
+    fn retarget_moves_all_entries() {
+        let mut t = BankMapTable::balanced(&[0, 1]);
+        t.retarget(0, 2);
+        assert_eq!(t.share_of(0), 0);
+        assert_eq!(t.share_of(2), 16);
+        assert_eq!(t.share_of(1), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn empty_banks_panics() {
+        BankMapTable::balanced(&[]);
+    }
+
+    #[test]
+    fn iter_covers_all_combinations() {
+        let t = BankMapTable::balanced(&[3, 4]);
+        assert_eq!(t.iter().count(), 32);
+        assert!(t.iter().all(|(_, b)| b == 3 || b == 4));
+    }
+
+    #[test]
+    fn weight_rule_matches_paper() {
+        let p = MappingPolicy::paper();
+        // 3 degrees above mean => half the activity.
+        assert!((p.weight(73.0, 70.0) - 0.5).abs() < 1e-12);
+        assert!((p.weight(70.0, 70.0) - 1.0).abs() < 1e-12);
+        assert!((p.weight(64.0, 70.0) - 4.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Shares always sum to 32, every enabled bank keeps at least one
+        /// entry, and colder banks never get smaller shares than hotter ones.
+        #[test]
+        fn apportionment_invariants(
+            temps in proptest::collection::vec(40.0f64..110.0, 2..6),
+        ) {
+            let enabled: Vec<usize> = (0..temps.len()).collect();
+            let t = BankMapTable::biased(&enabled, &temps, MappingPolicy::paper());
+            let shares: Vec<usize> = enabled.iter().map(|&b| t.share_of(b)).collect();
+            prop_assert_eq!(shares.iter().sum::<usize>(), COMBINATIONS);
+            for &s in &shares {
+                prop_assert!(s >= 1);
+            }
+            for i in 0..temps.len() {
+                for j in 0..temps.len() {
+                    if temps[i] < temps[j] - 1.0 {
+                        prop_assert!(
+                            shares[i] + 1 >= shares[j],
+                            "colder bank {} (T={}) got {} < hotter bank {} (T={}) with {}",
+                            i, temps[i], shares[i], j, temps[j], shares[j]
+                        );
+                    }
+                }
+            }
+        }
+
+        /// The combination function is total and stable.
+        #[test]
+        fn combination_total(pc in 0u64..u64::MAX / 2, bb in 0u8..8) {
+            let c = combination(pc, bb);
+            prop_assert!(c < COMBINATIONS);
+            prop_assert_eq!(c, combination(pc, bb));
+        }
+    }
+}

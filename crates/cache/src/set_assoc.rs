@@ -1,0 +1,331 @@
+//! A generic set-associative cache with true-LRU replacement.
+//!
+//! All concrete caches in the simulator (trace-cache banks, L1 data caches,
+//! the UL2) are thin wrappers around [`SetAssocCache`]. The cache tracks
+//! tags only — the simulator never needs the cached data itself, just
+//! hit/miss behaviour and occupancy.
+
+use crate::stats::CacheStats;
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The line was present.
+    Hit,
+    /// The line was absent (and, for `access_fill`, has now been filled).
+    Miss,
+}
+
+impl Access {
+    /// `true` on [`Access::Hit`].
+    pub fn is_hit(self) -> bool {
+        self == Access::Hit
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    /// Monotone per-cache timestamp for LRU ordering.
+    stamp: u64,
+}
+
+/// Geometry of a [`SetAssocCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Number of sets (must be a power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (must be a power of two); addresses are shifted by
+    /// `line_bytes.trailing_zeros()` before indexing.
+    pub line_bytes: u64,
+}
+
+impl Geometry {
+    /// Derives a geometry from capacity/associativity/line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are zero, not powers of two where required,
+    /// or describe a capacity smaller than one set.
+    pub fn from_capacity(capacity_bytes: u64, ways: usize, line_bytes: u64) -> Self {
+        assert!(ways > 0, "ways must be positive");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let lines = capacity_bytes / line_bytes;
+        assert!(lines >= ways as u64, "capacity smaller than one set");
+        let sets = (lines / ways as u64) as usize;
+        assert!(sets.is_power_of_two(), "set count {sets} not a power of two");
+        Geometry {
+            sets,
+            ways,
+            line_bytes,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.line_bytes
+    }
+}
+
+/// A set-associative, true-LRU, tag-only cache model.
+///
+/// # Examples
+///
+/// ```
+/// use distfront_cache::set_assoc::{Access, Geometry, SetAssocCache};
+///
+/// let mut c = SetAssocCache::new(Geometry::from_capacity(1024, 2, 64));
+/// assert_eq!(c.access_fill(0x100), Access::Miss);
+/// assert_eq!(c.access_fill(0x100), Access::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geo: Geometry,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(geo: Geometry) -> Self {
+        SetAssocCache {
+            sets: vec![Vec::with_capacity(geo.ways); geo.sets],
+            geo,
+            clock: 0,
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geo
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn index_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.geo.line_bytes.trailing_zeros();
+        let set = (line as usize) & (self.geo.sets - 1);
+        let tag = line >> self.geo.sets.trailing_zeros();
+        (set, tag)
+    }
+
+    /// Looks up `addr` without modifying contents (but updates LRU and
+    /// statistics).
+    pub fn access(&mut self, addr: u64) -> Access {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let clock = self.clock;
+        let (set, tag) = self.index_tag(addr);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.tag == tag) {
+            line.stamp = clock;
+            self.stats.hits += 1;
+            Access::Hit
+        } else {
+            Access::Miss
+        }
+    }
+
+    /// Looks up `addr`; on a miss the line is filled (evicting LRU).
+    pub fn access_fill(&mut self, addr: u64) -> Access {
+        let r = self.access(addr);
+        if r == Access::Miss {
+            self.fill(addr);
+        }
+        r
+    }
+
+    /// Fills the line containing `addr`, evicting the LRU way if the set is
+    /// full. Filling an already-present line refreshes its LRU stamp.
+    pub fn fill(&mut self, addr: u64) {
+        self.clock += 1;
+        let clock = self.clock;
+        let (set, tag) = self.index_tag(addr);
+        let ways = self.geo.ways;
+        let set = &mut self.sets[set];
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.stamp = clock;
+            return;
+        }
+        self.stats.fills += 1;
+        if set.len() < ways {
+            set.push(Line { tag, stamp: clock });
+        } else {
+            let lru = set
+                .iter_mut()
+                .min_by_key(|l| l.stamp)
+                .expect("non-empty set");
+            *lru = Line { tag, stamp: clock };
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Invalidates every line, counting them as invalidations (used when a
+    /// trace-cache bank is Vdd-gated).
+    pub fn invalidate_all(&mut self) {
+        for set in &mut self.sets {
+            self.stats.invalidations += set.len() as u64;
+            set.clear();
+        }
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache {
+        // 4 sets x 2 ways x 64B lines = 512B.
+        SetAssocCache::new(Geometry::from_capacity(512, 2, 64))
+    }
+
+    #[test]
+    fn geometry_from_capacity() {
+        let g = Geometry::from_capacity(16 << 10, 2, 64);
+        assert_eq!(g.sets, 128);
+        assert_eq!(g.capacity_bytes(), 16 << 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn geometry_rejects_bad_line() {
+        Geometry::from_capacity(1024, 2, 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity smaller")]
+    fn geometry_rejects_tiny_capacity() {
+        Geometry::from_capacity(64, 4, 64);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert_eq!(c.access_fill(0), Access::Miss);
+        assert_eq!(c.access_fill(0), Access::Hit);
+        assert_eq!(c.access_fill(63), Access::Hit, "same line");
+        assert_eq!(c.access_fill(64), Access::Miss, "next line");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Three addresses mapping to set 0 (stride = sets * line = 256).
+        c.access_fill(0);
+        c.access_fill(256);
+        c.access(0); // make 0 MRU
+        c.access_fill(512); // evicts 256
+        assert_eq!(c.access(0), Access::Hit);
+        assert_eq!(c.access(512), Access::Hit);
+        assert_eq!(c.access(256), Access::Miss);
+    }
+
+    #[test]
+    fn conflict_only_within_set() {
+        let mut c = small();
+        for i in 0..4 {
+            c.access_fill(i * 64); // four different sets
+        }
+        for i in 0..4 {
+            assert_eq!(c.access(i * 64), Access::Hit);
+        }
+    }
+
+    #[test]
+    fn invalidate_all_clears() {
+        let mut c = small();
+        c.access_fill(0);
+        c.access_fill(64);
+        assert_eq!(c.occupancy(), 2);
+        c.invalidate_all();
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.stats().invalidations, 2);
+        assert_eq!(c.access(0), Access::Miss);
+    }
+
+    #[test]
+    fn stats_track_accesses() {
+        let mut c = small();
+        c.access_fill(0);
+        c.access_fill(0);
+        c.access_fill(4096);
+        let s = c.stats();
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses(), 2);
+        assert_eq!(s.fills, 2);
+    }
+
+    #[test]
+    fn occupancy_bounded_by_capacity() {
+        let mut c = small();
+        for i in 0..1000 {
+            c.access_fill(i * 64);
+        }
+        assert!(c.occupancy() <= 8);
+    }
+
+    #[test]
+    fn refill_refreshes_without_duplicating() {
+        let mut c = small();
+        c.fill(0);
+        c.fill(0);
+        assert_eq!(c.occupancy(), 1);
+        assert_eq!(c.stats().fills, 1);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Occupancy never exceeds capacity, and a hit is always preceded by
+        /// a fill of the same line.
+        #[test]
+        fn occupancy_invariant(addrs in proptest::collection::vec(0u64..1_000_000, 1..500)) {
+            let mut c = SetAssocCache::new(Geometry::from_capacity(2048, 4, 64));
+            let capacity_lines = 2048 / 64;
+            let mut filled = std::collections::HashSet::new();
+            for a in addrs {
+                let line = a / 64;
+                let r = c.access_fill(a);
+                if r.is_hit() {
+                    prop_assert!(filled.contains(&line), "hit on never-filled line");
+                }
+                filled.insert(line);
+                prop_assert!(c.occupancy() <= capacity_lines);
+            }
+        }
+
+        /// After accessing `ways` distinct conflicting lines, all of them hit
+        /// (no premature eviction).
+        #[test]
+        fn no_premature_eviction(base in 0u64..1000) {
+            let mut c = SetAssocCache::new(Geometry::from_capacity(2048, 4, 64));
+            let sets = c.geometry().sets as u64;
+            let stride = sets * 64;
+            for w in 0..4 {
+                c.access_fill(base * 64 + w * stride);
+            }
+            for w in 0..4 {
+                prop_assert!(c.access(base * 64 + w * stride).is_hit());
+            }
+        }
+    }
+}

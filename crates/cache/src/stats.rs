@@ -1,0 +1,91 @@
+//! Hit/miss bookkeeping shared by all cache models.
+
+/// Access statistics for a cache structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total lookups.
+    pub accesses: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lines written into the cache (fills).
+    pub fills: u64,
+    /// Valid lines overwritten by a fill.
+    pub evictions: u64,
+    /// Lines discarded by explicit invalidation (e.g. Vdd-gating a bank).
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Hit ratio in `[0, 1]`; `1.0` for an untouched cache so that cold
+    /// structures do not read as pathological.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Merges another set of statistics into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.fills += other.fills;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_hit_rate_is_one() {
+        assert_eq!(CacheStats::new().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn misses_and_rate() {
+        let s = CacheStats {
+            accesses: 10,
+            hits: 7,
+            ..CacheStats::new()
+        };
+        assert_eq!(s.misses(), 3);
+        assert!((s.hit_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = CacheStats {
+            accesses: 5,
+            hits: 2,
+            fills: 3,
+            evictions: 1,
+            invalidations: 0,
+        };
+        let b = CacheStats {
+            accesses: 7,
+            hits: 7,
+            fills: 0,
+            evictions: 0,
+            invalidations: 4,
+        };
+        a.merge(&b);
+        assert_eq!(a.accesses, 12);
+        assert_eq!(a.hits, 9);
+        assert_eq!(a.fills, 3);
+        assert_eq!(a.invalidations, 4);
+    }
+}

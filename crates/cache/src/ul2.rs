@@ -1,0 +1,140 @@
+//! The unified second-level cache (Table 1: 2 MB, 8-way, 12-cycle hit,
+//! 500+-cycle miss).
+//!
+//! The UL2 is shared by all clusters and the frontend: data-cache misses and
+//! trace-cache line builds both come here. The model is tag-only; the
+//! simulator charges [`Ul2Config::hit_latency`] or [`Ul2Config::miss_latency`]
+//! depending on the outcome.
+
+use crate::set_assoc::{Access, Geometry, SetAssocCache};
+use crate::stats::CacheStats;
+
+/// Configuration of the unified L2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ul2Config {
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Hit latency in cycles.
+    pub hit_latency: u32,
+    /// Latency of a miss to main memory in cycles ("500+").
+    pub miss_latency: u32,
+}
+
+impl Ul2Config {
+    /// Table 1 configuration: 2 MB, 8-way, 12-cycle hit, 500-cycle miss.
+    pub fn table1() -> Self {
+        Ul2Config {
+            capacity: 2 << 20,
+            ways: 8,
+            line_bytes: 64,
+            hit_latency: 12,
+            miss_latency: 500,
+        }
+    }
+}
+
+impl Default for Ul2Config {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+/// The unified second-level cache.
+///
+/// # Examples
+///
+/// ```
+/// use distfront_cache::ul2::{Ul2Config, UnifiedL2};
+///
+/// let mut ul2 = UnifiedL2::new(Ul2Config::table1());
+/// assert_eq!(ul2.access(0x8000), 500); // cold miss costs memory latency
+/// assert_eq!(ul2.access(0x8000), 12); // now a hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnifiedL2 {
+    config: Ul2Config,
+    cache: SetAssocCache,
+    memory_accesses: u64,
+}
+
+impl UnifiedL2 {
+    /// Creates an empty UL2.
+    pub fn new(config: Ul2Config) -> Self {
+        UnifiedL2 {
+            cache: SetAssocCache::new(Geometry::from_capacity(
+                config.capacity,
+                config.ways,
+                config.line_bytes,
+            )),
+            config,
+            memory_accesses: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> Ul2Config {
+        self.config
+    }
+
+    /// Accesses `addr`, allocating on miss, and returns the latency charged
+    /// (hit or miss latency).
+    pub fn access(&mut self, addr: u64) -> u32 {
+        match self.cache.access_fill(addr) {
+            Access::Hit => self.config.hit_latency,
+            Access::Miss => {
+                self.memory_accesses += 1;
+                self.config.miss_latency
+            }
+        }
+    }
+
+    /// Number of requests that went to main memory.
+    pub fn memory_accesses(&self) -> u64 {
+        self.memory_accesses
+    }
+
+    /// Tag-array statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_match_table1() {
+        let mut ul2 = UnifiedL2::new(Ul2Config::table1());
+        assert_eq!(ul2.access(0), 500);
+        assert_eq!(ul2.access(0), 12);
+        assert_eq!(ul2.memory_accesses(), 1);
+    }
+
+    #[test]
+    fn capacity_holds_working_set() {
+        let mut ul2 = UnifiedL2::new(Ul2Config::table1());
+        // 1 MB working set fits within 2 MB.
+        for i in 0..16_384u64 {
+            ul2.access(i * 64);
+        }
+        let misses_before = ul2.stats().misses();
+        for i in 0..16_384u64 {
+            ul2.access(i * 64);
+        }
+        assert_eq!(ul2.stats().misses(), misses_before, "re-touch missed");
+    }
+
+    #[test]
+    fn oversized_stream_misses() {
+        let mut ul2 = UnifiedL2::new(Ul2Config::table1());
+        for i in 0..65_536u64 {
+            ul2.access(i * 64); // 4 MB stream through a 2 MB cache
+        }
+        assert!(!matches!(ul2.access(0), 12), "line 0 survived 4 MB stream");
+    }
+}

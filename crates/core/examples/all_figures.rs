@@ -1,0 +1,15 @@
+//! Regenerates every figure at a given run length and prints them together
+//! (used to populate EXPERIMENTS.md; the per-figure benches are the
+//! canonical entry points).
+use distfront::{figure1, figure12, figure13, figure14};
+use distfront_trace::AppProfile;
+
+fn main() {
+    let uops: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300_000);
+    let apps = AppProfile::spec2000();
+    println!("run length: {uops} uops per app, 26 apps\n");
+    println!("{}", figure1(apps, uops));
+    println!("{}", figure12(apps, uops));
+    println!("{}", figure13(apps, uops));
+    println!("{}", figure14(apps, uops));
+}

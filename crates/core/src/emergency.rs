@@ -1,0 +1,216 @@
+//! Dynamic thermal management — the paper's declared future work.
+//!
+//! §4 of the paper: *"We have not enabled any mechanism to be triggered at
+//! a thermal emergency (it is part of our future work). … techniques
+//! reducing peak temperatures would reduce the number of times that these
+//! mechanisms are initiated."* This module implements that mechanism so
+//! the claim can be measured: a global throttle (frequency/fetch scaling,
+//! as in Skadron et al. and the Pentium M thermal monitor) engages for the
+//! following interval whenever any block crosses the emergency threshold.
+//!
+//! Throttling stretches wall-clock time for the same work (the activity's
+//! energy spreads over a longer interval), which is exactly how
+//! frequency-scaling DTM behaves to first order.
+
+/// A dynamic-thermal-management policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmergencyPolicy {
+    /// Engage when any block reaches this temperature (the paper's
+    /// emergency limit is 381 K ≈ 107.85 °C).
+    pub threshold_c: f64,
+    /// Throughput multiplier while engaged (0.5 = half frequency).
+    pub throttle_factor: f64,
+    /// Intervals the throttle stays engaged once triggered.
+    pub hold_intervals: u32,
+}
+
+impl EmergencyPolicy {
+    /// The paper's emergency limit with a conventional halve-frequency
+    /// response held for one interval.
+    pub fn paper_limit() -> Self {
+        EmergencyPolicy {
+            threshold_c: 381.0 - 273.15,
+            throttle_factor: 0.5,
+            hold_intervals: 1,
+        }
+    }
+
+    /// A policy with a custom threshold (for studying trigger rates below
+    /// the hard limit).
+    pub fn with_threshold(threshold_c: f64) -> Self {
+        EmergencyPolicy {
+            threshold_c,
+            ..Self::paper_limit()
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0 < self.throttle_factor && self.throttle_factor <= 1.0) {
+            return Err(format!(
+                "throttle factor {} outside (0, 1]",
+                self.throttle_factor
+            ));
+        }
+        if !self.threshold_c.is_finite() || self.threshold_c <= 0.0 {
+            return Err(format!("threshold {} invalid", self.threshold_c));
+        }
+        if self.hold_intervals == 0 {
+            return Err("hold must last at least one interval".into());
+        }
+        Ok(())
+    }
+}
+
+/// Runtime state of the DTM controller.
+#[derive(Debug, Clone)]
+pub struct EmergencyController {
+    policy: EmergencyPolicy,
+    engaged_for: u32,
+    /// Whether the previous observation was already over the threshold
+    /// (a continuous violation counts as one emergency).
+    over_limit: bool,
+    triggers: u64,
+    throttled_intervals: u64,
+}
+
+impl EmergencyController {
+    /// Creates a controller for `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid.
+    pub fn new(policy: EmergencyPolicy) -> Self {
+        policy
+            .validate()
+            .unwrap_or_else(|e| panic!("bad DTM policy: {e}"));
+        EmergencyController {
+            policy,
+            engaged_for: 0,
+            over_limit: false,
+            triggers: 0,
+            throttled_intervals: 0,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> EmergencyPolicy {
+        self.policy
+    }
+
+    /// Observes the end-of-interval block temperatures; returns the
+    /// throughput factor to apply to the *next* interval (1.0 = full
+    /// speed).
+    pub fn observe(&mut self, temps_c: &[f64]) -> f64 {
+        let peak = temps_c.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let over = peak >= self.policy.threshold_c;
+        if over {
+            if !self.over_limit {
+                self.triggers += 1;
+            }
+            self.engaged_for = self.policy.hold_intervals;
+        }
+        self.over_limit = over;
+        if self.engaged_for > 0 {
+            self.engaged_for -= 1;
+            self.throttled_intervals += 1;
+            self.policy.throttle_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Distinct emergencies triggered so far.
+    pub fn triggers(&self) -> u64 {
+        self.triggers
+    }
+
+    /// Intervals spent throttled.
+    pub fn throttled_intervals(&self) -> u64 {
+        self.throttled_intervals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_limit_is_381_kelvin() {
+        let p = EmergencyPolicy::paper_limit();
+        assert!((p.threshold_c - 107.85).abs() < 0.01);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn cool_chip_never_triggers() {
+        let mut c = EmergencyController::new(EmergencyPolicy::paper_limit());
+        for _ in 0..100 {
+            assert_eq!(c.observe(&[60.0, 70.0, 80.0]), 1.0);
+        }
+        assert_eq!(c.triggers(), 0);
+        assert_eq!(c.throttled_intervals(), 0);
+    }
+
+    #[test]
+    fn hot_block_engages_throttle() {
+        let mut c = EmergencyController::new(EmergencyPolicy::with_threshold(100.0));
+        let f = c.observe(&[60.0, 101.0]);
+        assert_eq!(f, 0.5);
+        assert_eq!(c.triggers(), 1);
+        // Cooled again: released after the hold.
+        assert_eq!(c.observe(&[60.0, 80.0]), 1.0);
+    }
+
+    #[test]
+    fn sustained_heat_counts_one_emergency() {
+        let mut c = EmergencyController::new(EmergencyPolicy::with_threshold(100.0));
+        for _ in 0..5 {
+            assert_eq!(c.observe(&[105.0]), 0.5);
+        }
+        assert_eq!(c.triggers(), 1, "continuous violation is one emergency");
+        assert_eq!(c.throttled_intervals(), 5);
+    }
+
+    #[test]
+    fn re_trigger_after_cooling_counts_again() {
+        let mut c = EmergencyController::new(EmergencyPolicy::with_threshold(100.0));
+        c.observe(&[105.0]);
+        c.observe(&[80.0]);
+        c.observe(&[105.0]);
+        assert_eq!(c.triggers(), 2);
+    }
+
+    #[test]
+    fn hold_keeps_throttle_engaged() {
+        let mut c = EmergencyController::new(EmergencyPolicy {
+            threshold_c: 100.0,
+            throttle_factor: 0.25,
+            hold_intervals: 3,
+        });
+        assert_eq!(c.observe(&[101.0]), 0.25);
+        assert_eq!(c.observe(&[90.0]), 0.25);
+        assert_eq!(c.observe(&[90.0]), 0.25);
+        assert_eq!(c.observe(&[90.0]), 1.0);
+    }
+
+    #[test]
+    fn invalid_policies_rejected() {
+        assert!(EmergencyPolicy {
+            throttle_factor: 0.0,
+            ..EmergencyPolicy::paper_limit()
+        }
+        .validate()
+        .is_err());
+        assert!(EmergencyPolicy {
+            hold_intervals: 0,
+            ..EmergencyPolicy::paper_limit()
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! Experiment configurations: the baseline and every technique the paper
+//! evaluates, as presets.
+
+use crate::emergency::EmergencyPolicy;
+use distfront_cache::trace_cache::TraceCacheConfig;
+use distfront_uarch::{FrontendMode, ProcessorConfig};
+
+/// A complete experiment configuration: processor + thermal-management
+/// control knobs + run length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Short name shown in reports (e.g. `"baseline"`, `"bh+ab"`).
+    pub name: &'static str,
+    /// The processor under test.
+    pub processor: ProcessorConfig,
+    /// Rotate the Vdd-gated trace-cache bank every interval (§3.2.1). When
+    /// the trace cache has a spare bank but `hop` is false, the spare stays
+    /// statically gated — the paper's "blank silicon" comparison point.
+    pub hop: bool,
+    /// Control/thermal interval in cycles (the paper uses 10 M; scaled runs
+    /// use proportionally shorter intervals).
+    pub interval_cycles: u64,
+    /// Micro-ops to simulate per application.
+    pub uops_per_app: u64,
+    /// Fraction of the run used as the pilot that measures nominal average
+    /// dynamic power (the paper uses its first 50 M instructions).
+    pub pilot_fraction: f64,
+    /// Un-gateable background switching power (clock tree, latches) as a
+    /// density over the floorplan, in W/mm².
+    pub idle_density_w_mm2: f64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Optional dynamic thermal management (the paper runs with none; §4
+    /// names it as future work — see [`crate::emergency`]).
+    pub emergency: Option<EmergencyPolicy>,
+}
+
+impl ExperimentConfig {
+    /// The paper's baseline: quad-cluster backend, centralized rename and
+    /// commit, two-banked trace cache, no thermal management.
+    pub fn baseline() -> Self {
+        ExperimentConfig {
+            name: "baseline",
+            processor: ProcessorConfig::hpca05_baseline(),
+            hop: false,
+            interval_cycles: 200_000,
+            uops_per_app: 400_000,
+            pilot_fraction: 0.25,
+            idle_density_w_mm2: 0.045,
+            seed: 0xD15F,
+            emergency: None,
+        }
+    }
+
+    /// Thermal-aware biased mapping only ("Address Biasing" in Fig. 13).
+    pub fn address_biasing() -> Self {
+        let mut c = Self::baseline();
+        c.name = "address-biasing";
+        c.processor.trace_cache = TraceCacheConfig::address_biasing();
+        c
+    }
+
+    /// Bank hopping only (Fig. 13): 2+1 banks, one gated, rotating.
+    pub fn bank_hopping() -> Self {
+        let mut c = Self::baseline();
+        c.name = "bank-hopping";
+        c.processor.trace_cache = TraceCacheConfig::bank_hopping();
+        c.hop = true;
+        c
+    }
+
+    /// Bank hopping combined with the biased mapping (Fig. 13 "BH+AB").
+    pub fn hopping_and_biasing() -> Self {
+        let mut c = Self::baseline();
+        c.name = "bh+ab";
+        c.processor.trace_cache = TraceCacheConfig::hopping_and_biasing();
+        c.hop = true;
+        c
+    }
+
+    /// The Fig. 13 comparison point: three banks with one *statically*
+    /// gated (inserted blank silicon; no rotation, no biasing).
+    pub fn blank_silicon() -> Self {
+        let mut c = Self::baseline();
+        c.name = "blank-silicon";
+        c.processor.trace_cache = TraceCacheConfig::bank_hopping();
+        c.hop = false;
+        c
+    }
+
+    /// Distributed rename and commit only (Fig. 12): bi-clustered frontend
+    /// feeding the quad-clustered backend, +1 commit cycle.
+    pub fn distributed_rename_commit() -> Self {
+        let mut c = Self::baseline();
+        c.name = "drc";
+        c.processor.frontend_mode = FrontendMode::Distributed { frontends: 2 };
+        c.processor.distributed_commit_penalty = 1;
+        c
+    }
+
+    /// The full distributed frontend (Fig. 14): distributed rename/commit
+    /// plus bank hopping plus the biased mapping.
+    pub fn combined() -> Self {
+        let mut c = Self::distributed_rename_commit();
+        c.name = "drc+bh+ab";
+        c.processor.trace_cache = TraceCacheConfig::hopping_and_biasing();
+        c.hop = true;
+        c
+    }
+
+    /// All Fig. 13 trace-cache configurations in presentation order.
+    pub fn figure13_set() -> Vec<ExperimentConfig> {
+        vec![
+            Self::address_biasing(),
+            Self::blank_silicon(),
+            Self::bank_hopping(),
+            Self::hopping_and_biasing(),
+        ]
+    }
+
+    /// Scales the run length (and control interval) for quick tests or
+    /// long evaluations; returns `self` for chaining.
+    pub fn with_uops(mut self, uops: u64) -> Self {
+        self.uops_per_app = uops;
+        self.interval_cycles = (uops / 2).clamp(20_000, 10_000_000);
+        self
+    }
+
+    /// Overrides the workload seed; returns `self` for chaining.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables dynamic thermal management; returns `self` for chaining.
+    pub fn with_emergency(mut self, policy: EmergencyPolicy) -> Self {
+        self.emergency = Some(policy);
+        self
+    }
+
+    /// Pilot run length in micro-ops.
+    pub fn pilot_uops(&self) -> u64 {
+        ((self.uops_per_app as f64 * self.pilot_fraction) as u64).max(10_000)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        self.processor.validate()?;
+        if self.hop && !self.processor.trace_cache.hopping {
+            return Err("hop control enabled without a spare bank".into());
+        }
+        if self.interval_cycles == 0 {
+            return Err("interval must be positive".into());
+        }
+        if self.uops_per_app == 0 {
+            return Err("empty run".into());
+        }
+        if !(0.0..=1.0).contains(&self.pilot_fraction) {
+            return Err("pilot fraction outside [0,1]".into());
+        }
+        if self.idle_density_w_mm2 < 0.0 {
+            return Err("negative idle density".into());
+        }
+        if let Some(e) = &self.emergency {
+            e.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_valid() {
+        for c in [
+            ExperimentConfig::baseline(),
+            ExperimentConfig::address_biasing(),
+            ExperimentConfig::bank_hopping(),
+            ExperimentConfig::hopping_and_biasing(),
+            ExperimentConfig::blank_silicon(),
+            ExperimentConfig::distributed_rename_commit(),
+            ExperimentConfig::combined(),
+        ] {
+            c.validate().unwrap_or_else(|e| panic!("{}: {e}", c.name));
+        }
+    }
+
+    #[test]
+    fn preset_names_unique() {
+        let mut names: Vec<_> = [
+            ExperimentConfig::baseline(),
+            ExperimentConfig::address_biasing(),
+            ExperimentConfig::bank_hopping(),
+            ExperimentConfig::hopping_and_biasing(),
+            ExperimentConfig::blank_silicon(),
+            ExperimentConfig::distributed_rename_commit(),
+            ExperimentConfig::combined(),
+        ]
+        .iter()
+        .map(|c| c.name)
+        .collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn blank_silicon_has_spare_but_never_hops() {
+        let c = ExperimentConfig::blank_silicon();
+        assert!(c.processor.trace_cache.hopping);
+        assert!(!c.hop);
+        assert!(!c.processor.trace_cache.biased);
+    }
+
+    #[test]
+    fn combined_enables_everything() {
+        let c = ExperimentConfig::combined();
+        assert!(c.processor.frontend_mode.is_distributed());
+        assert!(c.processor.trace_cache.hopping);
+        assert!(c.processor.trace_cache.biased);
+        assert!(c.hop);
+        assert_eq!(c.processor.distributed_commit_penalty, 1);
+    }
+
+    #[test]
+    fn with_uops_scales_interval() {
+        let c = ExperimentConfig::baseline().with_uops(100_000);
+        assert_eq!(c.uops_per_app, 100_000);
+        assert_eq!(c.interval_cycles, 50_000);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn figure13_set_order() {
+        let names: Vec<_> = ExperimentConfig::figure13_set()
+            .iter()
+            .map(|c| c.name)
+            .collect();
+        assert_eq!(
+            names,
+            vec!["address-biasing", "blank-silicon", "bank-hopping", "bh+ab"]
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! # distfront — Distributing the Frontend for Temperature Reduction
+//!
+//! A full reproduction of Chaparro, Magklis, González & González,
+//! *"Distributing the Frontend for Temperature Reduction"*, HPCA-11, 2005:
+//! the distributed rename/commit mechanism, the sub-banked trace cache with
+//! bank hopping, and the thermal-aware biased bank mapping — together with
+//! every substrate the paper's evaluation depends on (cycle-level clustered
+//! simulator, synthetic SPEC2000-class workloads, activity-based power
+//! model, HotSpot-style RC thermal model and the Fig. 10/11 floorplans).
+//!
+//! The three contributions, and where they live:
+//!
+//! | Paper section | Implementation |
+//! |---|---|
+//! | §3.1 distributed renaming | [`distfront_uarch::rename`] |
+//! | §3.1.2 distributed commit (R/L walk) | [`distfront_uarch::rob`] |
+//! | §3.2.1 bank hopping | [`distfront_cache::trace_cache`] |
+//! | §3.2.2 biased mapping | [`distfront_cache::mapping`] |
+//!
+//! This crate ties the stack together: [`experiment`] holds the evaluated
+//! configurations, [`runner`] couples simulator ⇄ power ⇄ thermal with the
+//! control loop, and [`figures`] regenerates every figure of §4.
+//!
+//! # Examples
+//!
+//! Run the baseline on one application and inspect its thermal profile:
+//!
+//! ```
+//! use distfront::{ExperimentConfig, run_app};
+//! use distfront_trace::AppProfile;
+//!
+//! let cfg = ExperimentConfig::baseline().with_uops(50_000);
+//! let result = run_app(&cfg, &AppProfile::test_tiny());
+//! assert!(result.temps.frontend.abs_max_c > 45.0); // warm frontend
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod emergency;
+pub mod experiment;
+pub mod figures;
+pub mod report;
+pub mod runner;
+
+pub use emergency::{EmergencyController, EmergencyPolicy};
+pub use experiment::ExperimentConfig;
+pub use figures::{figure1, figure12, figure13, figure14, ComparisonData, AMBIENT_C};
+pub use report::{FigureRow, FigureTable};
+pub use runner::{
+    average_temps, mean_cpi, run_app, run_suite, slowdown, AppResult, BlockGroups, TempReport,
+};

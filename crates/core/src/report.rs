@@ -1,0 +1,121 @@
+//! Plain-text rendering of figure tables.
+
+use std::fmt;
+
+/// One row of a figure table: a label and its numeric values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureRow {
+    /// Row label (configuration or processor element).
+    pub label: String,
+    /// One value per column.
+    pub values: Vec<f64>,
+}
+
+/// A reproduced table or figure, ready to print.
+///
+/// # Examples
+///
+/// ```
+/// use distfront::report::{FigureRow, FigureTable};
+///
+/// let t = FigureTable {
+///     id: "demo",
+///     title: "Demo".into(),
+///     columns: vec!["A".into(), "B".into()],
+///     rows: vec![FigureRow { label: "x".into(), values: vec![1.0, 2.5] }],
+/// };
+/// let text = t.to_string();
+/// assert!(text.contains("Demo"));
+/// assert!(text.contains("2.50"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureTable {
+    /// Stable identifier (e.g. `"figure12"`).
+    pub id: &'static str,
+    /// Human-readable caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<FigureRow>,
+}
+
+impl FigureTable {
+    /// Looks a value up by row label and column index.
+    pub fn value(&self, row_label: &str, column: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.label == row_label)
+            .and_then(|r| r.values.get(column))
+            .copied()
+    }
+}
+
+impl fmt::Display for FigureTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} [{}] ==", self.title, self.id)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once(4))
+            .max()
+            .unwrap_or(4)
+            + 2;
+        write!(f, "{:label_w$}", "")?;
+        for c in &self.columns {
+            write!(f, "{c:>16}")?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write!(f, "{:label_w$}", row.label)?;
+            for v in &row.values {
+                write!(f, "{v:>16.2}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> FigureTable {
+        FigureTable {
+            id: "t",
+            title: "T".into(),
+            columns: vec!["c1".into(), "c2".into()],
+            rows: vec![
+                FigureRow {
+                    label: "alpha".into(),
+                    values: vec![1.0, -2.345],
+                },
+                FigureRow {
+                    label: "b".into(),
+                    values: vec![10.5, 0.0],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_all_rows_and_columns() {
+        let s = table().to_string();
+        assert!(s.contains("alpha"));
+        assert!(s.contains("c2"));
+        assert!(s.contains("-2.35"));
+        assert!(s.contains("10.50"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn value_lookup() {
+        let t = table();
+        assert_eq!(t.value("alpha", 1), Some(-2.345));
+        assert_eq!(t.value("b", 0), Some(10.5));
+        assert_eq!(t.value("zz", 0), None);
+        assert_eq!(t.value("alpha", 5), None);
+    }
+}

@@ -1,0 +1,430 @@
+//! The experiment runner: couples the cycle simulator, the power model and
+//! the thermal solver, and drives the thermal-management control loop
+//! (mapping rebalance + bank hopping) at every interval, exactly as §4
+//! describes.
+//!
+//! Per application the runner:
+//!
+//! 1. runs a **pilot** to measure nominal average dynamic power (the paper
+//!    uses its first 50 M instructions),
+//! 2. **warm-starts** the thermal state: steady state under nominal power
+//!    with the leakage↔temperature fixed point iterated to convergence
+//!    ("simulations are started with the processor already warm"),
+//! 3. runs the **evaluation**, updating block power and temperature every
+//!    interval, recording the AbsMax/Average/AvgMax metrics, recomputing
+//!    the thermal-aware bank mapping from the bank sensors, and rotating
+//!    the gated bank when hopping is enabled.
+
+use distfront_power::{BlockId, EnergyTable, LeakageModel, Machine, PowerModel};
+use distfront_thermal::{
+    Floorplan, GroupMetrics, PackageConfig, TemperatureTracker, ThermalNetwork, ThermalSolver,
+};
+use distfront_trace::AppProfile;
+use distfront_uarch::Simulator;
+
+use crate::emergency::EmergencyController;
+use crate::experiment::ExperimentConfig;
+
+/// Temperature metrics for the block groups the paper reports on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TempReport {
+    /// The reorder buffer (all partitions).
+    pub rob: GroupMetrics,
+    /// The rename table (all partitions).
+    pub rat: GroupMetrics,
+    /// The trace cache (all physical banks).
+    pub trace_cache: GroupMetrics,
+    /// The whole frontend strip.
+    pub frontend: GroupMetrics,
+    /// All backend-cluster blocks.
+    pub backend: GroupMetrics,
+    /// The UL2.
+    pub ul2: GroupMetrics,
+    /// Every block on the die.
+    pub processor: GroupMetrics,
+}
+
+/// Result of one application run under one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppResult {
+    /// Application name.
+    pub app: &'static str,
+    /// Total cycles to commit the budget.
+    pub cycles: u64,
+    /// Micro-ops committed.
+    pub uops: u64,
+    /// Committed micro-ops per cycle.
+    pub ipc: f64,
+    /// Cycles per micro-op (the slowdown basis).
+    pub cpi: f64,
+    /// Trace-cache hit rate over the run.
+    pub tc_hit_rate: f64,
+    /// Branch misprediction rate over the run.
+    pub mispredict_rate: f64,
+    /// Average total (dynamic + leakage + background) power in Watts.
+    pub avg_power_w: f64,
+    /// Wall-clock seconds of the run (longer than `cycles / f` when the
+    /// DTM throttle engaged).
+    pub wall_time_s: f64,
+    /// Distinct thermal emergencies triggered (0 without a DTM policy).
+    pub emergencies: u64,
+    /// Intervals spent throttled by the DTM mechanism.
+    pub throttled_intervals: u64,
+    /// Temperature metrics per block group.
+    pub temps: TempReport,
+}
+
+/// The canonical block groups of a machine.
+#[derive(Debug, Clone)]
+pub struct BlockGroups {
+    /// ROB partitions.
+    pub rob: Vec<usize>,
+    /// RAT partitions.
+    pub rat: Vec<usize>,
+    /// Trace-cache banks.
+    pub trace_cache: Vec<usize>,
+    /// All frontend blocks.
+    pub frontend: Vec<usize>,
+    /// All backend blocks.
+    pub backend: Vec<usize>,
+    /// The UL2 (singleton).
+    pub ul2: Vec<usize>,
+    /// Everything.
+    pub processor: Vec<usize>,
+}
+
+impl BlockGroups {
+    /// Derives the groups for a machine shape.
+    pub fn for_machine(machine: Machine) -> Self {
+        let blocks = machine.blocks();
+        let of = |pred: &dyn Fn(BlockId) -> bool| -> Vec<usize> {
+            blocks
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| pred(**b))
+                .map(|(i, _)| i)
+                .collect()
+        };
+        BlockGroups {
+            rob: of(&|b| matches!(b, BlockId::Rob(_))),
+            rat: of(&|b| matches!(b, BlockId::Rat(_))),
+            trace_cache: of(&|b| matches!(b, BlockId::TcBank(_))),
+            frontend: of(&|b| b.is_frontend()),
+            backend: of(&|b| b.is_backend()),
+            ul2: of(&|b| b == BlockId::Ul2),
+            processor: (0..machine.block_count()).collect(),
+        }
+    }
+}
+
+/// Runs one application under one configuration.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn run_app(cfg: &ExperimentConfig, profile: &AppProfile) -> AppResult {
+    cfg.validate().unwrap_or_else(|e| panic!("bad config: {e}"));
+    let pc = &cfg.processor;
+    let machine = Machine::new(
+        pc.frontend_mode.partitions(),
+        pc.backends,
+        pc.trace_cache.physical_banks(),
+    );
+    let fp = Floorplan::for_machine(machine);
+    let areas = fp.areas();
+    let pkg = PackageConfig::paper();
+    let mut model = PowerModel::new(machine, EnergyTable::nm65(), LeakageModel::paper(), pc.frequency_hz);
+    let groups = BlockGroups::for_machine(machine);
+
+    // Background (clock-tree) power per block; trace-cache banks under
+    // hopping are on only `logical/physical` of the time, so their
+    // time-averaged background power scales accordingly.
+    let duty = pc.trace_cache.logical_banks as f64 / pc.trace_cache.physical_banks() as f64;
+    let idle: Vec<f64> = machine
+        .blocks()
+        .iter()
+        .zip(&areas)
+        .map(|(b, a)| {
+            let d = if matches!(b, BlockId::TcBank(_)) { duty } else { 1.0 };
+            a * cfg.idle_density_w_mm2 * d
+        })
+        .collect();
+
+    // --- Pilot: nominal average dynamic power ---------------------------
+    let mut pilot = Simulator::new(pc.clone(), profile, cfg.seed);
+    let mut pilot_act = None::<distfront_uarch::ActivityCounters>;
+    loop {
+        let target = pilot.current_cycle() + cfg.interval_cycles;
+        let r = pilot.step(target, cfg.pilot_uops());
+        match &mut pilot_act {
+            Some(acc) => acc.merge(&r.activity),
+            None => pilot_act = Some(r.activity),
+        }
+        // Exercise the same control decisions so per-bank activity is the
+        // honest time average (temperatures are not known yet: balanced).
+        let banks = pc.trace_cache.physical_banks();
+        pilot.trace_cache_mut().rebalance(&vec![pkg.ambient_c; banks]);
+        if cfg.hop {
+            pilot.trace_cache_mut().hop();
+        }
+        if r.done {
+            break;
+        }
+    }
+    let pilot_act = pilot_act.expect("pilot ran at least one interval");
+    let mut nominal = model.dynamic_power(&pilot_act);
+    for (n, i) in nominal.iter_mut().zip(&idle) {
+        *n += i;
+    }
+    model.set_nominal_dynamic(nominal.clone());
+
+    // --- Warm start: leakage/temperature fixed point ---------------------
+    let net = ThermalNetwork::from_floorplan(&fp, &pkg);
+    let mut solver = ThermalSolver::new(net);
+    let leak = model.leakage_model();
+    let mut temps = vec![pkg.ambient_c; machine.block_count()];
+    for _ in 0..40 {
+        let p: Vec<f64> = nominal
+            .iter()
+            .zip(&temps)
+            .map(|(&n, &t)| n + leak.leakage_watts(n, t))
+            .collect();
+        solver.set_steady_state(&p);
+        let new_temps = solver.block_temperatures().to_vec();
+        let delta = new_temps
+            .iter()
+            .zip(&temps)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        temps = new_temps;
+        if delta < 0.01 {
+            break;
+        }
+    }
+
+    // --- Evaluation run ---------------------------------------------------
+    let mut sim = Simulator::new(pc.clone(), profile, cfg.seed);
+    let mut tracker = TemperatureTracker::new(areas);
+    let mut power_time_sum = 0.0f64;
+    let mut time_sum = 0.0f64;
+    let mut dtm = cfg.emergency.map(EmergencyController::new);
+    let mut throttle = 1.0f64;
+    loop {
+        let target = sim.current_cycle() + cfg.interval_cycles;
+        let mut r = sim.step(target, cfg.uops_per_app);
+        // DTM throttling: the same work takes 1/throttle the wall time,
+        // spreading its switching energy over the longer interval.
+        if throttle < 1.0 {
+            r.activity.cycles = (r.activity.cycles as f64 / throttle).round() as u64;
+        }
+        let gated: Vec<BlockId> = sim
+            .trace_cache()
+            .gated_bank()
+            .map(|b| BlockId::TcBank(b as u8))
+            .into_iter()
+            .collect();
+        let temps_now = solver.block_temperatures().to_vec();
+        let mut power = model.total_power(&r.activity, &temps_now, &gated);
+        for (p, i) in power.iter_mut().zip(&idle) {
+            *p += i;
+        }
+        for g in &gated {
+            power[machine.index_of(*g)] = 0.0;
+        }
+        let dt = r.activity.cycles as f64 / pc.frequency_hz;
+        power_time_sum += power.iter().sum::<f64>() * dt;
+        time_sum += dt;
+        // Two half-steps so intra-interval transients are sampled.
+        solver.advance(&power, dt / 2.0);
+        tracker.record(solver.block_temperatures(), dt / 2.0);
+        solver.advance(&power, dt / 2.0);
+        tracker.record(solver.block_temperatures(), dt / 2.0);
+        tracker.end_interval();
+
+        // Thermal management control (§3.2): remap from bank sensors, then
+        // rotate the gated bank.
+        let bank_temps: Vec<f64> = (0..pc.trace_cache.physical_banks())
+            .map(|k| solver.block_temperatures()[machine.index_of(BlockId::TcBank(k as u8))])
+            .collect();
+        sim.trace_cache_mut().rebalance(&bank_temps);
+        if cfg.hop {
+            sim.trace_cache_mut().hop();
+        }
+        if let Some(ctrl) = &mut dtm {
+            throttle = ctrl.observe(solver.block_temperatures());
+        }
+        if r.done {
+            break;
+        }
+    }
+
+    let cycles = sim.current_cycle();
+    let uops = sim.total_committed();
+    let g = |idx: &[usize]| tracker.group_metrics(idx);
+    AppResult {
+        app: profile.name,
+        cycles,
+        uops,
+        ipc: uops as f64 / cycles.max(1) as f64,
+        cpi: cycles as f64 / uops.max(1) as f64,
+        tc_hit_rate: sim.tc_hit_rate(),
+        mispredict_rate: sim.mispredict_rate(),
+        avg_power_w: power_time_sum / time_sum.max(1e-12),
+        wall_time_s: time_sum,
+        emergencies: dtm.as_ref().map_or(0, |c| c.triggers()),
+        throttled_intervals: dtm.as_ref().map_or(0, |c| c.throttled_intervals()),
+        temps: TempReport {
+            rob: g(&groups.rob),
+            rat: g(&groups.rat),
+            trace_cache: g(&groups.trace_cache),
+            frontend: g(&groups.frontend),
+            backend: g(&groups.backend),
+            ul2: g(&groups.ul2),
+            processor: g(&groups.processor),
+        },
+    }
+}
+
+/// Runs a whole application suite under one configuration.
+pub fn run_suite(cfg: &ExperimentConfig, apps: &[AppProfile]) -> Vec<AppResult> {
+    apps.iter().map(|p| run_app(cfg, p)).collect()
+}
+
+/// Averages group metrics across applications (each app weighted equally,
+/// as the paper averages its 26 benchmarks).
+pub fn average_temps(results: &[AppResult]) -> TempReport {
+    assert!(!results.is_empty(), "no results to average");
+    let n = results.len() as f64;
+    let avg = |f: &dyn Fn(&TempReport) -> GroupMetrics| {
+        let mut acc = GroupMetrics {
+            abs_max_c: 0.0,
+            average_c: 0.0,
+            avg_max_c: 0.0,
+        };
+        for r in results {
+            let m = f(&r.temps);
+            acc.abs_max_c += m.abs_max_c / n;
+            acc.average_c += m.average_c / n;
+            acc.avg_max_c += m.avg_max_c / n;
+        }
+        acc
+    };
+    TempReport {
+        rob: avg(&|t| t.rob),
+        rat: avg(&|t| t.rat),
+        trace_cache: avg(&|t| t.trace_cache),
+        frontend: avg(&|t| t.frontend),
+        backend: avg(&|t| t.backend),
+        ul2: avg(&|t| t.ul2),
+        processor: avg(&|t| t.processor),
+    }
+}
+
+/// Mean cycles-per-micro-op over a suite (the slowdown basis).
+pub fn mean_cpi(results: &[AppResult]) -> f64 {
+    assert!(!results.is_empty());
+    results.iter().map(|r| r.cpi).sum::<f64>() / results.len() as f64
+}
+
+/// Relative slowdown of `technique` over `baseline` (e.g. `0.02` = 2 %).
+pub fn slowdown(baseline: &[AppResult], technique: &[AppResult]) -> f64 {
+    mean_cpi(technique) / mean_cpi(baseline) - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(cfg: ExperimentConfig) -> AppResult {
+        run_app(&cfg.with_uops(60_000), &AppProfile::test_tiny())
+    }
+
+    #[test]
+    fn baseline_runs_and_heats_up() {
+        let r = quick(ExperimentConfig::baseline());
+        assert!(r.uops >= 60_000);
+        assert!(r.ipc > 0.0);
+        // Warm processor: everything above ambient.
+        assert!(r.temps.processor.average_c > 45.0);
+        assert!(r.temps.processor.abs_max_c >= r.temps.processor.average_c);
+        assert!(r.temps.processor.abs_max_c >= r.temps.processor.avg_max_c);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = quick(ExperimentConfig::baseline());
+        let b = quick(ExperimentConfig::baseline());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn block_groups_cover_machine() {
+        let m = Machine::new(2, 4, 3);
+        let g = BlockGroups::for_machine(m);
+        assert_eq!(g.rob.len(), 2);
+        assert_eq!(g.rat.len(), 2);
+        assert_eq!(g.trace_cache.len(), 3);
+        assert_eq!(g.ul2.len(), 1);
+        assert_eq!(
+            g.frontend.len() + g.backend.len() + g.ul2.len(),
+            g.processor.len()
+        );
+    }
+
+    #[test]
+    fn distributed_reduces_rob_rat_temps() {
+        let base = quick(ExperimentConfig::baseline());
+        let drc = quick(ExperimentConfig::distributed_rename_commit());
+        assert!(
+            drc.temps.rob.avg_max_c < base.temps.rob.avg_max_c,
+            "ROB: {} vs {}",
+            drc.temps.rob.avg_max_c,
+            base.temps.rob.avg_max_c
+        );
+        assert!(drc.temps.rat.avg_max_c < base.temps.rat.avg_max_c);
+    }
+
+    #[test]
+    fn hopping_reduces_tc_average() {
+        let base = quick(ExperimentConfig::baseline());
+        let bh = quick(ExperimentConfig::bank_hopping());
+        assert!(
+            bh.temps.trace_cache.average_c < base.temps.trace_cache.average_c,
+            "TC avg: {} vs {}",
+            bh.temps.trace_cache.average_c,
+            base.temps.trace_cache.average_c
+        );
+    }
+
+    #[test]
+    fn techniques_cost_little_performance() {
+        let base = quick(ExperimentConfig::baseline());
+        for cfg in [
+            ExperimentConfig::distributed_rename_commit(),
+            ExperimentConfig::hopping_and_biasing(),
+        ] {
+            let name = cfg.name;
+            let r = quick(cfg);
+            let slow = r.cpi / base.cpi - 1.0;
+            assert!(
+                (-0.05..0.20).contains(&slow),
+                "{name} slowdown {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn average_temps_means_groups() {
+        let a = quick(ExperimentConfig::baseline());
+        let mut b = a.clone();
+        b.temps.rob.abs_max_c += 10.0;
+        let avg = average_temps(&[a.clone(), b]);
+        assert!((avg.rob.abs_max_c - (a.temps.rob.abs_max_c + 5.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slowdown_of_identical_suites_is_zero() {
+        let a = quick(ExperimentConfig::baseline());
+        assert!(slowdown(&[a.clone()], &[a]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,298 @@
+//! Functional-block identities and machine shape.
+//!
+//! [`BlockId`] names every power-dissipating block of the Fig. 10 floorplan
+//! — the frontend strip (ROB, RAT, ITLB, decode, branch predictor, trace
+//! cache banks), the per-cluster backend blocks, and the UL2.
+//! [`Machine`] fixes how many of each exist for a given configuration and
+//! provides the canonical block ordering shared by the power and thermal
+//! crates.
+
+use std::fmt;
+
+/// A power-dissipating functional block.
+///
+/// The `u8` payloads index the partition, trace-cache bank or backend
+/// cluster the block instance belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BlockId {
+    /// Reorder-buffer partition (one instance when centralized).
+    Rob(u8),
+    /// Rename-table partition.
+    Rat(u8),
+    /// Instruction TLB.
+    Itlb,
+    /// Decode/steer logic (`DECO` in Fig. 10).
+    Deco,
+    /// Branch predictor.
+    Bp,
+    /// Trace-cache physical bank (`TC-k`).
+    TcBank(u8),
+    /// Unified second-level cache.
+    Ul2,
+    /// Per-cluster L1 data cache.
+    Dl1(u8),
+    /// Per-cluster data TLB.
+    Dtlb(u8),
+    /// Per-cluster integer functional units (`IFU`).
+    IntFu(u8),
+    /// Per-cluster floating-point functional units (`FPFU`).
+    FpFu(u8),
+    /// Per-cluster integer register file (`IRF`).
+    Irf(u8),
+    /// Per-cluster floating-point register file (`FPRF`).
+    Fprf(u8),
+    /// Per-cluster integer scheduler (`IS`).
+    IntSched(u8),
+    /// Per-cluster floating-point scheduler (`FPS`).
+    FpSched(u8),
+    /// Per-cluster copy scheduler (`CS`).
+    CopySched(u8),
+    /// Per-cluster memory order buffer + memory scheduler (`MS/MOB`).
+    Mob(u8),
+}
+
+impl BlockId {
+    /// `true` for blocks belonging to the frontend (Fig. 10's top strip).
+    pub fn is_frontend(self) -> bool {
+        matches!(
+            self,
+            BlockId::Rob(_)
+                | BlockId::Rat(_)
+                | BlockId::Itlb
+                | BlockId::Deco
+                | BlockId::Bp
+                | BlockId::TcBank(_)
+        )
+    }
+
+    /// `true` for per-cluster backend blocks.
+    pub fn is_backend(self) -> bool {
+        !self.is_frontend() && self != BlockId::Ul2
+    }
+
+    /// The backend cluster this block belongs to, if any.
+    pub fn cluster(self) -> Option<u8> {
+        match self {
+            BlockId::Dl1(c)
+            | BlockId::Dtlb(c)
+            | BlockId::IntFu(c)
+            | BlockId::FpFu(c)
+            | BlockId::Irf(c)
+            | BlockId::Fprf(c)
+            | BlockId::IntSched(c)
+            | BlockId::FpSched(c)
+            | BlockId::CopySched(c)
+            | BlockId::Mob(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockId::Rob(p) => write!(f, "ROB-{p}"),
+            BlockId::Rat(p) => write!(f, "RAT-{p}"),
+            BlockId::Itlb => write!(f, "ITLB"),
+            BlockId::Deco => write!(f, "DECO"),
+            BlockId::Bp => write!(f, "BP"),
+            BlockId::TcBank(b) => write!(f, "TC-{b}"),
+            BlockId::Ul2 => write!(f, "UL2"),
+            BlockId::Dl1(c) => write!(f, "DL1.{c}"),
+            BlockId::Dtlb(c) => write!(f, "DTLB.{c}"),
+            BlockId::IntFu(c) => write!(f, "IFU.{c}"),
+            BlockId::FpFu(c) => write!(f, "FPFU.{c}"),
+            BlockId::Irf(c) => write!(f, "IRF.{c}"),
+            BlockId::Fprf(c) => write!(f, "FPRF.{c}"),
+            BlockId::IntSched(c) => write!(f, "IS.{c}"),
+            BlockId::FpSched(c) => write!(f, "FPS.{c}"),
+            BlockId::CopySched(c) => write!(f, "CS.{c}"),
+            BlockId::Mob(c) => write!(f, "MS/MOB.{c}"),
+        }
+    }
+}
+
+/// The shape of the simulated machine: how many frontend partitions,
+/// backend clusters and physical trace-cache banks exist.
+///
+/// # Examples
+///
+/// ```
+/// use distfront_power::{BlockId, Machine};
+///
+/// let m = Machine::new(1, 4, 2); // the paper's baseline
+/// assert_eq!(m.blocks().len(), 1 + 1 + 3 + 2 + 1 + 4 * 10);
+/// assert_eq!(m.index_of(BlockId::Ul2), m.blocks().iter()
+///     .position(|&b| b == BlockId::Ul2).unwrap());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Machine {
+    /// Frontend partitions (1 = centralized).
+    pub partitions: usize,
+    /// Backend clusters.
+    pub backends: usize,
+    /// Physical trace-cache banks (including a gated hopping spare).
+    pub tc_banks: usize,
+}
+
+impl Machine {
+    /// Creates a machine shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or exceeds 255.
+    pub fn new(partitions: usize, backends: usize, tc_banks: usize) -> Self {
+        assert!(partitions > 0 && partitions <= 255);
+        assert!(backends > 0 && backends <= 255);
+        assert!(tc_banks > 0 && tc_banks <= 255);
+        Machine {
+            partitions,
+            backends,
+            tc_banks,
+        }
+    }
+
+    /// All blocks in canonical order: frontend strip, UL2, then clusters.
+    pub fn blocks(&self) -> Vec<BlockId> {
+        let mut v = Vec::new();
+        for p in 0..self.partitions {
+            v.push(BlockId::Rob(p as u8));
+        }
+        for p in 0..self.partitions {
+            v.push(BlockId::Rat(p as u8));
+        }
+        v.push(BlockId::Itlb);
+        v.push(BlockId::Deco);
+        v.push(BlockId::Bp);
+        for b in 0..self.tc_banks {
+            v.push(BlockId::TcBank(b as u8));
+        }
+        v.push(BlockId::Ul2);
+        for c in 0..self.backends {
+            let c = c as u8;
+            v.extend([
+                BlockId::Dl1(c),
+                BlockId::Dtlb(c),
+                BlockId::IntFu(c),
+                BlockId::FpFu(c),
+                BlockId::Irf(c),
+                BlockId::Fprf(c),
+                BlockId::IntSched(c),
+                BlockId::FpSched(c),
+                BlockId::CopySched(c),
+                BlockId::Mob(c),
+            ]);
+        }
+        v
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        2 * self.partitions + 3 + self.tc_banks + 1 + 10 * self.backends
+    }
+
+    /// Canonical index of `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` does not exist in this machine.
+    pub fn index_of(&self, block: BlockId) -> usize {
+        let p = self.partitions;
+        let base_tc = 2 * p + 3;
+        let base_ul2 = base_tc + self.tc_banks;
+        let base_cluster = base_ul2 + 1;
+        let idx = match block {
+            BlockId::Rob(i) => usize::from(i),
+            BlockId::Rat(i) => p + usize::from(i),
+            BlockId::Itlb => 2 * p,
+            BlockId::Deco => 2 * p + 1,
+            BlockId::Bp => 2 * p + 2,
+            BlockId::TcBank(i) => base_tc + usize::from(i),
+            BlockId::Ul2 => base_ul2,
+            BlockId::Dl1(c) => base_cluster + usize::from(c) * 10,
+            BlockId::Dtlb(c) => base_cluster + usize::from(c) * 10 + 1,
+            BlockId::IntFu(c) => base_cluster + usize::from(c) * 10 + 2,
+            BlockId::FpFu(c) => base_cluster + usize::from(c) * 10 + 3,
+            BlockId::Irf(c) => base_cluster + usize::from(c) * 10 + 4,
+            BlockId::Fprf(c) => base_cluster + usize::from(c) * 10 + 5,
+            BlockId::IntSched(c) => base_cluster + usize::from(c) * 10 + 6,
+            BlockId::FpSched(c) => base_cluster + usize::from(c) * 10 + 7,
+            BlockId::CopySched(c) => base_cluster + usize::from(c) * 10 + 8,
+            BlockId::Mob(c) => base_cluster + usize::from(c) * 10 + 9,
+        };
+        assert!(
+            self.contains(block),
+            "block {block} not in machine {self:?}"
+        );
+        idx
+    }
+
+    /// `true` if `block` exists in this machine shape.
+    pub fn contains(&self, block: BlockId) -> bool {
+        match block {
+            BlockId::Rob(i) | BlockId::Rat(i) => usize::from(i) < self.partitions,
+            BlockId::TcBank(i) => usize::from(i) < self.tc_banks,
+            BlockId::Itlb | BlockId::Deco | BlockId::Bp | BlockId::Ul2 => true,
+            b => b
+                .cluster()
+                .is_some_and(|c| usize::from(c) < self.backends),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_block_count() {
+        let m = Machine::new(1, 4, 2);
+        assert_eq!(m.blocks().len(), m.block_count());
+        assert_eq!(m.block_count(), 2 + 3 + 2 + 1 + 40);
+    }
+
+    #[test]
+    fn index_of_matches_ordering() {
+        for m in [Machine::new(1, 4, 2), Machine::new(2, 4, 3), Machine::new(2, 8, 4)] {
+            for (i, b) in m.blocks().iter().enumerate() {
+                assert_eq!(m.index_of(*b), i, "block {b} in {m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn frontend_backend_split() {
+        let m = Machine::new(2, 4, 3);
+        let fe: Vec<_> = m.blocks().into_iter().filter(|b| b.is_frontend()).collect();
+        assert_eq!(fe.len(), 2 + 2 + 3 + 3);
+        assert!(!BlockId::Ul2.is_frontend());
+        assert!(!BlockId::Ul2.is_backend());
+        assert!(BlockId::Dl1(0).is_backend());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in machine")]
+    fn index_of_foreign_block_panics() {
+        Machine::new(1, 4, 2).index_of(BlockId::Rob(1));
+    }
+
+    #[test]
+    fn contains_checks_payloads() {
+        let m = Machine::new(2, 4, 3);
+        assert!(m.contains(BlockId::Rat(1)));
+        assert!(!m.contains(BlockId::Rat(2)));
+        assert!(m.contains(BlockId::TcBank(2)));
+        assert!(!m.contains(BlockId::TcBank(3)));
+        assert!(m.contains(BlockId::Mob(3)));
+        assert!(!m.contains(BlockId::Mob(4)));
+    }
+
+    #[test]
+    fn display_names_unique() {
+        let m = Machine::new(2, 4, 3);
+        let mut names: Vec<_> = m.blocks().iter().map(|b| b.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), m.block_count());
+    }
+}

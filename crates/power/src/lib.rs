@@ -1,0 +1,30 @@
+//! Power modelling for the `distfront` simulator (§2.1 of the paper).
+//!
+//! The paper's dynamic power model associates an activity counter with each
+//! functional block and multiplies it by an energy-per-operation value;
+//! leakage is modelled per block as a fraction (30 % at the 45 °C in-box
+//! ambient) of the block's nominal average dynamic power, scaled
+//! exponentially with temperature. This crate implements both halves:
+//!
+//! * [`blocks`] — the vocabulary of functional blocks ([`BlockId`]) and the
+//!   machine shape ([`Machine`]) that fixes their canonical ordering,
+//! * [`energy`] — per-operation energies at 65 nm / 1.1 V
+//!   ([`EnergyTable`]), including the "distributed structures cost less
+//!   than half per access" factor of §4.1,
+//! * [`model`] — [`PowerModel`], turning activity counters into per-block
+//!   Watts,
+//! * [`leakage`] — the exponential temperature dependence
+//!   ([`LeakageModel`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod energy;
+pub mod leakage;
+pub mod model;
+
+pub use blocks::{BlockId, Machine};
+pub use energy::EnergyTable;
+pub use leakage::LeakageModel;
+pub use model::PowerModel;

@@ -1,0 +1,429 @@
+//! Processor floorplans (Figs. 10 and 11 of the paper).
+//!
+//! The baseline floorplan places the frontend strip (ROB on top; RAT, ITLB
+//! and TC-0 in the middle row; DECO, BP and TC-1 below) next to the UL2,
+//! with the four backend clusters beneath. The bank-hopping variant
+//! (Fig. 11) re-arranges the strip for three banks so the extra bank
+//! surrounds hot blocks with cold ones; the distributed-frontend variant
+//! splits ROB and RAT in place, each partition kept at the original
+//! location as the paper describes, with the ~3 % processor-area overhead
+//! of §4.1.
+//!
+//! Dimensions are in millimetres for a 65 nm design; what matters to the
+//! model is relative areas and adjacency, both of which follow the paper's
+//! figures.
+
+use distfront_power::blocks::{BlockId, Machine};
+
+/// An axis-aligned rectangle in millimetres (`x` grows right, `y` grows
+/// down, as in the paper's figures).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Left edge.
+    pub x: f64,
+    /// Top edge.
+    pub y: f64,
+    /// Width.
+    pub w: f64,
+    /// Height.
+    pub h: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width or height is not positive.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        assert!(w > 0.0 && h > 0.0, "degenerate rectangle {w}x{h}");
+        Rect { x, y, w, h }
+    }
+
+    /// Area in mm².
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Centre point.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Length of the shared boundary with `other` (0 when not adjacent).
+    /// Two rects are adjacent when they touch along an edge within `eps`.
+    pub fn shared_edge(&self, other: &Rect, eps: f64) -> f64 {
+        let x_overlap = (self.x + self.w).min(other.x + other.w) - self.x.max(other.x);
+        let y_overlap = (self.y + self.h).min(other.y + other.h) - self.y.max(other.y);
+        // Vertically stacked (touching horizontally-running edge).
+        let touch_h = ((self.y + self.h) - other.y).abs() < eps
+            || ((other.y + other.h) - self.y).abs() < eps;
+        // Side by side (touching vertically-running edge).
+        let touch_v = ((self.x + self.w) - other.x).abs() < eps
+            || ((other.x + other.w) - self.x).abs() < eps;
+        if touch_h && x_overlap > eps {
+            x_overlap
+        } else if touch_v && y_overlap > eps {
+            y_overlap
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A named floorplan: one rectangle per functional block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    machine: Machine,
+    blocks: Vec<(BlockId, Rect)>,
+}
+
+impl Floorplan {
+    /// Builds the floorplan for `machine`, reproducing Fig. 10 (baseline),
+    /// Fig. 11 (three-bank hopping strip) and the in-place ROB/RAT split of
+    /// the distributed frontend, as applicable.
+    ///
+    /// # Panics
+    ///
+    /// Panics for machine shapes the paper does not evaluate (more than 2
+    /// partitions, fewer than 2 or more than 3 trace-cache banks).
+    pub fn for_machine(machine: Machine) -> Self {
+        assert!(
+            machine.partitions <= 2,
+            "paper evaluates at most 2 frontend partitions"
+        );
+        assert!(
+            (2..=3).contains(&machine.tc_banks),
+            "paper evaluates 2 or 3 trace-cache banks"
+        );
+        let mut blocks = Vec::with_capacity(machine.block_count());
+
+        // --- Frontend strip -------------------------------------------------
+        // Block widths are fixed so a block's area never changes between
+        // configurations unless the paper says it does: the spare hopping
+        // bank adds its own area (+~2 % die, paper reports 1.6 %) and the
+        // distributed ROB/RAT split grows those structures (+~3 %, §4.1);
+        // nothing else moves or resizes.
+        let three_banks = machine.tc_banks == 3;
+        let distributed = machine.partitions == 2;
+        let rob_w = 5.0;
+        // The split roughly doubles ROB and RAT (the paper's ~3 % processor
+        // area overhead, which halves their power density given the ~0.9x
+        // total power of the distributed organization).
+        let rob_h = if distributed { 0.36 } else { 0.18 };
+        let rat_w = if distributed { 1.0 } else { 0.5 };
+        let (itlb_w, deco_w, bp_w, tc_w) = (1.2, 1.8, 1.2, 2.0);
+        let row_h = 1.6;
+        let row2 = rob_h;
+        let row3 = rob_h + row_h;
+        let fe_h = rob_h + 2.0 * row_h;
+
+        if distributed {
+            // Two partitions side by side in the original ROB location.
+            blocks.push((BlockId::Rob(0), Rect::new(0.0, 0.0, rob_w / 2.0, rob_h)));
+            blocks.push((
+                BlockId::Rob(1),
+                Rect::new(rob_w / 2.0, 0.0, rob_w / 2.0, rob_h),
+            ));
+        } else {
+            blocks.push((BlockId::Rob(0), Rect::new(0.0, 0.0, rob_w, rob_h)));
+        }
+
+        // Helper to place the (possibly split) RAT at a row position.
+        let push_rat = |blocks: &mut Vec<(BlockId, Rect)>, x: f64, y: f64| {
+            if distributed {
+                blocks.push((BlockId::Rat(0), Rect::new(x, y, rat_w, row_h / 2.0)));
+                blocks.push((
+                    BlockId::Rat(1),
+                    Rect::new(x, y + row_h / 2.0, rat_w, row_h / 2.0),
+                ));
+            } else {
+                blocks.push((BlockId::Rat(0), Rect::new(x, y, rat_w, row_h)));
+            }
+        };
+
+        let strip_w;
+        if three_banks {
+            // Fig. 11 strip:   ROB
+            //                  DECO  TC-0  ITLB
+            //                  RAT  TC-1  BP  TC-2
+            let mut x = 0.0;
+            blocks.push((BlockId::Deco, Rect::new(x, row2, deco_w, row_h)));
+            x += deco_w;
+            blocks.push((BlockId::TcBank(0), Rect::new(x, row2, tc_w, row_h)));
+            x += tc_w;
+            blocks.push((BlockId::Itlb, Rect::new(x, row2, itlb_w, row_h)));
+
+            let mut x = 0.0;
+            push_rat(&mut blocks, x, row3);
+            x += rat_w;
+            blocks.push((BlockId::TcBank(1), Rect::new(x, row3, tc_w, row_h)));
+            x += tc_w;
+            blocks.push((BlockId::Bp, Rect::new(x, row3, bp_w, row_h)));
+            x += bp_w;
+            blocks.push((BlockId::TcBank(2), Rect::new(x, row3, tc_w, row_h)));
+            strip_w = (x + tc_w).max(rob_w);
+        } else {
+            // Fig. 10 strip:   ROB
+            //                  RAT  ITLB  TC-0
+            //                  DECO  BP   TC-1
+            let mut x = 0.0;
+            push_rat(&mut blocks, x, row2);
+            x += rat_w;
+            blocks.push((BlockId::Itlb, Rect::new(x, row2, itlb_w, row_h)));
+            x += itlb_w;
+            blocks.push((BlockId::TcBank(0), Rect::new(x, row2, tc_w, row_h)));
+            strip_w = (x + tc_w).max(rob_w);
+
+            let mut x = 0.0;
+            blocks.push((BlockId::Deco, Rect::new(x, row3, deco_w, row_h)));
+            x += deco_w;
+            blocks.push((BlockId::Bp, Rect::new(x, row3, bp_w, row_h)));
+            x += bp_w;
+            blocks.push((BlockId::TcBank(1), Rect::new(x, row3, tc_w, row_h)));
+        }
+
+        // --- UL2 to the right of the frontend strip -------------------------
+        // Fixed 24 mm² regardless of frontend variant, so the UL2's own
+        // thermal behaviour never confounds a technique comparison.
+        blocks.push((BlockId::Ul2, Rect::new(strip_w, 0.0, 6.0, 4.0)));
+
+        // --- Backend clusters below ------------------------------------------
+        let cl_w = 2.75;
+        let cluster_y = fe_h.max(4.0); // never under the UL2
+        for c in 0..machine.backends {
+            let ox = c as f64 * cl_w;
+            let oy = cluster_y;
+            let c8 = c as u8;
+            let u = cl_w / 3.0; // local horizontal unit
+            blocks.push((BlockId::Dl1(c8), Rect::new(ox, oy, 2.2 * u, 1.2)));
+            blocks.push((BlockId::Dtlb(c8), Rect::new(ox + 2.2 * u, oy, 0.8 * u, 1.2)));
+            blocks.push((BlockId::FpFu(c8), Rect::new(ox, oy + 1.2, u, 1.2)));
+            blocks.push((BlockId::IntFu(c8), Rect::new(ox + u, oy + 1.2, u, 1.2)));
+            blocks.push((BlockId::Mob(c8), Rect::new(ox + 2.0 * u, oy + 1.2, u, 1.2)));
+            blocks.push((BlockId::Fprf(c8), Rect::new(ox, oy + 2.4, 1.5 * u, 0.9)));
+            blocks.push((BlockId::Irf(c8), Rect::new(ox + 1.5 * u, oy + 2.4, 1.5 * u, 0.9)));
+            blocks.push((BlockId::FpSched(c8), Rect::new(ox, oy + 3.3, u, 1.2)));
+            blocks.push((BlockId::CopySched(c8), Rect::new(ox + u, oy + 3.3, u, 1.2)));
+            blocks.push((BlockId::IntSched(c8), Rect::new(ox + 2.0 * u, oy + 3.3, u, 1.2)));
+        }
+
+        let fp = Floorplan { machine, blocks };
+        debug_assert_eq!(fp.blocks.len(), machine.block_count());
+        fp
+    }
+
+    /// The machine shape this floorplan was built for.
+    pub fn machine(&self) -> Machine {
+        self.machine
+    }
+
+    /// Blocks with their rectangles, in the machine's canonical order.
+    pub fn blocks(&self) -> &[(BlockId, Rect)] {
+        &self.blocks
+    }
+
+    /// The rectangle of `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not part of this floorplan.
+    pub fn rect_of(&self, block: BlockId) -> Rect {
+        self.blocks
+            .iter()
+            .find(|(b, _)| *b == block)
+            .unwrap_or_else(|| panic!("block {block} not in floorplan"))
+            .1
+    }
+
+    /// Areas in canonical block order, in mm².
+    pub fn areas(&self) -> Vec<f64> {
+        let mut v = vec![0.0; self.machine.block_count()];
+        for (b, r) in &self.blocks {
+            v[self.machine.index_of(*b)] = r.area();
+        }
+        v
+    }
+
+    /// Total die area in mm² (sum of block areas; the floorplans tile the
+    /// die with negligible dead space).
+    pub fn die_area(&self) -> f64 {
+        self.blocks.iter().map(|(_, r)| r.area()).sum()
+    }
+
+    /// Pairs of adjacent blocks with the length of their shared edge, in
+    /// canonical-index space.
+    pub fn adjacency(&self) -> Vec<(usize, usize, f64)> {
+        let m = &self.machine;
+        let mut out = Vec::new();
+        for (i, (bi, ri)) in self.blocks.iter().enumerate() {
+            for (bj, rj) in self.blocks.iter().skip(i + 1) {
+                let shared = ri.shared_edge(rj, 1e-6);
+                if shared > 0.0 {
+                    out.push((m.index_of(*bi), m.index_of(*bj), shared));
+                }
+            }
+        }
+        out
+    }
+
+    /// Verifies no two blocks overlap (the floorplans must tile, not
+    /// stack).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first overlapping pair.
+    pub fn check_no_overlap(&self) -> Result<(), String> {
+        for (i, (bi, ri)) in self.blocks.iter().enumerate() {
+            for (bj, rj) in self.blocks.iter().skip(i + 1) {
+                let x = (ri.x + ri.w).min(rj.x + rj.w) - ri.x.max(rj.x);
+                let y = (ri.y + ri.h).min(rj.y + rj.h) - ri.y.max(rj.y);
+                if x > 1e-6 && y > 1e-6 {
+                    return Err(format!("{bi} overlaps {bj}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> Floorplan {
+        Floorplan::for_machine(Machine::new(1, 4, 2))
+    }
+
+    #[test]
+    fn rect_basics() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(r.area(), 12.0);
+        assert_eq!(r.center(), (2.5, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_rect_panics() {
+        Rect::new(0.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn shared_edges() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(2.0, 0.0, 2.0, 3.0); // right neighbour
+        let c = Rect::new(0.0, 2.0, 1.0, 1.0); // below
+        let d = Rect::new(5.0, 5.0, 1.0, 1.0); // far away
+        assert_eq!(a.shared_edge(&b, 1e-9), 2.0);
+        assert_eq!(b.shared_edge(&a, 1e-9), 2.0);
+        assert_eq!(a.shared_edge(&c, 1e-9), 1.0);
+        assert_eq!(a.shared_edge(&d, 1e-9), 0.0);
+    }
+
+    #[test]
+    fn baseline_has_all_blocks_and_no_overlap() {
+        let fp = baseline();
+        assert_eq!(fp.blocks().len(), fp.machine().block_count());
+        fp.check_no_overlap().unwrap();
+    }
+
+    #[test]
+    fn all_paper_variants_build_cleanly() {
+        for (p, banks) in [(1, 2), (1, 3), (2, 2), (2, 3)] {
+            let fp = Floorplan::for_machine(Machine::new(p, 4, banks));
+            fp.check_no_overlap()
+                .unwrap_or_else(|e| panic!("({p},{banks}): {e}"));
+            assert!(fp.areas().iter().all(|&a| a > 0.0));
+        }
+    }
+
+    #[test]
+    fn frontend_is_about_a_fifth_of_the_die() {
+        let fp = baseline();
+        let fe: f64 = fp
+            .blocks()
+            .iter()
+            .filter(|(b, _)| b.is_frontend())
+            .map(|(_, r)| r.area())
+            .sum();
+        let share = fe / fp.die_area();
+        assert!((0.15..0.30).contains(&share), "frontend area share {share}");
+    }
+
+    #[test]
+    fn hopping_floorplan_adds_area() {
+        let base = baseline().die_area();
+        let hop = Floorplan::for_machine(Machine::new(1, 4, 3)).die_area();
+        let overhead = (hop - base) / base;
+        // Paper: ~1.6 % processor-area overhead for the spare bank.
+        assert!((0.005..0.05).contains(&overhead), "overhead {overhead}");
+    }
+
+    #[test]
+    fn distributed_floorplan_adds_area() {
+        let base = baseline().die_area();
+        let dist = Floorplan::for_machine(Machine::new(2, 4, 2)).die_area();
+        let overhead = (dist - base) / base;
+        // Paper: ~3 % processor-area overhead for the split ROB/RAT.
+        assert!((0.01..0.06).contains(&overhead), "overhead {overhead}");
+    }
+
+    #[test]
+    fn distributed_partitions_sit_in_original_location() {
+        // §4: "both ROB and RAT partitions are kept together in the same
+        // location as in the original centralized version".
+        let base = baseline();
+        let dist = Floorplan::for_machine(Machine::new(2, 4, 2));
+        let rob = base.rect_of(BlockId::Rob(0));
+        let r0 = dist.rect_of(BlockId::Rob(0));
+        let r1 = dist.rect_of(BlockId::Rob(1));
+        assert_eq!(r0.y, rob.y);
+        assert!((r0.area() + r1.area()) > rob.area(), "split grew the ROB");
+        assert!(r0.shared_edge(&r1, 1e-6) > 0.0, "partitions stay together");
+    }
+
+    #[test]
+    fn tc_banks_adjacent_to_frontend_blocks() {
+        // The strip exists to let the TC spread heat to/from RAT and ROB.
+        let fp = baseline();
+        let adj = fp.adjacency();
+        let m = fp.machine();
+        let tc0 = m.index_of(BlockId::TcBank(0));
+        let rob = m.index_of(BlockId::Rob(0));
+        assert!(
+            adj.iter()
+                .any(|&(a, b, _)| (a == tc0 && b == rob) || (a == rob && b == tc0)),
+            "TC-0 should touch the ROB"
+        );
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_positive() {
+        for (p, banks) in [(1, 2), (2, 3)] {
+            let fp = Floorplan::for_machine(Machine::new(p, 4, banks));
+            for (a, b, len) in fp.adjacency() {
+                assert!(len > 0.0);
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn clusters_touch_their_neighbours() {
+        let fp = baseline();
+        let m = fp.machine();
+        let adj = fp.adjacency();
+        // IS of cluster 0 and FPS of cluster 1 are horizontal neighbours.
+        let is0 = m.index_of(BlockId::IntSched(0));
+        let fps1 = m.index_of(BlockId::FpSched(1));
+        assert!(adj
+            .iter()
+            .any(|&(a, b, _)| (a == is0 && b == fps1) || (a == fps1 && b == is0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 2 frontend partitions")]
+    fn too_many_partitions_panics() {
+        Floorplan::for_machine(Machine::new(3, 6, 2));
+    }
+}

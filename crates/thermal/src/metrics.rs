@@ -1,0 +1,295 @@
+//! The paper's temperature metrics (§4).
+//!
+//! * **AbsMax** — peak temperature over the whole run,
+//! * **Average** — average over time *and* space (area-weighted),
+//! * **AvgMax** — average over intervals of each interval's maximum.
+//!
+//! Metrics are evaluated over *groups* of blocks (e.g. "the reorder buffer"
+//! is one block when centralized, two when distributed; "the frontend" is
+//! the whole strip), which is how the paper reports Figs. 1 and 12–14.
+
+/// The three paper metrics for one block group, in °C.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupMetrics {
+    /// Peak temperature over the run.
+    pub abs_max_c: f64,
+    /// Area-weighted average over time and space.
+    pub average_c: f64,
+    /// Mean over intervals of the per-interval maximum.
+    pub avg_max_c: f64,
+}
+
+impl GroupMetrics {
+    /// The paper reports *reductions of the temperature increase over
+    /// ambient*; this returns `(self − other) / (self − ambient)` per
+    /// metric, i.e. how much of this group's rise `other` removed.
+    pub fn reduction_vs(&self, other: &GroupMetrics, ambient_c: f64) -> GroupMetrics {
+        let frac = |a: f64, b: f64| {
+            let rise = a - ambient_c;
+            if rise.abs() < 1e-12 {
+                0.0
+            } else {
+                (a - b) / rise
+            }
+        };
+        GroupMetrics {
+            abs_max_c: frac(self.abs_max_c, other.abs_max_c),
+            average_c: frac(self.average_c, other.average_c),
+            avg_max_c: frac(self.avg_max_c, other.avg_max_c),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct IntervalRecord {
+    /// Per-block maximum within the interval.
+    max: Vec<f64>,
+    /// Per-block time-weighted average within the interval.
+    avg: Vec<f64>,
+    /// Interval duration in seconds.
+    duration: f64,
+}
+
+/// Accumulates per-block temperature samples, closed into intervals.
+///
+/// # Examples
+///
+/// ```
+/// use distfront_thermal::TemperatureTracker;
+///
+/// let mut tr = TemperatureTracker::new(vec![1.0, 2.0]);
+/// tr.record(&[50.0, 60.0], 0.001);
+/// tr.end_interval();
+/// let m = tr.group_metrics(&[0, 1]);
+/// assert_eq!(m.abs_max_c, 60.0);
+/// // Area-weighted: (50·1 + 60·2) / 3.
+/// assert!((m.average_c - 56.666).abs() < 1e-2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TemperatureTracker {
+    areas: Vec<f64>,
+    intervals: Vec<IntervalRecord>,
+    cur_max: Vec<f64>,
+    cur_sum: Vec<f64>,
+    cur_time: f64,
+}
+
+impl TemperatureTracker {
+    /// Creates a tracker for blocks with the given areas (mm², used for the
+    /// spatial weighting of `Average`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `areas` is empty or contains a non-positive area.
+    pub fn new(areas: Vec<f64>) -> Self {
+        assert!(!areas.is_empty(), "no blocks to track");
+        assert!(areas.iter().all(|&a| a > 0.0), "areas must be positive");
+        let n = areas.len();
+        TemperatureTracker {
+            areas,
+            intervals: Vec::new(),
+            cur_max: vec![f64::NEG_INFINITY; n],
+            cur_sum: vec![0.0; n],
+            cur_time: 0.0,
+        }
+    }
+
+    /// Number of tracked blocks.
+    pub fn block_count(&self) -> usize {
+        self.areas.len()
+    }
+
+    /// Number of closed intervals.
+    pub fn interval_count(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Records one temperature sample held for `dt` seconds in the current
+    /// interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample length mismatches or `dt` is not positive.
+    pub fn record(&mut self, temps_c: &[f64], dt: f64) {
+        assert_eq!(temps_c.len(), self.areas.len());
+        assert!(dt > 0.0, "dt must be positive");
+        for (i, &t) in temps_c.iter().enumerate() {
+            self.cur_max[i] = self.cur_max[i].max(t);
+            self.cur_sum[i] += t * dt;
+        }
+        self.cur_time += dt;
+    }
+
+    /// Closes the current interval. Does nothing if no samples were
+    /// recorded since the last close.
+    pub fn end_interval(&mut self) {
+        if self.cur_time == 0.0 {
+            return;
+        }
+        let avg = self
+            .cur_sum
+            .iter()
+            .map(|&s| s / self.cur_time)
+            .collect();
+        self.intervals.push(IntervalRecord {
+            max: std::mem::replace(
+                &mut self.cur_max,
+                vec![f64::NEG_INFINITY; self.areas.len()],
+            ),
+            avg,
+            duration: self.cur_time,
+        });
+        self.cur_sum.iter_mut().for_each(|s| *s = 0.0);
+        self.cur_time = 0.0;
+    }
+
+    /// Computes the three paper metrics over the block-group `blocks`
+    /// (canonical indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no intervals are closed, the group is empty, or an index
+    /// is out of range.
+    pub fn group_metrics(&self, blocks: &[usize]) -> GroupMetrics {
+        assert!(!self.intervals.is_empty(), "no closed intervals");
+        assert!(!blocks.is_empty(), "empty block group");
+        let group_area: f64 = blocks.iter().map(|&b| self.areas[b]).sum();
+        let mut abs_max = f64::NEG_INFINITY;
+        let mut avg_max_sum = 0.0;
+        let mut avg_sum = 0.0;
+        let mut total_time = 0.0;
+        for iv in &self.intervals {
+            let imax = blocks
+                .iter()
+                .map(|&b| iv.max[b])
+                .fold(f64::NEG_INFINITY, f64::max);
+            abs_max = abs_max.max(imax);
+            avg_max_sum += imax;
+            let area_avg: f64 = blocks
+                .iter()
+                .map(|&b| iv.avg[b] * self.areas[b])
+                .sum::<f64>()
+                / group_area;
+            avg_sum += area_avg * iv.duration;
+            total_time += iv.duration;
+        }
+        GroupMetrics {
+            abs_max_c: abs_max,
+            average_c: avg_sum / total_time,
+            avg_max_c: avg_max_sum / self.intervals.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_interval_metrics() {
+        let mut tr = TemperatureTracker::new(vec![1.0, 1.0]);
+        tr.record(&[50.0, 70.0], 1.0);
+        tr.end_interval();
+        let m = tr.group_metrics(&[0, 1]);
+        assert_eq!(m.abs_max_c, 70.0);
+        assert_eq!(m.average_c, 60.0);
+        assert_eq!(m.avg_max_c, 70.0);
+    }
+
+    #[test]
+    fn avg_max_differs_from_abs_max() {
+        let mut tr = TemperatureTracker::new(vec![1.0]);
+        tr.record(&[50.0], 1.0);
+        tr.end_interval();
+        tr.record(&[90.0], 1.0);
+        tr.end_interval();
+        let m = tr.group_metrics(&[0]);
+        assert_eq!(m.abs_max_c, 90.0);
+        assert_eq!(m.avg_max_c, 70.0);
+        assert_eq!(m.average_c, 70.0);
+    }
+
+    #[test]
+    fn area_weighting() {
+        let mut tr = TemperatureTracker::new(vec![3.0, 1.0]);
+        tr.record(&[40.0, 80.0], 1.0);
+        tr.end_interval();
+        let m = tr.group_metrics(&[0, 1]);
+        assert_eq!(m.average_c, 50.0); // (40·3 + 80·1)/4
+    }
+
+    #[test]
+    fn time_weighting_within_interval() {
+        let mut tr = TemperatureTracker::new(vec![1.0]);
+        tr.record(&[40.0], 3.0);
+        tr.record(&[80.0], 1.0);
+        tr.end_interval();
+        let m = tr.group_metrics(&[0]);
+        assert_eq!(m.average_c, 50.0);
+        assert_eq!(m.abs_max_c, 80.0);
+    }
+
+    #[test]
+    fn unequal_interval_durations_weighted() {
+        let mut tr = TemperatureTracker::new(vec![1.0]);
+        tr.record(&[40.0], 3.0);
+        tr.end_interval();
+        tr.record(&[80.0], 1.0);
+        tr.end_interval();
+        let m = tr.group_metrics(&[0]);
+        assert_eq!(m.average_c, 50.0, "Average weights by duration");
+        assert_eq!(m.avg_max_c, 60.0, "AvgMax weights intervals equally");
+    }
+
+    #[test]
+    fn subgroup_metrics() {
+        let mut tr = TemperatureTracker::new(vec![1.0, 1.0, 1.0]);
+        tr.record(&[50.0, 90.0, 60.0], 1.0);
+        tr.end_interval();
+        assert_eq!(tr.group_metrics(&[0]).abs_max_c, 50.0);
+        assert_eq!(tr.group_metrics(&[0, 2]).abs_max_c, 60.0);
+        assert_eq!(tr.group_metrics(&[1]).abs_max_c, 90.0);
+    }
+
+    #[test]
+    fn empty_interval_close_is_noop() {
+        let mut tr = TemperatureTracker::new(vec![1.0]);
+        tr.end_interval();
+        assert_eq!(tr.interval_count(), 0);
+        tr.record(&[55.0], 1.0);
+        tr.end_interval();
+        tr.end_interval();
+        assert_eq!(tr.interval_count(), 1);
+    }
+
+    #[test]
+    fn reduction_vs_computes_rise_fraction() {
+        let base = GroupMetrics {
+            abs_max_c: 105.0,
+            average_c: 75.0,
+            avg_max_c: 95.0,
+        };
+        let improved = GroupMetrics {
+            abs_max_c: 85.0,
+            average_c: 65.0,
+            avg_max_c: 80.0,
+        };
+        let r = base.reduction_vs(&improved, 45.0);
+        assert!((r.abs_max_c - 20.0 / 60.0).abs() < 1e-12);
+        assert!((r.average_c - 10.0 / 30.0).abs() < 1e-12);
+        assert!((r.avg_max_c - 15.0 / 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no closed intervals")]
+    fn metrics_before_close_panic() {
+        let tr = TemperatureTracker::new(vec![1.0]);
+        tr.group_metrics(&[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "areas must be positive")]
+    fn bad_area_panics() {
+        TemperatureTracker::new(vec![0.0]);
+    }
+}

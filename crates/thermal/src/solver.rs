@@ -1,0 +1,369 @@
+//! Steady-state and transient solution of the thermal network.
+//!
+//! The steady state (used to warm-start simulations, §4) solves the linear
+//! system `(L + diag(G_amb)) · T = P + G_amb · T_amb` by Gaussian
+//! elimination — the networks are ~50 nodes, so a dense solve is instant.
+//! Transients integrate `C · dT/dt = P − L·T − G_amb·(T − T_amb)` with RK4,
+//! sub-stepping below the network's smallest time constant for stability.
+
+use crate::rc::ThermalNetwork;
+
+/// Owns the temperature state of a [`ThermalNetwork`] and advances it.
+///
+/// # Examples
+///
+/// ```
+/// use distfront_power::Machine;
+/// use distfront_thermal::{Floorplan, PackageConfig, ThermalNetwork, ThermalSolver};
+///
+/// let fp = Floorplan::for_machine(Machine::new(1, 4, 2));
+/// let net = ThermalNetwork::from_floorplan(&fp, &PackageConfig::paper());
+/// let mut solver = ThermalSolver::new(net);
+/// let power = vec![0.5; solver.network().block_count()];
+/// solver.set_steady_state(&power);
+/// assert!(solver.block_temperatures()[0] > 45.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThermalSolver {
+    net: ThermalNetwork,
+    /// Node temperatures in °C.
+    t: Vec<f64>,
+    /// Cached stable sub-step in seconds.
+    dt_max: f64,
+}
+
+impl ThermalSolver {
+    /// Creates a solver with every node at ambient.
+    pub fn new(net: ThermalNetwork) -> Self {
+        let t = vec![net.ambient_c(); net.node_count()];
+        // RK4 is stable to ~2.8·τ; τ/4 keeps the local error far below
+        // the tenth-of-a-degree resolution the experiments care about.
+        let dt_max = net.min_time_constant() / 8.0;
+        ThermalSolver { net, t, dt_max }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &ThermalNetwork {
+        &self.net
+    }
+
+    /// All node temperatures (blocks, then spreader, then sink) in °C.
+    pub fn temperatures(&self) -> &[f64] {
+        &self.t
+    }
+
+    /// Block temperatures only, in °C.
+    pub fn block_temperatures(&self) -> &[f64] {
+        &self.t[..self.net.block_count()]
+    }
+
+    /// Overwrites the state (for tests / checkpointing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match the node count.
+    pub fn set_temperatures(&mut self, t: Vec<f64>) {
+        assert_eq!(t.len(), self.net.node_count());
+        self.t = t;
+    }
+
+    /// Solves for the steady state under constant block `power` and adopts
+    /// it as the current state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power` does not have one entry per block, or the network
+    /// is disconnected from ambient (singular system).
+    pub fn set_steady_state(&mut self, power: &[f64]) {
+        let t = self.solve_steady(power);
+        self.t = t;
+    }
+
+    /// Computes the steady-state temperatures without changing the state.
+    pub fn solve_steady(&self, power: &[f64]) -> Vec<f64> {
+        let n = self.net.node_count();
+        let nb = self.net.block_count();
+        assert_eq!(power.len(), nb, "one power entry per block");
+        // Assemble A = L + diag(g_amb), b = P_ext + g_amb * T_amb.
+        let mut a = vec![vec![0.0f64; n]; n];
+        let mut b = vec![0.0f64; n];
+        for i in 0..n {
+            let mut diag = self.net.ambient_conductances()[i];
+            for j in 0..n {
+                if i != j {
+                    let g = self.net.conductance(i, j);
+                    a[i][j] = -g;
+                    diag += g;
+                }
+            }
+            a[i][i] = diag;
+            b[i] = if i < nb { power[i] } else { 0.0 }
+                + self.net.ambient_conductances()[i] * self.net.ambient_c();
+        }
+        gaussian_solve(&mut a, &mut b)
+    }
+
+    /// Advances the transient state by `dt` seconds under constant block
+    /// `power`, sub-stepping internally for stability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power` does not have one entry per block or `dt` is not
+    /// positive.
+    pub fn advance(&mut self, power: &[f64], dt: f64) {
+        assert!(dt > 0.0, "dt must be positive");
+        assert_eq!(power.len(), self.net.block_count());
+        let steps = (dt / self.dt_max).ceil().max(1.0) as usize;
+        let h = dt / steps as f64;
+        for _ in 0..steps {
+            self.rk4_step(power, h);
+        }
+    }
+
+    fn derivative(&self, t: &[f64], power: &[f64]) -> Vec<f64> {
+        let q = self.net.heat_balance(t, power);
+        q.iter()
+            .zip(self.net.capacitances())
+            .map(|(&qi, &ci)| qi / ci)
+            .collect()
+    }
+
+    fn rk4_step(&mut self, power: &[f64], h: f64) {
+        let n = self.t.len();
+        let k1 = self.derivative(&self.t, power);
+        let mut tmp = vec![0.0; n];
+        for i in 0..n {
+            tmp[i] = self.t[i] + 0.5 * h * k1[i];
+        }
+        let k2 = self.derivative(&tmp, power);
+        for i in 0..n {
+            tmp[i] = self.t[i] + 0.5 * h * k2[i];
+        }
+        let k3 = self.derivative(&tmp, power);
+        for i in 0..n {
+            tmp[i] = self.t[i] + h * k3[i];
+        }
+        let k4 = self.derivative(&tmp, power);
+        for i in 0..n {
+            self.t[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+    }
+}
+
+/// Solves `A·x = b` by Gaussian elimination with partial pivoting,
+/// consuming the inputs.
+///
+/// # Panics
+///
+/// Panics if the system is singular.
+fn gaussian_solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
+            .expect("non-empty");
+        assert!(a[pivot][col].abs() > 1e-14, "singular thermal system");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..n {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for col in (row + 1)..n {
+            acc -= a[row][col] * x[col];
+        }
+        x[row] = acc / a[row][row];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::Floorplan;
+    use crate::package::PackageConfig;
+    use distfront_power::Machine;
+
+    fn solver() -> ThermalSolver {
+        let fp = Floorplan::for_machine(Machine::new(1, 4, 2));
+        ThermalSolver::new(ThermalNetwork::from_floorplan(&fp, &PackageConfig::paper()))
+    }
+
+    /// A single RC node against the analytic solution
+    /// `T(t) = T_inf + (T0 - T_inf)·e^(−t/RC)`.
+    #[test]
+    fn transient_matches_analytic_single_rc() {
+        let g = vec![vec![0.0]];
+        let net = ThermalNetwork::from_parts(g, vec![0.5], vec![2.0], 45.0, 1);
+        let mut s = ThermalSolver::new(net);
+        let p = [10.0]; // T_inf = 45 + 10/0.5 = 65, tau = C/G = 4 s.
+        let dt = 1.0;
+        s.advance(&p, dt);
+        let analytic = 65.0 + (45.0f64 - 65.0) * (-dt / 4.0).exp();
+        assert!(
+            (s.temperatures()[0] - analytic).abs() < 1e-4,
+            "rk4 {} vs analytic {analytic}",
+            s.temperatures()[0]
+        );
+    }
+
+    #[test]
+    fn steady_state_conserves_energy() {
+        let mut s = solver();
+        let nb = s.network().block_count();
+        let power: Vec<f64> = (0..nb).map(|i| 0.2 + 0.05 * i as f64).collect();
+        let total: f64 = power.iter().sum();
+        s.set_steady_state(&power);
+        // All heat must leave through the sink's convection path.
+        let sink = s.network().node_count() - 1;
+        let g_conv = s.network().ambient_conductances()[sink];
+        let out = g_conv * (s.temperatures()[sink] - 45.0);
+        assert!(
+            (out - total).abs() / total < 1e-9,
+            "in {total} W, out {out} W"
+        );
+    }
+
+    #[test]
+    fn steady_state_above_ambient_and_hot_blocks_hotter() {
+        let mut s = solver();
+        let nb = s.network().block_count();
+        let mut power = vec![0.1; nb];
+        power[0] = 8.0; // ROB blasted
+        s.set_steady_state(&power);
+        let t = s.block_temperatures();
+        assert!(t.iter().all(|&x| x > 45.0));
+        let hottest = t
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(hottest, 0, "powered block should be hottest");
+    }
+
+    #[test]
+    fn transient_converges_to_steady_state() {
+        let mut s = solver();
+        let nb = s.network().block_count();
+        let power = vec![0.5; nb];
+        let steady = s.solve_steady(&power);
+        // Perturb only the block nodes: the package nodes keep their
+        // steady values (the sink alone has an hours-long time constant).
+        let mut init = steady.clone();
+        for t in init.iter_mut().take(nb) {
+            *t -= 1.0;
+        }
+        s.set_temperatures(init);
+        for _ in 0..50 {
+            s.advance(&power, 0.01);
+        }
+        for (i, (&got, &want)) in s
+            .temperatures()
+            .iter()
+            .zip(&steady)
+            .enumerate()
+            .take(nb)
+        {
+            assert!(
+                (got - want).abs() < 0.5,
+                "node {i}: {got} vs steady {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_power_stays_at_ambient() {
+        let mut s = solver();
+        let nb = s.network().block_count();
+        s.advance(&vec![0.0; nb], 0.1);
+        for &t in s.temperatures() {
+            assert!((t - 45.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lateral_coupling_spreads_heat() {
+        // Power only the ROB; its neighbours must still warm above remote
+        // blocks.
+        let fp = Floorplan::for_machine(Machine::new(1, 4, 2));
+        let m = fp.machine();
+        let rob = m.index_of(distfront_power::BlockId::Rob(0));
+        let rat = m.index_of(distfront_power::BlockId::Rat(0));
+        let far = m.index_of(distfront_power::BlockId::IntSched(3));
+        let mut s =
+            ThermalSolver::new(ThermalNetwork::from_floorplan(&fp, &PackageConfig::paper()));
+        let mut power = vec![0.0; s.network().block_count()];
+        power[rob] = 6.0;
+        s.set_steady_state(&power);
+        let t = s.block_temperatures();
+        assert!(t[rat] > t[far] + 0.5, "RAT {} vs far {}", t[rat], t[far]);
+    }
+
+    #[test]
+    fn advance_substeps_long_intervals() {
+        // A 1 ms call with µs-scale taus must still be stable.
+        let mut s = solver();
+        let nb = s.network().block_count();
+        s.advance(&vec![1.0; nb], 1e-3);
+        for &t in s.temperatures() {
+            assert!(t.is_finite() && t < 200.0, "diverged: {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn zero_dt_panics() {
+        let mut s = solver();
+        let nb = s.network().block_count();
+        s.advance(&vec![0.0; nb], 0.0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::floorplan::Floorplan;
+    use crate::package::PackageConfig;
+    use distfront_power::Machine;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// Steady-state temperatures are monotone in power: adding power
+        /// anywhere never cools any block.
+        #[test]
+        fn steady_state_monotone_in_power(
+            extra_idx in 0usize..48,
+            extra in 0.1f64..5.0,
+        ) {
+            let fp = Floorplan::for_machine(Machine::new(1, 4, 2));
+            let s = ThermalSolver::new(ThermalNetwork::from_floorplan(
+                &fp, &PackageConfig::paper()));
+            let base_p = vec![0.3; 48];
+            let base = s.solve_steady(&base_p);
+            let mut boosted_p = base_p.clone();
+            boosted_p[extra_idx] += extra;
+            let boosted = s.solve_steady(&boosted_p);
+            for i in 0..48 {
+                prop_assert!(boosted[i] >= base[i] - 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Dynamic micro-op stream generation.
+//!
+//! A [`TraceGenerator`] performs a stochastic walk over a
+//! [`SyntheticProgram`]'s CFG and materializes [`MicroOp`]s: branch outcomes
+//! are drawn from per-block probabilities, and memory addresses evolve per
+//! static memory template (base + n·stride within the template's region), so
+//! the stream exhibits the profile's temporal and spatial locality.
+
+use crate::profile::AppProfile;
+use crate::program::{MemRegion, SyntheticProgram};
+use crate::rng::SplitMix64;
+use crate::uop::MicroOp;
+
+/// Base address of the hot data region in the synthetic address space.
+pub const HOT_BASE: u64 = 0x1000_0000;
+/// Base address of the cold data region.
+pub const COLD_BASE: u64 = 0x4000_0000;
+
+/// An infinite, deterministic micro-op stream for one application.
+///
+/// # Examples
+///
+/// ```
+/// use distfront_trace::{AppProfile, TraceGenerator};
+///
+/// let mut g = TraceGenerator::new(&AppProfile::test_tiny(), 1);
+/// let first: Vec<_> = (&mut g).take(100).collect();
+/// assert_eq!(first.len(), 100);
+/// // Sequence numbers are program order.
+/// assert!(first.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    program: SyntheticProgram,
+    rng: SplitMix64,
+    /// Current block index.
+    block: usize,
+    /// Next template index within the current block.
+    slot: usize,
+    /// Next sequence number.
+    seq: u64,
+    /// Per-template dynamic execution counts (drives strided addresses).
+    mem_iter: Vec<u64>,
+    /// Cumulative template index of the first template of each block.
+    template_base: Vec<usize>,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `profile`, seeding both program synthesis and
+    /// the dynamic walk from `seed`.
+    pub fn new(profile: &AppProfile, seed: u64) -> Self {
+        Self::from_program(SyntheticProgram::generate(profile, seed), seed)
+    }
+
+    /// Creates a generator over an existing program.
+    pub fn from_program(program: SyntheticProgram, seed: u64) -> Self {
+        let mut template_base = Vec::with_capacity(program.blocks.len());
+        let mut acc = 0;
+        for b in &program.blocks {
+            template_base.push(acc);
+            acc += b.len();
+        }
+        TraceGenerator {
+            mem_iter: vec![0; acc],
+            template_base,
+            program,
+            rng: SplitMix64::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1)),
+            block: 0,
+            slot: 0,
+            seq: 0,
+        }
+    }
+
+    /// The program being walked.
+    pub fn program(&self) -> &SyntheticProgram {
+        &self.program
+    }
+
+    /// Produces the next micro-op in program order.
+    pub fn next_uop(&mut self) -> MicroOp {
+        let blocks = &self.program.blocks;
+        let block = &blocks[self.block];
+        let t = &block.templates[self.slot];
+        let pc = block.uop_pc(self.slot);
+        let is_last = self.slot + 1 == block.len();
+
+        let mem_addr = t.mem.map(|m| {
+            let idx = self.template_base[self.block] + self.slot;
+            let n = self.mem_iter[idx];
+            self.mem_iter[idx] = n + 1;
+            let (base, size) = match m.region {
+                MemRegion::Hot => (HOT_BASE, self.program.hot_size),
+                MemRegion::Cold => (COLD_BASE, self.program.cold_size),
+            };
+            base + (m.offset + n * m.stride) % size.max(8)
+        });
+
+        let (taken, target, next_block) = if is_last {
+            let taken = self.rng.chance(block.taken_prob);
+            let succ = if taken {
+                block.taken_target
+            } else {
+                block.fallthrough
+            };
+            (taken, blocks[succ].pc, succ)
+        } else {
+            (false, 0, self.block)
+        };
+
+        let uop = MicroOp {
+            seq: self.seq,
+            pc,
+            kind: t.kind,
+            dst: t.dst,
+            srcs: t.srcs,
+            mem_addr,
+            taken,
+            target,
+            ends_block: is_last,
+        };
+
+        self.seq += 1;
+        if is_last {
+            self.block = next_block;
+            self.slot = 0;
+        } else {
+            self.slot += 1;
+        }
+        uop
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = MicroOp;
+
+    fn next(&mut self) -> Option<MicroOp> {
+        Some(self.next_uop())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uop::UopKind;
+    use std::collections::HashMap;
+
+    fn gen() -> TraceGenerator {
+        TraceGenerator::new(&AppProfile::test_tiny(), 11)
+    }
+
+    #[test]
+    fn deterministic_stream() {
+        let a: Vec<_> = gen().take(5000).collect();
+        let b: Vec<_> = gen().take(5000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seq_is_program_order() {
+        for (i, u) in gen().take(1000).enumerate() {
+            assert_eq!(u.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn same_pc_same_static_content() {
+        // The trace-cache invariant: revisiting a PC yields identical static
+        // fields (kind, dst, srcs), though dynamic fields may differ.
+        let mut seen: HashMap<u64, (UopKind, _, _)> = HashMap::new();
+        for u in gen().take(20_000) {
+            let entry = (u.kind, u.dst, u.srcs);
+            if let Some(prev) = seen.get(&u.pc) {
+                assert_eq!(*prev, entry, "pc {:#x} changed content", u.pc);
+            } else {
+                seen.insert(u.pc, entry);
+            }
+        }
+    }
+
+    #[test]
+    fn branches_end_blocks_and_carry_targets() {
+        for u in gen().take(5000) {
+            if u.kind == UopKind::Branch {
+                assert!(u.ends_block);
+                assert!(u.target != 0);
+            } else {
+                assert!(!u.taken);
+            }
+        }
+    }
+
+    #[test]
+    fn mem_ops_have_addresses_in_regions() {
+        for u in gen().take(10_000) {
+            if u.kind.is_mem() {
+                let a = u.mem_addr.expect("mem op without address");
+                assert!(a >= HOT_BASE, "address {a:#x} below hot base");
+            } else {
+                assert!(u.mem_addr.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn mix_matches_profile_roughly() {
+        let profile = *AppProfile::by_name("swim").unwrap();
+        let g = TraceGenerator::new(&profile, 3);
+        let n = 50_000;
+        let mut loads = 0;
+        let mut fp = 0;
+        let mut branches = 0;
+        for u in g.take(n) {
+            match u.kind {
+                UopKind::Load => loads += 1,
+                UopKind::Branch => branches += 1,
+                k if k.is_fp() => fp += 1,
+                _ => {}
+            }
+        }
+        let lf = loads as f64 / n as f64;
+        let ff = fp as f64 / n as f64;
+        let bf = branches as f64 / n as f64;
+        assert!((lf - profile.load_frac).abs() < 0.08, "load frac {lf}");
+        assert!((ff - profile.fp_frac).abs() < 0.10, "fp frac {ff}");
+        // swim has very long blocks so branches are rare.
+        assert!(bf < 0.10, "branch frac {bf}");
+    }
+
+    #[test]
+    fn strided_template_advances() {
+        // Find a load template executed twice and check its address moved.
+        let mut first: HashMap<u64, u64> = HashMap::new();
+        let mut advanced = false;
+        for u in gen().take(20_000) {
+            if let Some(a) = u.mem_addr {
+                if let Some(&prev) = first.get(&u.pc) {
+                    if prev != a {
+                        advanced = true;
+                        break;
+                    }
+                } else {
+                    first.insert(u.pc, a);
+                }
+            }
+        }
+        assert!(advanced, "no strided access ever changed address");
+    }
+
+    #[test]
+    fn all_spec_profiles_stream() {
+        for p in AppProfile::spec2000() {
+            let g = TraceGenerator::new(p, 1);
+            assert_eq!(g.take(2000).count(), 2000);
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! Synthetic programs: control-flow graphs of basic blocks.
+//!
+//! A trace cache is only meaningful if re-fetching the same PC yields the
+//! same micro-ops, so the generator cannot simply emit random micro-ops.
+//! Instead we synthesize a static *program* — a CFG whose basic blocks are a
+//! pure function of `(profile, seed)` — and the dynamic stream is a
+//! stochastic walk over it. Code footprint, branch bias and register
+//! dependence structure are all decided here, at "compile time".
+
+use crate::profile::AppProfile;
+use crate::rng::SplitMix64;
+use crate::uop::{ArchReg, UopKind, NUM_FP_REGS, NUM_INT_REGS};
+
+/// Base address of the synthetic code segment.
+pub const CODE_BASE: u64 = 0x0040_0000;
+/// Byte size of one micro-op slot in the synthetic address space.
+pub const UOP_BYTES: u64 = 16;
+
+/// Which data region a memory template accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemRegion {
+    /// Small, frequently re-touched region (stack/globals); mostly L1 hits.
+    Hot,
+    /// The full working set; produces L1 (and possibly UL2) misses.
+    Cold,
+}
+
+/// Static description of the address stream of one memory micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemTemplate {
+    /// Region the access falls in.
+    pub region: MemRegion,
+    /// Stride in bytes between successive dynamic executions.
+    pub stride: u64,
+    /// Fixed offset within the region.
+    pub offset: u64,
+}
+
+/// Static description of one micro-op within a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UopTemplate {
+    /// Operation class.
+    pub kind: UopKind,
+    /// Destination register, if any.
+    pub dst: Option<ArchReg>,
+    /// Source registers.
+    pub srcs: [Option<ArchReg>; 2],
+    /// Memory behaviour for loads/stores.
+    pub mem: Option<MemTemplate>,
+}
+
+/// A basic block of the synthetic program. The last template is always a
+/// [`UopKind::Branch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicBlock {
+    /// Index of this block in [`SyntheticProgram::blocks`].
+    pub id: usize,
+    /// Address of the first micro-op.
+    pub pc: u64,
+    /// The micro-ops of the block.
+    pub templates: Vec<UopTemplate>,
+    /// Block executed when the terminating branch is taken.
+    pub taken_target: usize,
+    /// Block executed on fall-through.
+    pub fallthrough: usize,
+    /// Probability the terminating branch is taken.
+    pub taken_prob: f64,
+}
+
+impl BasicBlock {
+    /// Address of the micro-op at position `idx`.
+    pub fn uop_pc(&self, idx: usize) -> u64 {
+        self.pc + idx as u64 * UOP_BYTES
+    }
+
+    /// Number of micro-ops in the block.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// `true` if the block holds no micro-ops (never true for generated
+    /// programs; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+}
+
+/// A complete synthetic program for one application profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticProgram {
+    /// Profile name this program was generated from.
+    pub name: &'static str,
+    /// The basic blocks, laid out consecutively from [`CODE_BASE`].
+    pub blocks: Vec<BasicBlock>,
+    /// Byte size of the hot data region.
+    pub hot_size: u64,
+    /// Byte size of the cold data region (the full working set).
+    pub cold_size: u64,
+    /// Probability a memory access goes to the hot region.
+    pub locality: f64,
+    /// Total number of micro-op templates across all blocks.
+    pub total_templates: usize,
+}
+
+impl SyntheticProgram {
+    /// Synthesizes the program for `profile` with the given `seed`.
+    ///
+    /// The result is a pure function of its arguments.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use distfront_trace::{AppProfile, SyntheticProgram};
+    ///
+    /// let p = SyntheticProgram::generate(&AppProfile::test_tiny(), 1);
+    /// assert_eq!(p.blocks.len(), 24);
+    /// ```
+    pub fn generate(profile: &AppProfile, seed: u64) -> Self {
+        profile
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid profile: {e}"));
+        let mut rng = SplitMix64::new(seed ^ hash_name(profile.name));
+        let n = profile.code_blocks;
+
+        // Register allocation context: sources are picked from recently
+        // written registers so dependence distance is baked into the code.
+        let mut recent_int: Vec<ArchReg> = (0..8).map(|i| ArchReg::int(i)).collect();
+        let mut recent_fp: Vec<ArchReg> = (0..8).map(|i| ArchReg::fp(i)).collect();
+        let mut int_rr = 8u8; // round-robin destination cursors
+        let mut fp_rr = 8u8;
+
+        let mut blocks = Vec::with_capacity(n);
+        let mut pc = CODE_BASE;
+        let mut total_templates = 0;
+        for id in 0..n {
+            let body_len = sample_block_len(&mut rng, profile.block_len);
+            let mut templates = Vec::with_capacity(body_len + 1);
+            for _ in 0..body_len {
+                templates.push(sample_template(
+                    profile,
+                    &mut rng,
+                    &mut recent_int,
+                    &mut recent_fp,
+                    &mut int_rr,
+                    &mut fp_rr,
+                ));
+            }
+            // Terminating branch compares one or two recent integer values.
+            templates.push(UopTemplate {
+                kind: UopKind::Branch,
+                dst: None,
+                srcs: [
+                    Some(pick_source(&mut rng, &recent_int, profile.dep_distance)),
+                    None,
+                ],
+                mem: None,
+            });
+            total_templates += templates.len();
+
+            let taken_target = sample_target(&mut rng, id, n);
+            let fallthrough = (id + 1) % n;
+            let taken_prob = sample_taken_prob(&mut rng, profile.taken_bias);
+            let len = templates.len() as u64;
+            blocks.push(BasicBlock {
+                id,
+                pc,
+                templates,
+                taken_target,
+                fallthrough,
+                taken_prob,
+            });
+            pc += len * UOP_BYTES;
+        }
+
+        let hot_size = (profile.working_set / 16).clamp(4 << 10, 64 << 10);
+        SyntheticProgram {
+            name: profile.name,
+            blocks,
+            hot_size,
+            cold_size: profile.working_set,
+            locality: profile.locality,
+            total_templates,
+        }
+    }
+
+    /// Finds the block starting at address `pc`, if any.
+    pub fn block_at(&self, pc: u64) -> Option<&BasicBlock> {
+        // Blocks are sorted by pc; binary search.
+        self.blocks
+            .binary_search_by(|b| b.pc.cmp(&pc))
+            .ok()
+            .map(|i| &self.blocks[i])
+    }
+
+    /// Total static code size in micro-ops.
+    pub fn code_uops(&self) -> usize {
+        self.total_templates
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a, so different app names get decorrelated streams even with the
+    // same user seed.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn sample_block_len(rng: &mut SplitMix64, mean: f64) -> usize {
+    // Uniform in [mean/2, 3*mean/2], at least 1 body micro-op, at most 23
+    // (so a block with its branch fits in two 12-uop trace lines).
+    let lo = (mean * 0.5).max(1.0);
+    let hi = (mean * 1.5).min(23.0);
+    let x = lo + rng.next_f64() * (hi - lo);
+    x.round() as usize
+}
+
+fn sample_taken_prob(rng: &mut SplitMix64, bias: f64) -> f64 {
+    // Real programs have mostly strongly-biased branches plus a hard-to-
+    // predict minority; mix accordingly.
+    let r = rng.next_f64();
+    if r < 0.60 {
+        // Strongly taken (loop back-edges).
+        0.93 + 0.06 * rng.next_f64()
+    } else if r < 0.88 {
+        // Strongly not-taken.
+        0.01 + 0.06 * rng.next_f64()
+    } else {
+        // Weakly biased around the profile mean.
+        (bias + (rng.next_f64() - 0.5) * 0.5).clamp(0.05, 0.95)
+    }
+}
+
+fn sample_target(rng: &mut SplitMix64, id: usize, n: usize) -> usize {
+    // Branch targets show spatial locality: mostly short backward jumps
+    // (loops), sometimes calls across the code footprint.
+    if rng.chance(0.75) {
+        let span = 8.min(n - 1).max(1) as u64;
+        let back = 1 + rng.next_below(span) as usize;
+        (id + n - back) % n
+    } else {
+        rng.next_below(n as u64) as usize
+    }
+}
+
+fn pick_source(rng: &mut SplitMix64, recent: &[ArchReg], dep_distance: f64) -> ArchReg {
+    debug_assert!(!recent.is_empty());
+    let d = rng.geometric(dep_distance, recent.len() as u64) as usize;
+    recent[recent.len() - d]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sample_template(
+    profile: &AppProfile,
+    rng: &mut SplitMix64,
+    recent_int: &mut Vec<ArchReg>,
+    recent_fp: &mut Vec<ArchReg>,
+    int_rr: &mut u8,
+    fp_rr: &mut u8,
+) -> UopTemplate {
+    // Re-normalize the non-branch mix (branches terminate blocks instead).
+    let non_branch = 1.0 - profile.branch_frac;
+    let fp_p = profile.fp_frac / non_branch;
+    let ld_p = profile.load_frac / non_branch;
+    let st_p = profile.store_frac / non_branch;
+    let r = rng.next_f64();
+
+    let mut next_int_dst = |rng: &mut SplitMix64, recent_int: &mut Vec<ArchReg>| {
+        // Sometimes overwrite a recent register (short lifetimes), otherwise
+        // round-robin through the file.
+        let dst = if rng.chance(0.3) {
+            pick_source(rng, recent_int, 2.0)
+        } else {
+            *int_rr = (*int_rr + 1) % NUM_INT_REGS;
+            ArchReg::int(*int_rr)
+        };
+        recent_int.push(dst);
+        if recent_int.len() > 32 {
+            recent_int.remove(0);
+        }
+        dst
+    };
+
+    if r < fp_p {
+        // Floating-point op.
+        let kr = rng.next_f64();
+        let kind = if kr < profile.fp_mul_frac {
+            UopKind::FpMul
+        } else if kr < profile.fp_mul_frac + 0.06 {
+            UopKind::FpDiv
+        } else {
+            UopKind::FpAdd
+        };
+        let s0 = pick_source(rng, recent_fp, profile.dep_distance);
+        let s1 = pick_source(rng, recent_fp, profile.dep_distance * 1.5);
+        *fp_rr = (*fp_rr + 1) % NUM_FP_REGS;
+        let dst = ArchReg::fp(*fp_rr);
+        recent_fp.push(dst);
+        if recent_fp.len() > 32 {
+            recent_fp.remove(0);
+        }
+        UopTemplate {
+            kind,
+            dst: Some(dst),
+            srcs: [Some(s0), Some(s1)],
+            mem: None,
+        }
+    } else if r < fp_p + ld_p {
+        // Load; destination class follows the consumer mix.
+        let addr_src = pick_source(rng, recent_int, profile.dep_distance * 2.0);
+        let to_fp = rng.chance(profile.fp_frac * 2.0);
+        let dst = if to_fp {
+            *fp_rr = (*fp_rr + 1) % NUM_FP_REGS;
+            let d = ArchReg::fp(*fp_rr);
+            recent_fp.push(d);
+            if recent_fp.len() > 32 {
+                recent_fp.remove(0);
+            }
+            d
+        } else {
+            next_int_dst(rng, recent_int)
+        };
+        UopTemplate {
+            kind: UopKind::Load,
+            dst: Some(dst),
+            srcs: [Some(addr_src), None],
+            mem: Some(sample_mem(profile, rng)),
+        }
+    } else if r < fp_p + ld_p + st_p {
+        let addr_src = pick_source(rng, recent_int, profile.dep_distance * 2.0);
+        let data_src = if rng.chance(profile.fp_frac * 2.0) {
+            pick_source(rng, recent_fp, profile.dep_distance)
+        } else {
+            pick_source(rng, recent_int, profile.dep_distance)
+        };
+        UopTemplate {
+            kind: UopKind::Store,
+            dst: None,
+            srcs: [Some(addr_src), Some(data_src)],
+            mem: Some(sample_mem(profile, rng)),
+        }
+    } else {
+        // Integer ALU family.
+        let kr = rng.next_f64();
+        let kind = if kr < profile.int_mul_frac {
+            UopKind::IntMul
+        } else if kr < profile.int_mul_frac + 0.01 {
+            UopKind::IntDiv
+        } else {
+            UopKind::IntAlu
+        };
+        let s0 = pick_source(rng, recent_int, profile.dep_distance);
+        let s1 = if rng.chance(0.6) {
+            Some(pick_source(rng, recent_int, profile.dep_distance * 1.5))
+        } else {
+            None
+        };
+        let dst = next_int_dst(rng, recent_int);
+        UopTemplate {
+            kind,
+            dst: Some(dst),
+            srcs: [Some(s0), s1],
+            mem: None,
+        }
+    }
+}
+
+fn sample_mem(profile: &AppProfile, rng: &mut SplitMix64) -> MemTemplate {
+    let region = if rng.chance(profile.locality) {
+        MemRegion::Hot
+    } else {
+        MemRegion::Cold
+    };
+    // Strides: unit (sequential), cache-line, page-ish, or pointer-chase-y
+    // (large pseudo-random stride).
+    let stride = match rng.next_below(10) {
+        0..=4 => 8,
+        5..=6 => 64,
+        7..=8 => 256,
+        _ => 4096 + rng.next_below(8192),
+    };
+    MemTemplate {
+        region,
+        stride,
+        offset: rng.next_below(1 << 12) * 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SyntheticProgram {
+        SyntheticProgram::generate(&AppProfile::test_tiny(), 7)
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticProgram::generate(&AppProfile::test_tiny(), 1);
+        let b = SyntheticProgram::generate(&AppProfile::test_tiny(), 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn every_block_ends_with_branch() {
+        for b in &tiny().blocks {
+            assert_eq!(b.templates.last().unwrap().kind, UopKind::Branch);
+            // ... and contains no interior branch.
+            for t in &b.templates[..b.len() - 1] {
+                assert_ne!(t.kind, UopKind::Branch);
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_laid_out_contiguously() {
+        let p = tiny();
+        let mut expect = CODE_BASE;
+        for b in &p.blocks {
+            assert_eq!(b.pc, expect);
+            expect += b.len() as u64 * UOP_BYTES;
+        }
+    }
+
+    #[test]
+    fn targets_in_range() {
+        let p = tiny();
+        let n = p.blocks.len();
+        for b in &p.blocks {
+            assert!(b.taken_target < n);
+            assert!(b.fallthrough < n);
+            assert!((0.0..=1.0).contains(&b.taken_prob));
+        }
+    }
+
+    #[test]
+    fn block_at_finds_all_blocks() {
+        let p = tiny();
+        for b in &p.blocks {
+            assert_eq!(p.block_at(b.pc).unwrap().id, b.id);
+        }
+        assert!(p.block_at(CODE_BASE + 1).is_none());
+    }
+
+    #[test]
+    fn mem_ops_have_templates_and_only_mem_ops() {
+        for b in &tiny().blocks {
+            for t in &b.templates {
+                assert_eq!(t.mem.is_some(), t.kind.is_mem(), "{t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn code_footprint_scales_with_profile() {
+        let small = SyntheticProgram::generate(&AppProfile::test_tiny(), 3);
+        let gcc = SyntheticProgram::generate(AppProfile::by_name("gcc").unwrap(), 3);
+        assert!(gcc.code_uops() > 20 * small.code_uops());
+    }
+
+    #[test]
+    fn spec_programs_generate_without_panic() {
+        for prof in AppProfile::spec2000() {
+            let p = SyntheticProgram::generate(prof, 42);
+            assert_eq!(p.blocks.len(), prof.code_blocks);
+            assert!(p.hot_size <= p.cold_size || p.cold_size < 4 << 10);
+        }
+    }
+}

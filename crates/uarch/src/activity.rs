@@ -1,0 +1,304 @@
+//! Per-functional-block activity counters.
+//!
+//! The paper's power model (§2.1) associates an activity counter with each
+//! functional block and multiplies it by an energy-per-operation value.
+//! [`ActivityCounters`] is the counter half of that model; the energy half
+//! lives in `distfront-power`.
+
+/// Maximum number of backend clusters the counters are sized for.
+pub const MAX_BACKENDS: usize = 8;
+/// Maximum number of frontend partitions.
+pub const MAX_PARTITIONS: usize = 4;
+/// Maximum number of physical trace-cache banks.
+pub const MAX_TC_BANKS: usize = 8;
+
+/// Activity of one backend cluster over an interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendActivity {
+    /// Micro-ops written into the integer issue queue.
+    pub iq_writes: u64,
+    /// Micro-ops issued from the integer issue queue.
+    pub iq_issues: u64,
+    /// Micro-ops written into the FP issue queue.
+    pub fpq_writes: u64,
+    /// Micro-ops issued from the FP issue queue.
+    pub fpq_issues: u64,
+    /// Copy micro-ops handled by the copy queue.
+    pub copy_ops: u64,
+    /// Memory-order-buffer allocations (loads, plus a slot per store in
+    /// every cluster for disambiguation).
+    pub mob_allocs: u64,
+    /// Associative MOB searches (one per executed load).
+    pub mob_searches: u64,
+    /// Integer register-file reads.
+    pub irf_reads: u64,
+    /// Integer register-file writes.
+    pub irf_writes: u64,
+    /// FP register-file reads.
+    pub fprf_reads: u64,
+    /// FP register-file writes.
+    pub fprf_writes: u64,
+    /// Integer functional-unit operations.
+    pub int_fu_ops: u64,
+    /// FP functional-unit operations.
+    pub fp_fu_ops: u64,
+    /// L1 data-cache accesses.
+    pub dl1_accesses: u64,
+    /// Data-TLB accesses.
+    pub dtlb_accesses: u64,
+}
+
+impl BackendActivity {
+    /// Sum of all events (used in sanity tests).
+    pub fn total(&self) -> u64 {
+        self.iq_writes
+            + self.iq_issues
+            + self.fpq_writes
+            + self.fpq_issues
+            + self.copy_ops
+            + self.mob_allocs
+            + self.mob_searches
+            + self.irf_reads
+            + self.irf_writes
+            + self.fprf_reads
+            + self.fprf_writes
+            + self.int_fu_ops
+            + self.fp_fu_ops
+            + self.dl1_accesses
+            + self.dtlb_accesses
+    }
+}
+
+/// Activity of every block of the processor over an interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActivityCounters {
+    /// Cycles covered by this interval.
+    pub cycles: u64,
+    /// Micro-ops committed in this interval.
+    pub committed_uops: u64,
+    /// Trace-cache accesses per physical bank.
+    pub tc_bank_accesses: Vec<u64>,
+    /// Trace-cache line builds (misses serviced from UL2).
+    pub tc_fills: u64,
+    /// Branch-predictor lookups and updates.
+    pub bp_accesses: u64,
+    /// Instruction-TLB accesses (one per trace fetch).
+    pub itlb_accesses: u64,
+    /// Micro-ops decoded.
+    pub decoded_uops: u64,
+    /// Rename-table reads per partition (source lookups).
+    pub rat_reads: Vec<u64>,
+    /// Rename-table writes per partition (destination mappings).
+    pub rat_writes: Vec<u64>,
+    /// Availability-table lookups at the steering stage.
+    pub steer_lookups: u64,
+    /// Reorder-buffer writes per partition (dispatch).
+    pub rob_writes: Vec<u64>,
+    /// Reorder-buffer reads per partition (full-entry commit reads).
+    pub rob_reads: Vec<u64>,
+    /// Narrow `L`-field patch writes per partition (§3.1.2; a few bits,
+    /// far cheaper than a full entry write).
+    pub rob_rl_writes: Vec<u64>,
+    /// Narrow `R`/`L` pre-reads of the distributed commit walk.
+    pub rob_rl_reads: Vec<u64>,
+    /// Copy requests sent between frontend partitions (§3.1.1).
+    pub copy_requests: u64,
+    /// Per-backend activity.
+    pub backends: Vec<BackendActivity>,
+    /// UL2 accesses.
+    pub ul2_accesses: u64,
+    /// Memory-bus transfers (L1 misses and trace builds).
+    pub bus_transfers: u64,
+    /// Disambiguation-bus broadcasts (one per store address).
+    pub disamb_broadcasts: u64,
+    /// Point-to-point link flits (copy value transfers, weighted by hops).
+    pub link_flits: u64,
+}
+
+impl ActivityCounters {
+    /// Creates zeroed counters for a machine with `partitions` frontend
+    /// partitions, `backends` clusters and `tc_banks` physical banks.
+    pub fn new(partitions: usize, backends: usize, tc_banks: usize) -> Self {
+        ActivityCounters {
+            cycles: 0,
+            committed_uops: 0,
+            tc_bank_accesses: vec![0; tc_banks],
+            tc_fills: 0,
+            bp_accesses: 0,
+            itlb_accesses: 0,
+            decoded_uops: 0,
+            rat_reads: vec![0; partitions],
+            rat_writes: vec![0; partitions],
+            steer_lookups: 0,
+            rob_writes: vec![0; partitions],
+            rob_reads: vec![0; partitions],
+            rob_rl_writes: vec![0; partitions],
+            rob_rl_reads: vec![0; partitions],
+            copy_requests: 0,
+            backends: vec![BackendActivity::default(); backends],
+            ul2_accesses: 0,
+            bus_transfers: 0,
+            disamb_broadcasts: 0,
+            link_flits: 0,
+        }
+    }
+
+    /// Number of frontend partitions these counters describe.
+    pub fn partitions(&self) -> usize {
+        self.rat_reads.len()
+    }
+
+    /// Resets every counter to zero, keeping the shape.
+    pub fn reset(&mut self) {
+        *self = ActivityCounters::new(
+            self.rat_reads.len(),
+            self.backends.len(),
+            self.tc_bank_accesses.len(),
+        );
+    }
+
+    /// Takes the current values, leaving zeros behind.
+    pub fn take(&mut self) -> ActivityCounters {
+        let copy = self.clone();
+        self.reset();
+        copy
+    }
+
+    /// Adds `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn merge(&mut self, other: &ActivityCounters) {
+        assert_eq!(self.partitions(), other.partitions());
+        assert_eq!(self.backends.len(), other.backends.len());
+        assert_eq!(self.tc_bank_accesses.len(), other.tc_bank_accesses.len());
+        self.cycles += other.cycles;
+        self.committed_uops += other.committed_uops;
+        for (a, b) in self
+            .tc_bank_accesses
+            .iter_mut()
+            .zip(&other.tc_bank_accesses)
+        {
+            *a += b;
+        }
+        self.tc_fills += other.tc_fills;
+        self.bp_accesses += other.bp_accesses;
+        self.itlb_accesses += other.itlb_accesses;
+        self.decoded_uops += other.decoded_uops;
+        for (a, b) in self.rat_reads.iter_mut().zip(&other.rat_reads) {
+            *a += b;
+        }
+        for (a, b) in self.rat_writes.iter_mut().zip(&other.rat_writes) {
+            *a += b;
+        }
+        self.steer_lookups += other.steer_lookups;
+        for (a, b) in self.rob_writes.iter_mut().zip(&other.rob_writes) {
+            *a += b;
+        }
+        for (a, b) in self.rob_reads.iter_mut().zip(&other.rob_reads) {
+            *a += b;
+        }
+        for (a, b) in self.rob_rl_writes.iter_mut().zip(&other.rob_rl_writes) {
+            *a += b;
+        }
+        for (a, b) in self.rob_rl_reads.iter_mut().zip(&other.rob_rl_reads) {
+            *a += b;
+        }
+        self.copy_requests += other.copy_requests;
+        for (a, b) in self.backends.iter_mut().zip(&other.backends) {
+            a.iq_writes += b.iq_writes;
+            a.iq_issues += b.iq_issues;
+            a.fpq_writes += b.fpq_writes;
+            a.fpq_issues += b.fpq_issues;
+            a.copy_ops += b.copy_ops;
+            a.mob_allocs += b.mob_allocs;
+            a.mob_searches += b.mob_searches;
+            a.irf_reads += b.irf_reads;
+            a.irf_writes += b.irf_writes;
+            a.fprf_reads += b.fprf_reads;
+            a.fprf_writes += b.fprf_writes;
+            a.int_fu_ops += b.int_fu_ops;
+            a.fp_fu_ops += b.fp_fu_ops;
+            a.dl1_accesses += b.dl1_accesses;
+            a.dtlb_accesses += b.dtlb_accesses;
+        }
+        self.ul2_accesses += other.ul2_accesses;
+        self.bus_transfers += other.bus_transfers;
+        self.disamb_broadcasts += other.disamb_broadcasts;
+        self.link_flits += other.link_flits;
+    }
+
+    /// Committed micro-ops per cycle for this interval (0 for an empty
+    /// interval).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_uops as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed() {
+        let a = ActivityCounters::new(2, 4, 3);
+        assert_eq!(a.cycles, 0);
+        assert_eq!(a.rat_reads, vec![0, 0]);
+        assert_eq!(a.backends.len(), 4);
+        assert_eq!(a.tc_bank_accesses.len(), 3);
+        assert_eq!(a.ipc(), 0.0);
+    }
+
+    #[test]
+    fn take_resets() {
+        let mut a = ActivityCounters::new(1, 4, 2);
+        a.cycles = 100;
+        a.committed_uops = 250;
+        a.backends[2].dl1_accesses = 9;
+        let t = a.take();
+        assert_eq!(t.cycles, 100);
+        assert!((t.ipc() - 2.5).abs() < 1e-12);
+        assert_eq!(a.cycles, 0);
+        assert_eq!(a.backends[2].dl1_accesses, 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ActivityCounters::new(2, 4, 3);
+        let mut b = ActivityCounters::new(2, 4, 3);
+        a.rat_reads[0] = 5;
+        b.rat_reads[0] = 7;
+        b.rob_writes[1] = 3;
+        b.backends[0].int_fu_ops = 11;
+        b.tc_bank_accesses[2] = 4;
+        a.merge(&b);
+        assert_eq!(a.rat_reads[0], 12);
+        assert_eq!(a.rob_writes[1], 3);
+        assert_eq!(a.backends[0].int_fu_ops, 11);
+        assert_eq!(a.tc_bank_accesses[2], 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_shape_mismatch_panics() {
+        let mut a = ActivityCounters::new(1, 4, 2);
+        let b = ActivityCounters::new(2, 4, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn backend_total_counts_everything() {
+        let b = BackendActivity {
+            iq_writes: 1,
+            irf_reads: 2,
+            dl1_accesses: 3,
+            ..BackendActivity::default()
+        };
+        assert_eq!(b.total(), 6);
+    }
+}

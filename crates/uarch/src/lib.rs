@@ -1,0 +1,47 @@
+//! Cycle-level simulator of the paper's clustered microarchitecture.
+//!
+//! The processor of Fig. 2: a frontend (trace cache, branch predictor,
+//! decode, rename, steer) feeding four backend clusters, each with its own
+//! issue queues, register files, functional units, memory order buffer and
+//! L1 data cache, over point-to-point links and shared buses. Both frontend
+//! organizations of the paper are implemented:
+//!
+//! * the **centralized** baseline (monolithic RAT and ROB), and
+//! * the **distributed** frontend of §3.1 ([`rename`] and [`rob`]), where
+//!   each partition feeds a subset of the backends.
+//!
+//! [`sim::Simulator`] is the timing model; it produces
+//! [`activity::ActivityCounters`] per interval, which `distfront-power`
+//! converts to per-block power for the thermal model.
+//!
+//! # Examples
+//!
+//! ```
+//! use distfront_trace::AppProfile;
+//! use distfront_uarch::{ProcessorConfig, Simulator};
+//!
+//! let mut sim = Simulator::new(
+//!     ProcessorConfig::hpca05_baseline(),
+//!     &AppProfile::test_tiny(),
+//!     1,
+//! );
+//! let stats = sim.run(5_000);
+//! assert!(stats.ipc > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod bpred;
+pub mod config;
+pub mod rename;
+pub mod rob;
+pub mod sim;
+pub mod steer;
+pub mod tracer;
+
+pub use activity::ActivityCounters;
+pub use config::{FrontendMode, ProcessorConfig};
+pub use rob::DistributedRob;
+pub use sim::{IntervalReport, RunStats, Simulator};

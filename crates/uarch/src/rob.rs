@@ -1,0 +1,445 @@
+//! Reorder buffers: the centralized baseline and the distributed version
+//! with the `R`/`L` commit walk of §3.1.2 (Figs. 6–8).
+//!
+//! In the distributed organization each frontend partition owns a partial
+//! reorder buffer holding only the instructions steered to its backends.
+//! Every entry carries a *ready* bit `R` and a *location* field `L` naming
+//! the partition that holds the next instruction in program order; a special
+//! head register names the partition holding the oldest instruction. Commit
+//! selection walks `R`/`L` pairs until the bandwidth is exhausted or a
+//! not-ready instruction is found.
+
+use std::collections::VecDeque;
+
+/// One reorder-buffer entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RobEntry {
+    /// Program-order sequence number of the instruction.
+    pub seq: u64,
+    /// Ready-to-commit bit (`R`).
+    pub ready: bool,
+    /// Partition holding the next instruction in program order (`L`);
+    /// `None` until the following instruction is dispatched.
+    pub next: Option<u8>,
+}
+
+/// Error returned when pushing into a full reorder buffer (partition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RobFullError {
+    /// The partition that was full.
+    pub partition: usize,
+}
+
+impl std::fmt::Display for RobFullError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "reorder buffer partition {} is full", self.partition)
+    }
+}
+
+impl std::error::Error for RobFullError {}
+
+/// A reorder buffer distributed over one or more partitions.
+///
+/// With a single partition this degenerates exactly to the centralized
+/// reorder buffer of Fig. 6 (the `L` field always names partition 0 and the
+/// walk reduces to "commit ready instructions from the head").
+///
+/// # Examples
+///
+/// ```
+/// use distfront_uarch::rob::DistributedRob;
+///
+/// let mut rob = DistributedRob::new(2, 4); // 2 partitions x 4 entries
+/// rob.push(0, 0).unwrap(); // seq 0 -> partition 0
+/// rob.push(1, 1).unwrap(); // seq 1 -> partition 1
+/// rob.mark_ready(0);
+/// rob.mark_ready(1);
+/// let committed = rob.commit(8);
+/// assert_eq!(committed, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistributedRob {
+    partitions: Vec<VecDeque<RobEntry>>,
+    capacity_per_partition: usize,
+    /// Partition holding the oldest in-flight instruction.
+    head: u8,
+    /// Partition that received the most recent push (its entry's `L` field
+    /// is patched by the next push).
+    last_pushed: Option<u8>,
+    /// Total entries currently in flight.
+    len: usize,
+    /// Cumulative reorder-buffer read operations (commit walks).
+    reads: u64,
+    /// Cumulative reorder-buffer writes (dispatches + `L`-field patches).
+    writes: u64,
+}
+
+impl DistributedRob {
+    /// Creates a reorder buffer with `partitions` partitions of
+    /// `capacity_per_partition` entries each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero or `partitions > 255`.
+    pub fn new(partitions: usize, capacity_per_partition: usize) -> Self {
+        assert!(partitions > 0, "need at least one partition");
+        assert!(partitions <= 255, "too many partitions");
+        assert!(capacity_per_partition > 0, "capacity must be positive");
+        DistributedRob {
+            partitions: vec![VecDeque::with_capacity(capacity_per_partition); partitions],
+            capacity_per_partition,
+            head: 0,
+            last_pushed: None,
+            len: 0,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Entries in flight across all partitions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no instruction is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Entries in flight in one partition.
+    pub fn partition_len(&self, partition: usize) -> usize {
+        self.partitions[partition].len()
+    }
+
+    /// `true` if `partition` cannot accept another instruction.
+    pub fn is_partition_full(&self, partition: usize) -> bool {
+        self.partitions[partition].len() >= self.capacity_per_partition
+    }
+
+    /// Appends the instruction `seq` (next in program order) to `partition`.
+    ///
+    /// The previous instruction's `L` field is patched to point here, as the
+    /// dispatch hardware does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RobFullError`] if the partition is full.
+    pub fn push(&mut self, seq: u64, partition: usize) -> Result<(), RobFullError> {
+        if self.is_partition_full(partition) {
+            return Err(RobFullError { partition });
+        }
+        if let Some(prev) = self.last_pushed {
+            if let Some(e) = self.partitions[usize::from(prev)].back_mut() {
+                e.next = Some(partition as u8);
+                self.writes += 1;
+            }
+        } else {
+            // Very first in-flight instruction defines the commit head.
+            self.head = partition as u8;
+        }
+        self.partitions[partition].push_back(RobEntry {
+            seq,
+            ready: false,
+            next: None,
+        });
+        self.writes += 1;
+        self.last_pushed = Some(partition as u8);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Marks instruction `seq` ready to commit (sets its `R` bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not in flight.
+    pub fn mark_ready(&mut self, seq: u64) {
+        for p in &mut self.partitions {
+            if let Some(e) = p.iter_mut().find(|e| e.seq == seq) {
+                e.ready = true;
+                return;
+            }
+        }
+        panic!("sequence {seq} not in flight");
+    }
+
+    /// Performs the §3.1.2 selection walk and returns the sequence numbers
+    /// that *would* commit this cycle, without removing them.
+    ///
+    /// Starting from the head partition the walk inspects `R`/`L` pairs:
+    /// a not-ready entry stops it; a ready entry is selected and the walk
+    /// continues in the partition its `L` field names, until `bandwidth`
+    /// instructions have been selected.
+    pub fn select_commit(&self, bandwidth: usize) -> Vec<u64> {
+        let mut selected = Vec::with_capacity(bandwidth);
+        let mut cursors = vec![0usize; self.partitions.len()];
+        let mut current = usize::from(self.head);
+        while selected.len() < bandwidth {
+            let part = &self.partitions[current];
+            let Some(entry) = part.get(cursors[current]) else {
+                break; // ran past the youngest instruction in this partition
+            };
+            if !entry.ready {
+                break;
+            }
+            selected.push(entry.seq);
+            cursors[current] += 1;
+            match entry.next {
+                Some(next) => current = usize::from(next),
+                None => break, // youngest in-flight instruction
+            }
+        }
+        selected
+    }
+
+    /// Commits up to `bandwidth` instructions, removing them, advancing the
+    /// head register, and accounting the reorder-buffer reads of the walk
+    /// (the `C` oldest `R`/`L` fields of *each* partition are read, then the
+    /// selected entries themselves).
+    pub fn commit(&mut self, bandwidth: usize) -> Vec<u64> {
+        // R/L pre-read of up to `bandwidth` oldest entries per partition.
+        for p in &self.partitions {
+            self.reads += p.len().min(bandwidth) as u64;
+        }
+        let selected = self.select_commit(bandwidth);
+        self.reads += selected.len() as u64;
+        for &seq in &selected {
+            let current = usize::from(self.head);
+            let entry = self.partitions[current]
+                .pop_front()
+                .expect("selected entry vanished");
+            debug_assert_eq!(entry.seq, seq, "commit out of program order");
+            self.len -= 1;
+            match entry.next {
+                Some(next) => self.head = next,
+                None => self.last_pushed = None, // buffer drained
+            }
+        }
+        selected
+    }
+
+    /// Cumulative reorder-buffer read operations.
+    pub fn read_ops(&self) -> u64 {
+        self.reads
+    }
+
+    /// Cumulative reorder-buffer write operations.
+    pub fn write_ops(&self) -> u64 {
+        self.writes
+    }
+
+    /// Takes and resets the read/write counters.
+    pub fn take_ops(&mut self) -> (u64, u64) {
+        let out = (self.reads, self.writes);
+        self.reads = 0;
+        self.writes = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reproduces the Fig. 8 example: commit bandwidth 4, two partitions.
+    ///
+    /// Program order: I0-0, I0-1, I1-0, I0-2, I0-3, I0-4, I1-1, ...
+    /// with I0-3 not ready. Expected selection: I0-0, I0-1, I1-0, I0-2.
+    #[test]
+    fn figure8_walk() {
+        let mut rob = DistributedRob::new(2, 8);
+        // seq numbers encode the figure's names: I<p>-<i>.
+        let order = [
+            (00u64, 0usize), // I0-0
+            (01, 0),         // I0-1
+            (10, 1),         // I1-0
+            (02, 0),         // I0-2
+            (03, 0),         // I0-3 (not ready)
+            (04, 0),         // I0-4 (not ready in figure)
+            (11, 1),         // I1-1
+            (12, 1),         // I1-2
+            (13, 1),         // I1-3 (not ready)
+            (14, 1),         // I1-4
+        ];
+        for (seq, p) in order {
+            rob.push(seq, p).unwrap();
+        }
+        for seq in [0, 1, 10, 2, 11, 12, 14] {
+            rob.mark_ready(seq);
+        }
+        assert_eq!(rob.select_commit(4), vec![0, 1, 10, 2]);
+        // The walk stops at not-ready I0-3 even with spare bandwidth.
+        assert_eq!(rob.select_commit(8), vec![0, 1, 10, 2]);
+    }
+
+    #[test]
+    fn centralized_degenerates_to_fifo() {
+        let mut rob = DistributedRob::new(1, 16);
+        for seq in 0..10 {
+            rob.push(seq, 0).unwrap();
+        }
+        for seq in [0, 1, 2, 4] {
+            rob.mark_ready(seq);
+        }
+        // Stops at the not-ready seq 3.
+        assert_eq!(rob.commit(8), vec![0, 1, 2]);
+        rob.mark_ready(3);
+        assert_eq!(rob.commit(2), vec![3, 4]);
+        assert_eq!(rob.len(), 5);
+    }
+
+    #[test]
+    fn bandwidth_limits_commit() {
+        let mut rob = DistributedRob::new(1, 16);
+        for seq in 0..8 {
+            rob.push(seq, 0).unwrap();
+            rob.mark_ready(seq);
+        }
+        assert_eq!(rob.commit(4), vec![0, 1, 2, 3]);
+        assert_eq!(rob.commit(4), vec![4, 5, 6, 7]);
+        assert!(rob.is_empty());
+    }
+
+    #[test]
+    fn head_register_follows_commits() {
+        let mut rob = DistributedRob::new(2, 8);
+        rob.push(0, 1).unwrap(); // oldest lives in partition 1
+        rob.push(1, 0).unwrap();
+        rob.push(2, 1).unwrap();
+        rob.mark_ready(0);
+        rob.mark_ready(1);
+        rob.mark_ready(2);
+        assert_eq!(rob.commit(1), vec![0]);
+        assert_eq!(rob.commit(1), vec![1]);
+        assert_eq!(rob.commit(1), vec![2]);
+    }
+
+    #[test]
+    fn partition_capacity_enforced() {
+        let mut rob = DistributedRob::new(2, 2);
+        rob.push(0, 0).unwrap();
+        rob.push(1, 0).unwrap();
+        let err = rob.push(2, 0).unwrap_err();
+        assert_eq!(err.partition, 0);
+        // The other partition still has room.
+        rob.push(2, 1).unwrap();
+    }
+
+    #[test]
+    fn commit_across_empty_partition_boundary() {
+        // All instructions in one partition of a two-partition ROB.
+        let mut rob = DistributedRob::new(2, 8);
+        for seq in 0..4 {
+            rob.push(seq, 1).unwrap();
+            rob.mark_ready(seq);
+        }
+        assert_eq!(rob.commit(8), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn youngest_entry_has_no_next() {
+        let mut rob = DistributedRob::new(2, 8);
+        rob.push(0, 0).unwrap();
+        rob.mark_ready(0);
+        // Walk must not run off the end.
+        assert_eq!(rob.select_commit(8), vec![0]);
+        assert_eq!(rob.commit(8), vec![0]);
+        // Buffer reusable after draining.
+        rob.push(1, 1).unwrap();
+        rob.mark_ready(1);
+        assert_eq!(rob.commit(8), vec![1]);
+    }
+
+    #[test]
+    fn read_write_ops_accounted() {
+        let mut rob = DistributedRob::new(2, 8);
+        rob.push(0, 0).unwrap(); // 1 write
+        rob.push(1, 1).unwrap(); // 1 write + 1 L-field patch
+        assert_eq!(rob.write_ops(), 3);
+        rob.mark_ready(0);
+        rob.mark_ready(1);
+        rob.commit(8);
+        // Pre-reads: min(len, bw) per partition (1+1) + 2 selected reads.
+        assert_eq!(rob.read_ops(), 4);
+        let (r, w) = rob.take_ops();
+        assert_eq!((r, w), (4, 3));
+        assert_eq!(rob.read_ops(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in flight")]
+    fn mark_ready_unknown_panics() {
+        let mut rob = DistributedRob::new(1, 4);
+        rob.mark_ready(42);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Instructions always commit in exact program order, regardless of
+        /// steering pattern, readiness order, or commit bandwidth.
+        #[test]
+        fn commits_in_program_order(
+            parts in proptest::collection::vec(0usize..3, 1..120),
+            bw in 1usize..9,
+        ) {
+            let mut rob = DistributedRob::new(3, 64);
+            let mut pushed = Vec::new();
+            for (seq, &p) in parts.iter().enumerate() {
+                if rob.push(seq as u64, p).is_ok() {
+                    pushed.push(seq as u64);
+                }
+            }
+            // Mark ready in a scrambled order.
+            let mut order = pushed.clone();
+            order.reverse();
+            let mut committed = Vec::new();
+            for seq in order {
+                rob.mark_ready(seq);
+                committed.extend(rob.commit(bw));
+            }
+            loop {
+                let c = rob.commit(bw);
+                if c.is_empty() { break; }
+                committed.extend(c);
+            }
+            prop_assert_eq!(committed, pushed);
+            prop_assert!(rob.is_empty());
+        }
+
+        /// select_commit never exceeds the bandwidth and never selects a
+        /// not-ready instruction.
+        #[test]
+        fn selection_respects_bandwidth(
+            parts in proptest::collection::vec(0usize..2, 1..60),
+            ready_mask in proptest::collection::vec(proptest::bool::ANY, 60),
+            bw in 1usize..9,
+        ) {
+            let mut rob = DistributedRob::new(2, 64);
+            for (seq, &p) in parts.iter().enumerate() {
+                rob.push(seq as u64, p).unwrap();
+                if ready_mask[seq] {
+                    rob.mark_ready(seq as u64);
+                }
+            }
+            let sel = rob.select_commit(bw);
+            prop_assert!(sel.len() <= bw);
+            for &s in &sel {
+                prop_assert!(ready_mask[s as usize]);
+            }
+            // Selection is a program-order prefix of the ready run.
+            for (i, &s) in sel.iter().enumerate() {
+                prop_assert_eq!(s, i as u64);
+            }
+        }
+    }
+}

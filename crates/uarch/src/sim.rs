@@ -1,0 +1,834 @@
+//! The timing simulator.
+//!
+//! An instruction-driven cycle-accounting model of the Fig. 2 processor:
+//! every micro-op flows fetch → decode/rename/steer → dispatch → issue →
+//! execute → commit, with each stage's cycle computed from pipeline
+//! latencies (Table 1), structural capacities (ROB, issue queues, MOB,
+//! register files), bandwidth limits (8-wide dispatch/commit, 1 issue per
+//! queue per cycle, 2 memory buses) and dataflow (per-backend register
+//! ready times, inter-cluster copy latencies).
+//!
+//! Instruction-driven means the simulator walks micro-ops in program order
+//! and *computes* the cycle each event happens instead of ticking every
+//! cycle; the result is the same cycle arithmetic at a fraction of the
+//! cost, which is what lets the full 26-application evaluation run on a
+//! laptop. Structural hazards are modelled with capacity rings: a
+//! structure of size `S` delays dispatch until the entry `S` positions
+//! earlier has left.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use distfront_cache::l1d::L1DataCache;
+use distfront_cache::trace_cache::TraceCache;
+use distfront_cache::ul2::UnifiedL2;
+use distfront_trace::profile::AppProfile;
+use distfront_trace::uop::{MicroOp, RegClass, UopKind, NUM_ARCH_REGS};
+use distfront_trace::TraceGenerator;
+
+use crate::activity::ActivityCounters;
+use crate::bpred::BranchPredictor;
+use crate::config::ProcessorConfig;
+use crate::rename::{Release, RenameUnit};
+use crate::steer::Steerer;
+use crate::tracer::{TraceBuilder, TraceLimits};
+
+/// Depth of the fetch→dispatch decoupling buffer in micro-ops.
+const DECOUPLE_DEPTH: usize = 64;
+/// Bus occupancy per transfer in cycles (the 4+1-cycle latency is charged
+/// separately).
+const BUS_OCCUPANCY: u64 = 2;
+
+/// Report for one simulation step (interval).
+#[derive(Debug, Clone)]
+pub struct IntervalReport {
+    /// Activity of this interval only.
+    pub activity: ActivityCounters,
+    /// Cycle at which the interval ended (last commit observed).
+    pub end_cycle: u64,
+    /// Cumulative committed micro-ops.
+    pub total_committed: u64,
+    /// `true` once the micro-op budget passed to [`Simulator::step`] has
+    /// been reached.
+    pub done: bool,
+}
+
+/// Cumulative run statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    /// Total committed micro-ops.
+    pub committed_uops: u64,
+    /// Cycle of the last commit.
+    pub cycles: u64,
+    /// Committed micro-ops per cycle.
+    pub ipc: f64,
+    /// Branch misprediction rate.
+    pub mispredict_rate: f64,
+    /// Trace-cache hit rate.
+    pub tc_hit_rate: f64,
+}
+
+/// Min-heap of release cycles modelling a finite structure.
+#[derive(Debug, Clone, Default)]
+struct CapacityHeap {
+    heap: BinaryHeap<std::cmp::Reverse<u64>>,
+}
+
+impl CapacityHeap {
+    fn push(&mut self, release: u64) {
+        self.heap.push(std::cmp::Reverse(release));
+    }
+
+    /// Ensures a free slot at `cand`, possibly raising it; drains entries
+    /// that have already left.
+    fn wait_for_slot(&mut self, cand: &mut u64, capacity: usize) {
+        while let Some(&std::cmp::Reverse(r)) = self.heap.peek() {
+            if r <= *cand {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+        if self.heap.len() >= capacity {
+            let std::cmp::Reverse(r) = self.heap.pop().expect("non-empty");
+            *cand = (*cand).max(r);
+        }
+    }
+}
+
+/// Bandwidth-limited slot allocator (dispatch/commit width).
+#[derive(Debug, Clone)]
+struct SlotAllocator {
+    width: u32,
+    cycle: u64,
+    used: u32,
+}
+
+impl SlotAllocator {
+    fn new(width: u32) -> Self {
+        SlotAllocator {
+            width,
+            cycle: 0,
+            used: 0,
+        }
+    }
+
+    /// Allocates a slot at or after `cand`; returns the granted cycle.
+    fn alloc(&mut self, cand: u64) -> u64 {
+        if cand > self.cycle {
+            self.cycle = cand;
+            self.used = 1;
+        } else if self.used < self.width {
+            self.used += 1;
+        } else {
+            self.cycle += 1;
+            self.used = 1;
+        }
+        self.cycle
+    }
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    commit_cycle: u64,
+    backend: usize,
+    releases: Vec<Release>,
+}
+
+#[derive(Debug, Clone)]
+struct BackendTiming {
+    /// Next cycle each issue port is free (int, fp, copy, mem).
+    int_issue_free: u64,
+    fp_issue_free: u64,
+    copy_issue_free: u64,
+    mem_issue_free: u64,
+    /// Unpipelined divider availability.
+    int_div_free: u64,
+    fp_div_free: u64,
+    /// Occupancy of the issue queues / MOB.
+    int_q: CapacityHeap,
+    fp_q: CapacityHeap,
+    copy_q: CapacityHeap,
+    mem_q: CapacityHeap,
+    /// Per-logical-register value-ready cycle in this backend.
+    reg_ready: Vec<u64>,
+}
+
+impl BackendTiming {
+    fn new() -> Self {
+        BackendTiming {
+            int_issue_free: 0,
+            fp_issue_free: 0,
+            copy_issue_free: 0,
+            mem_issue_free: 0,
+            int_div_free: 0,
+            fp_div_free: 0,
+            int_q: CapacityHeap::default(),
+            fp_q: CapacityHeap::default(),
+            copy_q: CapacityHeap::default(),
+            mem_q: CapacityHeap::default(),
+            reg_ready: vec![0; usize::from(NUM_ARCH_REGS)],
+        }
+    }
+}
+
+/// The clustered-processor timing simulator.
+///
+/// # Examples
+///
+/// ```
+/// use distfront_trace::AppProfile;
+/// use distfront_uarch::config::ProcessorConfig;
+/// use distfront_uarch::sim::Simulator;
+///
+/// let mut sim = Simulator::new(
+///     ProcessorConfig::hpca05_baseline(),
+///     &AppProfile::test_tiny(),
+///     42,
+/// );
+/// let stats = sim.run(10_000);
+/// assert!(stats.committed_uops >= 10_000);
+/// assert!(stats.ipc > 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    cfg: ProcessorConfig,
+    builder: TraceBuilder,
+    bp: BranchPredictor,
+    tc: TraceCache,
+    ul2: UnifiedL2,
+    l1d: Vec<L1DataCache>,
+    rename: RenameUnit,
+    steerer: Steerer,
+    act: ActivityCounters,
+
+    backends: Vec<BackendTiming>,
+    rob_rings: Vec<VecDeque<InFlight>>,
+    dispatch_slots: SlotAllocator,
+    commit_slots: SlotAllocator,
+    bus_free: Vec<u64>,
+
+    fetch_cycle: u64,
+    redirect_floor: u64,
+    decouple: VecDeque<u64>,
+    last_commit: u64,
+    interval_start: u64,
+    total_committed: u64,
+    tc_lookups: u64,
+    tc_hits: u64,
+}
+
+impl Simulator {
+    /// Creates a simulator for `profile` with a deterministic `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`ProcessorConfig::validate`].
+    pub fn new(cfg: ProcessorConfig, profile: &AppProfile, seed: u64) -> Self {
+        cfg.validate().unwrap_or_else(|e| panic!("bad config: {e}"));
+        let partitions = cfg.frontend_mode.partitions();
+        let tc = TraceCache::new(cfg.trace_cache);
+        let physical_banks = cfg.trace_cache.physical_banks();
+        Simulator {
+            builder: TraceBuilder::new(
+                TraceGenerator::new(profile, seed),
+                TraceLimits {
+                    max_uops: cfg.trace_cache.line_uops as usize,
+                    max_branches: 3,
+                },
+            ),
+            bp: BranchPredictor::new(16 * 1024),
+            tc,
+            ul2: UnifiedL2::new(cfg.ul2),
+            l1d: (0..cfg.backends).map(|_| L1DataCache::new(cfg.l1d)).collect(),
+            rename: RenameUnit::new(cfg.backends, partitions, cfg.int_regs, cfg.fp_regs),
+            steerer: Steerer::new(cfg.backends, cfg.steering),
+            act: ActivityCounters::new(partitions, cfg.backends, physical_banks),
+            backends: (0..cfg.backends).map(|_| BackendTiming::new()).collect(),
+            rob_rings: vec![VecDeque::new(); partitions],
+            dispatch_slots: SlotAllocator::new(cfg.dispatch_width),
+            commit_slots: SlotAllocator::new(cfg.commit_width),
+            bus_free: vec![0; cfg.memory_buses],
+            fetch_cycle: 0,
+            redirect_floor: 0,
+            decouple: VecDeque::with_capacity(DECOUPLE_DEPTH),
+            last_commit: 0,
+            interval_start: 0,
+            total_committed: 0,
+            tc_lookups: 0,
+            tc_hits: 0,
+            cfg,
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &ProcessorConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to the trace cache, for the thermal control loop
+    /// (hopping and mapping rebalance happen at interval boundaries).
+    pub fn trace_cache_mut(&mut self) -> &mut TraceCache {
+        &mut self.tc
+    }
+
+    /// Shared access to the trace cache.
+    pub fn trace_cache(&self) -> &TraceCache {
+        &self.tc
+    }
+
+    /// Cycle of the most recent commit.
+    pub fn current_cycle(&self) -> u64 {
+        self.last_commit
+    }
+
+    /// Total micro-ops committed so far.
+    pub fn total_committed(&self) -> u64 {
+        self.total_committed
+    }
+
+    /// Branch misprediction rate so far.
+    pub fn mispredict_rate(&self) -> f64 {
+        self.bp.mispredict_rate()
+    }
+
+    /// Trace-cache hit rate so far.
+    pub fn tc_hit_rate(&self) -> f64 {
+        if self.tc_lookups == 0 {
+            1.0
+        } else {
+            self.tc_hits as f64 / self.tc_lookups as f64
+        }
+    }
+
+    /// Runs until `cycle_target` is passed or `uop_target` total micro-ops
+    /// have committed, returning the interval's activity.
+    pub fn step(&mut self, cycle_target: u64, uop_target: u64) -> IntervalReport {
+        while self.last_commit < cycle_target && self.total_committed < uop_target {
+            self.run_trace();
+        }
+        // Fold cache/rename counters into the interval activity.
+        let bank_acc = self.tc.take_bank_accesses();
+        for (a, b) in self.act.tc_bank_accesses.iter_mut().zip(&bank_acc) {
+            *a += b;
+        }
+        let ra = self.rename.take_activity();
+        for (a, b) in self.act.rat_reads.iter_mut().zip(&ra.rat_reads) {
+            *a += b;
+        }
+        for (a, b) in self.act.rat_writes.iter_mut().zip(&ra.rat_writes) {
+            *a += b;
+        }
+        self.act.steer_lookups += ra.steer_lookups;
+        self.act.copy_requests += ra.copy_requests;
+        self.act.cycles = self.last_commit.saturating_sub(self.interval_start).max(1);
+        self.interval_start = self.last_commit;
+        IntervalReport {
+            activity: self.act.take(),
+            end_cycle: self.last_commit,
+            total_committed: self.total_committed,
+            done: self.total_committed >= uop_target,
+        }
+    }
+
+    /// Runs at least `uops` further micro-ops to completion (rounding up to
+    /// a whole trace) and returns cumulative stats.
+    pub fn run(&mut self, uops: u64) -> RunStats {
+        let target = self.total_committed + uops;
+        while self.total_committed < target {
+            self.run_trace();
+        }
+        RunStats {
+            committed_uops: self.total_committed,
+            cycles: self.last_commit,
+            ipc: self.total_committed as f64 / self.last_commit.max(1) as f64,
+            mispredict_rate: self.bp.mispredict_rate(),
+            tc_hit_rate: self.tc_hit_rate(),
+        }
+    }
+
+    /// Fetches and fully processes one trace.
+    fn run_trace(&mut self) {
+        let mut fc = self.fetch_cycle.max(self.redirect_floor);
+        // Fetch/dispatch decoupling: the fetch unit stalls when the buffer
+        // between fetch and dispatch is full.
+        if self.decouple.len() >= DECOUPLE_DEPTH {
+            let oldest_dispatch = *self.decouple.front().expect("non-empty");
+            let pipe = u64::from(self.cfg.fetch_to_dispatch + self.cfg.decode_rename_steer);
+            fc = fc.max(oldest_dispatch.saturating_sub(pipe));
+        }
+
+        let trace = self.builder.next_trace();
+        self.act.itlb_accesses += 1;
+        self.tc_lookups += 1;
+        let hit = self.tc.lookup(trace.key);
+        let deliver = if hit {
+            self.tc_hits += 1;
+            fc + 1
+        } else {
+            // Build the trace from the UL2 over a memory bus.
+            self.act.tc_fills += 1;
+            self.act.ul2_accesses += 1;
+            let (grant, bus_lat) = self.alloc_bus(fc);
+            let lat = u64::from(self.ul2.access(trace.key.start_pc));
+            self.tc.insert(trace.key);
+            // Line build streams the micro-ops through decode.
+            let build = trace.len() as u64 / 4 + 1;
+            grant + bus_lat + lat + build
+        };
+        let fetch_cycles = (trace.len() as u64).div_ceil(u64::from(self.cfg.fetch_width));
+        self.fetch_cycle = deliver + fetch_cycles;
+        let front_ready =
+            deliver + u64::from(self.cfg.fetch_to_dispatch + self.cfg.decode_rename_steer);
+        for uop in &trace.uops {
+            self.process_uop(uop, front_ready);
+        }
+    }
+
+    /// Allocates a memory bus at or after `request`; returns the grant
+    /// cycle and the bus latency to charge.
+    fn alloc_bus(&mut self, request: u64) -> (u64, u64) {
+        self.act.bus_transfers += 1;
+        let (idx, &free) = self
+            .bus_free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &f)| f)
+            .expect("at least one bus");
+        let grant = request.max(free);
+        self.bus_free[idx] = grant + BUS_OCCUPANCY;
+        (grant, u64::from(self.cfg.bus_latency))
+    }
+
+    /// Pops the globally oldest in-flight instruction, applying its
+    /// register releases. Returns `false` if nothing is in flight.
+    fn pop_oldest_rob(&mut self) -> bool {
+        let oldest = (0..self.rob_rings.len())
+            .filter(|&p| !self.rob_rings[p].is_empty())
+            .min_by_key(|&p| self.rob_rings[p].front().expect("checked").commit_cycle);
+        let Some(p) = oldest else {
+            return false;
+        };
+        let inf = self.rob_rings[p].pop_front().expect("checked");
+        self.rename.commit_release(&inf.releases);
+        self.steerer.note_retire(inf.backend);
+        true
+    }
+
+    /// Drains ROB entries whose commit cycle has passed `cand`, then waits
+    /// for a slot in `partition` if still full.
+    fn wait_rob_slot(&mut self, partition: usize, cand: &mut u64) {
+        let cap = self.cfg.rob_per_partition();
+        loop {
+            let ring = &self.rob_rings[partition];
+            match ring.front() {
+                Some(front) if front.commit_cycle <= *cand || ring.len() >= cap => {
+                    *cand = (*cand).max(self.rob_rings[partition][0].commit_cycle);
+                    let inf = self.rob_rings[partition].pop_front().expect("non-empty");
+                    self.rename.commit_release(&inf.releases);
+                    self.steerer.note_retire(inf.backend);
+                    if ring_has_room(&self.rob_rings[partition], cap) {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Processes one micro-op through rename → dispatch → issue → commit.
+    fn process_uop(&mut self, uop: &MicroOp, front_ready: u64) {
+        let cfg_dispatch_latency = u64::from(self.cfg.dispatch_latency);
+        self.act.decoded_uops += 1;
+
+        // -- Steer and rename ------------------------------------------------
+        let backend = self.steerer.steer(uop, &self.rename);
+        let partition = self.cfg.frontend_of(backend);
+        let renamed = loop {
+            match self.rename.rename(uop, backend) {
+                Ok(r) => break r,
+                Err(_) => {
+                    let ok = self.pop_oldest_rob();
+                    assert!(ok, "register deadlock with empty ROB");
+                }
+            }
+        };
+
+        // -- Dispatch --------------------------------------------------------
+        let mut cand = front_ready;
+        self.wait_rob_slot(partition, &mut cand);
+        {
+            let b = &mut self.backends[backend];
+            match queue_class(uop.kind) {
+                QueueClass::Int => b.int_q.wait_for_slot(&mut cand, self.cfg.int_queue),
+                QueueClass::Fp => b.fp_q.wait_for_slot(&mut cand, self.cfg.fp_queue),
+                QueueClass::Mem => b.mem_q.wait_for_slot(&mut cand, self.cfg.mem_queue),
+            }
+        }
+        let dispatch = self.dispatch_slots.alloc(cand);
+        if self.decouple.len() >= DECOUPLE_DEPTH {
+            self.decouple.pop_front();
+        }
+        self.decouple.push_back(dispatch);
+
+        // ROB write (plus the L-field patch of the previous entry in the
+        // distributed organization).
+        self.act.rob_writes[partition] += 1;
+        if self.cfg.frontend_mode.is_distributed() {
+            // The previous entry's L field is patched (narrow write).
+            self.act.rob_rl_writes[partition] += 1;
+        }
+
+        // -- Copies to localize remote sources --------------------------------
+        for copy in &renamed.copies {
+            let from_t = &mut self.backends[copy.from];
+            let val_ready = from_t.reg_ready[copy.reg.index()];
+            // A cross-partition copy is generated by the other frontend
+            // after a request signal (§3.1.1, step 2): one extra cycle.
+            let request = u64::from(copy.cross_partition);
+            let mut c_cand = (dispatch + cfg_dispatch_latency + request).max(val_ready);
+            from_t.copy_q.wait_for_slot(&mut c_cand, self.cfg.copy_queue);
+            let issue = c_cand.max(from_t.copy_issue_free);
+            from_t.copy_issue_free = issue + 1;
+            from_t.copy_q.push(issue);
+            let hops = u64::from(self.cfg.hops_between(copy.from, copy.to));
+            let arrival = issue + 1 + hops;
+            self.backends[copy.to].reg_ready[copy.reg.index()] =
+                self.backends[copy.to].reg_ready[copy.reg.index()].max(arrival);
+
+            // Activity: copy issues at the source, value lands at the dest.
+            self.act.backends[copy.from].copy_ops += 1;
+            self.act.link_flits += hops.max(1);
+            match copy.reg.class() {
+                RegClass::Int => {
+                    self.act.backends[copy.from].irf_reads += 1;
+                    self.act.backends[copy.to].irf_writes += 1;
+                }
+                RegClass::Fp => {
+                    self.act.backends[copy.from].fprf_reads += 1;
+                    self.act.backends[copy.to].fprf_writes += 1;
+                }
+            }
+        }
+
+        // -- Issue -----------------------------------------------------------
+        let earliest_issue = dispatch + cfg_dispatch_latency;
+        let operands = uop
+            .sources()
+            .map(|s| self.backends[backend].reg_ready[s.index()])
+            .max()
+            .unwrap_or(0);
+        let bt = &mut self.backends[backend];
+        let mut issue = earliest_issue.max(operands);
+        match queue_class(uop.kind) {
+            QueueClass::Int => {
+                issue = issue.max(bt.int_issue_free);
+                if uop.kind == UopKind::IntDiv {
+                    issue = issue.max(bt.int_div_free);
+                    bt.int_div_free = issue + u64::from(uop.kind.latency());
+                }
+                bt.int_issue_free = issue + 1;
+                bt.int_q.push(issue);
+                self.act.backends[backend].iq_writes += 1;
+                self.act.backends[backend].iq_issues += 1;
+                self.act.backends[backend].int_fu_ops += 1;
+            }
+            QueueClass::Fp => {
+                issue = issue.max(bt.fp_issue_free);
+                if uop.kind == UopKind::FpDiv {
+                    issue = issue.max(bt.fp_div_free);
+                    bt.fp_div_free = issue + u64::from(uop.kind.latency());
+                }
+                bt.fp_issue_free = issue + 1;
+                bt.fp_q.push(issue);
+                self.act.backends[backend].fpq_writes += 1;
+                self.act.backends[backend].fpq_issues += 1;
+                self.act.backends[backend].fp_fu_ops += 1;
+            }
+            QueueClass::Mem => {
+                issue = issue.max(bt.mem_issue_free);
+                bt.mem_issue_free = issue + 1;
+                self.act.backends[backend].int_fu_ops += 1; // address generation
+            }
+        }
+
+        // Register-file reads for sources, write for the destination.
+        for s in uop.sources() {
+            match s.class() {
+                RegClass::Int => self.act.backends[backend].irf_reads += 1,
+                RegClass::Fp => self.act.backends[backend].fprf_reads += 1,
+            }
+        }
+
+        // -- Execute ---------------------------------------------------------
+        let mut complete = issue + u64::from(uop.kind.latency());
+        match uop.kind {
+            UopKind::Load => {
+                self.act.backends[backend].dl1_accesses += 1;
+                self.act.backends[backend].dtlb_accesses += 1;
+                self.act.backends[backend].mob_allocs += 1;
+                self.act.backends[backend].mob_searches += 1;
+                let addr = uop.mem_addr.expect("load without address");
+                if self.l1d[backend].load(addr) {
+                    complete += u64::from(self.cfg.l1d.hit_latency);
+                } else {
+                    let (grant, bus_lat) = self.alloc_bus(complete);
+                    self.act.ul2_accesses += 1;
+                    let l2 = u64::from(self.ul2.access(addr));
+                    complete = grant + bus_lat + l2;
+                }
+                // Loads release their MOB entry once disambiguated
+                // (modelled at completion).
+                self.backends[backend].mem_q.push(complete);
+            }
+            UopKind::Store => {
+                self.act.backends[backend].dl1_accesses += 1;
+                self.act.backends[backend].dtlb_accesses += 1;
+                let addr = uop.mem_addr.expect("store without address");
+                self.l1d[backend].store(addr);
+                // Address broadcast on the disambiguation bus; a slot is
+                // held in every cluster's MOB until commit (§2).
+                self.act.disamb_broadcasts += 1;
+                for b in 0..self.cfg.backends {
+                    self.act.backends[b].mob_allocs += 1;
+                }
+            }
+            UopKind::Branch => {
+                self.act.bp_accesses += 2; // predict at fetch + update at resolve
+                let mispredicted = self.bp.predict_and_update(uop.pc, uop.taken);
+                if mispredicted {
+                    let redirect = complete + u64::from(self.cfg.mispredict_penalty());
+                    self.redirect_floor = self.redirect_floor.max(redirect);
+                }
+            }
+            _ => {}
+        }
+
+        if let Some(dst) = uop.dst {
+            self.backends[backend].reg_ready[dst.index()] = complete;
+            match dst.class() {
+                RegClass::Int => self.act.backends[backend].irf_writes += 1,
+                RegClass::Fp => self.act.backends[backend].fprf_writes += 1,
+            }
+        }
+
+        // -- Commit ----------------------------------------------------------
+        let commit_ready = complete + 1 + u64::from(self.cfg.distributed_commit_penalty);
+        let commit = self.commit_slots.alloc(commit_ready);
+        self.act.rob_reads[partition] += 1;
+        if self.cfg.frontend_mode.is_distributed() {
+            // Amortized R/L pre-read of the commit walk (§3.1.2).
+            for p in 0..self.rob_rings.len() {
+                self.act.rob_rl_reads[p] += 1;
+            }
+        }
+        if uop.kind == UopKind::Store {
+            // The store's MOB slots (all clusters) free at commit.
+            for b in 0..self.cfg.backends {
+                if b != backend {
+                    self.backends[b].mem_q.push(commit);
+                }
+            }
+            self.backends[backend].mem_q.push(commit);
+        }
+        self.rob_rings[partition].push_back(InFlight {
+            commit_cycle: commit,
+            backend,
+            releases: renamed.releases,
+        });
+        self.last_commit = self.last_commit.max(commit);
+        self.total_committed += 1;
+        self.act.committed_uops += 1;
+    }
+}
+
+fn ring_has_room(ring: &VecDeque<InFlight>, cap: usize) -> bool {
+    ring.len() < cap
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueueClass {
+    Int,
+    Fp,
+    Mem,
+}
+
+fn queue_class(kind: UopKind) -> QueueClass {
+    match kind {
+        UopKind::Load | UopKind::Store => QueueClass::Mem,
+        k if k.is_fp() => QueueClass::Fp,
+        _ => QueueClass::Int,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline_sim() -> Simulator {
+        Simulator::new(
+            ProcessorConfig::hpca05_baseline(),
+            &AppProfile::test_tiny(),
+            7,
+        )
+    }
+
+    #[test]
+    fn runs_and_commits_exactly() {
+        let mut sim = baseline_sim();
+        let stats = sim.run(5_000);
+        assert!(stats.committed_uops >= 5_000, "ran {}", stats.committed_uops);
+        assert!(stats.committed_uops < 5_000 + 16, "overshot a full trace");
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = baseline_sim().run(20_000);
+        let b = baseline_sim().run(20_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ipc_in_plausible_range() {
+        let mut sim = baseline_sim();
+        let stats = sim.run(50_000);
+        assert!(
+            stats.ipc > 0.2 && stats.ipc <= 8.0,
+            "ipc {} out of range",
+            stats.ipc
+        );
+    }
+
+    #[test]
+    fn branch_predictor_learns_workload() {
+        let mut sim = baseline_sim();
+        let stats = sim.run(50_000);
+        assert!(
+            stats.mispredict_rate < 0.25,
+            "mispredict rate {}",
+            stats.mispredict_rate
+        );
+        assert!(stats.mispredict_rate > 0.0, "perfect prediction is fishy");
+    }
+
+    #[test]
+    fn trace_cache_warms_up() {
+        let mut sim = baseline_sim();
+        let stats = sim.run(50_000);
+        assert!(stats.tc_hit_rate > 0.8, "tc hit rate {}", stats.tc_hit_rate);
+    }
+
+    #[test]
+    fn distributed_mode_runs_with_small_slowdown() {
+        let base = baseline_sim().run(60_000);
+        let mut dsim = Simulator::new(
+            ProcessorConfig::distributed_rename_commit(),
+            &AppProfile::test_tiny(),
+            7,
+        );
+        let dist = dsim.run(60_000);
+        let slowdown = dist.cycles as f64 / base.cycles as f64;
+        assert!(
+            (0.95..1.25).contains(&slowdown),
+            "distributed slowdown {slowdown}"
+        );
+    }
+
+    #[test]
+    fn step_partitions_activity() {
+        let mut sim = baseline_sim();
+        let r1 = sim.step(u64::MAX, 10_000);
+        assert!(r1.done);
+        assert!(r1.total_committed >= 10_000);
+        assert_eq!(r1.activity.committed_uops, r1.total_committed);
+        assert!(r1.activity.decoded_uops >= r1.total_committed);
+        // A second step starts from zeroed activity.
+        let r2 = sim.step(u64::MAX, 15_000);
+        assert_eq!(
+            r2.activity.committed_uops,
+            r2.total_committed - r1.total_committed
+        );
+        assert!(r2.total_committed >= 15_000);
+    }
+
+    #[test]
+    fn activity_spread_over_backends() {
+        let mut sim = baseline_sim();
+        let r = sim.step(u64::MAX, 40_000);
+        for (b, a) in r.activity.backends.iter().enumerate() {
+            assert!(a.iq_writes + a.fpq_writes + a.dl1_accesses > 0, "backend {b} idle");
+        }
+    }
+
+    #[test]
+    fn tc_bank_accesses_recorded() {
+        let mut sim = baseline_sim();
+        let r = sim.step(u64::MAX, 40_000);
+        let total: u64 = r.activity.tc_bank_accesses.iter().sum();
+        assert!(total > 0);
+        assert_eq!(r.activity.tc_bank_accesses.len(), 2);
+    }
+
+    #[test]
+    fn centralized_has_single_partition_counters() {
+        let mut sim = baseline_sim();
+        let r = sim.step(u64::MAX, 5_000);
+        assert_eq!(r.activity.rat_reads.len(), 1);
+        assert_eq!(r.activity.copy_requests, 0);
+    }
+
+    #[test]
+    fn distributed_generates_copy_requests() {
+        let mut sim = Simulator::new(
+            ProcessorConfig::distributed_rename_commit(),
+            &AppProfile::test_tiny(),
+            7,
+        );
+        let r = sim.step(u64::MAX, 40_000);
+        assert_eq!(r.activity.rat_reads.len(), 2);
+        assert!(r.activity.copy_requests > 0, "no cross-partition copies");
+        // Rename activity is split across both partitions.
+        assert!(r.activity.rat_writes[0] > 0);
+        assert!(r.activity.rat_writes[1] > 0);
+    }
+
+    #[test]
+    fn stores_broadcast_disambiguation() {
+        let mut sim = baseline_sim();
+        let r = sim.step(u64::MAX, 20_000);
+        assert!(r.activity.disamb_broadcasts > 0);
+        // Every store allocates a MOB slot in all four clusters.
+        let total_allocs: u64 = r.activity.backends.iter().map(|b| b.mob_allocs).sum();
+        assert!(total_allocs >= r.activity.disamb_broadcasts * 4);
+    }
+
+    #[test]
+    fn memory_bound_app_is_slower() {
+        let fast = Simulator::new(
+            ProcessorConfig::hpca05_baseline(),
+            AppProfile::by_name("crafty").unwrap(),
+            3,
+        )
+        .run(200_000);
+        let slow = Simulator::new(
+            ProcessorConfig::hpca05_baseline(),
+            AppProfile::by_name("mcf").unwrap(),
+            3,
+        )
+        .run(200_000);
+        assert!(
+            slow.ipc < fast.ipc,
+            "mcf ({}) should be slower than crafty ({})",
+            slow.ipc,
+            fast.ipc
+        );
+    }
+
+    #[test]
+    fn commits_monotonic_and_bandwidth_bounded() {
+        let mut sim = baseline_sim();
+        let stats = sim.run(30_000);
+        // Cannot commit faster than commit_width per cycle.
+        assert!(stats.cycles >= 30_000 / 8);
+    }
+}

@@ -1,0 +1,217 @@
+//! Trace construction for the trace cache.
+//!
+//! The fetch unit delivers *traces*: dynamic sequences of up to
+//! [`TraceLimits::max_uops`] micro-ops containing at most
+//! [`TraceLimits::max_branches`] branches, identified by the PC of the
+//! first micro-op plus the directions of the branches inside
+//! ([`distfront_cache::trace_cache::TraceKey`]). A trace ends early at its
+//! branch limit, so re-walking the same path re-creates the same key — the
+//! property that makes the trace cache work.
+
+use distfront_cache::trace_cache::TraceKey;
+use distfront_trace::generator::TraceGenerator;
+use distfront_trace::uop::MicroOp;
+
+/// Structural limits of a trace line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceLimits {
+    /// Maximum micro-ops per trace (the trace-cache line size).
+    pub max_uops: usize,
+    /// Maximum branches per trace (the classic trace cache stores 3).
+    pub max_branches: usize,
+}
+
+impl Default for TraceLimits {
+    fn default() -> Self {
+        TraceLimits {
+            max_uops: 16,
+            max_branches: 3,
+        }
+    }
+}
+
+/// A fetched trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Trace-cache key (start PC + branch directions).
+    pub key: TraceKey,
+    /// The micro-ops, in program order.
+    pub uops: Vec<MicroOp>,
+}
+
+impl Trace {
+    /// Number of micro-ops in the trace.
+    pub fn len(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// `true` if the trace carries no micro-ops (never produced by
+    /// [`TraceBuilder`]).
+    pub fn is_empty(&self) -> bool {
+        self.uops.is_empty()
+    }
+}
+
+/// Builds traces by consuming a [`TraceGenerator`] stream.
+///
+/// Traces are aligned to basic-block boundaries: a trace ends when the next
+/// whole block would not fit, at its branch limit, or at the micro-op limit
+/// (blocks longer than a line are split at fixed offsets). Alignment keeps
+/// the set of distinct trace keys proportional to the *code footprint*
+/// rather than to the number of distinct dynamic paths, which is what lets
+/// a real trace cache converge on the hot path.
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    generator: TraceGenerator,
+    limits: TraceLimits,
+    /// Micro-ops of the block currently being consumed, not yet emitted.
+    pending: std::collections::VecDeque<MicroOp>,
+}
+
+impl TraceBuilder {
+    /// Wraps a generator with the given limits.
+    pub fn new(generator: TraceGenerator, limits: TraceLimits) -> Self {
+        TraceBuilder {
+            generator,
+            limits,
+            pending: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Pulls one whole basic block from the generator into `pending`.
+    fn refill(&mut self) {
+        loop {
+            let uop = self.generator.next_uop();
+            let ends = uop.ends_block;
+            self.pending.push_back(uop);
+            if ends {
+                break;
+            }
+        }
+    }
+
+    /// Builds the next trace along the executed path.
+    pub fn next_trace(&mut self) -> Trace {
+        let mut uops = Vec::with_capacity(self.limits.max_uops);
+        let mut branch_bits = 0u8;
+        let mut branches = 0;
+        loop {
+            if self.pending.is_empty() {
+                self.refill();
+            }
+            let block_len = self.pending.len();
+            let fits = uops.len() + block_len <= self.limits.max_uops;
+            if !fits && !uops.is_empty() {
+                break; // end the trace at the block boundary
+            }
+            let take = if fits { block_len } else { self.limits.max_uops };
+            for _ in 0..take {
+                let uop = self.pending.pop_front().expect("refilled above");
+                let is_branch = uop.is_branch();
+                let taken = uop.taken;
+                uops.push(uop);
+                if is_branch {
+                    if taken {
+                        branch_bits |= 1 << branches;
+                    }
+                    branches += 1;
+                }
+            }
+            if branches >= self.limits.max_branches || uops.len() >= self.limits.max_uops {
+                break;
+            }
+        }
+        let start_pc = uops[0].pc;
+        Trace {
+            key: TraceKey::new(start_pc, branch_bits),
+            uops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distfront_trace::profile::AppProfile;
+    use distfront_trace::uop::UopKind;
+    use std::collections::HashMap;
+
+    fn builder() -> TraceBuilder {
+        TraceBuilder::new(
+            TraceGenerator::new(&AppProfile::test_tiny(), 9),
+            TraceLimits::default(),
+        )
+    }
+
+    #[test]
+    fn traces_respect_limits() {
+        let mut b = builder();
+        for _ in 0..500 {
+            let t = b.next_trace();
+            assert!(!t.is_empty());
+            assert!(t.len() <= 16);
+            let branches = t.uops.iter().filter(|u| u.is_branch()).count();
+            assert!(branches <= 3);
+        }
+    }
+
+    #[test]
+    fn traces_are_contiguous_in_program_order() {
+        let mut b = builder();
+        let mut expect_seq = 0;
+        for _ in 0..200 {
+            let t = b.next_trace();
+            for u in &t.uops {
+                assert_eq!(u.seq, expect_seq);
+                expect_seq += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn key_encodes_branch_directions() {
+        let mut b = builder();
+        for _ in 0..300 {
+            let t = b.next_trace();
+            let mut bits = 0u8;
+            let mut i = 0;
+            for u in t.uops.iter().filter(|u| u.kind == UopKind::Branch) {
+                if u.taken {
+                    bits |= 1 << i;
+                }
+                i += 1;
+            }
+            assert_eq!(t.key.branch_bits, bits);
+            assert_eq!(t.key.start_pc, t.uops[0].pc);
+        }
+    }
+
+    #[test]
+    fn same_key_means_same_static_content() {
+        // The fundamental trace-cache property.
+        let mut b = builder();
+        let mut seen: HashMap<TraceKey, Vec<(u64, UopKind)>> = HashMap::new();
+        for _ in 0..2000 {
+            let t = b.next_trace();
+            let sig: Vec<_> = t.uops.iter().map(|u| (u.pc, u.kind)).collect();
+            if let Some(prev) = seen.get(&t.key) {
+                assert_eq!(prev, &sig, "key {:?} changed contents", t.key);
+            } else {
+                seen.insert(t.key, sig);
+            }
+        }
+        assert!(seen.len() > 4, "workload produced too few distinct traces");
+    }
+
+    #[test]
+    fn trace_ends_at_third_branch() {
+        let mut b = builder();
+        for _ in 0..300 {
+            let t = b.next_trace();
+            let branches = t.uops.iter().filter(|u| u.is_branch()).count();
+            if branches == 3 {
+                assert!(t.uops.last().unwrap().is_branch(), "3rd branch must end trace");
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Renders the Fig. 10 / Fig. 11 floorplans as ASCII maps with block areas
+//! and the adjacency a technique exploits (which blocks can spread heat to
+//! which).
+//!
+//! ```sh
+//! cargo run --example floorplan_view
+//! ```
+
+use distfront_power::Machine;
+use distfront_thermal::Floorplan;
+
+fn render(title: &str, machine: Machine) {
+    let fp = Floorplan::for_machine(machine);
+    println!("--- {title} ---");
+    println!(
+        "die {:.1} mm^2 over {} blocks",
+        fp.die_area(),
+        fp.blocks().len()
+    );
+
+    // Coarse ASCII raster: 0.25 mm per cell.
+    let scale = 4.0;
+    let (mut w, mut h) = (0usize, 0usize);
+    for (_, r) in fp.blocks() {
+        w = w.max(((r.x + r.w) * scale).ceil() as usize);
+        h = h.max(((r.y + r.h) * scale).ceil() as usize);
+    }
+    let mut grid = vec![vec![' '; w]; h];
+    for (i, (_, r)) in fp.blocks().iter().enumerate() {
+        let glyph = char::from_digit((i % 36) as u32, 36).unwrap_or('?');
+        for y in (r.y * scale) as usize..((r.y + r.h) * scale).ceil() as usize {
+            for x in (r.x * scale) as usize..((r.x + r.w) * scale).ceil() as usize {
+                if y < h && x < w {
+                    grid[y][x] = glyph;
+                }
+            }
+        }
+    }
+    for row in grid {
+        println!("  {}", row.into_iter().collect::<String>());
+    }
+
+    println!("  legend (glyph block area):");
+    for (i, (b, r)) in fp.blocks().iter().enumerate() {
+        let glyph = char::from_digit((i % 36) as u32, 36).unwrap_or('?');
+        if i < 12 || b.is_frontend() {
+            println!("    {glyph}  {:<10} {:>6.2} mm^2", b.to_string(), r.area());
+        }
+    }
+    println!(
+        "  {} lateral adjacencies feed the RC model",
+        fp.adjacency().len()
+    );
+    println!();
+}
+
+fn main() {
+    render("Fig. 10 baseline (2-bank trace cache)", Machine::new(1, 4, 2));
+    render("Fig. 11 bank hopping (2+1 banks)", Machine::new(1, 4, 3));
+    render(
+        "distributed frontend (split ROB/RAT)",
+        Machine::new(2, 4, 2),
+    );
+}

@@ -1,0 +1,49 @@
+//! Quickstart: run the paper's baseline processor on one workload and
+//! print its performance and thermal profile.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use distfront::{run_app, ExperimentConfig, AMBIENT_C};
+use distfront_trace::AppProfile;
+
+fn main() {
+    // The baseline machine of Table 1: 8-wide frontend, four backend
+    // clusters, 32K-micro-op trace cache in two banks. 200k micro-ops is
+    // enough to see the thermal landscape; crank it up for convergence.
+    let cfg = ExperimentConfig::baseline().with_uops(200_000);
+
+    // "gzip" is one of the 26 synthetic SPEC2000-class profiles.
+    let app = AppProfile::by_name("gzip").expect("known profile");
+    println!("running {} on the {} configuration...", app.name, cfg.name);
+
+    let result = run_app(&cfg, app);
+
+    println!();
+    println!("performance");
+    println!("  cycles         {:>12}", result.cycles);
+    println!("  micro-ops      {:>12}", result.uops);
+    println!("  IPC            {:>12.3}", result.ipc);
+    println!("  TC hit rate    {:>12.3}", result.tc_hit_rate);
+    println!("  mispredicts    {:>12.3}", result.mispredict_rate);
+    println!("  average power  {:>11.1}W", result.avg_power_w);
+    println!();
+    println!("temperature rise over the {AMBIENT_C} C ambient (AbsMax / Average)");
+    let t = &result.temps;
+    for (name, m) in [
+        ("reorder buffer", &t.rob),
+        ("rename table", &t.rat),
+        ("trace cache", &t.trace_cache),
+        ("frontend", &t.frontend),
+        ("backend", &t.backend),
+        ("UL2", &t.ul2),
+        ("processor", &t.processor),
+    ] {
+        println!(
+            "  {name:<16} {:>6.1} C / {:>6.1} C",
+            m.abs_max_c - AMBIENT_C,
+            m.average_c - AMBIENT_C
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Integration tests for the dynamic-thermal-management extension: the
+//! techniques' peak reductions translate into fewer emergencies and less
+//! throttle time, which is the paper's motivating claim for DTM-equipped
+//! processors.
+
+use distfront::{run_app, EmergencyPolicy, ExperimentConfig};
+use distfront_trace::AppProfile;
+
+#[test]
+fn dtm_off_by_default() {
+    let r = run_app(
+        &ExperimentConfig::baseline().with_uops(30_000),
+        &AppProfile::test_tiny(),
+    );
+    assert_eq!(r.emergencies, 0);
+    assert_eq!(r.throttled_intervals, 0);
+}
+
+#[test]
+fn throttle_engages_below_natural_peak() {
+    let app = AppProfile::test_tiny();
+    let probe = run_app(&ExperimentConfig::baseline().with_uops(60_000), &app);
+    let threshold = probe.temps.processor.abs_max_c - 2.0;
+    let r = run_app(
+        &ExperimentConfig::baseline()
+            .with_uops(60_000)
+            .with_emergency(EmergencyPolicy::with_threshold(threshold)),
+        &app,
+    );
+    assert!(r.emergencies >= 1, "DTM armed below the peak never fired");
+    assert!(r.throttled_intervals >= r.emergencies);
+}
+
+#[test]
+fn throttling_extends_wall_time() {
+    let app = AppProfile::test_tiny();
+    let free = run_app(&ExperimentConfig::baseline().with_uops(60_000), &app);
+    let threshold = free.temps.processor.abs_max_c - 2.0;
+    let managed = run_app(
+        &ExperimentConfig::baseline()
+            .with_uops(60_000)
+            .with_emergency(EmergencyPolicy::with_threshold(threshold)),
+        &app,
+    );
+    assert!(
+        managed.wall_time_s > free.wall_time_s,
+        "throttling must cost wall-clock time: {} vs {}",
+        managed.wall_time_s,
+        free.wall_time_s
+    );
+}
+
+#[test]
+fn cooler_technique_triggers_fewer_emergencies() {
+    // The paper's claim: peak-reducing techniques mean fewer DTM events.
+    let app = AppProfile::test_tiny();
+    let probe = run_app(&ExperimentConfig::baseline().with_uops(60_000), &app);
+    let threshold = probe.temps.processor.abs_max_c - 2.0;
+    let policy = EmergencyPolicy::with_threshold(threshold);
+    let base = run_app(
+        &ExperimentConfig::baseline()
+            .with_uops(60_000)
+            .with_emergency(policy),
+        &app,
+    );
+    let combined = run_app(
+        &ExperimentConfig::combined()
+            .with_uops(60_000)
+            .with_emergency(policy),
+        &app,
+    );
+    assert!(
+        combined.emergencies <= base.emergencies,
+        "distributed frontend triggered more emergencies ({} vs {})",
+        combined.emergencies,
+        base.emergencies
+    );
+    assert!(combined.throttled_intervals <= base.throttled_intervals);
+}
+
+#[test]
+fn hard_limit_rarely_fires_at_calibration() {
+    // At the paper's real 381 K limit the calibrated baseline mostly stays
+    // legal (the paper reports 107 C peaks, right at the limit).
+    let r = run_app(
+        &ExperimentConfig::baseline()
+            .with_uops(60_000)
+            .with_emergency(EmergencyPolicy::paper_limit()),
+        &AppProfile::test_tiny(),
+    );
+    assert!(
+        r.throttled_intervals <= 64,
+        "calibration far above the emergency limit"
+    );
+}

@@ -1,0 +1,114 @@
+//! Reproduction of Fig. 8: the distributed-commit `R`/`L` walk, step by
+//! step, exactly as the paper's worked example — plus the walk's
+//! interaction with the timing simulator.
+
+use distfront_trace::AppProfile;
+use distfront_uarch::{DistributedRob, ProcessorConfig, Simulator};
+
+/// The Fig. 8 state: two partial reorder buffers, commit bandwidth 4.
+///
+/// Program order (derived from the figure's `L` chain):
+/// `I0-0, I0-1, I1-0, I0-2, I0-3, I0-4, I1-1, I1-2, I1-3, I1-4`,
+/// ready bits: I0-0 ✓, I0-1 ✓, I1-0 ✓, I0-2 ✓, I0-3 ✗, I0-4 ✗, I1-1 ✓,
+/// I1-2 ✓, I1-3 ✗, I1-4 ✓.
+fn figure8_rob() -> DistributedRob {
+    let mut rob = DistributedRob::new(2, 8);
+    let program_order = [
+        (0u64, 0usize), // I0-0
+        (1, 0),         // I0-1
+        (2, 1),         // I1-0
+        (3, 0),         // I0-2
+        (4, 0),         // I0-3 (not ready)
+        (5, 0),         // I0-4 (not ready)
+        (6, 1),         // I1-1
+        (7, 1),         // I1-2
+        (8, 1),         // I1-3 (not ready)
+        (9, 1),         // I1-4
+    ];
+    for (seq, part) in program_order {
+        rob.push(seq, part).unwrap();
+    }
+    for seq in [0, 1, 2, 3, 6, 7, 9] {
+        rob.mark_ready(seq);
+    }
+    rob
+}
+
+#[test]
+fn fig8_selects_four_instructions() {
+    // The paper's walk: I0-0 (total=1), I0-1 (2), I1-0 (3), I0-2 (4).
+    let rob = figure8_rob();
+    assert_eq!(rob.select_commit(4), vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn fig8_stops_at_not_ready_even_with_bandwidth() {
+    // "until a not-ready-to-commit one is found (i.e. I0-3)".
+    let rob = figure8_rob();
+    assert_eq!(rob.select_commit(8), vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn fig8_bandwidth_one_walks_one_per_cycle() {
+    let mut rob = figure8_rob();
+    for expect in [0u64, 1, 2, 3] {
+        assert_eq!(rob.commit(1), vec![expect]);
+    }
+    assert!(rob.commit(1).is_empty(), "I0-3 blocks commit");
+}
+
+#[test]
+fn fig8_resumes_after_ready() {
+    let mut rob = figure8_rob();
+    rob.commit(4);
+    rob.mark_ready(4); // I0-3
+    rob.mark_ready(5); // I0-4
+    // Next walk: I0-3, I0-4, then L jumps to partition 1: I1-1, I1-2.
+    assert_eq!(rob.commit(4), vec![4, 5, 6, 7]);
+    // I1-3 still blocks I1-4.
+    assert!(rob.commit(4).is_empty());
+    rob.mark_ready(8);
+    assert_eq!(rob.commit(4), vec![8, 9]);
+    assert!(rob.is_empty());
+}
+
+#[test]
+fn distributed_machine_commits_in_program_order_end_to_end() {
+    // The timing simulator with the distributed frontend commits exactly
+    // the micro-op budget and makes forward progress per interval.
+    let mut sim = Simulator::new(
+        ProcessorConfig::distributed_rename_commit(),
+        &AppProfile::test_tiny(),
+        3,
+    );
+    let mut last_total = 0;
+    loop {
+        let r = sim.step(sim.current_cycle() + 10_000, 80_000);
+        assert!(r.total_committed >= last_total);
+        last_total = r.total_committed;
+        if r.done {
+            break;
+        }
+    }
+    assert!(last_total >= 80_000);
+}
+
+#[test]
+fn distributed_commit_penalty_costs_cycles() {
+    // +1 commit latency must not speed the machine up.
+    let base = Simulator::new(
+        ProcessorConfig::distributed_rename_commit(),
+        &AppProfile::test_tiny(),
+        3,
+    )
+    .run(60_000);
+    let mut slower_cfg = ProcessorConfig::distributed_rename_commit();
+    slower_cfg.distributed_commit_penalty = 8;
+    let slower = Simulator::new(slower_cfg, &AppProfile::test_tiny(), 3).run(60_000);
+    assert!(
+        slower.cycles >= base.cycles,
+        "larger commit penalty ran faster: {} vs {}",
+        slower.cycles,
+        base.cycles
+    );
+}

@@ -1,0 +1,91 @@
+//! Table 1 conformance: the baseline configuration must match the paper's
+//! processor parameters exactly.
+
+use distfront_uarch::ProcessorConfig;
+
+#[test]
+fn frontend_parameters() {
+    let c = ProcessorConfig::hpca05_baseline();
+    assert_eq!(c.trace_cache.total_uops, 32 * 1024, "32K micro-ops");
+    assert_eq!(c.trace_cache.ways, 4, "4-way");
+    assert_eq!(c.fetch_to_dispatch, 4, "4-cycle fetch-to-dispatch");
+    assert_eq!(c.decode_rename_steer, 8, "8-cycle decode/rename/steer");
+    assert_eq!(c.fetch_width, 8, "fetch up to 8 micro-ops per cycle");
+    assert_eq!(c.dispatch_width, 8);
+    assert_eq!(c.commit_width, 8);
+}
+
+#[test]
+fn ul2_parameters() {
+    let c = ProcessorConfig::hpca05_baseline();
+    assert_eq!(c.ul2.capacity, 2 << 20, "2 MB");
+    assert_eq!(c.ul2.ways, 8, "8-way");
+    assert_eq!(c.ul2.hit_latency, 12, "12-cycle hit");
+    assert_eq!(c.ul2.miss_latency, 500, "500+ miss");
+}
+
+#[test]
+fn communication_parameters() {
+    let c = ProcessorConfig::hpca05_baseline();
+    assert_eq!(c.memory_buses, 2, "2 memory buses");
+    assert_eq!(c.bus_latency, 5, "4-cycle latency + 1-cycle arbiter");
+    assert_eq!(c.hop_latency, 1, "1 cycle per hop");
+    assert_eq!(c.hops_between(0, 3), 2, "2 from side to side of the chip");
+}
+
+#[test]
+fn backend_parameters() {
+    let c = ProcessorConfig::hpca05_baseline();
+    assert_eq!(c.backends, 4, "quad-cluster baseline");
+    assert_eq!(c.int_queue, 40, "40-entry IQueue");
+    assert_eq!(c.fp_queue, 40, "40-entry FPQueue");
+    assert_eq!(c.copy_queue, 40, "40-entry CopyQueue");
+    assert_eq!(c.mem_queue, 96, "96-entry MemQueue");
+    assert_eq!(c.issue_per_queue, 1, "1 inst/cycle per queue");
+    assert_eq!(c.dispatch_latency, 10, "10-cycle dispatch latency");
+    assert_eq!(c.int_regs, 160, "160 integer registers");
+    assert_eq!(c.fp_regs, 160, "160 FP registers");
+}
+
+#[test]
+fn l1_parameters() {
+    let c = ProcessorConfig::hpca05_baseline();
+    assert_eq!(c.l1d.capacity, 16 << 10, "16 KB");
+    assert_eq!(c.l1d.ways, 2, "2-way");
+    assert_eq!(c.l1d.hit_latency, 1, "1-cycle hit");
+}
+
+#[test]
+fn process_parameters() {
+    // §4: 65 nm, 10 GHz, Vdd 1.1 V; thermal solution per Fig. 10.
+    let c = ProcessorConfig::hpca05_baseline();
+    assert_eq!(c.frequency_hz, 10e9, "10 GHz");
+    let pkg = distfront_thermal::PackageConfig::paper();
+    assert_eq!(pkg.ambient_c, 45.0, "45 C in-box ambient");
+    assert_eq!(pkg.spreader_m, (0.031, 0.031, 0.0023), "3.1x3.1x0.23 cm spreader");
+    assert_eq!(pkg.sink_m, (0.07, 0.083, 0.0411), "7x8.3x4.11 cm sink");
+}
+
+#[test]
+fn paper_leakage_assumptions() {
+    // §2.1: leakage ~30 % of dynamic at ambient, exponential in T,
+    // emergency limit 381 K.
+    let l = distfront_power::LeakageModel::paper();
+    assert_eq!(l.ratio_at_ambient, 0.30);
+    assert_eq!(l.ambient_c, 45.0);
+    assert!((l.emergency_c - (381.0 - 273.15)).abs() < 1e-9);
+}
+
+#[test]
+fn distributed_variant_deltas_only() {
+    // The Fig. 12 machine differs from baseline only in frontend
+    // organization and the +1 commit cycle.
+    let b = ProcessorConfig::hpca05_baseline();
+    let d = ProcessorConfig::distributed_rename_commit();
+    assert_eq!(d.frontend_mode.partitions(), 2);
+    assert_eq!(d.distributed_commit_penalty, 1);
+    assert_eq!(d.backends, b.backends);
+    assert_eq!(d.rob_entries, b.rob_entries);
+    assert_eq!(d.trace_cache, b.trace_cache);
+    assert_eq!(d.ul2, b.ul2);
+}

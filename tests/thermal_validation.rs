@@ -1,0 +1,143 @@
+//! Physical validation of the thermal stack against analytic expectations,
+//! through the public API (the paper validated its models against internal
+//! and public data; we validate against closed-form RC behaviour and
+//! conservation laws).
+
+use distfront_power::Machine;
+use distfront_thermal::{
+    Floorplan, PackageConfig, TemperatureTracker, ThermalNetwork, ThermalSolver,
+};
+
+fn solver_for(machine: Machine) -> ThermalSolver {
+    let fp = Floorplan::for_machine(machine);
+    ThermalSolver::new(ThermalNetwork::from_floorplan(&fp, &PackageConfig::paper()))
+}
+
+#[test]
+fn steady_state_energy_conservation_all_floorplans() {
+    for (p, banks) in [(1, 2), (1, 3), (2, 2), (2, 3)] {
+        let mut s = solver_for(Machine::new(p, 4, banks));
+        let nb = s.network().block_count();
+        let power: Vec<f64> = (0..nb).map(|i| 0.1 + (i % 7) as f64 * 0.3).collect();
+        let total: f64 = power.iter().sum();
+        s.set_steady_state(&power);
+        let sink = s.network().node_count() - 1;
+        let out = s.network().ambient_conductances()[sink] * (s.temperatures()[sink] - 45.0);
+        assert!(
+            ((out - total) / total).abs() < 1e-9,
+            "({p},{banks}): {out} W out of {total} W in"
+        );
+    }
+}
+
+#[test]
+fn superposition_holds() {
+    // The steady-state operator is linear: T(P1 + P2) - T(0) must equal
+    // [T(P1) - T(0)] + [T(P2) - T(0)].
+    let s = solver_for(Machine::new(1, 4, 2));
+    let nb = s.network().block_count();
+    let zero = vec![0.0; nb];
+    let mut p1 = vec![0.0; nb];
+    p1[0] = 3.0;
+    let mut p2 = vec![0.0; nb];
+    p2[nb - 1] = 5.0;
+    let sum: Vec<f64> = p1.iter().zip(&p2).map(|(a, b)| a + b).collect();
+    let t0 = s.solve_steady(&zero);
+    let t1 = s.solve_steady(&p1);
+    let t2 = s.solve_steady(&p2);
+    let ts = s.solve_steady(&sum);
+    for i in 0..nb {
+        let lhs = ts[i] - t0[i];
+        let rhs = (t1[i] - t0[i]) + (t2[i] - t0[i]);
+        assert!((lhs - rhs).abs() < 1e-9, "node {i}: {lhs} vs {rhs}");
+    }
+}
+
+#[test]
+fn reciprocity_holds() {
+    // For a linear resistive network, the temperature rise at j from power
+    // at i equals the rise at i from the same power at j.
+    let s = solver_for(Machine::new(1, 4, 2));
+    let nb = s.network().block_count();
+    let (i, j) = (0, nb / 2);
+    let mut pi = vec![0.0; nb];
+    pi[i] = 2.0;
+    let mut pj = vec![0.0; nb];
+    pj[j] = 2.0;
+    let ti = s.solve_steady(&pi);
+    let tj = s.solve_steady(&pj);
+    assert!(
+        (ti[j] - tj[i]).abs() < 1e-9,
+        "reciprocity violated: {} vs {}",
+        ti[j],
+        tj[i]
+    );
+}
+
+#[test]
+fn transient_never_overshoots_steady_state_from_below() {
+    // A monotone RC network driven by constant power rises monotonically
+    // toward (and never beyond) the steady state.
+    let mut s = solver_for(Machine::new(1, 4, 2));
+    let nb = s.network().block_count();
+    let power = vec![0.8; nb];
+    let steady = s.solve_steady(&power);
+    let mut prev: Vec<f64> = s.temperatures().to_vec();
+    for _ in 0..20 {
+        s.advance(&power, 5e-3);
+        for (i, (&t, &p)) in s.temperatures().iter().zip(&prev).enumerate() {
+            assert!(t >= p - 1e-9, "node {i} cooled under constant power");
+        }
+        prev = s.temperatures().to_vec();
+    }
+    for (i, (&t, &st)) in s.temperatures().iter().zip(&steady).enumerate() {
+        assert!(t <= st + 1e-6, "node {i} overshot steady state");
+    }
+}
+
+#[test]
+fn hotspot_cools_when_power_migrates() {
+    // The physical principle behind bank hopping: moving the same total
+    // power between two blocks keeps the average but caps the peak.
+    let s = solver_for(Machine::new(1, 4, 3));
+    let fp = Floorplan::for_machine(Machine::new(1, 4, 3));
+    let m = fp.machine();
+    let b0 = m.index_of(distfront_power::BlockId::TcBank(0));
+    let b1 = m.index_of(distfront_power::BlockId::TcBank(1));
+    let nb = s.network().block_count();
+
+    // All power on one bank vs split across two.
+    let mut concentrated = vec![0.2; nb];
+    concentrated[b0] += 4.0;
+    let mut split = vec![0.2; nb];
+    split[b0] += 2.0;
+    split[b1] += 2.0;
+    let tc_conc = s.solve_steady(&concentrated);
+    let tc_split = s.solve_steady(&split);
+    let peak_conc = tc_conc[b0].max(tc_conc[b1]);
+    let peak_split = tc_split[b0].max(tc_split[b1]);
+    assert!(
+        peak_split < peak_conc - 1.0,
+        "splitting power did not cap the peak: {peak_split} vs {peak_conc}"
+    );
+}
+
+#[test]
+fn tracker_and_solver_agree_on_steady_behaviour() {
+    let mut s = solver_for(Machine::new(1, 4, 2));
+    let fp = Floorplan::for_machine(Machine::new(1, 4, 2));
+    let nb = s.network().block_count();
+    let power = vec![0.5; nb];
+    s.set_steady_state(&power);
+    let mut tracker = TemperatureTracker::new(fp.areas());
+    for _ in 0..5 {
+        s.advance(&power, 1e-3);
+        tracker.record(s.block_temperatures(), 1e-3);
+        tracker.end_interval();
+    }
+    // At steady state, AbsMax == Average == AvgMax per block group.
+    let g: Vec<usize> = (0..nb).collect();
+    let m = tracker.group_metrics(&g);
+    assert!((m.abs_max_c - m.avg_max_c).abs() < 0.05);
+    assert!(m.average_c <= m.abs_max_c + 1e-9);
+}
