@@ -71,7 +71,10 @@ fn sweep_steering(uops: u64) {
     println!("\n-- ablation: steering policy (distributed frontend) --");
     let apps = ablation_apps();
     let base = run_suite(&ExperimentConfig::baseline().with_uops(uops), &apps);
-    for policy in [SteeringPolicy::DependenceBalance, SteeringPolicy::RoundRobin] {
+    for policy in [
+        SteeringPolicy::DependenceBalance,
+        SteeringPolicy::RoundRobin,
+    ] {
         let mut cfg = ExperimentConfig::distributed_rename_commit().with_uops(uops);
         cfg.processor.steering = policy;
         let res = run_suite(&cfg, &apps);

@@ -83,16 +83,12 @@ fn bench_thermal(c: &mut Criterion) {
 fn bench_power_model(c: &mut Criterion) {
     c.bench_function("components/power_model_interval", |b| {
         let machine = Machine::new(2, 4, 3);
-        let mut model = PowerModel::new(
-            machine,
-            EnergyTable::nm65(),
-            LeakageModel::paper(),
-            10e9,
-        );
+        let mut model = PowerModel::new(machine, EnergyTable::nm65(), LeakageModel::paper(), 10e9);
         let mut sim = Simulator::new(
             {
                 let mut p = ProcessorConfig::distributed_rename_commit();
-                p.trace_cache = distfront_cache::trace_cache::TraceCacheConfig::hopping_and_biasing();
+                p.trace_cache =
+                    distfront_cache::trace_cache::TraceCacheConfig::hopping_and_biasing();
                 p
             },
             &kernel_app(),

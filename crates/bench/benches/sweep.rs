@@ -1,0 +1,63 @@
+//! Serial vs. parallel sweep: runs the 26-application evaluation set under
+//! the baseline and the combined distributed frontend through the staged
+//! engine, once on a single worker and once across every available core,
+//! verifies the results are bit-identical, and prints the wall-clock
+//! speedup. On a 4-core machine the parallel sweep is expected to finish
+//! ≥ 2× faster; the grid is embarrassingly parallel, so the speedup tracks
+//! the core count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distfront::{ExperimentConfig, SweepRunner};
+use distfront_bench::{bench_uops, evaluation_apps, kernel_app};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn sweep_comparison() {
+    let uops = bench_uops();
+    let configs = [
+        ExperimentConfig::baseline().with_uops(uops),
+        ExperimentConfig::combined().with_uops(uops),
+    ];
+    let apps = evaluation_apps();
+    let cores = SweepRunner::new().threads();
+    println!(
+        "\nsweep: {} apps x {} configs x {uops} uops, serial vs {cores} workers...",
+        apps.len(),
+        configs.len()
+    );
+
+    let t0 = Instant::now();
+    let serial = SweepRunner::serial().grid(&configs, apps);
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel = SweepRunner::new().grid(&configs, apps);
+    let parallel_s = t1.elapsed().as_secs_f64();
+
+    assert_eq!(serial, parallel, "parallel sweep diverged from serial");
+    println!(
+        "serial {serial_s:.2} s | parallel {parallel_s:.2} s | speedup {:.2}x on {cores} cores (results bit-identical)\n",
+        serial_s / parallel_s
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    sweep_comparison();
+    let app = kernel_app();
+    c.bench_function("sweep/parallel_two_config_grid", |b| {
+        let configs = [
+            ExperimentConfig::baseline().with_uops(20_000),
+            ExperimentConfig::combined().with_uops(20_000),
+        ];
+        let apps = [app];
+        let runner = SweepRunner::new();
+        b.iter(|| black_box(runner.grid(&configs, &apps)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

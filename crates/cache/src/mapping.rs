@@ -154,7 +154,10 @@ impl BankMapTable {
 
     /// Number of combinations currently assigned to `bank`.
     pub fn share_of(&self, bank: usize) -> usize {
-        self.entries.iter().filter(|&&b| usize::from(b) == bank).count()
+        self.entries
+            .iter()
+            .filter(|&&b| usize::from(b) == bank)
+            .count()
     }
 
     /// Reassigns every combination mapped to `from` over to `to` (used when
@@ -169,7 +172,10 @@ impl BankMapTable {
 
     /// Iterator over `(combination, bank)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.entries.iter().enumerate().map(|(c, &b)| (c, usize::from(b)))
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(c, &b)| (c, usize::from(b)))
     }
 }
 

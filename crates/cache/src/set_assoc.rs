@@ -58,7 +58,10 @@ impl Geometry {
         let lines = capacity_bytes / line_bytes;
         assert!(lines >= ways as u64, "capacity smaller than one set");
         let sets = (lines / ways as u64) as usize;
-        assert!(sets.is_power_of_two(), "set count {sets} not a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} not a power of two"
+        );
         Geometry {
             sets,
             ways,

@@ -260,7 +260,9 @@ impl TraceCache {
 
     /// Mapping-table share of each physical bank (gated banks report 0).
     pub fn bank_shares(&self) -> Vec<usize> {
-        (0..self.banks.len()).map(|b| self.map.share_of(b)).collect()
+        (0..self.banks.len())
+            .map(|b| self.map.share_of(b))
+            .collect()
     }
 
     /// Aggregate statistics over all banks.

@@ -5,7 +5,10 @@ use distfront::{figure1, figure12, figure13, figure14};
 use distfront_trace::AppProfile;
 
 fn main() {
-    let uops: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300_000);
+    let uops: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300_000);
     let apps = AppProfile::spec2000();
     println!("run length: {uops} uops per app, 26 apps\n");
     println!("{}", figure1(apps, uops));

@@ -1,0 +1,43 @@
+//! Quick serial-vs-parallel sweep comparison over the 26-app evaluation
+//! set (a lighter-weight version of the `sweep` bench).
+//!
+//! ```sh
+//! cargo run --release --example sweep_speedup -p distfront -- 100000
+//! ```
+use distfront::{ExperimentConfig, SweepRunner};
+use distfront_trace::AppProfile;
+use std::time::Instant;
+
+fn main() {
+    let uops: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000);
+    let configs = [
+        ExperimentConfig::baseline().with_uops(uops),
+        ExperimentConfig::combined().with_uops(uops),
+    ];
+    let apps = AppProfile::spec2000();
+    let cores = SweepRunner::new().threads();
+    println!(
+        "{} apps x {} configs x {uops} uops, serial vs {cores} workers",
+        apps.len(),
+        configs.len()
+    );
+
+    let t0 = Instant::now();
+    let serial = SweepRunner::serial().grid(&configs, apps);
+    let serial_s = t0.elapsed().as_secs_f64();
+    println!("serial:   {serial_s:.2} s");
+
+    let t1 = Instant::now();
+    let parallel = SweepRunner::new().grid(&configs, apps);
+    let parallel_s = t1.elapsed().as_secs_f64();
+    println!("parallel: {parallel_s:.2} s");
+
+    assert_eq!(serial, parallel, "parallel sweep diverged from serial");
+    println!(
+        "speedup {:.2}x on {cores} cores; results bit-identical",
+        serial_s / parallel_s
+    );
+}

@@ -1,0 +1,144 @@
+//! The shared state stages hand each other.
+
+use distfront_power::{BlockId, EnergyTable, LeakageModel, Machine, PowerModel};
+use distfront_thermal::{
+    Floorplan, PackageConfig, TemperatureTracker, ThermalNetwork, ThermalSolver,
+};
+use distfront_trace::AppProfile;
+use distfront_uarch::Simulator;
+
+use super::traits::{DtmPolicy, ThermalBackend};
+use super::EngineError;
+use crate::emergency::EmergencyController;
+use crate::experiment::ExperimentConfig;
+use crate::runner::BlockGroups;
+
+/// Everything an experiment's stages share: the machine under test, the
+/// coupled models, and the accumulators the final
+/// [`AppResult`](crate::runner::AppResult) is assembled from.
+///
+/// Fields are public so custom [`Stage`](super::Stage) implementations can
+/// reach whatever they need.
+pub struct EngineCx<'a> {
+    /// The experiment configuration.
+    pub cfg: &'a ExperimentConfig,
+    /// The application under test.
+    pub profile: &'a AppProfile,
+    /// The machine shape (fixes the canonical block order).
+    pub machine: Machine,
+    /// The thermal package (supplies the ambient temperature).
+    pub pkg: PackageConfig,
+    /// Block groups the paper reports on.
+    pub groups: BlockGroups,
+    /// Un-gateable background power per block, in Watts.
+    pub idle: Vec<f64>,
+    /// Activity → Watts conversion.
+    pub model: PowerModel,
+    /// The timing simulator (reset by stages as needed).
+    pub sim: Simulator,
+    /// The thermal solver in use.
+    pub thermal: Box<dyn ThermalBackend>,
+    /// AbsMax/Average/AvgMax bookkeeping over the evaluation run.
+    pub tracker: TemperatureTracker,
+    /// Optional dynamic-thermal-management policy.
+    pub dtm: Option<Box<dyn DtmPolicy>>,
+    /// Nominal (pilot-measured) per-block power, set by the pilot stage.
+    pub nominal: Option<Vec<f64>>,
+    /// ∫ total power dt over the evaluation, in Joules.
+    pub power_time_sum: f64,
+    /// Evaluated wall-clock seconds.
+    pub time_sum: f64,
+    /// Whether the warm start was satisfied from a shared cache.
+    pub warm_start_hit: bool,
+}
+
+impl<'a> EngineCx<'a> {
+    /// Builds the context for a configuration and application, optionally
+    /// overriding the thermal backend and DTM policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidConfig`] when the configuration fails
+    /// validation.
+    pub fn build(
+        cfg: &'a ExperimentConfig,
+        profile: &'a AppProfile,
+        thermal: Option<Box<dyn ThermalBackend>>,
+        dtm: Option<Box<dyn DtmPolicy>>,
+    ) -> Result<Self, EngineError> {
+        cfg.validate().map_err(EngineError::InvalidConfig)?;
+        let pc = &cfg.processor;
+        let machine = Machine::new(
+            pc.frontend_mode.partitions(),
+            pc.backends,
+            pc.trace_cache.physical_banks(),
+        );
+        let fp = Floorplan::for_machine(machine);
+        let areas = fp.areas();
+        let pkg = PackageConfig::paper();
+        let model = PowerModel::new(
+            machine,
+            EnergyTable::nm65(),
+            LeakageModel::paper(),
+            pc.frequency_hz,
+        );
+        let groups = BlockGroups::for_machine(machine);
+
+        // Background (clock-tree) power per block; trace-cache banks under
+        // hopping are on only `logical/physical` of the time, so their
+        // time-averaged background power scales accordingly.
+        let duty = pc.trace_cache.logical_banks as f64 / pc.trace_cache.physical_banks() as f64;
+        let idle: Vec<f64> = machine
+            .blocks()
+            .iter()
+            .zip(&areas)
+            .map(|(b, a)| {
+                let d = if matches!(b, BlockId::TcBank(_)) {
+                    duty
+                } else {
+                    1.0
+                };
+                a * cfg.idle_density_w_mm2 * d
+            })
+            .collect();
+
+        let thermal = thermal.unwrap_or_else(|| {
+            Box::new(ThermalSolver::new(ThermalNetwork::from_floorplan(
+                &fp, &pkg,
+            )))
+        });
+        let dtm = dtm.or_else(|| {
+            cfg.emergency
+                .map(|p| Box::new(EmergencyController::new(p)) as Box<dyn DtmPolicy>)
+        });
+
+        Ok(EngineCx {
+            cfg,
+            profile,
+            machine,
+            pkg,
+            groups,
+            idle,
+            model,
+            sim: Simulator::new(pc.clone(), profile, cfg.seed),
+            thermal,
+            tracker: TemperatureTracker::new(areas),
+            dtm,
+            nominal: None,
+            power_time_sum: 0.0,
+            time_sum: 0.0,
+            warm_start_hit: false,
+        })
+    }
+
+    /// The pilot-measured nominal power profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::MissingPhase`] when the pilot has not run.
+    pub fn nominal(&self) -> Result<&[f64], EngineError> {
+        self.nominal.as_deref().ok_or(EngineError::MissingPhase(
+            "pilot has not measured nominal power",
+        ))
+    }
+}

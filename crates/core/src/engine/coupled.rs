@@ -1,0 +1,273 @@
+//! The engine that builds a context, runs a stage pipeline and finalizes
+//! an [`AppResult`].
+
+use std::sync::Arc;
+
+use distfront_trace::AppProfile;
+
+use super::context::EngineCx;
+use super::stages::{IntervalLoopStage, PilotStage, WarmStartStage};
+use super::sweep::WarmStartCache;
+use super::traits::{DtmPolicy, Stage, ThermalBackend};
+use super::EngineError;
+use crate::experiment::ExperimentConfig;
+use crate::runner::{AppResult, TempReport};
+
+/// Couples the cycle simulator, power model and thermal solver for one
+/// application under one configuration, as a pipeline of [`Stage`]s.
+///
+/// The default pipeline ([`PilotStage`] → [`WarmStartStage`] →
+/// [`IntervalLoopStage`]) reproduces the paper's §4 methodology exactly;
+/// every piece is swappable.
+///
+/// # Examples
+///
+/// ```
+/// use distfront::engine::CoupledEngine;
+/// use distfront::ExperimentConfig;
+/// use distfront_trace::AppProfile;
+///
+/// let cfg = ExperimentConfig::baseline().with_uops(30_000);
+/// let result = CoupledEngine::new(&cfg, &AppProfile::test_tiny())
+///     .run()
+///     .unwrap();
+/// assert!(result.temps.processor.average_c > 45.0);
+/// ```
+pub struct CoupledEngine<'a> {
+    cfg: &'a ExperimentConfig,
+    profile: &'a AppProfile,
+    warm_cache: Option<Arc<WarmStartCache>>,
+    thermal: Option<Box<dyn ThermalBackend>>,
+    dtm: Option<Box<dyn DtmPolicy>>,
+    stages: Option<Vec<Box<dyn Stage>>>,
+}
+
+impl<'a> CoupledEngine<'a> {
+    /// An engine with the default stage pipeline.
+    pub fn new(cfg: &'a ExperimentConfig, profile: &'a AppProfile) -> Self {
+        CoupledEngine {
+            cfg,
+            profile,
+            warm_cache: None,
+            thermal: None,
+            dtm: None,
+            stages: None,
+        }
+    }
+
+    /// Shares warm-start state with other engines through `cache`.
+    ///
+    /// The cache stores the default
+    /// [`ThermalSolver`](distfront_thermal::ThermalSolver)'s node state, keyed
+    /// by (machine shape, nominal power); when a custom thermal backend is
+    /// substituted via [`with_thermal`](Self::with_thermal) the cache is
+    /// ignored, since another backend's node layout need not match.
+    #[must_use]
+    pub fn with_warm_cache(mut self, cache: Arc<WarmStartCache>) -> Self {
+        self.warm_cache = Some(cache);
+        self
+    }
+
+    /// Substitutes an alternative thermal solver.
+    ///
+    /// The backend must model the same machine's block count.
+    #[must_use]
+    pub fn with_thermal(mut self, thermal: Box<dyn ThermalBackend>) -> Self {
+        self.thermal = Some(thermal);
+        self
+    }
+
+    /// Substitutes a dynamic-thermal-management policy (overriding the
+    /// configuration's [`emergency`](ExperimentConfig::emergency) field).
+    #[must_use]
+    pub fn with_dtm(mut self, dtm: Box<dyn DtmPolicy>) -> Self {
+        self.dtm = Some(dtm);
+        self
+    }
+
+    /// Replaces the stage pipeline entirely.
+    #[must_use]
+    pub fn with_stages(mut self, stages: Vec<Box<dyn Stage>>) -> Self {
+        self.stages = Some(stages);
+        self
+    }
+
+    /// The default pilot → warm-start → interval-loop pipeline, with the
+    /// warm start optionally backed by a shared cache.
+    pub fn default_stages(cache: Option<Arc<WarmStartCache>>) -> Vec<Box<dyn Stage>> {
+        let warm = match cache {
+            Some(c) => WarmStartStage::with_cache(c),
+            None => WarmStartStage::new(),
+        };
+        vec![
+            Box::new(PilotStage),
+            Box::new(warm),
+            Box::new(IntervalLoopStage),
+        ]
+    }
+
+    /// Runs the pipeline to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the configuration is invalid or a stage's
+    /// prerequisites are missing.
+    pub fn run(self) -> Result<AppResult, EngineError> {
+        // A cached warm start is the default solver's node vector; never
+        // restore it into a custom backend with its own node layout.
+        let warm_cache = if self.thermal.is_some() {
+            None
+        } else {
+            self.warm_cache
+        };
+        let mut cx = EngineCx::build(self.cfg, self.profile, self.thermal, self.dtm)?;
+        let mut stages = self
+            .stages
+            .unwrap_or_else(|| Self::default_stages(warm_cache));
+        for stage in &mut stages {
+            stage.run(&mut cx)?;
+        }
+        Ok(finish(&cx))
+    }
+}
+
+/// Assembles the final [`AppResult`] from the context the stages left.
+fn finish(cx: &EngineCx<'_>) -> AppResult {
+    let cycles = cx.sim.current_cycle();
+    let uops = cx.sim.total_committed();
+    let g = |idx: &[usize]| cx.tracker.group_metrics(idx);
+    AppResult {
+        app: cx.profile.name,
+        cycles,
+        uops,
+        ipc: uops as f64 / cycles.max(1) as f64,
+        cpi: cycles as f64 / uops.max(1) as f64,
+        tc_hit_rate: cx.sim.tc_hit_rate(),
+        mispredict_rate: cx.sim.mispredict_rate(),
+        avg_power_w: cx.power_time_sum / cx.time_sum.max(1e-12),
+        wall_time_s: cx.time_sum,
+        emergencies: cx.dtm.as_ref().map_or(0, |c| c.triggers()),
+        throttled_intervals: cx.dtm.as_ref().map_or(0, |c| c.throttled_intervals()),
+        temps: TempReport {
+            rob: g(&cx.groups.rob),
+            rat: g(&cx.groups.rat),
+            trace_cache: g(&cx.groups.trace_cache),
+            frontend: g(&cx.groups.frontend),
+            backend: g(&cx.groups.backend),
+            ul2: g(&cx.groups.ul2),
+            processor: g(&cx.groups.processor),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_app;
+
+    #[test]
+    fn explicit_stage_wiring_matches_default_pipeline() {
+        // Two different construction paths — the implicit default pipeline
+        // (what `run_app` uses) and an explicitly assembled stage list —
+        // must produce the same result, so `default_stages` and `run`
+        // cannot drift apart.
+        let cfg = ExperimentConfig::baseline().with_uops(60_000);
+        let app = AppProfile::test_tiny();
+        let explicit = CoupledEngine::new(&cfg, &app)
+            .with_stages(CoupledEngine::default_stages(None))
+            .run()
+            .unwrap();
+        let implicit = run_app(&cfg, &app);
+        assert_eq!(explicit, implicit);
+        // And the run is physically sane, not just self-consistent.
+        assert!(implicit.uops >= 60_000);
+        assert!(implicit.temps.processor.average_c > 45.0);
+    }
+
+    #[test]
+    fn invalid_config_is_an_error_not_a_panic() {
+        let mut cfg = ExperimentConfig::baseline();
+        cfg.uops_per_app = 0;
+        let err = CoupledEngine::new(&cfg, &AppProfile::test_tiny())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn warm_start_without_pilot_reports_missing_phase() {
+        let cfg = ExperimentConfig::baseline().with_uops(30_000);
+        let app = AppProfile::test_tiny();
+        let err = CoupledEngine::new(&cfg, &app)
+            .with_stages(vec![Box::new(WarmStartStage::new())])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::MissingPhase(_)));
+    }
+
+    #[test]
+    fn custom_stage_pipeline_runs() {
+        struct Nop;
+        impl Stage for Nop {
+            fn name(&self) -> &'static str {
+                "nop"
+            }
+            fn run(&mut self, _cx: &mut EngineCx<'_>) -> Result<(), EngineError> {
+                Ok(())
+            }
+        }
+        let cfg = ExperimentConfig::baseline().with_uops(30_000);
+        let app = AppProfile::test_tiny();
+        let mut stages = CoupledEngine::default_stages(None);
+        stages.insert(0, Box::new(Nop));
+        let r = CoupledEngine::new(&cfg, &app)
+            .with_stages(stages)
+            .run()
+            .unwrap();
+        assert_eq!(r, run_app(&cfg, &app));
+    }
+
+    #[test]
+    fn warm_cache_is_ignored_with_a_custom_thermal_backend() {
+        use distfront_power::Machine;
+        use distfront_thermal::{Floorplan, PackageConfig, ThermalNetwork, ThermalSolver};
+
+        let cfg = ExperimentConfig::baseline().with_uops(30_000);
+        let app = AppProfile::test_tiny();
+        let pc = &cfg.processor;
+        let machine = Machine::new(
+            pc.frontend_mode.partitions(),
+            pc.backends,
+            pc.trace_cache.physical_banks(),
+        );
+        let fp = Floorplan::for_machine(machine);
+        let solver =
+            ThermalSolver::new(ThermalNetwork::from_floorplan(&fp, &PackageConfig::paper()));
+        let cache = Arc::new(WarmStartCache::new());
+        let r = CoupledEngine::new(&cfg, &app)
+            .with_thermal(Box::new(solver))
+            .with_warm_cache(Arc::clone(&cache))
+            .run()
+            .unwrap();
+        // The cache must not capture (or serve) another backend's state.
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits() + cache.misses(), 0);
+        // A custom backend identical to the default gives the same result.
+        assert_eq!(r, run_app(&cfg, &app));
+    }
+
+    #[test]
+    fn dtm_policy_plugs_in() {
+        use crate::emergency::{EmergencyController, EmergencyPolicy};
+        let cfg = ExperimentConfig::baseline().with_uops(40_000);
+        let app = AppProfile::test_tiny();
+        // Threshold below ambient: every interval throttles.
+        let ctrl = EmergencyController::new(EmergencyPolicy::with_threshold(40.0));
+        let r = CoupledEngine::new(&cfg, &app)
+            .with_dtm(Box::new(ctrl))
+            .run()
+            .unwrap();
+        assert!(r.emergencies >= 1);
+        assert!(r.throttled_intervals >= 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! The staged simulation engine.
+//!
+//! [`runner::run_app`](crate::runner::run_app) used to be one monolithic
+//! function that piloted, warm-started and interval-looped an application
+//! in-line. This module splits that coupled simulator ⇄ power ⇄ thermal
+//! pipeline into composable parts:
+//!
+//! * [`Stage`] — one phase of an experiment ([`PilotStage`],
+//!   [`WarmStartStage`], [`IntervalLoopStage`] reproduce the paper's §4
+//!   methodology); custom stages slot in without touching the loop,
+//! * [`EngineCx`] — the shared state the stages hand each other
+//!   (simulator, power model, thermal backend, accumulators),
+//! * [`CoupledEngine`] — builds the context, runs the stage pipeline and
+//!   finalizes an [`AppResult`](crate::runner::AppResult),
+//! * [`ThermalBackend`] / [`DtmPolicy`] — plug-in points for alternative
+//!   thermal solvers and dynamic-thermal-management policies,
+//! * [`SweepRunner`] — executes an application × configuration grid in
+//!   parallel over `std::thread::scope`, with results ordered exactly as a
+//!   serial double loop would produce them, and
+//! * [`WarmStartCache`] — shares converged steady-state warm starts
+//!   between grid cells keyed by (machine shape, nominal power profile).
+//!
+//! Every path through the engine is bit-identical: the same configuration
+//! and profile produce the same [`AppResult`](crate::runner::AppResult)
+//! whether run through [`run_app`](crate::runner::run_app), a hand-built
+//! [`CoupledEngine`], a cache-shared warm start, or any thread count of a
+//! [`SweepRunner`] (this was verified against the pre-refactor monolithic
+//! runner when the stages were extracted, and the cross-path identities
+//! are tested continuously).
+//!
+//! # Examples
+//!
+//! Run a small grid in parallel:
+//!
+//! ```
+//! use distfront::engine::SweepRunner;
+//! use distfront::ExperimentConfig;
+//! use distfront_trace::AppProfile;
+//!
+//! let configs = [ExperimentConfig::baseline().with_uops(30_000)];
+//! let apps = [AppProfile::test_tiny()];
+//! let grid = SweepRunner::new().grid(&configs, &apps);
+//! assert_eq!(grid.len(), 1);
+//! assert_eq!(grid[0][0].app, "tiny");
+//! ```
+
+mod context;
+mod coupled;
+mod stages;
+mod sweep;
+mod traits;
+
+pub use context::EngineCx;
+pub use coupled::CoupledEngine;
+pub use stages::{IntervalLoopStage, PilotStage, WarmStartStage};
+pub use sweep::{SweepRunner, WarmStartCache};
+pub use traits::{DtmPolicy, Stage, ThermalBackend};
+
+/// Errors the engine can surface instead of panicking mid-pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The experiment configuration failed validation.
+    InvalidConfig(String),
+    /// A stage ran before a phase it depends on (e.g. warm start without a
+    /// pilot's nominal power).
+    MissingPhase(&'static str),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::InvalidConfig(msg) => write!(f, "{msg}"),
+            EngineError::MissingPhase(msg) => write!(f, "missing phase: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

@@ -1,0 +1,206 @@
+//! The default three-phase pipeline: pilot → warm start → interval loop,
+//! each phase a [`Stage`] ported verbatim from the pre-refactor monolithic
+//! runner so results stay bit-identical.
+
+use std::sync::Arc;
+
+use distfront_power::BlockId;
+use distfront_uarch::ActivityCounters;
+
+use super::sweep::WarmStartCache;
+use super::traits::Stage;
+use super::{EngineCx, EngineError};
+
+/// Measures the application's nominal average dynamic power (the paper
+/// uses its first 50 M instructions) and primes the power model with it.
+///
+/// The pilot exercises the same per-interval control decisions as the
+/// evaluation (balanced rebalance, hopping) so per-bank activity is the
+/// honest time average; temperatures are not known yet, hence balanced.
+#[derive(Debug, Default)]
+pub struct PilotStage;
+
+impl Stage for PilotStage {
+    fn name(&self) -> &'static str {
+        "pilot"
+    }
+
+    fn run(&mut self, cx: &mut EngineCx<'_>) -> Result<(), EngineError> {
+        let cfg = cx.cfg;
+        let pc = &cfg.processor;
+        // The context hands the pilot a freshly built simulator; only
+        // rebuild when an earlier custom stage already ran it.
+        if cx.sim.total_committed() > 0 || cx.sim.current_cycle() > 0 {
+            cx.sim.reset(cx.profile, cfg.seed);
+        }
+        let mut pilot_act = None::<ActivityCounters>;
+        loop {
+            let target = cx.sim.current_cycle() + cfg.interval_cycles;
+            let r = cx.sim.step(target, cfg.pilot_uops());
+            match &mut pilot_act {
+                Some(acc) => acc.merge(&r.activity),
+                None => pilot_act = Some(r.activity),
+            }
+            let banks = pc.trace_cache.physical_banks();
+            cx.sim
+                .trace_cache_mut()
+                .rebalance(&vec![cx.pkg.ambient_c; banks]);
+            if cfg.hop {
+                cx.sim.trace_cache_mut().hop();
+            }
+            if r.done {
+                break;
+            }
+        }
+        let pilot_act = pilot_act.expect("pilot ran at least one interval");
+        let mut nominal = cx.model.dynamic_power(&pilot_act);
+        for (n, i) in nominal.iter_mut().zip(&cx.idle) {
+            *n += i;
+        }
+        cx.model.set_nominal_dynamic(nominal.clone());
+        cx.nominal = Some(nominal);
+        Ok(())
+    }
+}
+
+/// Warm-starts the thermal state: steady state under nominal power with
+/// the leakage↔temperature fixed point iterated to convergence
+/// ("simulations are started with the processor already warm", §4).
+///
+/// With a shared [`WarmStartCache`] the converged state is reused across
+/// grid cells that share a machine shape and nominal power profile; the
+/// fixed point is a pure function of exactly those inputs, so a cache hit
+/// restores bit-identical temperatures.
+#[derive(Debug, Default)]
+pub struct WarmStartStage {
+    cache: Option<Arc<WarmStartCache>>,
+}
+
+impl WarmStartStage {
+    /// A warm start that always solves from scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A warm start that consults (and fills) a shared cache.
+    pub fn with_cache(cache: Arc<WarmStartCache>) -> Self {
+        WarmStartStage { cache: Some(cache) }
+    }
+}
+
+impl Stage for WarmStartStage {
+    fn name(&self) -> &'static str {
+        "warm-start"
+    }
+
+    fn run(&mut self, cx: &mut EngineCx<'_>) -> Result<(), EngineError> {
+        let nominal = cx.nominal()?.to_vec();
+        if let Some(cache) = &self.cache {
+            if let Some(state) = cache.lookup(cx.machine, &nominal) {
+                cx.thermal.set_node_temperatures(state.as_ref().clone());
+                cx.warm_start_hit = true;
+                return Ok(());
+            }
+        }
+        let leak = cx.model.leakage_model();
+        let mut temps = vec![cx.pkg.ambient_c; cx.machine.block_count()];
+        for _ in 0..40 {
+            let p: Vec<f64> = nominal
+                .iter()
+                .zip(&temps)
+                .map(|(&n, &t)| n + leak.leakage_watts(n, t))
+                .collect();
+            cx.thermal.steady_state(&p);
+            let new_temps = cx.thermal.block_temperatures().to_vec();
+            let delta = new_temps
+                .iter()
+                .zip(&temps)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            temps = new_temps;
+            if delta < 0.01 {
+                break;
+            }
+        }
+        if let Some(cache) = &self.cache {
+            cache.insert(
+                cx.machine,
+                &nominal,
+                cx.thermal.node_temperatures().to_vec(),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// The evaluation run: updates block power and temperature every interval,
+/// records the AbsMax/Average/AvgMax metrics, recomputes the thermal-aware
+/// bank mapping from the bank sensors, rotates the gated bank when hopping
+/// is enabled, and consults the DTM policy (§3.2 control loop).
+#[derive(Debug, Default)]
+pub struct IntervalLoopStage;
+
+impl Stage for IntervalLoopStage {
+    fn name(&self) -> &'static str {
+        "interval-loop"
+    }
+
+    fn run(&mut self, cx: &mut EngineCx<'_>) -> Result<(), EngineError> {
+        let cfg = cx.cfg;
+        let pc = &cfg.processor;
+        cx.sim.reset(cx.profile, cfg.seed);
+        let mut throttle = 1.0f64;
+        loop {
+            let target = cx.sim.current_cycle() + cfg.interval_cycles;
+            let mut r = cx.sim.step(target, cfg.uops_per_app);
+            // DTM throttling: the same work takes 1/throttle the wall time,
+            // spreading its switching energy over the longer interval.
+            if throttle < 1.0 {
+                r.activity.cycles = (r.activity.cycles as f64 / throttle).round() as u64;
+            }
+            let gated: Vec<BlockId> = cx
+                .sim
+                .trace_cache()
+                .gated_bank()
+                .map(|b| BlockId::TcBank(b as u8))
+                .into_iter()
+                .collect();
+            let temps_now = cx.thermal.block_temperatures().to_vec();
+            let mut power = cx.model.total_power(&r.activity, &temps_now, &gated);
+            for (p, i) in power.iter_mut().zip(&cx.idle) {
+                *p += i;
+            }
+            for g in &gated {
+                power[cx.machine.index_of(*g)] = 0.0;
+            }
+            let dt = r.activity.cycles as f64 / pc.frequency_hz;
+            cx.power_time_sum += power.iter().sum::<f64>() * dt;
+            cx.time_sum += dt;
+            // Two half-steps so intra-interval transients are sampled.
+            cx.thermal.advance(&power, dt / 2.0);
+            cx.tracker.record(cx.thermal.block_temperatures(), dt / 2.0);
+            cx.thermal.advance(&power, dt / 2.0);
+            cx.tracker.record(cx.thermal.block_temperatures(), dt / 2.0);
+            cx.tracker.end_interval();
+
+            // Thermal management control (§3.2): remap from bank sensors,
+            // then rotate the gated bank.
+            let bank_temps: Vec<f64> = (0..pc.trace_cache.physical_banks())
+                .map(|k| {
+                    cx.thermal.block_temperatures()[cx.machine.index_of(BlockId::TcBank(k as u8))]
+                })
+                .collect();
+            cx.sim.trace_cache_mut().rebalance(&bank_temps);
+            if cfg.hop {
+                cx.sim.trace_cache_mut().hop();
+            }
+            if let Some(ctrl) = &mut cx.dtm {
+                throttle = ctrl.observe(cx.thermal.block_temperatures());
+            }
+            if r.done {
+                break;
+            }
+        }
+        Ok(())
+    }
+}

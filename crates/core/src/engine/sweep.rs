@@ -1,0 +1,322 @@
+//! Parallel execution of an application × configuration grid, plus the
+//! warm-start cache shared between its cells.
+
+use std::collections::HashMap;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+
+use distfront_power::Machine;
+use distfront_trace::AppProfile;
+
+use super::coupled::CoupledEngine;
+use crate::experiment::ExperimentConfig;
+use crate::runner::AppResult;
+
+/// Cache key: the machine shape plus the exact bits of the nominal power
+/// profile. The warm-start fixed point is a pure function of these (the
+/// package and leakage model are constants), so an exact-bit key makes a
+/// cache hit indistinguishable from a cold solve.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct WarmKey {
+    partitions: usize,
+    backends: usize,
+    tc_banks: usize,
+    nominal_bits: Vec<u64>,
+}
+
+impl WarmKey {
+    fn new(machine: Machine, nominal: &[f64]) -> Self {
+        WarmKey {
+            partitions: machine.partitions,
+            backends: machine.backends,
+            tc_banks: machine.tc_banks,
+            nominal_bits: nominal.iter().map(|x| x.to_bits()).collect(),
+        }
+    }
+}
+
+/// Shares converged steady-state warm starts between engines.
+///
+/// Keyed by (machine shape, nominal power profile) — see [`WarmKey`] for
+/// why a hit is bit-identical to solving cold. Thread-safe; one cache is
+/// shared by every cell of a [`SweepRunner`] grid.
+#[derive(Debug, Default)]
+pub struct WarmStartCache {
+    map: Mutex<HashMap<WarmKey, Arc<Vec<f64>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl WarmStartCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up the converged node temperatures for a machine shape and
+    /// nominal power profile.
+    pub fn lookup(&self, machine: Machine, nominal: &[f64]) -> Option<Arc<Vec<f64>>> {
+        let key = WarmKey::new(machine, nominal);
+        let found = self.map.lock().expect("cache poisoned").get(&key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores converged node temperatures for a machine shape and nominal
+    /// power profile.
+    pub fn insert(&self, machine: Machine, nominal: &[f64], node_temps: Vec<f64>) {
+        let key = WarmKey::new(machine, nominal);
+        self.map
+            .lock()
+            .expect("cache poisoned")
+            .entry(key)
+            .or_insert_with(|| Arc::new(node_temps));
+    }
+
+    /// Distinct warm starts stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to solve cold.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Executes an application × configuration grid, fanning cells out over
+/// `std::thread::scope` workers.
+///
+/// Every cell is an independent [`CoupledEngine`] run — a pure function of
+/// its (configuration, application) pair — so the grid parallelizes
+/// embarrassingly and the output is **bit-identical to a serial double
+/// loop** regardless of thread count or scheduling: results are written
+/// into their grid slot by index, never in completion order.
+///
+/// # Examples
+///
+/// ```
+/// use distfront::engine::SweepRunner;
+/// use distfront::ExperimentConfig;
+/// use distfront_trace::AppProfile;
+///
+/// let cfgs = [ExperimentConfig::baseline().with_uops(30_000)];
+/// let apps = [AppProfile::test_tiny()];
+/// let parallel = SweepRunner::new().grid(&cfgs, &apps);
+/// let serial = SweepRunner::serial().grid(&cfgs, &apps);
+/// assert_eq!(parallel, serial);
+/// ```
+#[derive(Debug)]
+pub struct SweepRunner {
+    threads: usize,
+    cache: Arc<WarmStartCache>,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepRunner {
+    /// A runner using every available hardware thread.
+    pub fn new() -> Self {
+        let threads = thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::with_threads(threads)
+    }
+
+    /// A runner executing cells one at a time on the calling thread.
+    pub fn serial() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// A runner with an explicit worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads > 0, "a sweep needs at least one worker");
+        SweepRunner {
+            threads,
+            cache: Arc::new(WarmStartCache::new()),
+        }
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The warm-start cache shared by this runner's cells (persists across
+    /// [`grid`](Self::grid) calls, so repeated sweeps of overlapping
+    /// configurations reuse each other's warm starts).
+    pub fn warm_cache(&self) -> &Arc<WarmStartCache> {
+        &self.cache
+    }
+
+    /// Runs every configuration over every application; `result[c][a]`
+    /// corresponds to `configs[c]` and `apps[a]`, exactly as the serial
+    /// nested loop would order them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any configuration is invalid (matching
+    /// [`run_app`](crate::runner::run_app)) or a worker thread dies.
+    pub fn grid(&self, configs: &[ExperimentConfig], apps: &[AppProfile]) -> Vec<Vec<AppResult>> {
+        let cells = configs.len() * apps.len();
+        let mut flat: Vec<Option<AppResult>> = (0..cells).map(|_| None).collect();
+        let workers = self.threads.min(cells);
+        if workers <= 1 {
+            for (i, slot) in flat.iter_mut().enumerate() {
+                *slot = Some(self.run_cell(configs, apps, i));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let (tx, rx) = mpsc::channel::<(usize, AppResult)>();
+            thread::scope(|scope| {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let next = &next;
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= cells {
+                            break;
+                        }
+                        let result = self.run_cell(configs, apps, i);
+                        if tx.send((i, result)).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+                for (i, result) in rx {
+                    flat[i] = Some(result);
+                }
+            });
+        }
+        let mut flat = flat.into_iter();
+        configs
+            .iter()
+            .map(|_| {
+                apps.iter()
+                    .map(|_| flat.next().flatten().expect("worker died mid-sweep"))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Runs one configuration over a whole application suite.
+    pub fn suite(&self, cfg: &ExperimentConfig, apps: &[AppProfile]) -> Vec<AppResult> {
+        self.grid(std::slice::from_ref(cfg), apps)
+            .pop()
+            .expect("one configuration in, one row out")
+    }
+
+    fn run_cell(&self, configs: &[ExperimentConfig], apps: &[AppProfile], i: usize) -> AppResult {
+        let cfg = &configs[i / apps.len()];
+        let app = &apps[i % apps.len()];
+        CoupledEngine::new(cfg, app)
+            .with_warm_cache(Arc::clone(&self.cache))
+            .run()
+            .unwrap_or_else(|e| panic!("bad config: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_app, run_suite};
+
+    fn tiny_grid() -> (Vec<ExperimentConfig>, Vec<AppProfile>) {
+        (
+            vec![
+                ExperimentConfig::baseline().with_uops(40_000),
+                ExperimentConfig::bank_hopping().with_uops(40_000),
+            ],
+            vec![
+                AppProfile::test_tiny(),
+                *AppProfile::by_name("gzip").unwrap(),
+            ],
+        )
+    }
+
+    #[test]
+    fn parallel_grid_matches_serial_grid() {
+        let (cfgs, apps) = tiny_grid();
+        let serial = SweepRunner::serial().grid(&cfgs, &apps);
+        let parallel = SweepRunner::with_threads(4).grid(&cfgs, &apps);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn grid_matches_run_app_cell_by_cell() {
+        let (cfgs, apps) = tiny_grid();
+        let grid = SweepRunner::with_threads(3).grid(&cfgs, &apps);
+        for (c, cfg) in cfgs.iter().enumerate() {
+            for (a, app) in apps.iter().enumerate() {
+                assert_eq!(grid[c][a], run_app(cfg, app), "cell [{c}][{a}]");
+            }
+        }
+    }
+
+    #[test]
+    fn suite_matches_run_suite() {
+        let cfg = ExperimentConfig::baseline().with_uops(40_000);
+        let apps = [
+            AppProfile::test_tiny(),
+            *AppProfile::by_name("gzip").unwrap(),
+        ];
+        assert_eq!(
+            SweepRunner::new().suite(&cfg, &apps),
+            run_suite(&cfg, &apps)
+        );
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let grid = SweepRunner::new().grid(&[], &[AppProfile::test_tiny()]);
+        assert!(grid.is_empty());
+        let (cfgs, _) = tiny_grid();
+        let grid = SweepRunner::new().grid(&cfgs, &[]);
+        assert_eq!(grid.len(), 2);
+        assert!(grid.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn warm_cache_populates_and_hits_on_rerun() {
+        let runner = SweepRunner::with_threads(2);
+        let cfgs = vec![ExperimentConfig::baseline().with_uops(30_000)];
+        let apps = vec![AppProfile::test_tiny()];
+        let first = runner.grid(&cfgs, &apps);
+        assert_eq!(runner.warm_cache().len(), 1);
+        assert_eq!(runner.warm_cache().hits(), 0);
+        // The same cell again: warm start served from cache, same result.
+        let second = runner.grid(&cfgs, &apps);
+        assert_eq!(runner.warm_cache().hits(), 1);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        SweepRunner::with_threads(0);
+    }
+}

@@ -1,0 +1,107 @@
+//! The engine's extension points: stages, thermal backends and DTM
+//! policies.
+
+use distfront_thermal::ThermalSolver;
+
+use super::{EngineCx, EngineError};
+use crate::emergency::EmergencyController;
+
+/// One phase of an experiment pipeline.
+///
+/// A stage reads and mutates the shared [`EngineCx`]; the
+/// [`CoupledEngine`](super::CoupledEngine) runs its stages in order and
+/// finalizes the result from whatever state they leave behind. The default
+/// pipeline is pilot → warm start → interval loop, but replacements and
+/// extra stages (checkpointing, logging, alternative control policies)
+/// compose freely.
+pub trait Stage {
+    /// Short name for diagnostics.
+    fn name(&self) -> &'static str;
+    /// Executes the phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a prerequisite phase has not run or the
+    /// context is otherwise unusable.
+    fn run(&mut self, cx: &mut EngineCx<'_>) -> Result<(), EngineError>;
+}
+
+/// A thermal solver the engine can drive.
+///
+/// [`ThermalSolver`] is the default implementation; alternative solvers
+/// (model-order-reduced networks, lookup-table models, hardware-sensor
+/// replay) implement this trait and plug into
+/// [`CoupledEngine::with_thermal`](super::CoupledEngine::with_thermal)
+/// without the interval loop changing.
+pub trait ThermalBackend {
+    /// Temperatures of the floorplan blocks, in °C.
+    fn block_temperatures(&self) -> &[f64];
+    /// Temperatures of every node (blocks, then package), in °C.
+    fn node_temperatures(&self) -> &[f64];
+    /// Overwrites the full node state (for warm-start restore).
+    fn set_node_temperatures(&mut self, t: Vec<f64>);
+    /// Adopts the steady state under constant block `power`.
+    fn steady_state(&mut self, power: &[f64]);
+    /// Advances the transient state by `dt` seconds under constant block
+    /// `power`.
+    fn advance(&mut self, power: &[f64], dt: f64);
+    /// Number of block nodes.
+    fn block_count(&self) -> usize;
+}
+
+impl ThermalBackend for ThermalSolver {
+    fn block_temperatures(&self) -> &[f64] {
+        ThermalSolver::block_temperatures(self)
+    }
+
+    fn node_temperatures(&self) -> &[f64] {
+        self.temperatures()
+    }
+
+    fn set_node_temperatures(&mut self, t: Vec<f64>) {
+        self.set_temperatures(t);
+    }
+
+    fn steady_state(&mut self, power: &[f64]) {
+        self.set_steady_state(power);
+    }
+
+    fn advance(&mut self, power: &[f64], dt: f64) {
+        ThermalSolver::advance(self, power, dt);
+    }
+
+    fn block_count(&self) -> usize {
+        self.network().block_count()
+    }
+}
+
+/// A dynamic-thermal-management policy the interval loop consults once per
+/// interval.
+///
+/// [`EmergencyController`] is the built-in implementation; alternative
+/// policies (PID throttles, per-block gating, predictive controllers)
+/// implement this trait and plug into
+/// [`CoupledEngine::with_dtm`](super::CoupledEngine::with_dtm).
+pub trait DtmPolicy {
+    /// Observes end-of-interval block temperatures; returns the throughput
+    /// factor for the next interval (1.0 = full speed).
+    fn observe(&mut self, temps_c: &[f64]) -> f64;
+    /// Distinct emergencies triggered so far.
+    fn triggers(&self) -> u64;
+    /// Intervals spent throttled so far.
+    fn throttled_intervals(&self) -> u64;
+}
+
+impl DtmPolicy for EmergencyController {
+    fn observe(&mut self, temps_c: &[f64]) -> f64 {
+        EmergencyController::observe(self, temps_c)
+    }
+
+    fn triggers(&self) -> u64 {
+        EmergencyController::triggers(self)
+    }
+
+    fn throttled_intervals(&self) -> u64 {
+        EmergencyController::throttled_intervals(self)
+    }
+}

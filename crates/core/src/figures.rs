@@ -14,12 +14,17 @@
 //!
 //! Run lengths are scaled down from the paper's 200 M instructions per
 //! application; pass a larger `uops_per_app` to converge further.
+//!
+//! Every figure executes its whole app × config grid through a parallel
+//! [`SweepRunner`] — rows are bit-identical to the old serial collection,
+//! just produced across however many cores the host has.
 
 use distfront_trace::AppProfile;
 
+use crate::engine::SweepRunner;
 use crate::experiment::ExperimentConfig;
 use crate::report::{FigureRow, FigureTable};
-use crate::runner::{average_temps, run_suite, slowdown, AppResult, TempReport};
+use crate::runner::{average_temps, slowdown, AppResult, TempReport};
 
 /// Ambient temperature the paper measures rises against.
 pub const AMBIENT_C: f64 = 45.0;
@@ -34,17 +39,27 @@ pub struct ComparisonData {
 }
 
 impl ComparisonData {
-    /// Runs the baseline plus `configs` over `apps` at `uops_per_app`.
+    /// Runs the baseline plus `configs` over `apps` at `uops_per_app`,
+    /// fanning the whole grid out over a parallel [`SweepRunner`].
     pub fn collect(apps: &[AppProfile], configs: &[ExperimentConfig], uops_per_app: u64) -> Self {
-        let base_cfg = ExperimentConfig::baseline().with_uops(uops_per_app);
-        let baseline = run_suite(&base_cfg, apps);
-        let techniques = configs
-            .iter()
-            .map(|c| {
-                let c = c.clone().with_uops(uops_per_app);
-                (c.name, run_suite(&c, apps))
-            })
-            .collect();
+        Self::collect_with(&SweepRunner::new(), apps, configs, uops_per_app)
+    }
+
+    /// [`collect`](Self::collect) on a caller-supplied runner (e.g.
+    /// [`SweepRunner::serial`] for a reference run, or a shared runner
+    /// whose warm-start cache spans several figures).
+    pub fn collect_with(
+        runner: &SweepRunner,
+        apps: &[AppProfile],
+        configs: &[ExperimentConfig],
+        uops_per_app: u64,
+    ) -> Self {
+        let mut grid_cfgs = Vec::with_capacity(configs.len() + 1);
+        grid_cfgs.push(ExperimentConfig::baseline().with_uops(uops_per_app));
+        grid_cfgs.extend(configs.iter().map(|c| c.clone().with_uops(uops_per_app)));
+        let mut rows = runner.grid(&grid_cfgs, apps).into_iter();
+        let baseline = rows.next().expect("baseline row");
+        let techniques = grid_cfgs[1..].iter().map(|c| c.name).zip(rows).collect();
         ComparisonData {
             baseline,
             techniques,
@@ -95,7 +110,7 @@ fn reduction_columns() -> Vec<String> {
 /// baseline — peak and average increase over the 45 °C ambient.
 pub fn figure1(apps: &[AppProfile], uops_per_app: u64) -> FigureTable {
     let cfg = ExperimentConfig::baseline().with_uops(uops_per_app);
-    let results = run_suite(&cfg, apps);
+    let results = SweepRunner::new().suite(&cfg, apps);
     let t = average_temps(&results);
     let row = |label: &str, m: &distfront_thermal::GroupMetrics| FigureRow {
         label: label.to_string(),
@@ -117,7 +132,7 @@ pub fn figure1(apps: &[AppProfile], uops_per_app: u64) -> FigureTable {
 /// Figure 1's underlying per-group averages (for tests and EXPERIMENTS.md).
 pub fn figure1_report(apps: &[AppProfile], uops_per_app: u64) -> TempReport {
     let cfg = ExperimentConfig::baseline().with_uops(uops_per_app);
-    average_temps(&run_suite(&cfg, apps))
+    average_temps(&SweepRunner::new().suite(&cfg, apps))
 }
 
 /// Figure 12: temperature reductions of distributed renaming and commit.
@@ -179,7 +194,11 @@ mod tests {
         assert_eq!(t.rows.len(), 4);
         assert_eq!(t.columns.len(), 2);
         for row in &t.rows {
-            assert!(row.values[0] >= row.values[1], "{}: peak < average", row.label);
+            assert!(
+                row.values[0] >= row.values[1],
+                "{}: peak < average",
+                row.label
+            );
             assert!(row.values[1] > 0.0, "{} below ambient", row.label);
         }
     }
@@ -218,6 +237,16 @@ mod tests {
             vec!["address-biasing", "blank-silicon", "bank-hopping", "bh+ab"]
         );
         assert_eq!(t.columns.len(), 10);
+    }
+
+    #[test]
+    fn parallel_collection_matches_serial_reference() {
+        let apps = tiny_apps();
+        let cfgs = [ExperimentConfig::distributed_rename_commit()];
+        let parallel = ComparisonData::collect(&apps, &cfgs, 40_000);
+        let serial = ComparisonData::collect_with(&SweepRunner::serial(), &apps, &cfgs, 40_000);
+        assert_eq!(parallel.baseline, serial.baseline);
+        assert_eq!(parallel.techniques, serial.techniques);
     }
 
     #[test]

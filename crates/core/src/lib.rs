@@ -18,8 +18,11 @@
 //! | §3.2.2 biased mapping | [`distfront_cache::mapping`] |
 //!
 //! This crate ties the stack together: [`experiment`] holds the evaluated
-//! configurations, [`runner`] couples simulator ⇄ power ⇄ thermal with the
-//! control loop, and [`figures`] regenerates every figure of §4.
+//! configurations, [`engine`] couples simulator ⇄ power ⇄ thermal as a
+//! staged pipeline (pilot → warm start → interval loop) with a parallel
+//! [`SweepRunner`] over the app × config grid, [`runner`] keeps the
+//! serial entry points and result types, and [`figures`] regenerates
+//! every figure of §4.
 //!
 //! # Examples
 //!
@@ -38,12 +41,14 @@
 #![warn(missing_docs)]
 
 pub mod emergency;
+pub mod engine;
 pub mod experiment;
 pub mod figures;
 pub mod report;
 pub mod runner;
 
 pub use emergency::{EmergencyController, EmergencyPolicy};
+pub use engine::{CoupledEngine, SweepRunner, WarmStartCache};
 pub use experiment::ExperimentConfig;
 pub use figures::{figure1, figure12, figure13, figure14, ComparisonData, AMBIENT_C};
 pub use report::{FigureRow, FigureTable};

@@ -1,9 +1,8 @@
-//! The experiment runner: couples the cycle simulator, the power model and
-//! the thermal solver, and drives the thermal-management control loop
-//! (mapping rebalance + bank hopping) at every interval, exactly as §4
-//! describes.
+//! The experiment runner: result types, block groups and the serial
+//! entry points over the staged [`engine`](crate::engine).
 //!
-//! Per application the runner:
+//! Per application the pipeline (see [`crate::engine`] for the staged
+//! form):
 //!
 //! 1. runs a **pilot** to measure nominal average dynamic power (the paper
 //!    uses its first 50 M instructions),
@@ -14,15 +13,16 @@
 //!    interval, recording the AbsMax/Average/AvgMax metrics, recomputing
 //!    the thermal-aware bank mapping from the bank sensors, and rotating
 //!    the gated bank when hopping is enabled.
+//!
+//! [`run_app`] is the one-cell convenience wrapper; grids and suites
+//! parallelize through [`SweepRunner`](crate::engine::SweepRunner) with
+//! bit-identical results.
 
-use distfront_power::{BlockId, EnergyTable, LeakageModel, Machine, PowerModel};
-use distfront_thermal::{
-    Floorplan, GroupMetrics, PackageConfig, TemperatureTracker, ThermalNetwork, ThermalSolver,
-};
+use distfront_power::{BlockId, Machine};
+use distfront_thermal::GroupMetrics;
 use distfront_trace::AppProfile;
-use distfront_uarch::Simulator;
 
-use crate::emergency::EmergencyController;
+use crate::engine::CoupledEngine;
 use crate::experiment::ExperimentConfig;
 
 /// Temperature metrics for the block groups the paper reports on.
@@ -117,175 +117,21 @@ impl BlockGroups {
     }
 }
 
-/// Runs one application under one configuration.
+/// Runs one application under one configuration through the default
+/// staged engine (pilot → warm start → interval loop).
 ///
 /// # Panics
 ///
 /// Panics if the configuration is invalid.
 pub fn run_app(cfg: &ExperimentConfig, profile: &AppProfile) -> AppResult {
-    cfg.validate().unwrap_or_else(|e| panic!("bad config: {e}"));
-    let pc = &cfg.processor;
-    let machine = Machine::new(
-        pc.frontend_mode.partitions(),
-        pc.backends,
-        pc.trace_cache.physical_banks(),
-    );
-    let fp = Floorplan::for_machine(machine);
-    let areas = fp.areas();
-    let pkg = PackageConfig::paper();
-    let mut model = PowerModel::new(machine, EnergyTable::nm65(), LeakageModel::paper(), pc.frequency_hz);
-    let groups = BlockGroups::for_machine(machine);
-
-    // Background (clock-tree) power per block; trace-cache banks under
-    // hopping are on only `logical/physical` of the time, so their
-    // time-averaged background power scales accordingly.
-    let duty = pc.trace_cache.logical_banks as f64 / pc.trace_cache.physical_banks() as f64;
-    let idle: Vec<f64> = machine
-        .blocks()
-        .iter()
-        .zip(&areas)
-        .map(|(b, a)| {
-            let d = if matches!(b, BlockId::TcBank(_)) { duty } else { 1.0 };
-            a * cfg.idle_density_w_mm2 * d
-        })
-        .collect();
-
-    // --- Pilot: nominal average dynamic power ---------------------------
-    let mut pilot = Simulator::new(pc.clone(), profile, cfg.seed);
-    let mut pilot_act = None::<distfront_uarch::ActivityCounters>;
-    loop {
-        let target = pilot.current_cycle() + cfg.interval_cycles;
-        let r = pilot.step(target, cfg.pilot_uops());
-        match &mut pilot_act {
-            Some(acc) => acc.merge(&r.activity),
-            None => pilot_act = Some(r.activity),
-        }
-        // Exercise the same control decisions so per-bank activity is the
-        // honest time average (temperatures are not known yet: balanced).
-        let banks = pc.trace_cache.physical_banks();
-        pilot.trace_cache_mut().rebalance(&vec![pkg.ambient_c; banks]);
-        if cfg.hop {
-            pilot.trace_cache_mut().hop();
-        }
-        if r.done {
-            break;
-        }
-    }
-    let pilot_act = pilot_act.expect("pilot ran at least one interval");
-    let mut nominal = model.dynamic_power(&pilot_act);
-    for (n, i) in nominal.iter_mut().zip(&idle) {
-        *n += i;
-    }
-    model.set_nominal_dynamic(nominal.clone());
-
-    // --- Warm start: leakage/temperature fixed point ---------------------
-    let net = ThermalNetwork::from_floorplan(&fp, &pkg);
-    let mut solver = ThermalSolver::new(net);
-    let leak = model.leakage_model();
-    let mut temps = vec![pkg.ambient_c; machine.block_count()];
-    for _ in 0..40 {
-        let p: Vec<f64> = nominal
-            .iter()
-            .zip(&temps)
-            .map(|(&n, &t)| n + leak.leakage_watts(n, t))
-            .collect();
-        solver.set_steady_state(&p);
-        let new_temps = solver.block_temperatures().to_vec();
-        let delta = new_temps
-            .iter()
-            .zip(&temps)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
-        temps = new_temps;
-        if delta < 0.01 {
-            break;
-        }
-    }
-
-    // --- Evaluation run ---------------------------------------------------
-    let mut sim = Simulator::new(pc.clone(), profile, cfg.seed);
-    let mut tracker = TemperatureTracker::new(areas);
-    let mut power_time_sum = 0.0f64;
-    let mut time_sum = 0.0f64;
-    let mut dtm = cfg.emergency.map(EmergencyController::new);
-    let mut throttle = 1.0f64;
-    loop {
-        let target = sim.current_cycle() + cfg.interval_cycles;
-        let mut r = sim.step(target, cfg.uops_per_app);
-        // DTM throttling: the same work takes 1/throttle the wall time,
-        // spreading its switching energy over the longer interval.
-        if throttle < 1.0 {
-            r.activity.cycles = (r.activity.cycles as f64 / throttle).round() as u64;
-        }
-        let gated: Vec<BlockId> = sim
-            .trace_cache()
-            .gated_bank()
-            .map(|b| BlockId::TcBank(b as u8))
-            .into_iter()
-            .collect();
-        let temps_now = solver.block_temperatures().to_vec();
-        let mut power = model.total_power(&r.activity, &temps_now, &gated);
-        for (p, i) in power.iter_mut().zip(&idle) {
-            *p += i;
-        }
-        for g in &gated {
-            power[machine.index_of(*g)] = 0.0;
-        }
-        let dt = r.activity.cycles as f64 / pc.frequency_hz;
-        power_time_sum += power.iter().sum::<f64>() * dt;
-        time_sum += dt;
-        // Two half-steps so intra-interval transients are sampled.
-        solver.advance(&power, dt / 2.0);
-        tracker.record(solver.block_temperatures(), dt / 2.0);
-        solver.advance(&power, dt / 2.0);
-        tracker.record(solver.block_temperatures(), dt / 2.0);
-        tracker.end_interval();
-
-        // Thermal management control (§3.2): remap from bank sensors, then
-        // rotate the gated bank.
-        let bank_temps: Vec<f64> = (0..pc.trace_cache.physical_banks())
-            .map(|k| solver.block_temperatures()[machine.index_of(BlockId::TcBank(k as u8))])
-            .collect();
-        sim.trace_cache_mut().rebalance(&bank_temps);
-        if cfg.hop {
-            sim.trace_cache_mut().hop();
-        }
-        if let Some(ctrl) = &mut dtm {
-            throttle = ctrl.observe(solver.block_temperatures());
-        }
-        if r.done {
-            break;
-        }
-    }
-
-    let cycles = sim.current_cycle();
-    let uops = sim.total_committed();
-    let g = |idx: &[usize]| tracker.group_metrics(idx);
-    AppResult {
-        app: profile.name,
-        cycles,
-        uops,
-        ipc: uops as f64 / cycles.max(1) as f64,
-        cpi: cycles as f64 / uops.max(1) as f64,
-        tc_hit_rate: sim.tc_hit_rate(),
-        mispredict_rate: sim.mispredict_rate(),
-        avg_power_w: power_time_sum / time_sum.max(1e-12),
-        wall_time_s: time_sum,
-        emergencies: dtm.as_ref().map_or(0, |c| c.triggers()),
-        throttled_intervals: dtm.as_ref().map_or(0, |c| c.throttled_intervals()),
-        temps: TempReport {
-            rob: g(&groups.rob),
-            rat: g(&groups.rat),
-            trace_cache: g(&groups.trace_cache),
-            frontend: g(&groups.frontend),
-            backend: g(&groups.backend),
-            ul2: g(&groups.ul2),
-            processor: g(&groups.processor),
-        },
-    }
+    CoupledEngine::new(cfg, profile)
+        .run()
+        .unwrap_or_else(|e| panic!("bad config: {e}"))
 }
 
-/// Runs a whole application suite under one configuration.
+/// Runs a whole application suite under one configuration, serially (the
+/// reference ordering; [`SweepRunner`](crate::engine::SweepRunner)
+/// produces bit-identical results in parallel).
 pub fn run_suite(cfg: &ExperimentConfig, apps: &[AppProfile]) -> Vec<AppResult> {
     apps.iter().map(|p| run_app(cfg, p)).collect()
 }
@@ -406,10 +252,7 @@ mod tests {
             let name = cfg.name;
             let r = quick(cfg);
             let slow = r.cpi / base.cpi - 1.0;
-            assert!(
-                (-0.05..0.20).contains(&slow),
-                "{name} slowdown {slow}"
-            );
+            assert!((-0.05..0.20).contains(&slow), "{name} slowdown {slow}");
         }
     }
 
@@ -425,6 +268,7 @@ mod tests {
     #[test]
     fn slowdown_of_identical_suites_is_zero() {
         let a = quick(ExperimentConfig::baseline());
-        assert!(slowdown(&[a.clone()], &[a]).abs() < 1e-12);
+        let suite = [a];
+        assert!(slowdown(&suite, &suite).abs() < 1e-12);
     }
 }

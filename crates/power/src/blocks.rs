@@ -233,9 +233,7 @@ impl Machine {
             BlockId::Rob(i) | BlockId::Rat(i) => usize::from(i) < self.partitions,
             BlockId::TcBank(i) => usize::from(i) < self.tc_banks,
             BlockId::Itlb | BlockId::Deco | BlockId::Bp | BlockId::Ul2 => true,
-            b => b
-                .cluster()
-                .is_some_and(|c| usize::from(c) < self.backends),
+            b => b.cluster().is_some_and(|c| usize::from(c) < self.backends),
         }
     }
 }
@@ -253,7 +251,11 @@ mod tests {
 
     #[test]
     fn index_of_matches_ordering() {
-        for m in [Machine::new(1, 4, 2), Machine::new(2, 4, 3), Machine::new(2, 8, 4)] {
+        for m in [
+            Machine::new(1, 4, 2),
+            Machine::new(2, 4, 3),
+            Machine::new(2, 8, 4),
+        ] {
             for (i, b) in m.blocks().iter().enumerate() {
                 assert_eq!(m.index_of(*b), i, "block {b} in {m:?}");
             }

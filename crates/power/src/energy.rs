@@ -167,7 +167,10 @@ impl EnergyTable {
             }
         }
         if !(self.activity_scale > 0.0 && self.activity_scale.is_finite()) {
-            return Err(format!("activity_scale = {} must be positive", self.activity_scale));
+            return Err(format!(
+                "activity_scale = {} must be positive",
+                self.activity_scale
+            ));
         }
         if !(self.partition_access_factor > 0.0 && self.partition_access_factor <= 1.0) {
             return Err(format!(

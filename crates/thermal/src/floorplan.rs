@@ -56,11 +56,11 @@ impl Rect {
         let x_overlap = (self.x + self.w).min(other.x + other.w) - self.x.max(other.x);
         let y_overlap = (self.y + self.h).min(other.y + other.h) - self.y.max(other.y);
         // Vertically stacked (touching horizontally-running edge).
-        let touch_h = ((self.y + self.h) - other.y).abs() < eps
-            || ((other.y + other.h) - self.y).abs() < eps;
+        let touch_h =
+            ((self.y + self.h) - other.y).abs() < eps || ((other.y + other.h) - self.y).abs() < eps;
         // Side by side (touching vertically-running edge).
-        let touch_v = ((self.x + self.w) - other.x).abs() < eps
-            || ((other.x + other.w) - self.x).abs() < eps;
+        let touch_v =
+            ((self.x + self.w) - other.x).abs() < eps || ((other.x + other.w) - self.x).abs() < eps;
         if touch_h && x_overlap > eps {
             x_overlap
         } else if touch_v && y_overlap > eps {
@@ -202,10 +202,16 @@ impl Floorplan {
             blocks.push((BlockId::IntFu(c8), Rect::new(ox + u, oy + 1.2, u, 1.2)));
             blocks.push((BlockId::Mob(c8), Rect::new(ox + 2.0 * u, oy + 1.2, u, 1.2)));
             blocks.push((BlockId::Fprf(c8), Rect::new(ox, oy + 2.4, 1.5 * u, 0.9)));
-            blocks.push((BlockId::Irf(c8), Rect::new(ox + 1.5 * u, oy + 2.4, 1.5 * u, 0.9)));
+            blocks.push((
+                BlockId::Irf(c8),
+                Rect::new(ox + 1.5 * u, oy + 2.4, 1.5 * u, 0.9),
+            ));
             blocks.push((BlockId::FpSched(c8), Rect::new(ox, oy + 3.3, u, 1.2)));
             blocks.push((BlockId::CopySched(c8), Rect::new(ox + u, oy + 3.3, u, 1.2)));
-            blocks.push((BlockId::IntSched(c8), Rect::new(ox + 2.0 * u, oy + 3.3, u, 1.2)));
+            blocks.push((
+                BlockId::IntSched(c8),
+                Rect::new(ox + 2.0 * u, oy + 3.3, u, 1.2),
+            ));
         }
 
         let fp = Floorplan { machine, blocks };

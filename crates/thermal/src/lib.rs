@@ -29,4 +29,4 @@ pub use floorplan::{Floorplan, Rect};
 pub use metrics::{GroupMetrics, TemperatureTracker};
 pub use package::PackageConfig;
 pub use rc::ThermalNetwork;
-pub use solver::ThermalSolver;
+pub use solver::{SteadyFactor, ThermalSolver};

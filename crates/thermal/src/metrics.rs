@@ -126,16 +126,9 @@ impl TemperatureTracker {
         if self.cur_time == 0.0 {
             return;
         }
-        let avg = self
-            .cur_sum
-            .iter()
-            .map(|&s| s / self.cur_time)
-            .collect();
+        let avg = self.cur_sum.iter().map(|&s| s / self.cur_time).collect();
         self.intervals.push(IntervalRecord {
-            max: std::mem::replace(
-                &mut self.cur_max,
-                vec![f64::NEG_INFINITY; self.areas.len()],
-            ),
+            max: std::mem::replace(&mut self.cur_max, vec![f64::NEG_INFINITY; self.areas.len()]),
             avg,
             duration: self.cur_time,
         });

@@ -114,7 +114,10 @@ mod tests {
     fn sink_dwarfs_spreader_capacitance() {
         let p = PackageConfig::paper();
         assert!(p.sink_capacitance() > 50.0 * p.spreader_capacitance() / 10.0);
-        assert!(p.sink_capacitance() > 100.0, "sink should be hundreds of J/K");
+        assert!(
+            p.sink_capacitance() > 100.0,
+            "sink should be hundreds of J/K"
+        );
     }
 
     #[test]

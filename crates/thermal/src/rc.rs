@@ -53,8 +53,8 @@ impl ThermalNetwork {
                 // Orientation: side-by-side shares a vertical edge (extent =
                 // widths); stacked shares a horizontal edge (extent =
                 // heights).
-                let side_by_side = ((ri.x + ri.w) - rj.x).abs() < 1e-6
-                    || ((rj.x + rj.w) - ri.x).abs() < 1e-6;
+                let side_by_side =
+                    ((ri.x + ri.w) - rj.x).abs() < 1e-6 || ((rj.x + rj.w) - ri.x).abs() < 1e-6;
                 let (ea, eb) = if side_by_side {
                     (ri.w, rj.w)
                 } else {
@@ -180,8 +180,7 @@ impl ThermalNetwork {
     pub fn min_time_constant(&self) -> f64 {
         (0..self.node_count())
             .map(|i| {
-                let total_g: f64 =
-                    self.g[i].iter().sum::<f64>() + self.g_ambient[i];
+                let total_g: f64 = self.g[i].iter().sum::<f64>() + self.g_ambient[i];
                 self.c[i] / total_g.max(1e-12)
             })
             .fold(f64::INFINITY, f64::min)
@@ -242,7 +241,7 @@ mod tests {
     }
 
     #[test]
-    fn heat_balance_zero_at_ambient_no_power(){
+    fn heat_balance_zero_at_ambient_no_power() {
         let net = network();
         let t = vec![net.ambient_c(); net.node_count()];
         let p = vec![0.0; net.block_count()];

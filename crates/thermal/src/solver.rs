@@ -1,12 +1,116 @@
 //! Steady-state and transient solution of the thermal network.
 //!
 //! The steady state (used to warm-start simulations, §4) solves the linear
-//! system `(L + diag(G_amb)) · T = P + G_amb · T_amb` by Gaussian
-//! elimination — the networks are ~50 nodes, so a dense solve is instant.
+//! system `(L + diag(G_amb)) · T = P + G_amb · T_amb`. The matrix depends
+//! only on the network, never on the power vector, so the solver factors
+//! it **once** at construction ([`SteadyFactor`], LU with partial
+//! pivoting) and every subsequent solve — including each round of the
+//! leakage↔temperature fixed point that warm-starts a run — is a pair of
+//! O(n²) triangular substitutions instead of an O(n³) elimination.
+//! [`ThermalSolver::solve_steady_dense`] keeps the single-shot Gaussian
+//! elimination as a cross-check reference.
 //! Transients integrate `C · dT/dt = P − L·T − G_amb·(T − T_amb)` with RK4,
 //! sub-stepping below the network's smallest time constant for stability.
 
 use crate::rc::ThermalNetwork;
+
+/// LU factorization (partial pivoting) of a steady-state system matrix,
+/// reusable across right-hand sides.
+///
+/// # Examples
+///
+/// ```
+/// use distfront_thermal::solver::SteadyFactor;
+///
+/// // [[2, 1], [1, 3]] · x = [3, 4]  =>  x = [1, 1]
+/// let f = SteadyFactor::factor(vec![vec![2.0, 1.0], vec![1.0, 3.0]]);
+/// let x = f.solve(&[3.0, 4.0]);
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SteadyFactor {
+    /// Packed L (unit diagonal, below) and U (on and above the diagonal).
+    lu: Vec<Vec<f64>>,
+    /// Row permutation applied before substitution.
+    perm: Vec<usize>,
+}
+
+impl SteadyFactor {
+    /// Factors a square matrix, consuming it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or is singular.
+    pub fn factor(mut a: Vec<Vec<f64>>) -> Self {
+        let n = a.len();
+        for row in &a {
+            assert_eq!(row.len(), n, "matrix must be square");
+        }
+        let mut perm: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            let pivot = (col..n)
+                .max_by(|&i, &j| {
+                    a[i][col]
+                        .abs()
+                        .partial_cmp(&a[j][col].abs())
+                        .expect("finite")
+                })
+                .expect("non-empty");
+            assert!(a[pivot][col].abs() > 1e-14, "singular thermal system");
+            a.swap(col, pivot);
+            perm.swap(col, pivot);
+            for row in (col + 1)..n {
+                let (upper, lower) = a.split_at_mut(row);
+                let pivot_row = &upper[col];
+                let cur = &mut lower[0];
+                let f = cur[col] / pivot_row[col];
+                cur[col] = f;
+                if f == 0.0 {
+                    continue;
+                }
+                for (c, p) in cur[col + 1..].iter_mut().zip(&pivot_row[col + 1..]) {
+                    *c -= f * p;
+                }
+            }
+        }
+        SteadyFactor { lu: a, perm }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.lu.len()
+    }
+
+    /// Solves `A·x = b` using the stored factorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` does not match the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.len();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Forward substitution on the permuted rhs (L has a unit diagonal).
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for row in 1..n {
+            let (solved, rest) = x.split_at_mut(row);
+            let mut acc = rest[0];
+            for (l, v) in self.lu[row][..row].iter().zip(solved.iter()) {
+                acc -= l * v;
+            }
+            rest[0] = acc;
+        }
+        // Back substitution through U.
+        for row in (0..n).rev() {
+            let (head, solved) = x.split_at_mut(row + 1);
+            let mut acc = head[row];
+            for (u, v) in self.lu[row][row + 1..].iter().zip(solved.iter()) {
+                acc -= u * v;
+            }
+            head[row] = acc / self.lu[row][row];
+        }
+        x
+    }
+}
 
 /// Owns the temperature state of a [`ThermalNetwork`] and advances it.
 ///
@@ -30,16 +134,25 @@ pub struct ThermalSolver {
     t: Vec<f64>,
     /// Cached stable sub-step in seconds.
     dt_max: f64,
+    /// LU factorization of the steady-state matrix, shared by every solve.
+    steady: SteadyFactor,
 }
 
 impl ThermalSolver {
-    /// Creates a solver with every node at ambient.
+    /// Creates a solver with every node at ambient; the steady-state
+    /// system matrix is assembled and factored here, once.
     pub fn new(net: ThermalNetwork) -> Self {
         let t = vec![net.ambient_c(); net.node_count()];
-        // RK4 is stable to ~2.8·τ; τ/4 keeps the local error far below
+        // RK4 is stable to ~2.8·τ; τ/8 keeps the local error far below
         // the tenth-of-a-degree resolution the experiments care about.
         let dt_max = net.min_time_constant() / 8.0;
-        ThermalSolver { net, t, dt_max }
+        let steady = SteadyFactor::factor(assemble_matrix(&net));
+        ThermalSolver {
+            net,
+            t,
+            dt_max,
+            steady,
+        }
     }
 
     /// The underlying network.
@@ -79,27 +192,28 @@ impl ThermalSolver {
         self.t = t;
     }
 
-    /// Computes the steady-state temperatures without changing the state.
+    /// Computes the steady-state temperatures without changing the state,
+    /// reusing the factorization done at construction.
     pub fn solve_steady(&self, power: &[f64]) -> Vec<f64> {
-        let n = self.net.node_count();
-        let nb = self.net.block_count();
-        assert_eq!(power.len(), nb, "one power entry per block");
-        // Assemble A = L + diag(g_amb), b = P_ext + g_amb * T_amb.
-        let mut a = vec![vec![0.0f64; n]; n];
-        let mut b = vec![0.0f64; n];
-        for i in 0..n {
-            let mut diag = self.net.ambient_conductances()[i];
-            for j in 0..n {
-                if i != j {
-                    let g = self.net.conductance(i, j);
-                    a[i][j] = -g;
-                    diag += g;
-                }
-            }
-            a[i][i] = diag;
-            b[i] = if i < nb { power[i] } else { 0.0 }
-                + self.net.ambient_conductances()[i] * self.net.ambient_c();
-        }
+        assert_eq!(
+            power.len(),
+            self.net.block_count(),
+            "one power entry per block"
+        );
+        self.steady.solve(&assemble_rhs(&self.net, power))
+    }
+
+    /// Reference steady-state solve by single-shot Gaussian elimination
+    /// (re-assembling and eliminating the full matrix every call). Kept as
+    /// a cross-check for the factored path; prefer [`Self::solve_steady`].
+    pub fn solve_steady_dense(&self, power: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            power.len(),
+            self.net.block_count(),
+            "one power entry per block"
+        );
+        let mut a = assemble_matrix(&self.net);
+        let mut b = assemble_rhs(&self.net, power);
         gaussian_solve(&mut a, &mut b)
     }
 
@@ -150,6 +264,35 @@ impl ThermalSolver {
     }
 }
 
+/// Assembles the steady-state system matrix `A = L + diag(g_amb)`.
+fn assemble_matrix(net: &ThermalNetwork) -> Vec<Vec<f64>> {
+    let n = net.node_count();
+    let mut a = vec![vec![0.0f64; n]; n];
+    for (i, row) in a.iter_mut().enumerate() {
+        let mut diag = net.ambient_conductances()[i];
+        for (j, cell) in row.iter_mut().enumerate() {
+            if i != j {
+                let g = net.conductance(i, j);
+                *cell = -g;
+                diag += g;
+            }
+        }
+        row[i] = diag;
+    }
+    a
+}
+
+/// Assembles the right-hand side `b = P_ext + g_amb · T_amb`.
+fn assemble_rhs(net: &ThermalNetwork, power: &[f64]) -> Vec<f64> {
+    let nb = net.block_count();
+    (0..net.node_count())
+        .map(|i| {
+            let p = if i < nb { power[i] } else { 0.0 };
+            p + net.ambient_conductances()[i] * net.ambient_c()
+        })
+        .collect()
+}
+
 /// Solves `A·x = b` by Gaussian elimination with partial pivoting,
 /// consuming the inputs.
 ///
@@ -172,12 +315,15 @@ fn gaussian_solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
         a.swap(col, pivot);
         b.swap(col, pivot);
         for row in (col + 1)..n {
-            let f = a[row][col] / a[col][col];
+            let (upper, lower) = a.split_at_mut(row);
+            let pivot_row = &upper[col];
+            let cur = &mut lower[0];
+            let f = cur[col] / pivot_row[col];
             if f == 0.0 {
                 continue;
             }
-            for k in col..n {
-                a[row][k] -= f * a[col][k];
+            for (c, p) in cur[col..].iter_mut().zip(&pivot_row[col..]) {
+                *c -= f * p;
             }
             b[row] -= f * b[col];
         }
@@ -274,17 +420,8 @@ mod tests {
         for _ in 0..50 {
             s.advance(&power, 0.01);
         }
-        for (i, (&got, &want)) in s
-            .temperatures()
-            .iter()
-            .zip(&steady)
-            .enumerate()
-            .take(nb)
-        {
-            assert!(
-                (got - want).abs() < 0.5,
-                "node {i}: {got} vs steady {want}"
-            );
+        for (i, (&got, &want)) in s.temperatures().iter().zip(&steady).enumerate().take(nb) {
+            assert!((got - want).abs() < 0.5, "node {i}: {got} vs steady {want}");
         }
     }
 
@@ -333,6 +470,40 @@ mod tests {
         let mut s = solver();
         let nb = s.network().block_count();
         s.advance(&vec![0.0; nb], 0.0);
+    }
+
+    #[test]
+    fn lu_matches_gaussian_reference() {
+        let s = solver();
+        let nb = s.network().block_count();
+        let power: Vec<f64> = (0..nb).map(|i| 0.1 + 0.03 * i as f64).collect();
+        let lu = s.solve_steady(&power);
+        let dense = s.solve_steady_dense(&power);
+        for (i, (a, b)) in lu.iter().zip(&dense).enumerate() {
+            assert!((a - b).abs() < 1e-9, "node {i}: LU {a} vs Gaussian {b}");
+        }
+    }
+
+    #[test]
+    fn factor_reuse_is_exact_across_rhs() {
+        // Two different power vectors through the same factorization give
+        // the same answers as freshly eliminated systems.
+        let s = solver();
+        let nb = s.network().block_count();
+        for scale in [0.2, 3.0] {
+            let power = vec![scale; nb];
+            let lu = s.solve_steady(&power);
+            let dense = s.solve_steady_dense(&power);
+            for (a, b) in lu.iter().zip(&dense) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_matrix_rejected() {
+        SteadyFactor::factor(vec![vec![1.0, 1.0], vec![1.0, 1.0]]);
     }
 }
 

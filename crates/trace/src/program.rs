@@ -124,8 +124,8 @@ impl SyntheticProgram {
 
         // Register allocation context: sources are picked from recently
         // written registers so dependence distance is baked into the code.
-        let mut recent_int: Vec<ArchReg> = (0..8).map(|i| ArchReg::int(i)).collect();
-        let mut recent_fp: Vec<ArchReg> = (0..8).map(|i| ArchReg::fp(i)).collect();
+        let mut recent_int: Vec<ArchReg> = (0..8).map(ArchReg::int).collect();
+        let mut recent_fp: Vec<ArchReg> = (0..8).map(ArchReg::fp).collect();
         let mut int_rr = 8u8; // round-robin destination cursors
         let mut fp_rr = 8u8;
 

@@ -278,7 +278,12 @@ mod tests {
 
     #[test]
     fn sources_iterates_present_only() {
-        let op = MicroOp::reg_op(0, UopKind::IntAlu, ArchReg::int(1), [Some(ArchReg::int(2)), None]);
+        let op = MicroOp::reg_op(
+            0,
+            UopKind::IntAlu,
+            ArchReg::int(1),
+            [Some(ArchReg::int(2)), None],
+        );
         let srcs: Vec<_> = op.sources().collect();
         assert_eq!(srcs, vec![ArchReg::int(2)]);
     }

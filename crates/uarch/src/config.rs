@@ -186,13 +186,13 @@ impl ProcessorConfig {
         if parts == 0 {
             return Err("no frontend partitions".into());
         }
-        if self.backends % parts != 0 {
+        if !self.backends.is_multiple_of(parts) {
             return Err(format!(
                 "{} backends not divisible by {parts} frontends",
                 self.backends
             ));
         }
-        if self.rob_entries % parts != 0 {
+        if !self.rob_entries.is_multiple_of(parts) {
             return Err(format!(
                 "{} ROB entries not divisible by {parts} partitions",
                 self.rob_entries

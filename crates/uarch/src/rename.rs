@@ -168,7 +168,7 @@ impl RenameUnit {
     /// Panics if `backends` is not divisible by `partitions`, or the
     /// register files are too small to hold the architectural state.
     pub fn new(backends: usize, partitions: usize, int_regs: usize, fp_regs: usize) -> Self {
-        assert!(partitions > 0 && backends % partitions == 0);
+        assert!(partitions > 0 && backends.is_multiple_of(partitions));
         let arch_per_class = usize::from(NUM_ARCH_REGS) / 2;
         assert!(int_regs > arch_per_class, "int register file too small");
         assert!(fp_regs > arch_per_class, "fp register file too small");

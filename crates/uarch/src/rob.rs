@@ -255,16 +255,16 @@ mod tests {
         let mut rob = DistributedRob::new(2, 8);
         // seq numbers encode the figure's names: I<p>-<i>.
         let order = [
-            (00u64, 0usize), // I0-0
-            (01, 0),         // I0-1
-            (10, 1),         // I1-0
-            (02, 0),         // I0-2
-            (03, 0),         // I0-3 (not ready)
-            (04, 0),         // I0-4 (not ready in figure)
-            (11, 1),         // I1-1
-            (12, 1),         // I1-2
-            (13, 1),         // I1-3 (not ready)
-            (14, 1),         // I1-4
+            (0u64, 0usize), // I0-0
+            (1, 0),         // I0-1
+            (10, 1),        // I1-0
+            (2, 0),         // I0-2
+            (3, 0),         // I0-3 (not ready)
+            (4, 0),         // I0-4 (not ready in figure)
+            (11, 1),        // I1-1
+            (12, 1),        // I1-2
+            (13, 1),        // I1-3 (not ready)
+            (14, 1),        // I1-4
         ];
         for (seq, p) in order {
             rob.push(seq, p).unwrap();

@@ -239,7 +239,9 @@ impl Simulator {
             bp: BranchPredictor::new(16 * 1024),
             tc,
             ul2: UnifiedL2::new(cfg.ul2),
-            l1d: (0..cfg.backends).map(|_| L1DataCache::new(cfg.l1d)).collect(),
+            l1d: (0..cfg.backends)
+                .map(|_| L1DataCache::new(cfg.l1d))
+                .collect(),
             rename: RenameUnit::new(cfg.backends, partitions, cfg.int_regs, cfg.fp_regs),
             steerer: Steerer::new(cfg.backends, cfg.steering),
             act: ActivityCounters::new(partitions, cfg.backends, physical_banks),
@@ -263,6 +265,22 @@ impl Simulator {
     /// The static configuration.
     pub fn config(&self) -> &ProcessorConfig {
         &self.cfg
+    }
+
+    /// Resets the simulator to a fresh run of `profile` under the same
+    /// processor configuration: all caches, predictors, rename state,
+    /// timing rings and statistics return to their initial state, exactly
+    /// as if the simulator had just been constructed. This is what lets an
+    /// engine reuse one simulator across its pilot and evaluation phases
+    /// (and across grid cells) instead of rebuilding it.
+    pub fn reset(&mut self, profile: &AppProfile, seed: u64) {
+        *self = Simulator::new(self.cfg.clone(), profile, seed);
+    }
+
+    /// A fresh simulator with the same configuration, ready to run
+    /// `profile` from cycle zero.
+    pub fn fresh(&self, profile: &AppProfile, seed: u64) -> Simulator {
+        Simulator::new(self.cfg.clone(), profile, seed)
     }
 
     /// Mutable access to the trace cache, for the thermal control loop
@@ -486,7 +504,9 @@ impl Simulator {
             // after a request signal (§3.1.1, step 2): one extra cycle.
             let request = u64::from(copy.cross_partition);
             let mut c_cand = (dispatch + cfg_dispatch_latency + request).max(val_ready);
-            from_t.copy_q.wait_for_slot(&mut c_cand, self.cfg.copy_queue);
+            from_t
+                .copy_q
+                .wait_for_slot(&mut c_cand, self.cfg.copy_queue);
             let issue = c_cand.max(from_t.copy_issue_free);
             from_t.copy_issue_free = issue + 1;
             from_t.copy_q.push(issue);
@@ -676,7 +696,11 @@ mod tests {
     fn runs_and_commits_exactly() {
         let mut sim = baseline_sim();
         let stats = sim.run(5_000);
-        assert!(stats.committed_uops >= 5_000, "ran {}", stats.committed_uops);
+        assert!(
+            stats.committed_uops >= 5_000,
+            "ran {}",
+            stats.committed_uops
+        );
         assert!(stats.committed_uops < 5_000 + 16, "overshot a full trace");
         assert!(stats.cycles > 0);
     }
@@ -756,7 +780,10 @@ mod tests {
         let mut sim = baseline_sim();
         let r = sim.step(u64::MAX, 40_000);
         for (b, a) in r.activity.backends.iter().enumerate() {
-            assert!(a.iq_writes + a.fpq_writes + a.dl1_accesses > 0, "backend {b} idle");
+            assert!(
+                a.iq_writes + a.fpq_writes + a.dl1_accesses > 0,
+                "backend {b} idle"
+            );
         }
     }
 
@@ -822,6 +849,40 @@ mod tests {
             slow.ipc,
             fast.ipc
         );
+    }
+
+    #[test]
+    fn reset_equals_fresh_construction() {
+        let mut sim = baseline_sim();
+        sim.run(30_000);
+        sim.reset(&AppProfile::test_tiny(), 7);
+        assert_eq!(sim.current_cycle(), 0);
+        assert_eq!(sim.total_committed(), 0);
+        let after_reset = sim.run(20_000);
+        let fresh = baseline_sim().run(20_000);
+        assert_eq!(after_reset, fresh, "reset run differs from fresh run");
+    }
+
+    #[test]
+    fn reset_can_switch_profile_and_seed() {
+        let mut sim = baseline_sim();
+        sim.run(10_000);
+        let gzip = AppProfile::by_name("gzip").unwrap();
+        sim.reset(gzip, 99);
+        let a = sim.run(20_000);
+        let b = Simulator::new(ProcessorConfig::hpca05_baseline(), gzip, 99).run(20_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fresh_leaves_original_untouched() {
+        let mut sim = baseline_sim();
+        sim.run(10_000);
+        let committed = sim.total_committed();
+        let mut clone = sim.fresh(&AppProfile::test_tiny(), 7);
+        clone.run(5_000);
+        assert_eq!(sim.total_committed(), committed);
+        assert_eq!(clone.config(), sim.config());
     }
 
     #[test]

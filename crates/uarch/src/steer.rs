@@ -75,10 +75,8 @@ impl Steerer {
                 let rr = self.rr;
                 (0..n)
                     .max_by_key(|&b| {
-                        let matches = uop
-                            .sources()
-                            .filter(|&s| rename.is_available(s, b))
-                            .count() as i64;
+                        let matches =
+                            uop.sources().filter(|&s| rename.is_available(s, b)).count() as i64;
                         // Dependence matches dominate unless the backend is
                         // over-loaded (each match worth 6 in-flight
                         // micro-ops of imbalance).
@@ -166,7 +164,7 @@ mod tests {
         let mut ru = RenameUnit::new(2, 1, 160, 160);
         let mut s = Steerer::new(2, SteeringPolicy::DependenceBalance);
         ru.rename(&alu(0, 1, 2), 0).unwrap(); // r1 lives on backend 0
-        // Pile load onto backend 0 beyond the 12-entry dependence bonus.
+                                              // Pile load onto backend 0 beyond the 12-entry dependence bonus.
         for i in 0..30 {
             s.steer(&alu(i + 1, 2, 1), &ru);
         }

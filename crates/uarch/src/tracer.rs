@@ -104,7 +104,11 @@ impl TraceBuilder {
             if !fits && !uops.is_empty() {
                 break; // end the trace at the block boundary
             }
-            let take = if fits { block_len } else { self.limits.max_uops };
+            let take = if fits {
+                block_len
+            } else {
+                self.limits.max_uops
+            };
             for _ in 0..take {
                 let uop = self.pending.pop_front().expect("refilled above");
                 let is_branch = uop.is_branch();
@@ -174,12 +178,15 @@ mod tests {
         for _ in 0..300 {
             let t = b.next_trace();
             let mut bits = 0u8;
-            let mut i = 0;
-            for u in t.uops.iter().filter(|u| u.kind == UopKind::Branch) {
+            for (i, u) in t
+                .uops
+                .iter()
+                .filter(|u| u.kind == UopKind::Branch)
+                .enumerate()
+            {
                 if u.taken {
                     bits |= 1 << i;
                 }
-                i += 1;
             }
             assert_eq!(t.key.branch_bits, bits);
             assert_eq!(t.key.start_pc, t.uops[0].pc);
@@ -210,7 +217,10 @@ mod tests {
             let t = b.next_trace();
             let branches = t.uops.iter().filter(|u| u.is_branch()).count();
             if branches == 3 {
-                assert!(t.uops.last().unwrap().is_branch(), "3rd branch must end trace");
+                assert!(
+                    t.uops.last().unwrap().is_branch(),
+                    "3rd branch must end trace"
+                );
             }
         }
     }

@@ -28,11 +28,13 @@ fn render(title: &str, machine: Machine) {
     let mut grid = vec![vec![' '; w]; h];
     for (i, (_, r)) in fp.blocks().iter().enumerate() {
         let glyph = char::from_digit((i % 36) as u32, 36).unwrap_or('?');
-        for y in (r.y * scale) as usize..((r.y + r.h) * scale).ceil() as usize {
-            for x in (r.x * scale) as usize..((r.x + r.w) * scale).ceil() as usize {
-                if y < h && x < w {
-                    grid[y][x] = glyph;
-                }
+        let y0 = (r.y * scale) as usize;
+        let y1 = (((r.y + r.h) * scale).ceil() as usize).min(h);
+        let x0 = (r.x * scale) as usize;
+        let x1 = (((r.x + r.w) * scale).ceil() as usize).min(w);
+        for row in grid.iter_mut().take(y1).skip(y0) {
+            for cell in row.iter_mut().take(x1).skip(x0) {
+                *cell = glyph;
             }
         }
     }
@@ -55,7 +57,10 @@ fn render(title: &str, machine: Machine) {
 }
 
 fn main() {
-    render("Fig. 10 baseline (2-bank trace cache)", Machine::new(1, 4, 2));
+    render(
+        "Fig. 10 baseline (2-bank trace cache)",
+        Machine::new(1, 4, 2),
+    );
     render("Fig. 11 bank hopping (2+1 banks)", Machine::new(1, 4, 3));
     render(
         "distributed frontend (split ROB/RAT)",

@@ -12,23 +12,54 @@ fn main() {
     let base = ExperimentConfig::baseline();
     let p = &base.processor;
     println!("Table 1 — processor configuration");
-    println!("  fetch / dispatch / commit width  {} / {} / {} uops/cycle",
-        p.fetch_width, p.dispatch_width, p.commit_width);
-    println!("  trace cache                      {}K uops, {}-way, {}-cycle fetch-to-dispatch",
-        p.trace_cache.total_uops / 1024, p.trace_cache.ways, p.fetch_to_dispatch);
-    println!("  decode+rename+steer              {} cycles", p.decode_rename_steer);
-    println!("  UL2                              {} MB, {}-way, {}-cycle hit, {}+ miss",
-        p.ul2.capacity >> 20, p.ul2.ways, p.ul2.hit_latency, p.ul2.miss_latency);
+    println!(
+        "  fetch / dispatch / commit width  {} / {} / {} uops/cycle",
+        p.fetch_width, p.dispatch_width, p.commit_width
+    );
+    println!(
+        "  trace cache                      {}K uops, {}-way, {}-cycle fetch-to-dispatch",
+        p.trace_cache.total_uops / 1024,
+        p.trace_cache.ways,
+        p.fetch_to_dispatch
+    );
+    println!(
+        "  decode+rename+steer              {} cycles",
+        p.decode_rename_steer
+    );
+    println!(
+        "  UL2                              {} MB, {}-way, {}-cycle hit, {}+ miss",
+        p.ul2.capacity >> 20,
+        p.ul2.ways,
+        p.ul2.hit_latency,
+        p.ul2.miss_latency
+    );
     println!("  backends                         {} clusters", p.backends);
-    println!("  queues per backend               {} int / {} fp / {} copy / {} mem, {} inst/cycle each",
-        p.int_queue, p.fp_queue, p.copy_queue, p.mem_queue, p.issue_per_queue);
-    println!("  dispatch latency                 {} cycles", p.dispatch_latency);
-    println!("  registers per backend            {} int + {} fp", p.int_regs, p.fp_regs);
-    println!("  L1 data cache                    {} KB, {}-way, {}-cycle hit",
-        p.l1d.capacity >> 10, p.l1d.ways, p.l1d.hit_latency);
-    println!("  links / buses                    {}-cycle hop, {} memory buses, {}-cycle bus",
-        p.hop_latency, p.memory_buses, p.bus_latency);
-    println!("  clock                            {:.0} GHz", p.frequency_hz / 1e9);
+    println!(
+        "  queues per backend               {} int / {} fp / {} copy / {} mem, {} inst/cycle each",
+        p.int_queue, p.fp_queue, p.copy_queue, p.mem_queue, p.issue_per_queue
+    );
+    println!(
+        "  dispatch latency                 {} cycles",
+        p.dispatch_latency
+    );
+    println!(
+        "  registers per backend            {} int + {} fp",
+        p.int_regs, p.fp_regs
+    );
+    println!(
+        "  L1 data cache                    {} KB, {}-way, {}-cycle hit",
+        p.l1d.capacity >> 10,
+        p.l1d.ways,
+        p.l1d.hit_latency
+    );
+    println!(
+        "  links / buses                    {}-cycle hop, {} memory buses, {}-cycle bus",
+        p.hop_latency, p.memory_buses, p.bus_latency
+    );
+    println!(
+        "  clock                            {:.0} GHz",
+        p.frequency_hz / 1e9
+    );
     println!();
 
     println!("machine shapes under evaluation");

@@ -21,7 +21,10 @@ fn main() {
         .map(|n| *AppProfile::by_name(n).expect("known profile"))
         .collect();
 
-    println!("baseline + 6 techniques, {} apps x {uops} uops each", apps.len());
+    println!(
+        "baseline + 6 techniques, {} apps x {uops} uops each",
+        apps.len()
+    );
     let base = run_suite(&ExperimentConfig::baseline().with_uops(uops), &apps);
     let bt = average_temps(&base);
     println!(

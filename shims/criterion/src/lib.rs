@@ -1,0 +1,140 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, implementing the subset the workspace's benches use:
+//! [`Criterion::bench_function`] with [`Bencher::iter`], plus the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Timing is a plain
+//! mean over `sample_size` iterations after a short warm-up — good enough
+//! to spot order-of-magnitude regressions without a registry; swap back to
+//! the real crate for statistical rigour when one is available.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times `f` under `id`, printing the mean wall-clock per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean = if b.iters > 0 {
+            b.elapsed / b.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        println!("{id:<48} {mean:>12.2?}/iter  ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Runs `f` for the configured number of samples (after one warm-up
+    /// iteration) and accumulates the elapsed wall-clock time.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += self.samples;
+    }
+}
+
+/// Re-export so benches can use `criterion::black_box` as with the real
+/// crate.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group: a function running each target with the
+/// given configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running each benchmark group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_requested_samples() {
+        let mut count = 0usize;
+        Criterion::default()
+            .sample_size(5)
+            .bench_function("shim/self_test", |b| b.iter(|| count += 1));
+        // One warm-up iteration plus five timed samples.
+        assert_eq!(count, 6);
+    }
+
+    criterion_group! {
+        name = demo;
+        config = Criterion::default().sample_size(2);
+        targets = noop
+    }
+
+    fn noop(c: &mut Criterion) {
+        c.bench_function("shim/noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        demo();
+    }
+}

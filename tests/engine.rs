@@ -1,0 +1,135 @@
+//! Integration tests for the staged engine refactor: the LU-factored
+//! steady-state solve, the parallel sweep executor, and the shared
+//! warm-start cache — all exercised through the public API.
+
+use std::sync::Arc;
+
+use distfront::engine::{CoupledEngine, SweepRunner, WarmStartCache};
+use distfront::{run_app, run_suite, ExperimentConfig};
+use distfront_power::Machine;
+use distfront_thermal::{Floorplan, PackageConfig, ThermalNetwork, ThermalSolver};
+use distfront_trace::AppProfile;
+
+/// (a) The factored LU steady-state solve matches the single-shot
+/// Gaussian-elimination reference to 1e-9 on every paper machine shape.
+#[test]
+fn lu_steady_state_matches_gaussian_reference() {
+    for (parts, backends, banks) in [(1, 4, 2), (1, 4, 3), (2, 4, 2), (2, 4, 3)] {
+        let fp = Floorplan::for_machine(Machine::new(parts, backends, banks));
+        let solver =
+            ThermalSolver::new(ThermalNetwork::from_floorplan(&fp, &PackageConfig::paper()));
+        let nb = solver.network().block_count();
+        let power: Vec<f64> = (0..nb).map(|i| 0.05 + 0.07 * (i % 9) as f64).collect();
+        let lu = solver.solve_steady(&power);
+        let dense = solver.solve_steady_dense(&power);
+        for (i, (a, b)) in lu.iter().zip(&dense).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9,
+                "shape ({parts},{backends},{banks}) node {i}: LU {a} vs Gaussian {b}"
+            );
+        }
+    }
+}
+
+/// (b) A parallel sweep of the grid is bit-identical to the serial path,
+/// at several worker counts.
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let configs = [
+        ExperimentConfig::baseline().with_uops(40_000),
+        ExperimentConfig::distributed_rename_commit().with_uops(40_000),
+        ExperimentConfig::hopping_and_biasing().with_uops(40_000),
+    ];
+    let apps = [
+        AppProfile::test_tiny(),
+        *AppProfile::by_name("gzip").unwrap(),
+        *AppProfile::by_name("mcf").unwrap(),
+    ];
+    let serial = SweepRunner::serial().grid(&configs, &apps);
+    for workers in [2, 4, 8] {
+        let parallel = SweepRunner::with_threads(workers).grid(&configs, &apps);
+        assert_eq!(serial, parallel, "{workers}-worker sweep diverged");
+    }
+    // And the grid agrees cell-by-cell with the plain serial entry points.
+    for (c, cfg) in configs.iter().enumerate() {
+        assert_eq!(serial[c], run_suite(cfg, &apps), "config row {c}");
+    }
+}
+
+/// (c) A warm-start cache hit produces the same `AppResult` as a cold
+/// solve.
+#[test]
+fn warm_start_cache_hit_matches_cold_solve() {
+    let cfg = ExperimentConfig::baseline().with_uops(40_000);
+    let app = AppProfile::test_tiny();
+    let cold = run_app(&cfg, &app);
+
+    let cache = Arc::new(WarmStartCache::new());
+    let first = CoupledEngine::new(&cfg, &app)
+        .with_warm_cache(Arc::clone(&cache))
+        .run()
+        .unwrap();
+    assert_eq!(cache.len(), 1, "first run should populate the cache");
+    assert_eq!(cache.hits(), 0);
+    assert_eq!(first, cold);
+
+    let second = CoupledEngine::new(&cfg, &app)
+        .with_warm_cache(Arc::clone(&cache))
+        .run()
+        .unwrap();
+    assert_eq!(cache.hits(), 1, "second run should hit the cache");
+    assert_eq!(second, cold, "cache hit changed the result");
+}
+
+/// The cache discriminates on machine shape and nominal power: different
+/// configurations and applications never share a warm start incorrectly.
+#[test]
+fn warm_start_cache_keys_are_exact() {
+    let cache = Arc::new(WarmStartCache::new());
+    let apps = [
+        AppProfile::test_tiny(),
+        *AppProfile::by_name("gzip").unwrap(),
+    ];
+    let configs = [
+        ExperimentConfig::baseline().with_uops(30_000),
+        ExperimentConfig::combined().with_uops(30_000),
+    ];
+    for cfg in &configs {
+        for app in &apps {
+            let via_cache = CoupledEngine::new(cfg, app)
+                .with_warm_cache(Arc::clone(&cache))
+                .run()
+                .unwrap();
+            assert_eq!(via_cache, run_app(cfg, app), "{}/{}", cfg.name, app.name);
+        }
+    }
+    assert_eq!(cache.len() as u64, cache.misses());
+}
+
+/// A sweep runner reuses its warm-start cache across `grid` calls.
+#[test]
+fn sweep_runner_cache_persists_across_grids() {
+    let runner = SweepRunner::with_threads(2);
+    let configs = [ExperimentConfig::baseline().with_uops(30_000)];
+    let apps = [AppProfile::test_tiny()];
+    let first = runner.grid(&configs, &apps);
+    let hits_before = runner.warm_cache().hits();
+    let second = runner.grid(&configs, &apps);
+    assert!(runner.warm_cache().hits() > hits_before);
+    assert_eq!(first, second);
+}
+
+/// The figure tables ride on the sweep executor and keep their row output.
+#[test]
+fn figure_rows_unchanged_on_the_engine() {
+    use distfront::figures::ComparisonData;
+    let apps = [AppProfile::test_tiny()];
+    let cfgs = [ExperimentConfig::distributed_rename_commit()];
+    let parallel = ComparisonData::collect(&apps, &cfgs, 40_000);
+    let serial = ComparisonData::collect_with(&SweepRunner::serial(), &apps, &cfgs, 40_000);
+    let pr = parallel.reduction_rows();
+    let sr = serial.reduction_rows();
+    assert_eq!(pr, sr);
+    assert_eq!(pr[0].label, "drc");
+    assert_eq!(pr[0].values.len(), 10);
+}

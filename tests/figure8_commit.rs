@@ -63,7 +63,7 @@ fn fig8_resumes_after_ready() {
     rob.commit(4);
     rob.mark_ready(4); // I0-3
     rob.mark_ready(5); // I0-4
-    // Next walk: I0-3, I0-4, then L jumps to partition 1: I1-1, I1-2.
+                       // Next walk: I0-3, I0-4, then L jumps to partition 1: I1-1, I1-2.
     assert_eq!(rob.commit(4), vec![4, 5, 6, 7]);
     // I1-3 still blocks I1-4.
     assert!(rob.commit(4).is_empty());

@@ -92,7 +92,10 @@ fn machine_shape_matches_processor_config() {
 
 #[test]
 fn suite_slowdowns_are_modest() {
-    let apps = [AppProfile::test_tiny(), *AppProfile::by_name("gzip").unwrap()];
+    let apps = [
+        AppProfile::test_tiny(),
+        *AppProfile::by_name("gzip").unwrap(),
+    ];
     let base = run_suite(&ExperimentConfig::baseline().with_uops(40_000), &apps);
     for cfg in [
         ExperimentConfig::distributed_rename_commit(),

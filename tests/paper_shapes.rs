@@ -42,8 +42,16 @@ fn fig12_distribution_cools_rob_and_rat_strongly() {
     let rat = base.rat.reduction_vs(&drc.rat, AMBIENT_C);
     // Paper: ~32-35 % for peak and average. Accept a generous band but
     // require a decidedly strong effect.
-    assert!(rob.average_c > 0.10, "ROB average reduction {}", rob.average_c);
-    assert!(rat.average_c > 0.15, "RAT average reduction {}", rat.average_c);
+    assert!(
+        rob.average_c > 0.10,
+        "ROB average reduction {}",
+        rob.average_c
+    );
+    assert!(
+        rat.average_c > 0.15,
+        "RAT average reduction {}",
+        rat.average_c
+    );
     assert!(rat.abs_max_c > 0.10, "RAT peak reduction {}", rat.abs_max_c);
     // The trace cache benefits indirectly (heat spreading), less than the
     // split structures themselves.
@@ -84,7 +92,11 @@ fn fig13_biasing_never_hurts_the_peak() {
     let ab = suite(ExperimentConfig::address_biasing());
     let tc = base.trace_cache.reduction_vs(&ab.trace_cache, AMBIENT_C);
     // Paper: peak -4 %, average ~0 (activity is spread, not reduced).
-    assert!(tc.abs_max_c > -0.02, "biasing worsened the peak: {}", tc.abs_max_c);
+    assert!(
+        tc.abs_max_c > -0.02,
+        "biasing worsened the peak: {}",
+        tc.abs_max_c
+    );
     assert!(
         tc.average_c.abs() < 0.05,
         "biasing changed the average: {}",
@@ -113,10 +125,19 @@ fn fig14_combination_is_best_overall() {
     let (rob_bhab, rat_bhab, _) = red(&bhab);
 
     // The combination keeps the strong ROB/RAT effect of distribution...
-    assert!(rob_all > rob_bhab, "combined ROB {rob_all} vs bh+ab {rob_bhab}");
-    assert!(rat_all > rat_bhab, "combined RAT {rat_all} vs bh+ab {rat_bhab}");
+    assert!(
+        rob_all > rob_bhab,
+        "combined ROB {rob_all} vs bh+ab {rob_bhab}"
+    );
+    assert!(
+        rat_all > rat_bhab,
+        "combined RAT {rat_all} vs bh+ab {rat_bhab}"
+    );
     // ...and cools the trace cache at least as much as distribution alone.
-    assert!(tc_all > tc_drc - 0.03, "combined TC {tc_all} vs drc {tc_drc}");
+    assert!(
+        tc_all > tc_drc - 0.03,
+        "combined TC {tc_all} vs drc {tc_drc}"
+    );
     // Everything is a genuine reduction.
     assert!(rob_all > 0.0 && rat_all > 0.0 && tc_all > 0.0);
 }

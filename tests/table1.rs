@@ -62,7 +62,11 @@ fn process_parameters() {
     assert_eq!(c.frequency_hz, 10e9, "10 GHz");
     let pkg = distfront_thermal::PackageConfig::paper();
     assert_eq!(pkg.ambient_c, 45.0, "45 C in-box ambient");
-    assert_eq!(pkg.spreader_m, (0.031, 0.031, 0.0023), "3.1x3.1x0.23 cm spreader");
+    assert_eq!(
+        pkg.spreader_m,
+        (0.031, 0.031, 0.0023),
+        "3.1x3.1x0.23 cm spreader"
+    );
     assert_eq!(pkg.sink_m, (0.07, 0.083, 0.0411), "7x8.3x4.11 cm sink");
 }
 
