@@ -1,0 +1,39 @@
+//! Scenario sweep: runs every registered scenario on the smoke suite,
+//! prints the summary table (the same rows `distfront-scenarios --all
+//! --smoke` emits), and then times a single DTM-managed scenario cell as
+//! the tracked kernel. Honours `DISTFRONT_BENCH_UOPS` like the figure
+//! benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distfront::scenarios::{self, RunOptions};
+use distfront_bench::bench_uops;
+use std::hint::black_box;
+
+fn regenerate_summary() {
+    let uops = bench_uops().min(100_000);
+    let opts = RunOptions::smoke().with_uops(uops);
+    println!(
+        "\nscenario sweep: {} scenarios x {} apps x {uops} uops, {} workers...",
+        scenarios::registry().len(),
+        opts.apps().len(),
+        opts.workers
+    );
+    let reports: Vec<_> = scenarios::registry().iter().map(|s| s.run(&opts)).collect();
+    println!("{}", scenarios::summary_table(&reports));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_summary();
+    let dvfs = scenarios::by_name("dtm-dvfs").expect("registered scenario");
+    c.bench_function("scenarios/dtm_dvfs_smoke_suite", |b| {
+        let opts = RunOptions::smoke().with_uops(20_000);
+        b.iter(|| black_box(dvfs.run(&opts)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 //!
 //! Each backend cluster owns one [`L1DataCache`]. On a miss the UL2 is
 //! accessed over the memory bus and the line is written into the cache of
-//! the cluster where the requesting load resides (González et al. [13]).
+//! the cluster where the requesting load resides (González et al. \[13\]).
 
 use crate::set_assoc::{Access, Geometry, SetAssocCache};
 use crate::stats::CacheStats;

@@ -1,14 +1,18 @@
 //! Quick serial-vs-parallel sweep comparison over the 26-app evaluation
 //! set (a lighter-weight version of the `sweep` bench).
 //!
+//! Exits with status 1 if the parallel results diverge from the serial
+//! reference, so CI smoke jobs can gate on the bit-identity guarantee.
+//!
 //! ```sh
 //! cargo run --release --example sweep_speedup -p distfront -- 100000
 //! ```
 use distfront::{ExperimentConfig, SweepRunner};
 use distfront_trace::AppProfile;
+use std::process::ExitCode;
 use std::time::Instant;
 
-fn main() {
+fn main() -> ExitCode {
     let uops: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -35,9 +39,16 @@ fn main() {
     let parallel_s = t1.elapsed().as_secs_f64();
     println!("parallel: {parallel_s:.2} s");
 
-    assert_eq!(serial, parallel, "parallel sweep diverged from serial");
+    if serial != parallel {
+        eprintln!(
+            "error: parallel sweep diverged from serial — the bit-identity \
+             guarantee is broken"
+        );
+        return ExitCode::FAILURE;
+    }
     println!(
         "speedup {:.2}x on {cores} cores; results bit-identical",
         serial_s / parallel_s
     );
+    ExitCode::SUCCESS
 }

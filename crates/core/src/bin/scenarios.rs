@@ -1,0 +1,193 @@
+//! `distfront-scenarios` — run named experiment scenarios from the
+//! command line.
+//!
+//! ```text
+//! distfront-scenarios --list
+//! distfront-scenarios --run NAME [--run NAME ...] [options]
+//! distfront-scenarios --all [options]
+//!
+//! Options:
+//!   --smoke          4-app smoke suite instead of the full 26
+//!   --uops N         micro-ops per application (default 200000; smoke 40000)
+//!   --workers N      sweep workers (default: all hardware threads)
+//!   --csv PATH       write results as CSV
+//!   --json PATH      write results as JSON
+//!   --verify         also run serially and fail unless the bytes match
+//! ```
+//!
+//! Exit status: 0 on success, 1 when `--verify` detects a divergence,
+//! 2 on a usage error.
+
+use std::process::ExitCode;
+
+use distfront::scenarios::{self, RunOptions, Scenario, ScenarioReport};
+
+struct Args {
+    list: bool,
+    all: bool,
+    run: Vec<String>,
+    smoke: bool,
+    uops: Option<u64>,
+    workers: Option<usize>,
+    csv: Option<String>,
+    json: Option<String>,
+    verify: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: distfront-scenarios --list | --all | --run NAME [--run NAME ...]\n\
+     options: [--smoke] [--uops N] [--workers N] [--csv PATH] [--json PATH] [--verify]"
+}
+
+fn parse(mut argv: std::env::Args) -> Result<Args, String> {
+    let mut args = Args {
+        list: false,
+        all: false,
+        run: Vec::new(),
+        smoke: false,
+        uops: None,
+        workers: None,
+        csv: None,
+        json: None,
+        verify: false,
+    };
+    argv.next(); // program name
+    while let Some(a) = argv.next() {
+        let mut value = |flag: &str| argv.next().ok_or_else(|| format!("{flag} needs a value"));
+        match a.as_str() {
+            "--list" => args.list = true,
+            "--all" => args.all = true,
+            "--run" => args.run.push(value("--run")?),
+            "--smoke" => args.smoke = true,
+            "--uops" => {
+                let v = value("--uops")?;
+                args.uops = Some(v.parse().map_err(|_| format!("bad --uops value {v}"))?);
+            }
+            "--workers" => {
+                let v = value("--workers")?;
+                let w: usize = v.parse().map_err(|_| format!("bad --workers value {v}"))?;
+                if w == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                args.workers = Some(w);
+            }
+            "--csv" => args.csv = Some(value("--csv")?),
+            "--json" => args.json = Some(value("--json")?),
+            "--verify" => args.verify = true,
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if !args.list && !args.all && args.run.is_empty() {
+        return Err("nothing to do".into());
+    }
+    Ok(args)
+}
+
+fn list() {
+    println!("{:<16} summary", "name");
+    for s in scenarios::registry() {
+        println!("{:<16} {}", s.name, s.summary);
+    }
+}
+
+fn options(args: &Args) -> RunOptions {
+    let mut opts = if args.smoke {
+        RunOptions::smoke()
+    } else {
+        RunOptions::full()
+    };
+    if let Some(uops) = args.uops {
+        opts = opts.with_uops(uops);
+    }
+    if let Some(workers) = args.workers {
+        opts = opts.with_workers(workers);
+    }
+    opts
+}
+
+fn run_all(selected: &[Scenario], opts: &RunOptions) -> Vec<ScenarioReport> {
+    selected
+        .iter()
+        .map(|s| {
+            println!(
+                "running {:<16} ({} apps x {} uops, {} workers)",
+                s.name,
+                opts.apps().len(),
+                opts.uops,
+                opts.workers
+            );
+            s.run(opts)
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args = match parse(std::env::args()) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    if args.list {
+        list();
+        if !args.all && args.run.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+    }
+
+    let selected: Vec<Scenario> = if args.all {
+        scenarios::registry()
+    } else {
+        let mut picked = Vec::new();
+        for name in &args.run {
+            match scenarios::by_name(name) {
+                Some(s) => picked.push(s),
+                None => {
+                    eprintln!("error: unknown scenario {name} (try --list)");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        picked
+    };
+
+    let opts = options(&args);
+    let reports = run_all(&selected, &opts);
+    let csv = scenarios::to_csv(&reports);
+
+    if args.verify {
+        println!("verify: re-running serially to check byte identity...");
+        let serial = run_all(&selected, &opts.with_workers(1));
+        if scenarios::to_csv(&serial) != csv {
+            eprintln!(
+                "error: serial and {}-worker results diverge — the bit-identity \
+                 guarantee is broken",
+                opts.workers
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "verify: serial and {}-worker CSV are byte-identical",
+            opts.workers
+        );
+    }
+
+    if let Some(path) = &args.csv {
+        if let Err(e) = std::fs::write(path, &csv) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, scenarios::to_json(&reports)) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote {path}");
+    }
+
+    println!("\n{}", scenarios::summary_table(&reports));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,576 @@
+//! The dynamic-thermal-management policy library.
+//!
+//! [`EmergencyController`](crate::emergency::EmergencyController) implements
+//! the conventional halve-the-clock emergency throttle; this module covers
+//! the rest of the design space the paper positions its techniques against
+//! (§4 names DTM mechanisms as the consumers of its peak-temperature
+//! reductions):
+//!
+//! * [`GlobalDvfsController`] — global dynamic voltage/frequency scaling:
+//!   the whole chip drops to a scaled (V, f) operating point when hot,
+//!   with dynamic energy falling by `V²` and leakage recomputed at the
+//!   scaled voltage,
+//! * [`FetchGateController`] — fetch toggling: the fetch unit is gated to
+//!   a duty cycle, starving the frontend (and with it the whole pipeline)
+//!   at unchanged voltage,
+//! * [`MigrationController`] — front-end activity migration: with a
+//!   distributed frontend, dispatch is steered toward the backends of the
+//!   cooler partition so the hot partition's RAT/ROB can cool.
+//!
+//! Every controller is a [`DtmPolicy`]: the interval loop consults it once
+//! per interval and applies the returned [`DtmAction`]. Controllers are
+//! deterministic state machines — the same temperature sequence always
+//! produces the same action sequence — which is what keeps scenario runs
+//! bit-identical across worker counts.
+
+use distfront_power::{BlockId, Machine, OperatingPoint};
+use distfront_uarch::FetchGate;
+
+use crate::engine::{DtmAction, DtmPolicy};
+
+/// Configuration of the global-DVFS policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvfsPolicy {
+    /// Engage when any block reaches this temperature, in °C.
+    pub trip_c: f64,
+    /// Release once every block has cooled below this temperature, in °C
+    /// (hysteresis; must not exceed `trip_c`).
+    pub release_c: f64,
+    /// Core frequency at the scaled point, as a fraction of nominal.
+    pub f_scale: f64,
+    /// Supply voltage at the scaled point, as a fraction of nominal.
+    pub v_scale: f64,
+}
+
+impl DvfsPolicy {
+    /// A conventional scaled point (70 % clock at 85 % supply) armed at the
+    /// paper's 381 K emergency limit.
+    pub fn paper_limit() -> Self {
+        DvfsPolicy {
+            trip_c: 381.0 - 273.15,
+            release_c: 381.0 - 273.15 - 2.0,
+            f_scale: 0.7,
+            v_scale: 0.85,
+        }
+    }
+
+    /// The same scaled point armed at a custom trip temperature (for
+    /// studying engagement below the hard limit), releasing 2 °C under it.
+    pub fn with_trip(trip_c: f64) -> Self {
+        DvfsPolicy {
+            trip_c,
+            release_c: trip_c - 2.0,
+            ..Self::paper_limit()
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        OperatingPoint::scaled(self.f_scale, self.v_scale).validate()?;
+        validate_trip_release(self.trip_c, self.release_c)
+    }
+}
+
+/// The trip/release state machine both threshold-triggered controllers
+/// share: engage at or above `trip_c`, release once cooled below
+/// `release_c`, counting distinct engagements and active intervals.
+#[derive(Debug, Clone)]
+struct Hysteresis {
+    trip_c: f64,
+    release_c: f64,
+    engaged: bool,
+    triggers: u64,
+    active_intervals: u64,
+}
+
+impl Hysteresis {
+    fn new(trip_c: f64, release_c: f64) -> Self {
+        Hysteresis {
+            trip_c,
+            release_c,
+            engaged: false,
+            triggers: 0,
+            active_intervals: 0,
+        }
+    }
+
+    /// Feeds the interval's peak temperature; returns whether the
+    /// mechanism is engaged for the next interval (counting it when so).
+    fn observe(&mut self, peak: f64) -> bool {
+        if self.engaged {
+            if peak < self.release_c {
+                self.engaged = false;
+            }
+        } else if peak >= self.trip_c {
+            self.engaged = true;
+            self.triggers += 1;
+        }
+        if self.engaged {
+            self.active_intervals += 1;
+        }
+        self.engaged
+    }
+}
+
+/// The trip/release checks both threshold-triggered policies share.
+fn validate_trip_release(trip_c: f64, release_c: f64) -> Result<(), String> {
+    if !trip_c.is_finite() || trip_c <= 0.0 {
+        return Err(format!("trip {trip_c} invalid"));
+    }
+    if !release_c.is_finite() || release_c > trip_c {
+        return Err(format!("release {release_c} above trip {trip_c}"));
+    }
+    Ok(())
+}
+
+/// Runtime state of the global-DVFS policy.
+#[derive(Debug, Clone)]
+pub struct GlobalDvfsController {
+    policy: DvfsPolicy,
+    hysteresis: Hysteresis,
+}
+
+impl GlobalDvfsController {
+    /// Creates a controller for `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid.
+    pub fn new(policy: DvfsPolicy) -> Self {
+        policy
+            .validate()
+            .unwrap_or_else(|e| panic!("bad DVFS policy: {e}"));
+        GlobalDvfsController {
+            hysteresis: Hysteresis::new(policy.trip_c, policy.release_c),
+            policy,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> DvfsPolicy {
+        self.policy
+    }
+}
+
+impl DtmPolicy for GlobalDvfsController {
+    fn decide(&mut self, temps_c: &[f64]) -> DtmAction {
+        if self.hysteresis.observe(peak(temps_c)) {
+            DtmAction::Dvfs {
+                f_scale: self.policy.f_scale,
+                v_scale: self.policy.v_scale,
+            }
+        } else {
+            DtmAction::Nominal
+        }
+    }
+
+    fn triggers(&self) -> u64 {
+        self.hysteresis.triggers
+    }
+
+    fn throttled_intervals(&self) -> u64 {
+        self.hysteresis.active_intervals
+    }
+}
+
+/// Configuration of the fetch-toggling policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FetchGatePolicy {
+    /// Engage when any block reaches this temperature, in °C.
+    pub trip_c: f64,
+    /// Release once every block has cooled below this temperature, in °C.
+    pub release_c: f64,
+    /// Cycles per period the fetch unit stays enabled while engaged.
+    pub open: u32,
+    /// Period of the gating pattern in cycles.
+    pub period: u32,
+}
+
+impl FetchGatePolicy {
+    /// Half-duty fetch toggling armed at the paper's 381 K emergency limit.
+    pub fn paper_limit() -> Self {
+        FetchGatePolicy {
+            trip_c: 381.0 - 273.15,
+            release_c: 381.0 - 273.15 - 2.0,
+            open: 1,
+            period: 2,
+        }
+    }
+
+    /// The same duty cycle armed at a custom trip temperature, releasing
+    /// 2 °C under it.
+    pub fn with_trip(trip_c: f64) -> Self {
+        FetchGatePolicy {
+            trip_c,
+            release_c: trip_c - 2.0,
+            ..Self::paper_limit()
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        FetchGate {
+            open: self.open,
+            period: self.period,
+        }
+        .validate()?;
+        if self.open == self.period {
+            return Err("a gate that is always open manages nothing".into());
+        }
+        validate_trip_release(self.trip_c, self.release_c)
+    }
+}
+
+/// Runtime state of the fetch-toggling policy.
+#[derive(Debug, Clone)]
+pub struct FetchGateController {
+    policy: FetchGatePolicy,
+    hysteresis: Hysteresis,
+}
+
+impl FetchGateController {
+    /// Creates a controller for `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid.
+    pub fn new(policy: FetchGatePolicy) -> Self {
+        policy
+            .validate()
+            .unwrap_or_else(|e| panic!("bad fetch-gate policy: {e}"));
+        FetchGateController {
+            hysteresis: Hysteresis::new(policy.trip_c, policy.release_c),
+            policy,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> FetchGatePolicy {
+        self.policy
+    }
+}
+
+impl DtmPolicy for FetchGateController {
+    fn decide(&mut self, temps_c: &[f64]) -> DtmAction {
+        if self.hysteresis.observe(peak(temps_c)) {
+            DtmAction::FetchGate {
+                open: self.policy.open,
+                period: self.policy.period,
+            }
+        } else {
+            DtmAction::Nominal
+        }
+    }
+
+    fn triggers(&self) -> u64 {
+        self.hysteresis.triggers
+    }
+
+    fn throttled_intervals(&self) -> u64 {
+        self.hysteresis.active_intervals
+    }
+}
+
+/// Configuration of the front-end activity-migration policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationPolicy {
+    /// Migrate only when the hot partition's front-end blocks reach this
+    /// temperature, in °C.
+    pub trip_c: f64,
+    /// Minimum temperature gap between the hottest and coolest partition's
+    /// front-end blocks before migrating, in °C.
+    pub margin_c: f64,
+}
+
+impl MigrationPolicy {
+    /// Migration armed at the paper's 381 K emergency limit with a 0.5 °C
+    /// imbalance margin.
+    pub fn paper_limit() -> Self {
+        MigrationPolicy {
+            trip_c: 381.0 - 273.15,
+            margin_c: 0.5,
+        }
+    }
+
+    /// Migration armed at a custom trip temperature.
+    pub fn with_trip(trip_c: f64) -> Self {
+        MigrationPolicy {
+            trip_c,
+            ..Self::paper_limit()
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.trip_c.is_finite() || self.trip_c <= 0.0 {
+            return Err(format!("trip {} invalid", self.trip_c));
+        }
+        if !self.margin_c.is_finite() || self.margin_c < 0.0 {
+            return Err(format!("margin {} invalid", self.margin_c));
+        }
+        Ok(())
+    }
+}
+
+/// Runtime state of the front-end activity-migration policy.
+///
+/// Watches each frontend partition's RAT and ROB blocks; when the hottest
+/// partition crosses the trip temperature and leads the coolest by the
+/// margin, dispatch is steered toward the coolest partition's backends for
+/// the next interval. Requires a distributed frontend to do anything — on a
+/// centralized machine there is only one partition and the controller
+/// stays nominal.
+#[derive(Debug, Clone)]
+pub struct MigrationController {
+    policy: MigrationPolicy,
+    /// Canonical block indices of each partition's front-end structures.
+    partition_blocks: Vec<Vec<usize>>,
+    target: Option<usize>,
+    triggers: u64,
+    throttled_intervals: u64,
+}
+
+impl MigrationController {
+    /// Creates a controller watching `machine`'s frontend partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid.
+    pub fn for_machine(policy: MigrationPolicy, machine: Machine) -> Self {
+        policy
+            .validate()
+            .unwrap_or_else(|e| panic!("bad migration policy: {e}"));
+        let partition_blocks = (0..machine.partitions)
+            .map(|p| {
+                machine
+                    .blocks()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| {
+                        matches!(b, BlockId::Rob(q) | BlockId::Rat(q) if usize::from(*q) == p)
+                    })
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect();
+        MigrationController {
+            policy,
+            partition_blocks,
+            target: None,
+            triggers: 0,
+            throttled_intervals: 0,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> MigrationPolicy {
+        self.policy
+    }
+
+    /// The partition currently receiving migrated work, if any.
+    pub fn target(&self) -> Option<usize> {
+        self.target
+    }
+}
+
+impl DtmPolicy for MigrationController {
+    fn decide(&mut self, temps_c: &[f64]) -> DtmAction {
+        if self.partition_blocks.len() < 2 {
+            return DtmAction::Nominal;
+        }
+        let peaks: Vec<f64> = self
+            .partition_blocks
+            .iter()
+            .map(|blocks| peak_of(temps_c, blocks))
+            .collect();
+        // Ties break toward the lowest partition index, deterministically.
+        let hottest = arg_extreme(&peaks, |a, b| a > b);
+        let coolest = arg_extreme(&peaks, |a, b| a < b);
+        let engage = peaks[hottest] >= self.policy.trip_c
+            && peaks[hottest] - peaks[coolest] >= self.policy.margin_c
+            && hottest != coolest;
+        if engage {
+            if self.target != Some(coolest) {
+                self.triggers += 1;
+            }
+            self.target = Some(coolest);
+            self.throttled_intervals += 1;
+            DtmAction::MigrateTo(coolest)
+        } else {
+            self.target = None;
+            DtmAction::Nominal
+        }
+    }
+
+    fn triggers(&self) -> u64 {
+        self.triggers
+    }
+
+    fn throttled_intervals(&self) -> u64 {
+        self.throttled_intervals
+    }
+}
+
+fn peak(temps_c: &[f64]) -> f64 {
+    temps_c.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+fn peak_of(temps_c: &[f64], blocks: &[usize]) -> f64 {
+    blocks
+        .iter()
+        .map(|&b| temps_c[b])
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Index of the first element extreme under `better` (strictly), so ties
+/// resolve to the lowest index.
+fn arg_extreme(values: &[f64], better: impl Fn(f64, f64) -> bool) -> usize {
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate().skip(1) {
+        if better(v, values[best]) {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dvfs_engages_with_hysteresis() {
+        let mut c = GlobalDvfsController::new(DvfsPolicy::with_trip(100.0));
+        assert_eq!(c.decide(&[60.0, 90.0]), DtmAction::Nominal);
+        let engaged = c.decide(&[60.0, 101.0]);
+        assert_eq!(
+            engaged,
+            DtmAction::Dvfs {
+                f_scale: 0.7,
+                v_scale: 0.85
+            }
+        );
+        // Still above release: stays engaged without a new trigger.
+        assert_eq!(c.decide(&[60.0, 99.0]), engaged);
+        assert_eq!(c.triggers(), 1);
+        // Below release: back to nominal.
+        assert_eq!(c.decide(&[60.0, 97.0]), DtmAction::Nominal);
+        assert_eq!(c.throttled_intervals(), 2);
+    }
+
+    #[test]
+    fn dvfs_retrigger_counts_again() {
+        let mut c = GlobalDvfsController::new(DvfsPolicy::with_trip(100.0));
+        c.decide(&[101.0]);
+        c.decide(&[90.0]);
+        c.decide(&[101.0]);
+        assert_eq!(c.triggers(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad DVFS policy")]
+    fn dvfs_overvolt_rejected() {
+        GlobalDvfsController::new(DvfsPolicy {
+            v_scale: 1.3,
+            ..DvfsPolicy::paper_limit()
+        });
+    }
+
+    #[test]
+    fn fetch_gate_engages_with_hysteresis() {
+        let mut c = FetchGateController::new(FetchGatePolicy::with_trip(100.0));
+        assert_eq!(c.decide(&[99.0]), DtmAction::Nominal);
+        assert_eq!(
+            c.decide(&[100.0]),
+            DtmAction::FetchGate { open: 1, period: 2 }
+        );
+        assert_eq!(
+            c.decide(&[98.5]),
+            DtmAction::FetchGate { open: 1, period: 2 }
+        );
+        assert_eq!(c.decide(&[90.0]), DtmAction::Nominal);
+        assert_eq!(c.triggers(), 1);
+        assert_eq!(c.throttled_intervals(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "manages nothing")]
+    fn always_open_gate_rejected() {
+        FetchGateController::new(FetchGatePolicy {
+            open: 2,
+            period: 2,
+            ..FetchGatePolicy::paper_limit()
+        });
+    }
+
+    #[test]
+    fn migration_targets_the_cooler_partition() {
+        // Machine with 2 partitions: blocks() order fixes RAT/ROB indices.
+        let machine = Machine::new(2, 4, 2);
+        let mut c = MigrationController::for_machine(MigrationPolicy::with_trip(80.0), machine);
+        let mut temps = vec![50.0; machine.block_count()];
+        // Heat partition 0's front-end blocks.
+        for &i in &c.partition_blocks[0].clone() {
+            temps[i] = 85.0;
+        }
+        assert_eq!(c.decide(&temps), DtmAction::MigrateTo(1));
+        assert_eq!(c.target(), Some(1));
+        assert_eq!(c.triggers(), 1);
+        // Sustained imbalance is one trigger.
+        assert_eq!(c.decide(&temps), DtmAction::MigrateTo(1));
+        assert_eq!(c.triggers(), 1);
+        // Balance restored: released.
+        for &i in &c.partition_blocks[0].clone() {
+            temps[i] = 50.0;
+        }
+        assert_eq!(c.decide(&temps), DtmAction::Nominal);
+        assert_eq!(c.target(), None);
+    }
+
+    #[test]
+    fn migration_respects_trip_and_margin() {
+        let machine = Machine::new(2, 4, 2);
+        let mut c = MigrationController::for_machine(
+            MigrationPolicy {
+                trip_c: 80.0,
+                margin_c: 3.0,
+            },
+            machine,
+        );
+        let mut temps = vec![79.0; machine.block_count()];
+        // Hot but below trip: nominal.
+        assert_eq!(c.decide(&temps), DtmAction::Nominal);
+        // Above trip but within margin: nominal.
+        for &i in &c.partition_blocks[0].clone() {
+            temps[i] = 81.0;
+        }
+        for &i in &c.partition_blocks[1].clone() {
+            temps[i] = 79.5;
+        }
+        assert_eq!(c.decide(&temps), DtmAction::Nominal);
+        assert_eq!(c.triggers(), 0);
+    }
+
+    #[test]
+    fn migration_is_inert_on_a_centralized_machine() {
+        let machine = Machine::new(1, 4, 2);
+        let mut c = MigrationController::for_machine(MigrationPolicy::with_trip(10.0), machine);
+        assert_eq!(
+            c.decide(&vec![200.0; machine.block_count()]),
+            DtmAction::Nominal
+        );
+        assert_eq!(c.triggers(), 0);
+    }
+}

@@ -9,7 +9,6 @@ use distfront_uarch::Simulator;
 
 use super::traits::{DtmPolicy, ThermalBackend};
 use super::EngineError;
-use crate::emergency::EmergencyController;
 use crate::experiment::ExperimentConfig;
 use crate::runner::BlockGroups;
 
@@ -107,10 +106,7 @@ impl<'a> EngineCx<'a> {
                 &fp, &pkg,
             )))
         });
-        let dtm = dtm.or_else(|| {
-            cfg.emergency
-                .map(|p| Box::new(EmergencyController::new(p)) as Box<dyn DtmPolicy>)
-        });
+        let dtm = dtm.or_else(|| cfg.dtm.map(|spec| spec.build(machine)));
 
         Ok(EngineCx {
             cfg,

@@ -78,7 +78,7 @@ impl<'a> CoupledEngine<'a> {
     }
 
     /// Substitutes a dynamic-thermal-management policy (overriding the
-    /// configuration's [`emergency`](ExperimentConfig::emergency) field).
+    /// configuration's [`dtm`](ExperimentConfig::dtm) field).
     #[must_use]
     pub fn with_dtm(mut self, dtm: Box<dyn DtmPolicy>) -> Self {
         self.dtm = Some(dtm);
@@ -148,6 +148,9 @@ fn finish(cx: &EngineCx<'_>) -> AppResult {
         wall_time_s: cx.time_sum,
         emergencies: cx.dtm.as_ref().map_or(0, |c| c.triggers()),
         throttled_intervals: cx.dtm.as_ref().map_or(0, |c| c.throttled_intervals()),
+        over_limit_s: cx
+            .tracker
+            .time_above(cx.model.leakage_model().emergency_c, &cx.groups.processor),
         temps: TempReport {
             rob: g(&cx.groups.rob),
             rat: g(&cx.groups.rat),

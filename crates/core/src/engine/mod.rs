@@ -54,7 +54,7 @@ pub use context::EngineCx;
 pub use coupled::CoupledEngine;
 pub use stages::{IntervalLoopStage, PilotStage, WarmStartStage};
 pub use sweep::{SweepRunner, WarmStartCache};
-pub use traits::{DtmPolicy, Stage, ThermalBackend};
+pub use traits::{DtmAction, DtmPolicy, Stage, ThermalBackend};
 
 /// Errors the engine can surface instead of panicking mid-pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]

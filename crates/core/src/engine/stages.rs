@@ -4,11 +4,11 @@
 
 use std::sync::Arc;
 
-use distfront_power::BlockId;
-use distfront_uarch::ActivityCounters;
+use distfront_power::{BlockId, OperatingPoint};
+use distfront_uarch::{ActivityCounters, FetchGate};
 
 use super::sweep::WarmStartCache;
-use super::traits::Stage;
+use super::traits::{DtmAction, Stage};
 use super::{EngineCx, EngineError};
 
 /// Measures the application's nominal average dynamic power (the paper
@@ -149,14 +149,17 @@ impl Stage for IntervalLoopStage {
         let cfg = cx.cfg;
         let pc = &cfg.processor;
         cx.sim.reset(cx.profile, cfg.seed);
-        let mut throttle = 1.0f64;
+        let mut action = DtmAction::Nominal;
         loop {
+            apply_action(cx, action);
             let target = cx.sim.current_cycle() + cfg.interval_cycles;
             let mut r = cx.sim.step(target, cfg.uops_per_app);
             // DTM throttling: the same work takes 1/throttle the wall time,
             // spreading its switching energy over the longer interval.
-            if throttle < 1.0 {
-                r.activity.cycles = (r.activity.cycles as f64 / throttle).round() as u64;
+            if let DtmAction::Throttle(throttle) = action {
+                if throttle < 1.0 {
+                    r.activity.cycles = (r.activity.cycles as f64 / throttle).round() as u64;
+                }
             }
             let gated: Vec<BlockId> = cx
                 .sim
@@ -173,7 +176,9 @@ impl Stage for IntervalLoopStage {
             for g in &gated {
                 power[cx.machine.index_of(*g)] = 0.0;
             }
-            let dt = r.activity.cycles as f64 / pc.frequency_hz;
+            // At a scaled operating point the same cycle count covers
+            // proportionally more wall time (identical at nominal).
+            let dt = r.activity.cycles as f64 / cx.model.effective_frequency_hz();
             cx.power_time_sum += power.iter().sum::<f64>() * dt;
             cx.time_sum += dt;
             // Two half-steps so intra-interval transients are sampled.
@@ -195,12 +200,46 @@ impl Stage for IntervalLoopStage {
                 cx.sim.trace_cache_mut().hop();
             }
             if let Some(ctrl) = &mut cx.dtm {
-                throttle = ctrl.observe(cx.thermal.block_temperatures());
+                action = ctrl.decide(cx.thermal.block_temperatures());
             }
             if r.done {
                 break;
             }
         }
         Ok(())
+    }
+}
+
+/// Translates the policy's action for the coming interval into the
+/// simulator and power-model hooks, releasing whatever the previous
+/// interval engaged. Every hook's nominal setting is exactly the state an
+/// engine starts in, so a run without a DTM policy (or with one that stays
+/// [`DtmAction::Nominal`]) is bit-identical to the pre-DTM engine.
+fn apply_action(cx: &mut EngineCx<'_>, action: DtmAction) {
+    cx.model.set_operating_point(OperatingPoint::nominal());
+    cx.sim.set_clock_scale(1.0);
+    cx.sim.set_fetch_gate(None);
+    cx.sim.set_partition_bias(None);
+    match action {
+        DtmAction::Nominal => {}
+        DtmAction::Throttle(factor) => {
+            // The other variants are validated by the hooks they engage;
+            // guard the division the loop performs with this one.
+            assert!(
+                factor.is_finite() && 0.0 < factor && factor <= 1.0,
+                "throttle factor {factor} outside (0, 1]"
+            );
+        }
+        DtmAction::Dvfs { f_scale, v_scale } => {
+            cx.model
+                .set_operating_point(OperatingPoint::scaled(f_scale, v_scale));
+            cx.sim.set_clock_scale(f_scale);
+        }
+        DtmAction::FetchGate { open, period } => {
+            cx.sim.set_fetch_gate(Some(FetchGate { open, period }));
+        }
+        DtmAction::MigrateTo(partition) => {
+            cx.sim.set_partition_bias(Some(partition));
+        }
     }
 }

@@ -39,9 +39,11 @@ impl WarmKey {
 
 /// Shares converged steady-state warm starts between engines.
 ///
-/// Keyed by (machine shape, nominal power profile) — see [`WarmKey`] for
-/// why a hit is bit-identical to solving cold. Thread-safe; one cache is
-/// shared by every cell of a [`SweepRunner`] grid.
+/// Keyed by (machine shape, nominal power profile) — the warm-start fixed
+/// point is a pure function of exactly those inputs, and the key stores
+/// the power profile's exact bits, so a hit is bit-identical to solving
+/// cold. Thread-safe; one cache is shared by every cell of a
+/// [`SweepRunner`] grid.
 #[derive(Debug, Default)]
 pub struct WarmStartCache {
     map: Mutex<HashMap<WarmKey, Arc<Vec<f64>>>>,

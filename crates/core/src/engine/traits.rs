@@ -75,26 +75,71 @@ impl ThermalBackend for ThermalSolver {
     }
 }
 
+/// What a [`DtmPolicy`] asks the engine to do for the next interval.
+///
+/// Each variant maps onto one of the mechanisms the paper's §4 names as
+/// the design space for handling thermal emergencies; the
+/// [`IntervalLoopStage`](super::IntervalLoopStage) translates it into the
+/// corresponding simulator / power-model hooks before running the
+/// interval. Actions are not sticky: a policy that wants to stay engaged
+/// returns the same action again.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DtmAction {
+    /// Run at the nominal operating point with every hook released.
+    Nominal,
+    /// Stretch the interval's wall-clock time by `1/factor` at unchanged
+    /// voltage (the classic halve-the-clock emergency response; first-order
+    /// frequency scaling). `factor` must lie in `(0, 1)`.
+    Throttle(f64),
+    /// Run at a scaled global (V, f) operating point: dynamic energy drops
+    /// by `v_scale²`, leakage is recomputed at the scaled voltage, and the
+    /// uncore gets relatively closer by `f_scale`.
+    Dvfs {
+        /// Core frequency as a fraction of nominal, in `(0, 1]`.
+        f_scale: f64,
+        /// Supply voltage as a fraction of nominal, in `(0, 1]`.
+        v_scale: f64,
+    },
+    /// Gate the fetch unit to `open` of every `period` cycles (fetch
+    /// toggling): front-end activity density falls at an IPC cost.
+    FetchGate {
+        /// Cycles per period the fetch unit is enabled.
+        open: u32,
+        /// Period of the gating pattern in cycles.
+        period: u32,
+    },
+    /// Steer dispatch toward the backends fed by this frontend partition,
+    /// draining rename/commit activity away from the hotter partition.
+    MigrateTo(usize),
+}
+
 /// A dynamic-thermal-management policy the interval loop consults once per
 /// interval.
 ///
-/// [`EmergencyController`] is the built-in implementation; alternative
-/// policies (PID throttles, per-block gating, predictive controllers)
-/// implement this trait and plug into
-/// [`CoupledEngine::with_dtm`](super::CoupledEngine::with_dtm).
+/// [`EmergencyController`] is the built-in throttle;
+/// [`GlobalDvfsController`](crate::dtm::GlobalDvfsController),
+/// [`FetchGateController`](crate::dtm::FetchGateController) and
+/// [`MigrationController`](crate::dtm::MigrationController) cover the rest
+/// of the paper's design space. Custom policies implement this trait and
+/// plug into [`CoupledEngine::with_dtm`](super::CoupledEngine::with_dtm).
 pub trait DtmPolicy {
-    /// Observes end-of-interval block temperatures; returns the throughput
-    /// factor for the next interval (1.0 = full speed).
-    fn observe(&mut self, temps_c: &[f64]) -> f64;
+    /// Observes end-of-interval block temperatures and picks the action
+    /// for the next interval.
+    fn decide(&mut self, temps_c: &[f64]) -> DtmAction;
     /// Distinct emergencies triggered so far.
     fn triggers(&self) -> u64;
-    /// Intervals spent throttled so far.
+    /// Intervals spent under a non-nominal action so far.
     fn throttled_intervals(&self) -> u64;
 }
 
 impl DtmPolicy for EmergencyController {
-    fn observe(&mut self, temps_c: &[f64]) -> f64 {
-        EmergencyController::observe(self, temps_c)
+    fn decide(&mut self, temps_c: &[f64]) -> DtmAction {
+        let factor = self.observe(temps_c);
+        if factor < 1.0 {
+            DtmAction::Throttle(factor)
+        } else {
+            DtmAction::Nominal
+        }
     }
 
     fn triggers(&self) -> u64 {

@@ -1,9 +1,76 @@
 //! Experiment configurations: the baseline and every technique the paper
 //! evaluates, as presets.
 
+use crate::dtm::{DvfsPolicy, FetchGatePolicy, MigrationPolicy};
 use crate::emergency::EmergencyPolicy;
 use distfront_cache::trace_cache::TraceCacheConfig;
 use distfront_uarch::{FrontendMode, ProcessorConfig};
+
+/// Which dynamic-thermal-management policy a configuration runs with.
+///
+/// A spec is pure data — the engine builds the matching controller from it
+/// when a run starts (see [`crate::dtm`] for the controllers), which keeps
+/// [`ExperimentConfig`] a complete, copyable description of an experiment
+/// and lets the parallel sweep executor rebuild identical controllers in
+/// every worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DtmSpec {
+    /// The conventional emergency throttle
+    /// ([`EmergencyController`](crate::emergency::EmergencyController)).
+    Emergency(EmergencyPolicy),
+    /// Global voltage/frequency scaling
+    /// ([`GlobalDvfsController`](crate::dtm::GlobalDvfsController)).
+    GlobalDvfs(DvfsPolicy),
+    /// Fetch toggling
+    /// ([`FetchGateController`](crate::dtm::FetchGateController)).
+    FetchGate(FetchGatePolicy),
+    /// Front-end activity migration
+    /// ([`MigrationController`](crate::dtm::MigrationController)).
+    Migration(MigrationPolicy),
+}
+
+impl DtmSpec {
+    /// Validates the underlying policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            DtmSpec::Emergency(p) => p.validate(),
+            DtmSpec::GlobalDvfs(p) => p.validate(),
+            DtmSpec::FetchGate(p) => p.validate(),
+            DtmSpec::Migration(p) => p.validate(),
+        }
+    }
+
+    /// Builds the controller this spec describes, watching `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid (call [`validate`](Self::validate)
+    /// first for a recoverable error).
+    pub fn build(&self, machine: distfront_power::Machine) -> Box<dyn crate::engine::DtmPolicy> {
+        use crate::dtm::{FetchGateController, GlobalDvfsController, MigrationController};
+        use crate::emergency::EmergencyController;
+        match *self {
+            DtmSpec::Emergency(p) => Box::new(EmergencyController::new(p)),
+            DtmSpec::GlobalDvfs(p) => Box::new(GlobalDvfsController::new(p)),
+            DtmSpec::FetchGate(p) => Box::new(FetchGateController::new(p)),
+            DtmSpec::Migration(p) => Box::new(MigrationController::for_machine(p, machine)),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DtmSpec::Emergency(_) => "emergency-throttle",
+            DtmSpec::GlobalDvfs(_) => "global-dvfs",
+            DtmSpec::FetchGate(_) => "fetch-gate",
+            DtmSpec::Migration(_) => "migration",
+        }
+    }
+}
 
 /// A complete experiment configuration: processor + thermal-management
 /// control knobs + run length.
@@ -31,8 +98,9 @@ pub struct ExperimentConfig {
     /// Workload seed.
     pub seed: u64,
     /// Optional dynamic thermal management (the paper runs with none; §4
-    /// names it as future work — see [`crate::emergency`]).
-    pub emergency: Option<EmergencyPolicy>,
+    /// names it as future work — see [`crate::emergency`] and
+    /// [`crate::dtm`]).
+    pub dtm: Option<DtmSpec>,
 }
 
 impl ExperimentConfig {
@@ -48,7 +116,7 @@ impl ExperimentConfig {
             pilot_fraction: 0.25,
             idle_density_w_mm2: 0.045,
             seed: 0xD15F,
-            emergency: None,
+            dtm: None,
         }
     }
 
@@ -132,9 +200,17 @@ impl ExperimentConfig {
         self
     }
 
-    /// Enables dynamic thermal management; returns `self` for chaining.
-    pub fn with_emergency(mut self, policy: EmergencyPolicy) -> Self {
-        self.emergency = Some(policy);
+    /// Enables the conventional emergency throttle; returns `self` for
+    /// chaining. Shorthand for [`with_dtm`](Self::with_dtm) with
+    /// [`DtmSpec::Emergency`].
+    pub fn with_emergency(self, policy: EmergencyPolicy) -> Self {
+        self.with_dtm(DtmSpec::Emergency(policy))
+    }
+
+    /// Enables a dynamic-thermal-management policy; returns `self` for
+    /// chaining.
+    pub fn with_dtm(mut self, spec: DtmSpec) -> Self {
+        self.dtm = Some(spec);
         self
     }
 
@@ -165,8 +241,8 @@ impl ExperimentConfig {
         if self.idle_density_w_mm2 < 0.0 {
             return Err("negative idle density".into());
         }
-        if let Some(e) = &self.emergency {
-            e.validate()?;
+        if let Some(d) = &self.dtm {
+            d.validate()?;
         }
         Ok(())
     }
@@ -226,6 +302,40 @@ mod tests {
         assert!(c.processor.trace_cache.biased);
         assert!(c.hop);
         assert_eq!(c.processor.distributed_commit_penalty, 1);
+    }
+
+    #[test]
+    fn dtm_specs_validate_and_name() {
+        use crate::dtm::{DvfsPolicy, FetchGatePolicy, MigrationPolicy};
+        use crate::emergency::EmergencyPolicy;
+        let specs = [
+            DtmSpec::Emergency(EmergencyPolicy::paper_limit()),
+            DtmSpec::GlobalDvfs(DvfsPolicy::paper_limit()),
+            DtmSpec::FetchGate(FetchGatePolicy::paper_limit()),
+            DtmSpec::Migration(MigrationPolicy::paper_limit()),
+        ];
+        let mut names: Vec<_> = specs.iter().map(DtmSpec::name).collect();
+        for spec in &specs {
+            ExperimentConfig::baseline()
+                .with_dtm(*spec)
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn invalid_dtm_spec_fails_config_validation() {
+        let bad = DtmSpec::GlobalDvfs(crate::dtm::DvfsPolicy {
+            f_scale: 0.0,
+            ..crate::dtm::DvfsPolicy::paper_limit()
+        });
+        assert!(ExperimentConfig::baseline()
+            .with_dtm(bad)
+            .validate()
+            .is_err());
     }
 
     #[test]

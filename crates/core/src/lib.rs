@@ -40,18 +40,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dtm;
 pub mod emergency;
 pub mod engine;
 pub mod experiment;
 pub mod figures;
 pub mod report;
 pub mod runner;
+pub mod scenarios;
 
+pub use dtm::{
+    DvfsPolicy, FetchGateController, FetchGatePolicy, GlobalDvfsController, MigrationController,
+    MigrationPolicy,
+};
 pub use emergency::{EmergencyController, EmergencyPolicy};
-pub use engine::{CoupledEngine, SweepRunner, WarmStartCache};
-pub use experiment::ExperimentConfig;
+pub use engine::{CoupledEngine, DtmAction, DtmPolicy, SweepRunner, WarmStartCache};
+pub use experiment::{DtmSpec, ExperimentConfig};
 pub use figures::{figure1, figure12, figure13, figure14, ComparisonData, AMBIENT_C};
 pub use report::{FigureRow, FigureTable};
 pub use runner::{
     average_temps, mean_cpi, run_app, run_suite, slowdown, AppResult, BlockGroups, TempReport,
 };
+pub use scenarios::{RunOptions, Scenario, ScenarioReport};

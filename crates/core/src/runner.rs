@@ -70,6 +70,10 @@ pub struct AppResult {
     pub emergencies: u64,
     /// Intervals spent throttled by the DTM mechanism.
     pub throttled_intervals: u64,
+    /// Seconds spent in intervals whose hottest block reached the 381 K
+    /// emergency limit (violation residency — the per-policy metric DTM
+    /// alternatives are compared on).
+    pub over_limit_s: f64,
     /// Temperature metrics per block group.
     pub temps: TempReport,
 }

@@ -1,0 +1,449 @@
+//! Named, self-describing experiment scenarios.
+//!
+//! A scenario binds an application suite, a processor configuration and a
+//! DTM policy into one runnable, comparable unit — the registry covers the
+//! paper's technique configurations (Figs. 12–14) plus the DTM design
+//! space the techniques are motivated by. Every scenario runs on the
+//! parallel [`SweepRunner`] and inherits the engine's bit-identity
+//! guarantee: the same scenario at any worker count produces byte-identical
+//! CSV/JSON output.
+//!
+//! The `distfront-scenarios` binary is the command-line front end:
+//!
+//! ```sh
+//! distfront-scenarios --list
+//! distfront-scenarios --run dtm-dvfs --uops 100000 --csv out.csv
+//! distfront-scenarios --all --smoke --json out.json
+//! distfront-scenarios --all --smoke --verify   # serial vs parallel bytes
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use distfront::scenarios::{self, RunOptions};
+//!
+//! let scenario = scenarios::by_name("baseline").unwrap();
+//! let report = scenario.run(&RunOptions::smoke().with_uops(30_000));
+//! assert_eq!(report.results.len(), RunOptions::smoke().apps().len());
+//! ```
+
+use std::fmt::Write as _;
+
+use distfront_trace::AppProfile;
+
+use crate::dtm::{DvfsPolicy, FetchGatePolicy, MigrationPolicy};
+use crate::emergency::EmergencyPolicy;
+use crate::engine::SweepRunner;
+use crate::experiment::{DtmSpec, ExperimentConfig};
+use crate::report::{FigureRow, FigureTable};
+use crate::runner::AppResult;
+
+/// Trip temperature for the DTM study scenarios, in °C.
+///
+/// The paper's hard limit is 381 K (≈ 107.9 °C); the calibrated baseline
+/// peaks right at it, so a study trip a few degrees lower guarantees the
+/// policies actually engage on the hot applications while the cool ones
+/// run free — the regime the paper's §4 discussion is about.
+pub const STUDY_TRIP_C: f64 = 100.0;
+
+/// One named experiment: application suite × configuration × policy.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Registry name (stable; used by `--run`).
+    pub name: &'static str,
+    /// One-line description shown by `--list`.
+    pub summary: &'static str,
+    build: fn() -> ExperimentConfig,
+}
+
+impl Scenario {
+    /// The scenario's experiment configuration (before run-length scaling).
+    pub fn config(&self) -> ExperimentConfig {
+        (self.build)()
+    }
+
+    /// Runs the scenario over `opts.apps()` on a [`SweepRunner`] with
+    /// `opts.workers` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's configuration is invalid.
+    pub fn run(&self, opts: &RunOptions) -> ScenarioReport {
+        let cfg = self.config().with_uops(opts.uops);
+        let apps = opts.apps();
+        let results = SweepRunner::with_threads(opts.workers).suite(&cfg, &apps);
+        ScenarioReport {
+            scenario: self.name,
+            summary: self.summary,
+            results,
+        }
+    }
+}
+
+/// How a scenario run is sized and parallelized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Micro-ops per application.
+    pub uops: u64,
+    /// Sweep worker count (clamped to the cell count by the runner).
+    pub workers: usize,
+    /// Smoke mode: a 4-application subset instead of the full 26.
+    pub smoke: bool,
+}
+
+impl RunOptions {
+    /// The full 26-application evaluation at a CI-friendly run length,
+    /// using every available hardware thread.
+    pub fn full() -> Self {
+        RunOptions {
+            uops: 200_000,
+            workers: SweepRunner::new().threads(),
+            smoke: false,
+        }
+    }
+
+    /// A fast smoke run: four representative applications at a short run
+    /// length.
+    pub fn smoke() -> Self {
+        RunOptions {
+            uops: 40_000,
+            smoke: true,
+            ..Self::full()
+        }
+    }
+
+    /// Overrides the run length; returns `self` for chaining.
+    pub fn with_uops(mut self, uops: u64) -> Self {
+        self.uops = uops;
+        self
+    }
+
+    /// Overrides the worker count; returns `self` for chaining.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The application suite these options select: the full SPEC2000 set,
+    /// or in smoke mode `tiny` plus one compute-bound integer, one
+    /// memory-bound integer and one streaming FP application.
+    pub fn apps(&self) -> Vec<AppProfile> {
+        if self.smoke {
+            ["gzip", "mcf", "swim"]
+                .iter()
+                .map(|n| *AppProfile::by_name(n).expect("smoke app exists"))
+                .chain(std::iter::once(AppProfile::test_tiny()))
+                .collect()
+        } else {
+            AppProfile::spec2000().to_vec()
+        }
+    }
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// The results of one scenario over its application suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Scenario description.
+    pub summary: &'static str,
+    /// One result per application, in suite order.
+    pub results: Vec<AppResult>,
+}
+
+/// Every scenario in presentation order: the paper's technique ladder
+/// first, then the DTM policy study.
+pub fn registry() -> Vec<Scenario> {
+    fn s(name: &'static str, summary: &'static str, build: fn() -> ExperimentConfig) -> Scenario {
+        Scenario {
+            name,
+            summary,
+            build,
+        }
+    }
+    vec![
+        s(
+            "baseline",
+            "centralized frontend, two-banked trace cache, no thermal management",
+            ExperimentConfig::baseline,
+        ),
+        s(
+            "drc",
+            "distributed rename/commit (Fig. 12): bi-clustered frontend, +1 commit cycle",
+            ExperimentConfig::distributed_rename_commit,
+        ),
+        s(
+            "bank-hopping",
+            "trace-cache bank hopping (Fig. 13): 2+1 banks, rotating Vdd-gated spare",
+            ExperimentConfig::bank_hopping,
+        ),
+        s(
+            "bh+ab",
+            "bank hopping + thermal-aware biased mapping (Fig. 13)",
+            ExperimentConfig::hopping_and_biasing,
+        ),
+        s(
+            "drc+bh+ab",
+            "the full distributed frontend (Fig. 14): every technique combined",
+            ExperimentConfig::combined,
+        ),
+        s(
+            "dtm-emergency",
+            "baseline + conventional halve-the-clock emergency throttle",
+            || {
+                ExperimentConfig::baseline().with_dtm(DtmSpec::Emergency(
+                    EmergencyPolicy::with_threshold(STUDY_TRIP_C),
+                ))
+            },
+        ),
+        s(
+            "dtm-dvfs",
+            "baseline + global DVFS (70% f, 85% V) with leakage at the scaled point",
+            || {
+                ExperimentConfig::baseline()
+                    .with_dtm(DtmSpec::GlobalDvfs(DvfsPolicy::with_trip(STUDY_TRIP_C)))
+            },
+        ),
+        s(
+            "dtm-fetch-gate",
+            "baseline + half-duty fetch toggling when hot",
+            || {
+                ExperimentConfig::baseline()
+                    .with_dtm(DtmSpec::FetchGate(FetchGatePolicy::with_trip(STUDY_TRIP_C)))
+            },
+        ),
+        s(
+            "dtm-migration",
+            "distributed frontend + activity migration toward the cooler partition",
+            || {
+                ExperimentConfig::distributed_rename_commit()
+                    .with_dtm(DtmSpec::Migration(MigrationPolicy::with_trip(STUDY_TRIP_C)))
+            },
+        ),
+    ]
+}
+
+/// Looks a scenario up by registry name.
+pub fn by_name(name: &str) -> Option<Scenario> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+/// The CSV header matching [`to_csv`]'s rows.
+pub const CSV_HEADER: &str = "scenario,app,cycles,uops,ipc,cpi,tc_hit_rate,mispredict_rate,\
+avg_power_w,wall_time_s,emergencies,throttled_intervals,over_limit_s,\
+proc_abs_max_c,proc_average_c,proc_avg_max_c,frontend_abs_max_c,frontend_average_c,\
+trace_cache_abs_max_c,rob_abs_max_c,rat_abs_max_c";
+
+/// Renders scenario reports as CSV (header + one row per scenario × app).
+///
+/// Results are bit-identical across worker counts, and every float is
+/// formatted with Rust's shortest-roundtrip `Display`, so the bytes are
+/// identical too.
+pub fn to_csv(reports: &[ScenarioReport]) -> String {
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for rep in reports {
+        for r in &rep.results {
+            let t = &r.temps;
+            writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                rep.scenario,
+                r.app,
+                r.cycles,
+                r.uops,
+                r.ipc,
+                r.cpi,
+                r.tc_hit_rate,
+                r.mispredict_rate,
+                r.avg_power_w,
+                r.wall_time_s,
+                r.emergencies,
+                r.throttled_intervals,
+                r.over_limit_s,
+                t.processor.abs_max_c,
+                t.processor.average_c,
+                t.processor.avg_max_c,
+                t.frontend.abs_max_c,
+                t.frontend.average_c,
+                t.trace_cache.abs_max_c,
+                t.rob.abs_max_c,
+                t.rat.abs_max_c,
+            )
+            .expect("writing to a String cannot fail");
+        }
+    }
+    out
+}
+
+/// Renders scenario reports as a JSON document (an object with a
+/// `scenarios` array; same fields as the CSV, nested per application).
+pub fn to_json(reports: &[ScenarioReport]) -> String {
+    let mut out = String::from("{\n  \"scenarios\": [");
+    for (i, rep) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(
+            out,
+            "\n    {{\n      \"name\": \"{}\",\n      \"summary\": \"{}\",\n      \"results\": [",
+            rep.scenario, rep.summary
+        )
+        .expect("writing to a String cannot fail");
+        for (j, r) in rep.results.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let t = &r.temps;
+            write!(
+                out,
+                "\n        {{\"app\": \"{}\", \"cycles\": {}, \"uops\": {}, \"ipc\": {}, \
+                 \"cpi\": {}, \"tc_hit_rate\": {}, \"mispredict_rate\": {}, \
+                 \"avg_power_w\": {}, \"wall_time_s\": {}, \"emergencies\": {}, \
+                 \"throttled_intervals\": {}, \"over_limit_s\": {}, \
+                 \"proc_abs_max_c\": {}, \"proc_average_c\": {}, \"proc_avg_max_c\": {}, \
+                 \"frontend_abs_max_c\": {}, \"frontend_average_c\": {}, \
+                 \"trace_cache_abs_max_c\": {}, \"rob_abs_max_c\": {}, \"rat_abs_max_c\": {}}}",
+                r.app,
+                r.cycles,
+                r.uops,
+                r.ipc,
+                r.cpi,
+                r.tc_hit_rate,
+                r.mispredict_rate,
+                r.avg_power_w,
+                r.wall_time_s,
+                r.emergencies,
+                r.throttled_intervals,
+                r.over_limit_s,
+                t.processor.abs_max_c,
+                t.processor.average_c,
+                t.processor.avg_max_c,
+                t.frontend.abs_max_c,
+                t.frontend.average_c,
+                t.trace_cache.abs_max_c,
+                t.rob.abs_max_c,
+                t.rat.abs_max_c,
+            )
+            .expect("writing to a String cannot fail");
+        }
+        out.push_str("\n      ]\n    }");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// A per-scenario summary (suite means and peaks) ready to print.
+pub fn summary_table(reports: &[ScenarioReport]) -> FigureTable {
+    let rows = reports
+        .iter()
+        .map(|rep| {
+            let n = rep.results.len().max(1) as f64;
+            let mean = |f: &dyn Fn(&AppResult) -> f64| rep.results.iter().map(f).sum::<f64>() / n;
+            let peak = rep
+                .results
+                .iter()
+                .map(|r| r.temps.processor.abs_max_c)
+                .fold(f64::NEG_INFINITY, f64::max);
+            FigureRow {
+                label: rep.scenario.to_string(),
+                values: vec![
+                    mean(&|r| r.ipc),
+                    mean(&|r| r.cpi),
+                    mean(&|r| r.avg_power_w),
+                    peak,
+                    mean(&|r| r.temps.processor.average_c),
+                    mean(&|r| r.temps.frontend.abs_max_c),
+                    rep.results.iter().map(|r| r.emergencies).sum::<u64>() as f64,
+                    rep.results
+                        .iter()
+                        .map(|r| r.throttled_intervals)
+                        .sum::<u64>() as f64,
+                    mean(&|r| r.over_limit_s) * 1e3,
+                ],
+            }
+        })
+        .collect();
+    FigureTable {
+        id: "scenarios",
+        title: "Scenario summary (suite means; temperatures in C)".into(),
+        columns: [
+            "IPC",
+            "CPI",
+            "Power(W)",
+            "PeakT",
+            "AvgT",
+            "FE PeakT",
+            "Emerg.",
+            "Throttled",
+            "OverLim(ms)",
+        ]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_populated_and_unique() {
+        let reg = registry();
+        assert!(reg.len() >= 6, "need at least six scenarios");
+        let mut names: Vec<_> = reg.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), reg.len(), "duplicate scenario names");
+        for s in &reg {
+            s.config()
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            assert!(!s.summary.is_empty());
+        }
+    }
+
+    #[test]
+    fn by_name_finds_every_scenario() {
+        for s in registry() {
+            assert_eq!(by_name(s.name).unwrap().name, s.name);
+        }
+        assert!(by_name("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn smoke_suite_is_small_and_mixed() {
+        let apps = RunOptions::smoke().apps();
+        assert_eq!(apps.len(), 4);
+        assert!(apps.iter().any(|a| a.is_fp));
+        assert!(apps.iter().any(|a| !a.is_fp));
+        assert_eq!(RunOptions::full().apps().len(), 26);
+    }
+
+    #[test]
+    fn csv_and_json_cover_every_cell() {
+        let opts = RunOptions::smoke().with_uops(20_000).with_workers(2);
+        let reports = vec![
+            by_name("baseline").unwrap().run(&opts),
+            by_name("dtm-emergency").unwrap().run(&opts),
+        ];
+        let csv = to_csv(&reports);
+        assert_eq!(csv.lines().count(), 1 + 2 * opts.apps().len());
+        assert!(csv.starts_with("scenario,app,"));
+        assert!(csv.contains("dtm-emergency,tiny,"));
+        let json = to_json(&reports);
+        assert!(json.contains("\"name\": \"baseline\""));
+        assert_eq!(json.matches("\"app\":").count(), 2 * opts.apps().len());
+        let table = summary_table(&reports);
+        assert_eq!(table.rows.len(), 2);
+        assert!(table.value("baseline", 0).unwrap() > 0.0, "IPC positive");
+    }
+}

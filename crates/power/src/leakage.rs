@@ -21,7 +21,7 @@
 pub struct LeakageModel {
     /// Leakage as a fraction of nominal dynamic power at ambient.
     pub ratio_at_ambient: f64,
-    /// In-box ambient temperature in Celsius (45 °C per [19][27]).
+    /// In-box ambient temperature in Celsius (45 °C per \[19\]\[27\]).
     pub ambient_c: f64,
     /// Temperature increase that doubles leakage, in Celsius.
     pub doubling_celsius: f64,
@@ -56,6 +56,29 @@ impl LeakageModel {
         self.ratio_at_ambient
             * nominal_dynamic_watts
             * 2f64.powf((t - self.ambient_c) / self.doubling_celsius)
+    }
+
+    /// Leakage power at a scaled supply voltage, for global-DVFS studies.
+    ///
+    /// `P_leak = V · I_sub` and the subthreshold current is roughly linear
+    /// in `V` (to first order, away from the DIBL knee), so scaling the
+    /// supply by `v_scale` scales leakage power by `v_scale²`. At
+    /// `v_scale = 1.0` this is bit-identical to [`leakage_watts`]
+    /// (multiplication by one is exact).
+    ///
+    /// [`leakage_watts`]: Self::leakage_watts
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `v_scale` is not positive.
+    pub fn leakage_watts_scaled(
+        &self,
+        nominal_dynamic_watts: f64,
+        temp_c: f64,
+        v_scale: f64,
+    ) -> f64 {
+        debug_assert!(v_scale > 0.0);
+        self.leakage_watts(nominal_dynamic_watts, temp_c) * v_scale * v_scale
     }
 }
 
@@ -106,6 +129,19 @@ mod tests {
             assert!(l > prev);
             prev = l;
         }
+    }
+
+    #[test]
+    fn scaled_voltage_scales_leakage_quadratically() {
+        let m = LeakageModel::paper();
+        let base = m.leakage_watts(4.0, 80.0);
+        let scaled = m.leakage_watts_scaled(4.0, 80.0, 0.8);
+        assert!((scaled / base - 0.64).abs() < 1e-12);
+        // Nominal voltage is bit-identical to the unscaled path.
+        assert_eq!(
+            m.leakage_watts_scaled(4.0, 80.0, 1.0).to_bits(),
+            base.to_bits()
+        );
     }
 
     #[test]

@@ -27,4 +27,4 @@ pub mod model;
 pub use blocks::{BlockId, Machine};
 pub use energy::EnergyTable;
 pub use leakage::LeakageModel;
-pub use model::PowerModel;
+pub use model::{OperatingPoint, PowerModel};

@@ -13,6 +13,56 @@ use crate::energy::EnergyTable;
 use crate::leakage::LeakageModel;
 use distfront_uarch::ActivityCounters;
 
+/// A global (voltage, frequency) operating point, relative to nominal.
+///
+/// Global DVFS scales the whole chip: dynamic energy per operation goes as
+/// `V²`, wall-clock time per cycle as `1/f`, and leakage power as `V²`
+/// (see [`LeakageModel::leakage_watts_scaled`]). [`OperatingPoint::nominal`]
+/// is the identity — every computation through it is bit-identical to a
+/// model without operating-point support.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Clock frequency as a fraction of nominal (e.g. 0.7 = 70 %).
+    pub f_scale: f64,
+    /// Supply voltage as a fraction of nominal.
+    pub v_scale: f64,
+}
+
+impl OperatingPoint {
+    /// The nominal (unscaled) operating point.
+    pub fn nominal() -> Self {
+        OperatingPoint {
+            f_scale: 1.0,
+            v_scale: 1.0,
+        }
+    }
+
+    /// A scaled operating point.
+    pub fn scaled(f_scale: f64, v_scale: f64) -> Self {
+        OperatingPoint { f_scale, v_scale }
+    }
+
+    /// Validates the operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (label, v) in [("f_scale", self.f_scale), ("v_scale", self.v_scale)] {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) || v == 0.0 {
+                return Err(format!("{label} = {v} outside (0, 1]"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for OperatingPoint {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
 /// Per-block power calculator.
 ///
 /// # Examples
@@ -37,6 +87,7 @@ pub struct PowerModel {
     leakage: LeakageModel,
     frequency_hz: f64,
     nominal_dynamic: Vec<f64>,
+    op: OperatingPoint,
 }
 
 impl PowerModel {
@@ -62,7 +113,31 @@ impl PowerModel {
             energy,
             leakage,
             frequency_hz,
+            op: OperatingPoint::nominal(),
         }
+    }
+
+    /// Sets the global (V, f) operating point used by subsequent power
+    /// computations (global DVFS).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operating point fails validation.
+    pub fn set_operating_point(&mut self, op: OperatingPoint) {
+        op.validate()
+            .unwrap_or_else(|e| panic!("bad operating point: {e}"));
+        self.op = op;
+    }
+
+    /// The operating point in force.
+    pub fn operating_point(&self) -> OperatingPoint {
+        self.op
+    }
+
+    /// The clock frequency at the current operating point, in Hz. At the
+    /// nominal point this equals the constructor's frequency exactly.
+    pub fn effective_frequency_hz(&self) -> f64 {
+        self.frequency_hz * self.op.f_scale
     }
 
     /// The machine shape.
@@ -171,8 +246,12 @@ impl PowerModel {
                 + act.disamb_broadcasts as f64 / n_back * e.disamb_broadcast;
         }
 
-        let seconds = act.cycles as f64 / self.frequency_hz;
-        let scale = e.activity_scale;
+        // At the operating point: each operation's switching energy scales
+        // as V², and the same cycle count covers 1/f_scale the wall time.
+        // Both factors are exactly 1.0 at nominal, keeping this path
+        // bit-identical to a model without DVFS support.
+        let seconds = act.cycles as f64 / self.effective_frequency_hz();
+        let scale = e.activity_scale * self.op.v_scale * self.op.v_scale;
         pj.into_iter()
             .map(|p| p * scale * 1e-12 / seconds)
             .collect()
@@ -193,9 +272,11 @@ impl PowerModel {
         assert_eq!(temps_c.len(), self.machine.block_count());
         let mut power = self.dynamic_power(act);
         for (i, p) in power.iter_mut().enumerate() {
-            *p += self
-                .leakage
-                .leakage_watts(self.nominal_dynamic[i], temps_c[i]);
+            *p += self.leakage.leakage_watts_scaled(
+                self.nominal_dynamic[i],
+                temps_c[i],
+                self.op.v_scale,
+            );
         }
         for &g in gated {
             power[self.machine.index_of(g)] = 0.0;
@@ -365,6 +446,47 @@ mod tests {
         let m = model(1, 2);
         let act = ActivityCounters::new(1, 4, 2);
         m.dynamic_power(&act);
+    }
+
+    #[test]
+    fn nominal_operating_point_is_bit_identical() {
+        let mut m = model(1, 2);
+        let act = busy_activity(1, 2);
+        let before = m.dynamic_power(&act);
+        m.set_operating_point(OperatingPoint::nominal());
+        let after = m.dynamic_power(&act);
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(
+            m.effective_frequency_hz().to_bits(),
+            10e9f64.to_bits(),
+            "nominal f_scale must not perturb the frequency"
+        );
+    }
+
+    #[test]
+    fn scaled_point_cuts_dynamic_and_leakage_power() {
+        let mut m = model(1, 2);
+        let act = busy_activity(1, 2);
+        let nominal_dyn = m.dynamic_power(&act);
+        m.set_nominal_dynamic(nominal_dyn.clone());
+        let temps = vec![80.0; nominal_dyn.len()];
+        let full: f64 = m.total_power(&act, &temps, &[]).iter().sum();
+        m.set_operating_point(OperatingPoint::scaled(0.7, 0.85));
+        let scaled: f64 = m.total_power(&act, &temps, &[]).iter().sum();
+        // Dynamic drops by f·V² = 0.506, leakage by V² = 0.7225; the total
+        // must land strictly between those two factors of the original.
+        assert!(scaled < full * 0.7225, "scaled {scaled} vs full {full}");
+        assert!(scaled > full * 0.5, "scaled {scaled} vs full {full}");
+        // And wall time per cycle stretches by 1/f_scale.
+        assert!((m.effective_frequency_hz() - 7e9).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad operating point")]
+    fn overvolted_point_rejected() {
+        model(1, 2).set_operating_point(OperatingPoint::scaled(1.0, 1.2));
     }
 
     #[test]

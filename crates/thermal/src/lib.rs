@@ -1,6 +1,6 @@
 //! Thermal modelling for the `distfront` simulator.
 //!
-//! A HotSpot-style *dynamic compact model* (Skadron et al. [26][27], which
+//! A HotSpot-style *dynamic compact model* (Skadron et al. \[26\]\[27\], which
 //! the paper's own model follows): the floorplan's blocks become nodes of an
 //! RC network — thermal resistances from the electrical/thermal duality,
 //! thermal capacitors for the transient response — connected laterally to

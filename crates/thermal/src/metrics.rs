@@ -136,6 +136,32 @@ impl TemperatureTracker {
         self.cur_time = 0.0;
     }
 
+    /// Seconds spent in closed intervals whose group peak reached
+    /// `threshold_c` — the *violation residency* used to compare DTM
+    /// policies (how long the group sat at or above an emergency limit,
+    /// at interval granularity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is empty or an index is out of range.
+    pub fn time_above(&self, threshold_c: f64, blocks: &[usize]) -> f64 {
+        assert!(!blocks.is_empty(), "empty block group");
+        let total: f64 = self
+            .intervals
+            .iter()
+            .filter(|iv| {
+                blocks
+                    .iter()
+                    .map(|&b| iv.max[b])
+                    .fold(f64::NEG_INFINITY, f64::max)
+                    >= threshold_c
+            })
+            .map(|iv| iv.duration)
+            .sum();
+        // An empty float sum is -0.0; keep the zero unsigned for reports.
+        total + 0.0
+    }
+
     /// Computes the three paper metrics over the block-group `blocks`
     /// (canonical indices).
     ///
@@ -253,6 +279,21 @@ mod tests {
         tr.end_interval();
         tr.end_interval();
         assert_eq!(tr.interval_count(), 1);
+    }
+
+    #[test]
+    fn time_above_sums_violating_interval_durations() {
+        let mut tr = TemperatureTracker::new(vec![1.0, 1.0]);
+        tr.record(&[50.0, 95.0], 2.0);
+        tr.end_interval();
+        tr.record(&[50.0, 70.0], 3.0);
+        tr.end_interval();
+        tr.record(&[91.0, 60.0], 1.0);
+        tr.end_interval();
+        assert_eq!(tr.time_above(90.0, &[0, 1]), 3.0);
+        assert_eq!(tr.time_above(90.0, &[0]), 1.0);
+        assert_eq!(tr.time_above(200.0, &[0, 1]), 0.0);
+        assert_eq!(tr.time_above(0.0, &[0, 1]), 6.0);
     }
 
     #[test]

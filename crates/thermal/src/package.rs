@@ -2,7 +2,7 @@
 //!
 //! The paper's thermal solution: a copper heat spreader of
 //! 3.1 × 3.1 × 0.23 cm in contact with the die, topped by a copper heat
-//! sink of 7 × 8.3 × 4.11 cm (Pentium 4 Northwood class [17]), in a 45 °C
+//! sink of 7 × 8.3 × 4.11 cm (Pentium 4 Northwood class \[17\]), in a 45 °C
 //! in-box ambient.
 
 /// Physical parameters of die, interface material and package.

@@ -44,4 +44,4 @@ pub mod tracer;
 pub use activity::ActivityCounters;
 pub use config::{FrontendMode, ProcessorConfig};
 pub use rob::DistributedRob;
-pub use sim::{IntervalReport, RunStats, Simulator};
+pub use sim::{FetchGate, IntervalReport, RunStats, Simulator};

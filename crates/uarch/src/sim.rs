@@ -38,6 +38,34 @@ const DECOUPLE_DEPTH: usize = 64;
 /// separately).
 const BUS_OCCUPANCY: u64 = 2;
 
+/// A fetch-toggling duty cycle: the fetch unit delivers during `open` of
+/// every `period` cycles (§ DTM fetch gating). `open == period` is
+/// equivalent to no gating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchGate {
+    /// Cycles per period the fetch unit is enabled.
+    pub open: u32,
+    /// Period of the gating pattern in cycles.
+    pub period: u32,
+}
+
+impl FetchGate {
+    /// Validates the duty cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.open == 0 || self.period == 0 || self.open > self.period {
+            return Err(format!(
+                "fetch gate {}/{} is not a valid duty cycle",
+                self.open, self.period
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Report for one simulation step (interval).
 #[derive(Debug, Clone)]
 pub struct IntervalReport {
@@ -215,6 +243,10 @@ pub struct Simulator {
     total_committed: u64,
     tc_lookups: u64,
     tc_hits: u64,
+
+    /// DTM hooks, inactive by default (see the setters for semantics).
+    fetch_gate: Option<FetchGate>,
+    clock_scale: f64,
 }
 
 impl Simulator {
@@ -258,7 +290,83 @@ impl Simulator {
             total_committed: 0,
             tc_lookups: 0,
             tc_hits: 0,
+            fetch_gate: None,
+            clock_scale: 1.0,
             cfg,
+        }
+    }
+
+    /// Gates the fetch unit to a duty cycle (thermal fetch toggling), or
+    /// removes the gate with `None`. Gated fetch delivers traces at
+    /// `open/period` of the nominal bandwidth, which lowers front-end
+    /// activity density at an IPC cost when fetch is the bottleneck.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate fails [`FetchGate::validate`].
+    pub fn set_fetch_gate(&mut self, gate: Option<FetchGate>) {
+        if let Some(g) = gate {
+            g.validate()
+                .unwrap_or_else(|e| panic!("bad fetch gate: {e}"));
+        }
+        self.fetch_gate = gate;
+    }
+
+    /// The fetch gate in force, if any.
+    pub fn fetch_gate(&self) -> Option<FetchGate> {
+        self.fetch_gate
+    }
+
+    /// Sets the core-domain clock as a fraction of nominal (global DVFS).
+    ///
+    /// The memory buses and UL2 sit on a fixed uncore domain, so when the
+    /// core domain slows by `scale`, uncore latencies cost proportionally
+    /// fewer *core* cycles — the classic "memory gets relatively closer
+    /// under DVFS" effect. `1.0` restores nominal timing exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not in `(0, 1]`.
+    pub fn set_clock_scale(&mut self, scale: f64) {
+        assert!(
+            scale.is_finite() && 0.0 < scale && scale <= 1.0,
+            "clock scale {scale} outside (0, 1]"
+        );
+        self.clock_scale = scale;
+    }
+
+    /// The core-domain clock scale in force.
+    pub fn clock_scale(&self) -> f64 {
+        self.clock_scale
+    }
+
+    /// Biases dispatch steering toward the backends fed by frontend
+    /// partition `partition` (front-end activity migration), or removes the
+    /// bias with `None`. With a centralized frontend the single partition
+    /// covers every backend, so the bias is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is out of range.
+    pub fn set_partition_bias(&mut self, partition: Option<usize>) {
+        let range = partition.map(|p| {
+            assert!(
+                p < self.cfg.frontend_mode.partitions(),
+                "partition {p} out of range"
+            );
+            let per = self.cfg.backends_per_frontend();
+            (p * per, (p + 1) * per)
+        });
+        self.steerer.set_preferred(range);
+    }
+
+    /// An uncore latency converted to core cycles at the current clock
+    /// scale (identity at nominal).
+    fn uncore_cycles(&self, lat: u64) -> u64 {
+        if self.clock_scale == 1.0 {
+            lat
+        } else {
+            ((lat as f64 * self.clock_scale).round() as u64).max(1)
         }
     }
 
@@ -387,13 +495,19 @@ impl Simulator {
             self.act.tc_fills += 1;
             self.act.ul2_accesses += 1;
             let (grant, bus_lat) = self.alloc_bus(fc);
-            let lat = u64::from(self.ul2.access(trace.key.start_pc));
+            let raw_lat = u64::from(self.ul2.access(trace.key.start_pc));
+            let lat = self.uncore_cycles(raw_lat);
             self.tc.insert(trace.key);
             // Line build streams the micro-ops through decode.
             let build = trace.len() as u64 / 4 + 1;
             grant + bus_lat + lat + build
         };
-        let fetch_cycles = (trace.len() as u64).div_ceil(u64::from(self.cfg.fetch_width));
+        let mut fetch_cycles = (trace.len() as u64).div_ceil(u64::from(self.cfg.fetch_width));
+        if let Some(g) = self.fetch_gate {
+            // Toggling: the same fetch work spreads over period/open the
+            // cycles (integer arithmetic keeps the timing deterministic).
+            fetch_cycles = (fetch_cycles * u64::from(g.period)).div_ceil(u64::from(g.open));
+        }
         self.fetch_cycle = deliver + fetch_cycles;
         let front_ready =
             deliver + u64::from(self.cfg.fetch_to_dispatch + self.cfg.decode_rename_steer);
@@ -414,7 +528,7 @@ impl Simulator {
             .expect("at least one bus");
         let grant = request.max(free);
         self.bus_free[idx] = grant + BUS_OCCUPANCY;
-        (grant, u64::from(self.cfg.bus_latency))
+        (grant, self.uncore_cycles(u64::from(self.cfg.bus_latency)))
     }
 
     /// Pops the globally oldest in-flight instruction, applying its
@@ -593,7 +707,8 @@ impl Simulator {
                 } else {
                     let (grant, bus_lat) = self.alloc_bus(complete);
                     self.act.ul2_accesses += 1;
-                    let l2 = u64::from(self.ul2.access(addr));
+                    let raw_l2 = u64::from(self.ul2.access(addr));
+                    let l2 = self.uncore_cycles(raw_l2);
                     complete = grant + bus_lat + l2;
                 }
                 // Loads release their MOB entry once disambiguated
@@ -883,6 +998,100 @@ mod tests {
         clone.run(5_000);
         assert_eq!(sim.total_committed(), committed);
         assert_eq!(clone.config(), sim.config());
+    }
+
+    #[test]
+    fn fetch_gate_slows_the_run() {
+        let free = baseline_sim().run(40_000);
+        let mut gated_sim = baseline_sim();
+        gated_sim.set_fetch_gate(Some(FetchGate { open: 1, period: 4 }));
+        let gated = gated_sim.run(40_000);
+        assert!(
+            gated.cycles > free.cycles,
+            "quarter-duty fetch must cost cycles: {} vs {}",
+            gated.cycles,
+            free.cycles
+        );
+        // Removing the gate restores nominal timing for fresh runs.
+        gated_sim.set_fetch_gate(None);
+        assert_eq!(gated_sim.fetch_gate(), None);
+    }
+
+    #[test]
+    fn full_duty_gate_is_identical_to_no_gate() {
+        let free = baseline_sim().run(30_000);
+        let mut sim = baseline_sim();
+        sim.set_fetch_gate(Some(FetchGate { open: 3, period: 3 }));
+        assert_eq!(sim.run(30_000), free);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad fetch gate")]
+    fn inverted_duty_cycle_rejected() {
+        baseline_sim().set_fetch_gate(Some(FetchGate { open: 5, period: 2 }));
+    }
+
+    #[test]
+    fn clock_scale_shrinks_uncore_latency() {
+        // A slowed core domain sees the fixed-speed uncore as closer, so a
+        // memory-bound run completes in fewer core cycles.
+        let mcf = AppProfile::by_name("mcf").unwrap();
+        let nominal = Simulator::new(ProcessorConfig::hpca05_baseline(), mcf, 3).run(60_000);
+        let mut slow = Simulator::new(ProcessorConfig::hpca05_baseline(), mcf, 3);
+        slow.set_clock_scale(0.5);
+        let scaled = slow.run(60_000);
+        assert!(
+            scaled.cycles < nominal.cycles,
+            "scaled {} vs nominal {}",
+            scaled.cycles,
+            nominal.cycles
+        );
+    }
+
+    #[test]
+    fn unit_clock_scale_is_identical() {
+        let free = baseline_sim().run(30_000);
+        let mut sim = baseline_sim();
+        sim.set_clock_scale(1.0);
+        assert_eq!(sim.run(30_000), free);
+        assert_eq!(sim.clock_scale(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn overclocked_scale_rejected() {
+        baseline_sim().set_clock_scale(1.5);
+    }
+
+    #[test]
+    fn partition_bias_moves_commit_activity() {
+        let cfg = ProcessorConfig::distributed_rename_commit();
+        let app = AppProfile::test_tiny();
+        let mut unbiased = Simulator::new(cfg.clone(), &app, 7);
+        let ru = unbiased.step(u64::MAX, 40_000);
+        let mut biased = Simulator::new(cfg, &app, 7);
+        biased.set_partition_bias(Some(1));
+        let rb = biased.step(u64::MAX, 40_000);
+        // Partition 1 feeds backends 2 and 3; the bias must shift issue
+        // activity (and with it RAT/ROB work) toward that partition.
+        let share = |r: &IntervalReport| {
+            let hi: u64 = r.activity.backends[2..].iter().map(|b| b.iq_writes).sum();
+            let all: u64 = r.activity.backends.iter().map(|b| b.iq_writes).sum();
+            hi as f64 / all as f64
+        };
+        assert!(
+            share(&rb) > share(&ru) + 0.1,
+            "biased share {} vs unbiased {}",
+            share(&rb),
+            share(&ru)
+        );
+        assert!(rb.activity.rat_writes[1] > ru.activity.rat_writes[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn partition_bias_bounds_checked() {
+        baseline_sim().set_partition_bias(Some(1));
     }
 
     #[test]

@@ -20,6 +20,12 @@ pub enum SteeringPolicy {
     RoundRobin,
 }
 
+/// Score bonus for a backend inside the preferred range, in the same units
+/// as the dependence-match weight (one match = 6). Strong enough to pull
+/// single-dependence micro-ops toward the preferred clusters, weak enough
+/// that double-dependence chains stay where their values live.
+const PREFERRED_BONUS: i64 = 9;
+
 /// The steering unit.
 ///
 /// # Examples
@@ -40,6 +46,9 @@ pub struct Steerer {
     policy: SteeringPolicy,
     /// Estimated in-flight micro-ops per backend.
     in_flight: Vec<i64>,
+    /// Half-open backend range favoured by the thermal-migration control
+    /// (`None` = unbiased).
+    preferred: Option<(usize, usize)>,
     rr: usize,
 }
 
@@ -54,8 +63,29 @@ impl Steerer {
         Steerer {
             policy,
             in_flight: vec![0; backends],
+            preferred: None,
             rr: 0,
         }
+    }
+
+    /// Biases [`SteeringPolicy::DependenceBalance`] toward the backends in
+    /// `range` (half-open), or removes the bias with `None`. The front-end
+    /// activity-migration DTM policy uses this to drain work away from a
+    /// hot frontend partition's clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    pub fn set_preferred(&mut self, range: Option<(usize, usize)>) {
+        if let Some((start, end)) = range {
+            assert!(start < end && end <= self.in_flight.len(), "bad range");
+        }
+        self.preferred = range;
+    }
+
+    /// The backend range currently favoured, if any.
+    pub fn preferred(&self) -> Option<(usize, usize)> {
+        self.preferred
     }
 
     /// Chooses the destination backend for `uop`.
@@ -81,7 +111,14 @@ impl Steerer {
                         // over-loaded (each match worth 6 in-flight
                         // micro-ops of imbalance).
                         let balance = -(self.in_flight[b] - min_load);
-                        (matches * 6 + balance, std::cmp::Reverse((b + n - rr) % n))
+                        let bias = match self.preferred {
+                            Some((start, end)) if (start..end).contains(&b) => PREFERRED_BONUS,
+                            _ => 0,
+                        };
+                        (
+                            matches * 6 + balance + bias,
+                            std::cmp::Reverse((b + n - rr) % n),
+                        )
                     })
                     .expect("non-empty")
             }
@@ -157,6 +194,42 @@ mod tests {
         assert_eq!(s.loads()[b], 1);
         s.note_retire(b);
         assert_eq!(s.loads()[b], 0);
+    }
+
+    #[test]
+    fn preferred_range_attracts_independent_work() {
+        let ru = RenameUnit::new(4, 1, 160, 160);
+        let mut s = Steerer::new(4, SteeringPolicy::DependenceBalance);
+        s.set_preferred(Some((2, 4)));
+        for i in 0..40 {
+            s.steer(&alu(i, 1, 2), &ru);
+        }
+        let left: i64 = s.loads()[..2].iter().sum();
+        let right: i64 = s.loads()[2..].iter().sum();
+        assert!(right > left * 2, "loads {:?}", s.loads());
+        // Clearing the bias restores balance for new work.
+        s.set_preferred(None);
+        assert_eq!(s.preferred(), None);
+    }
+
+    #[test]
+    fn preferred_range_yields_to_heavy_overload() {
+        let ru = RenameUnit::new(2, 1, 160, 160);
+        let mut s = Steerer::new(2, SteeringPolicy::DependenceBalance);
+        s.set_preferred(Some((1, 2)));
+        for i in 0..60 {
+            s.steer(&alu(i, 1, 2), &ru);
+        }
+        // The bias shifts work but load balancing still uses both clusters.
+        assert!(s.loads()[0] > 0, "loads {:?}", s.loads());
+        assert!(s.loads()[1] > s.loads()[0], "loads {:?}", s.loads());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn empty_preferred_range_rejected() {
+        let mut s = Steerer::new(4, SteeringPolicy::DependenceBalance);
+        s.set_preferred(Some((2, 2)));
     }
 
     #[test]

@@ -9,14 +9,23 @@
 use std::time::{Duration, Instant};
 
 /// Benchmark driver, mirroring `criterion::Criterion`.
+///
+/// As with the real crate, passing `--test` on the command line (e.g.
+/// `cargo bench -- --test`) switches to *test mode*: every benchmark body
+/// runs exactly once, untimed, so CI can verify benches still work without
+/// paying for measurement.
 #[derive(Debug, Clone)]
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        Criterion {
+            sample_size: 20,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
     }
 }
 
@@ -28,23 +37,35 @@ impl Criterion {
         self
     }
 
-    /// Times `f` under `id`, printing the mean wall-clock per iteration.
+    /// Forces test mode on or off (normally inferred from `--test` in the
+    /// process arguments).
+    pub fn test_mode(mut self, on: bool) -> Self {
+        self.test_mode = on;
+        self
+    }
+
+    /// Times `f` under `id`, printing the mean wall-clock per iteration —
+    /// or, in test mode, runs it once and reports success.
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let mut b = Bencher {
-            samples: self.sample_size,
+            samples: if self.test_mode { 0 } else { self.sample_size },
             elapsed: Duration::ZERO,
             iters: 0,
         };
         f(&mut b);
-        let mean = if b.iters > 0 {
-            b.elapsed / b.iters as u32
+        if self.test_mode {
+            println!("Testing {id} ... ok");
         } else {
-            Duration::ZERO
-        };
-        println!("{id:<48} {mean:>12.2?}/iter  ({} iters)", b.iters);
+            let mean = if b.iters > 0 {
+                b.elapsed / b.iters as u32
+            } else {
+                Duration::ZERO
+            };
+            println!("{id:<48} {mean:>12.2?}/iter  ({} iters)", b.iters);
+        }
         self
     }
 }
@@ -121,6 +142,17 @@ mod tests {
             .bench_function("shim/self_test", |b| b.iter(|| count += 1));
         // One warm-up iteration plus five timed samples.
         assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn test_mode_runs_each_benchmark_exactly_once() {
+        let mut count = 0usize;
+        Criterion::default()
+            .sample_size(50)
+            .test_mode(true)
+            .bench_function("shim/test_mode", |b| b.iter(|| count += 1));
+        // Only the single untimed warm-up iteration runs.
+        assert_eq!(count, 1);
     }
 
     criterion_group! {

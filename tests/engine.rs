@@ -106,6 +106,29 @@ fn warm_start_cache_keys_are_exact() {
     assert_eq!(cache.len() as u64, cache.misses());
 }
 
+/// More workers than cells: the runner clamps to the cell count instead of
+/// spawning idle threads, and the results stay bit-identical to serial.
+#[test]
+fn worker_count_clamps_to_cell_count() {
+    let configs = [ExperimentConfig::baseline().with_uops(30_000)];
+    let apps = [
+        AppProfile::test_tiny(),
+        *AppProfile::by_name("gzip").unwrap(),
+    ];
+    let serial = SweepRunner::serial().grid(&configs, &apps);
+    // 2 cells, way more threads than cells — including a count far above
+    // any machine's parallelism.
+    for workers in [3, 64, 1024] {
+        let runner = SweepRunner::with_threads(workers);
+        assert_eq!(runner.threads(), workers, "requested count is preserved");
+        let grid = runner.grid(&configs, &apps);
+        assert_eq!(grid, serial, "{workers}-worker sweep of 2 cells diverged");
+    }
+    // Degenerate single cell under many workers.
+    let one = SweepRunner::with_threads(16).grid(&configs, &apps[..1]);
+    assert_eq!(one[0][0], run_app(&configs[0], &apps[0]));
+}
+
 /// A sweep runner reuses its warm-start cache across `grid` calls.
 #[test]
 fn sweep_runner_cache_persists_across_grids() {
