@@ -1,0 +1,114 @@
+//! Transient-integrator benchmark: RK4 sub-stepping vs the cached
+//! matrix-exponential propagator, advancing the paper floorplan's thermal
+//! network by the engine's per-interval step. Before the Criterion timing
+//! loops run, the comparison is measured head-to-head and the numbers are
+//! written to `BENCH_thermal.json` at the workspace root (override the
+//! path with `DISTFRONT_BENCH_JSON`), so CI tracks an interval-advance
+//! baseline across PRs. Runs in `--test` mode too — the measurement is a
+//! few thousand microsecond-scale advances.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distfront_power::Machine;
+use distfront_thermal::{ExpPropagator, Floorplan, PackageConfig, ThermalNetwork, ThermalSolver};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The engine's default interval step on the paper machine: 200 k cycles
+/// at 10 GHz, advanced as two half-steps per interval.
+const HALF_INTERVAL_S: f64 = 1e-5;
+
+fn paper_network() -> ThermalNetwork {
+    let fp = Floorplan::for_machine(Machine::new(1, 4, 2));
+    ThermalNetwork::from_floorplan(&fp, &PackageConfig::paper())
+}
+
+fn interval_power(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 0.2 + 0.05 * (i % 7) as f64).collect()
+}
+
+/// Times `advances` half-interval advances and returns ns per advance.
+fn time_advances(mut advance: impl FnMut(), advances: u32) -> f64 {
+    // One warm-up advance first: the propagator path factors its (Φ, Ψ)
+    // pair on first use, and that one-time cost is amortized over the
+    // thousands of intervals of every sweep cell, so steady-state cost is
+    // the honest comparison (the build itself is ~1 ms, once per cell).
+    advance();
+    let t0 = Instant::now();
+    for _ in 0..advances {
+        advance();
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / f64::from(advances)
+}
+
+fn comparison() {
+    let net = paper_network();
+    let power = interval_power(net.block_count());
+    let advances = 2_000u32;
+
+    let mut rk4 = ThermalSolver::new(net.clone());
+    rk4.set_steady_state(&power);
+    let rk4_ns = time_advances(|| rk4.advance(&power, HALF_INTERVAL_S), advances);
+
+    let mut expm = ExpPropagator::new(net.clone());
+    expm.set_steady_state(&power);
+    let expm_ns = time_advances(|| expm.advance(&power, HALF_INTERVAL_S), advances);
+
+    let speedup = rk4_ns / expm_ns;
+    println!(
+        "\nthermal interval advance ({} nodes, {HALF_INTERVAL_S} s half-interval): \
+         rk4 {rk4_ns:.0} ns | expm {expm_ns:.0} ns | speedup {speedup:.1}x\n",
+        net.node_count()
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"thermal_interval_advance\",\n  \"nodes\": {},\n  \
+         \"half_interval_s\": {HALF_INTERVAL_S},\n  \"advances\": {advances},\n  \
+         \"rk4_ns_per_advance\": {rk4_ns:.1},\n  \"expm_ns_per_advance\": {expm_ns:.1},\n  \
+         \"speedup\": {speedup:.2}\n}}\n",
+        net.node_count()
+    );
+    let path = std::env::var("DISTFRONT_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_thermal.json").into()
+    });
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    comparison();
+    let net = paper_network();
+    let power = interval_power(net.block_count());
+
+    c.bench_function("thermal/interval_advance_rk4", |b| {
+        let mut solver = ThermalSolver::new(net.clone());
+        solver.set_steady_state(&power);
+        b.iter(|| {
+            solver.advance(&power, HALF_INTERVAL_S);
+            black_box(solver.block_temperatures()[0])
+        })
+    });
+    c.bench_function("thermal/interval_advance_expm", |b| {
+        let mut solver = ExpPropagator::new(net.clone());
+        solver.set_steady_state(&power);
+        b.iter(|| {
+            solver.advance(&power, HALF_INTERVAL_S);
+            black_box(solver.block_temperatures()[0])
+        })
+    });
+    c.bench_function("thermal/propagator_build", |b| {
+        b.iter(|| {
+            let mut solver = ExpPropagator::new(net.clone());
+            solver.advance(&power, HALF_INTERVAL_S);
+            black_box(solver.cached_steps())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(200);
+    targets = bench
+}
+criterion_main!(benches);

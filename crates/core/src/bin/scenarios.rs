@@ -10,6 +10,7 @@
 //!   --smoke          4-app smoke suite instead of the full 26
 //!   --uops N         micro-ops per application (default 200000; smoke 40000)
 //!   --workers N      sweep workers (default: all hardware threads)
+//!   --integrator I   transient integrator: expm (default) or rk4
 //!   --csv PATH       write results as CSV
 //!   --json PATH      write results as JSON
 //!   --verify         also run serially and fail unless the bytes match
@@ -21,6 +22,7 @@
 use std::process::ExitCode;
 
 use distfront::scenarios::{self, RunOptions, Scenario, ScenarioReport};
+use distfront_thermal::Integrator;
 
 struct Args {
     list: bool,
@@ -29,6 +31,7 @@ struct Args {
     smoke: bool,
     uops: Option<u64>,
     workers: Option<usize>,
+    integrator: Option<Integrator>,
     csv: Option<String>,
     json: Option<String>,
     verify: bool,
@@ -36,7 +39,8 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: distfront-scenarios --list | --all | --run NAME [--run NAME ...]\n\
-     options: [--smoke] [--uops N] [--workers N] [--csv PATH] [--json PATH] [--verify]"
+     options: [--smoke] [--uops N] [--workers N] [--integrator rk4|expm] \
+     [--csv PATH] [--json PATH] [--verify]"
 }
 
 fn parse(mut argv: std::env::Args) -> Result<Args, String> {
@@ -47,6 +51,7 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         smoke: false,
         uops: None,
         workers: None,
+        integrator: None,
         csv: None,
         json: None,
         verify: false,
@@ -70,6 +75,10 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
                     return Err("--workers must be at least 1".into());
                 }
                 args.workers = Some(w);
+            }
+            "--integrator" => {
+                let v = value("--integrator")?;
+                args.integrator = Some(v.parse()?);
             }
             "--csv" => args.csv = Some(value("--csv")?),
             "--json" => args.json = Some(value("--json")?),
@@ -102,6 +111,9 @@ fn options(args: &Args) -> RunOptions {
     if let Some(workers) = args.workers {
         opts = opts.with_workers(workers);
     }
+    if let Some(integrator) = args.integrator {
+        opts = opts.with_integrator(integrator);
+    }
     opts
 }
 
@@ -110,11 +122,12 @@ fn run_all(selected: &[Scenario], opts: &RunOptions) -> Vec<ScenarioReport> {
         .iter()
         .map(|s| {
             println!(
-                "running {:<16} ({} apps x {} uops, {} workers)",
+                "running {:<16} ({} apps x {} uops, {} workers, {} integrator)",
                 s.name,
                 opts.apps().len(),
                 opts.uops,
-                opts.workers
+                opts.workers,
+                opts.integrator
             );
             s.run(opts)
         })

@@ -75,24 +75,55 @@ impl DvfsPolicy {
     }
 }
 
-/// The trip/release state machine both threshold-triggered controllers
-/// share: engage at or above `trip_c`, release once cooled below
-/// `release_c`, counting distinct engagements and active intervals.
+/// How an engaged trip/hold state machine lets go again.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Release {
+    /// Stay engaged until the peak cools below this temperature
+    /// (hysteresis band).
+    CoolBelow(f64),
+    /// Stay engaged for this many intervals after each violation (the
+    /// classic emergency-throttle hold).
+    Hold(u32),
+}
+
+/// The trip/hold state machine every threshold-triggered controller
+/// shares — [`GlobalDvfsController`], [`FetchGateController`] and the
+/// legacy [`EmergencyController`](crate::emergency::EmergencyController)
+/// all count triggers and active intervals through this one
+/// implementation, so their emergency-accounting semantics cannot drift:
+/// a continuous violation is always exactly one trigger.
 #[derive(Debug, Clone)]
-struct Hysteresis {
+pub(crate) struct Hysteresis {
     trip_c: f64,
-    release_c: f64,
+    release: Release,
+    /// Intervals of hold left ([`Release::Hold`] only).
+    hold_left: u32,
     engaged: bool,
+    /// Whether the previous observation was already over the trip point
+    /// (a continuous violation counts as one emergency).
+    over: bool,
     triggers: u64,
     active_intervals: u64,
 }
 
 impl Hysteresis {
-    fn new(trip_c: f64, release_c: f64) -> Self {
+    /// Engage at `trip_c`, release once cooled below `release_c`.
+    pub(crate) fn cool_below(trip_c: f64, release_c: f64) -> Self {
+        Self::with_release(trip_c, Release::CoolBelow(release_c))
+    }
+
+    /// Engage at `trip_c`, hold for `intervals` after each violation.
+    pub(crate) fn hold(trip_c: f64, intervals: u32) -> Self {
+        Self::with_release(trip_c, Release::Hold(intervals))
+    }
+
+    fn with_release(trip_c: f64, release: Release) -> Self {
         Hysteresis {
             trip_c,
-            release_c,
+            release,
+            hold_left: 0,
             engaged: false,
+            over: false,
             triggers: 0,
             active_intervals: 0,
         }
@@ -100,19 +131,45 @@ impl Hysteresis {
 
     /// Feeds the interval's peak temperature; returns whether the
     /// mechanism is engaged for the next interval (counting it when so).
-    fn observe(&mut self, peak: f64) -> bool {
-        if self.engaged {
-            if peak < self.release_c {
-                self.engaged = false;
+    pub(crate) fn observe(&mut self, peak: f64) -> bool {
+        let over = peak >= self.trip_c;
+        match self.release {
+            Release::CoolBelow(release_c) => {
+                if self.engaged {
+                    if peak < release_c {
+                        self.engaged = false;
+                    }
+                } else if over {
+                    self.engaged = true;
+                    self.triggers += 1;
+                }
             }
-        } else if peak >= self.trip_c {
-            self.engaged = true;
-            self.triggers += 1;
+            Release::Hold(intervals) => {
+                if over {
+                    if !self.over {
+                        self.triggers += 1;
+                    }
+                    self.hold_left = intervals;
+                }
+                self.engaged = self.hold_left > 0;
+                self.hold_left = self.hold_left.saturating_sub(1);
+            }
         }
+        self.over = over;
         if self.engaged {
             self.active_intervals += 1;
         }
         self.engaged
+    }
+
+    /// Distinct engagements so far.
+    pub(crate) fn triggers(&self) -> u64 {
+        self.triggers
+    }
+
+    /// Intervals spent engaged so far.
+    pub(crate) fn active_intervals(&self) -> u64 {
+        self.active_intervals
     }
 }
 
@@ -145,7 +202,7 @@ impl GlobalDvfsController {
             .validate()
             .unwrap_or_else(|e| panic!("bad DVFS policy: {e}"));
         GlobalDvfsController {
-            hysteresis: Hysteresis::new(policy.trip_c, policy.release_c),
+            hysteresis: Hysteresis::cool_below(policy.trip_c, policy.release_c),
             policy,
         }
     }
@@ -169,11 +226,11 @@ impl DtmPolicy for GlobalDvfsController {
     }
 
     fn triggers(&self) -> u64 {
-        self.hysteresis.triggers
+        self.hysteresis.triggers()
     }
 
     fn throttled_intervals(&self) -> u64 {
-        self.hysteresis.active_intervals
+        self.hysteresis.active_intervals()
     }
 }
 
@@ -247,7 +304,7 @@ impl FetchGateController {
             .validate()
             .unwrap_or_else(|e| panic!("bad fetch-gate policy: {e}"));
         FetchGateController {
-            hysteresis: Hysteresis::new(policy.trip_c, policy.release_c),
+            hysteresis: Hysteresis::cool_below(policy.trip_c, policy.release_c),
             policy,
         }
     }
@@ -271,11 +328,11 @@ impl DtmPolicy for FetchGateController {
     }
 
     fn triggers(&self) -> u64 {
-        self.hysteresis.triggers
+        self.hysteresis.triggers()
     }
 
     fn throttled_intervals(&self) -> u64 {
-        self.hysteresis.active_intervals
+        self.hysteresis.active_intervals()
     }
 }
 

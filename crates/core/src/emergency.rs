@@ -11,6 +11,14 @@
 //! Throttling stretches wall-clock time for the same work (the activity's
 //! energy spreads over a longer interval), which is exactly how
 //! frequency-scaling DTM behaves to first order.
+//!
+//! The trip/hold state machine itself is the shared
+//! `Hysteresis` helper in [`crate::dtm`] — the same implementation the
+//! DVFS and fetch-gate controllers count their emergencies with — so the
+//! legacy controller and the policy library cannot drift on trigger
+//! semantics (a continuous violation is exactly one emergency).
+
+use crate::dtm::Hysteresis;
 
 /// A dynamic-thermal-management policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,16 +74,12 @@ impl EmergencyPolicy {
     }
 }
 
-/// Runtime state of the DTM controller.
+/// Runtime state of the DTM controller: the shared trip/hold `Hysteresis`
+/// state machine from [`crate::dtm`] plus the throttle factor it applies.
 #[derive(Debug, Clone)]
 pub struct EmergencyController {
     policy: EmergencyPolicy,
-    engaged_for: u32,
-    /// Whether the previous observation was already over the threshold
-    /// (a continuous violation counts as one emergency).
-    over_limit: bool,
-    triggers: u64,
-    throttled_intervals: u64,
+    state: Hysteresis,
 }
 
 impl EmergencyController {
@@ -89,11 +93,8 @@ impl EmergencyController {
             .validate()
             .unwrap_or_else(|e| panic!("bad DTM policy: {e}"));
         EmergencyController {
+            state: Hysteresis::hold(policy.threshold_c, policy.hold_intervals),
             policy,
-            engaged_for: 0,
-            over_limit: false,
-            triggers: 0,
-            throttled_intervals: 0,
         }
     }
 
@@ -107,17 +108,7 @@ impl EmergencyController {
     /// speed).
     pub fn observe(&mut self, temps_c: &[f64]) -> f64 {
         let peak = temps_c.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let over = peak >= self.policy.threshold_c;
-        if over {
-            if !self.over_limit {
-                self.triggers += 1;
-            }
-            self.engaged_for = self.policy.hold_intervals;
-        }
-        self.over_limit = over;
-        if self.engaged_for > 0 {
-            self.engaged_for -= 1;
-            self.throttled_intervals += 1;
+        if self.state.observe(peak) {
             self.policy.throttle_factor
         } else {
             1.0
@@ -126,12 +117,12 @@ impl EmergencyController {
 
     /// Distinct emergencies triggered so far.
     pub fn triggers(&self) -> u64 {
-        self.triggers
+        self.state.triggers()
     }
 
     /// Intervals spent throttled.
     pub fn throttled_intervals(&self) -> u64 {
-        self.throttled_intervals
+        self.state.active_intervals()
     }
 }
 

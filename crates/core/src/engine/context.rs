@@ -2,7 +2,8 @@
 
 use distfront_power::{BlockId, EnergyTable, LeakageModel, Machine, PowerModel};
 use distfront_thermal::{
-    Floorplan, PackageConfig, TemperatureTracker, ThermalNetwork, ThermalSolver,
+    ExpPropagator, Floorplan, Integrator, PackageConfig, TemperatureTracker, ThermalNetwork,
+    ThermalSolver,
 };
 use distfront_trace::AppProfile;
 use distfront_uarch::Simulator;
@@ -101,10 +102,16 @@ impl<'a> EngineCx<'a> {
             })
             .collect();
 
+        // The default backend follows the configured integrator: the cached
+        // matrix-exponential propagator for production runs, the RK4
+        // reference when cross-checking. Both share the same LU-factored
+        // steady-state path, so warm starts are bit-identical either way.
         let thermal = thermal.unwrap_or_else(|| {
-            Box::new(ThermalSolver::new(ThermalNetwork::from_floorplan(
-                &fp, &pkg,
-            )))
+            let net = ThermalNetwork::from_floorplan(&fp, &pkg);
+            match cfg.integrator {
+                Integrator::Rk4 => Box::new(ThermalSolver::new(net)) as Box<dyn ThermalBackend>,
+                Integrator::Expm => Box::new(ExpPropagator::new(net)),
+            }
         });
         let dtm = dtm.or_else(|| cfg.dtm.map(|spec| spec.build(machine)));
 

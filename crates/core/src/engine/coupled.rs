@@ -233,9 +233,15 @@ mod tests {
     #[test]
     fn warm_cache_is_ignored_with_a_custom_thermal_backend() {
         use distfront_power::Machine;
-        use distfront_thermal::{Floorplan, PackageConfig, ThermalNetwork, ThermalSolver};
+        use distfront_thermal::{
+            Floorplan, Integrator, PackageConfig, ThermalNetwork, ThermalSolver,
+        };
 
-        let cfg = ExperimentConfig::baseline().with_uops(30_000);
+        // RK4 on both sides: the custom backend below is a ThermalSolver,
+        // so the default engine must integrate the same way to compare.
+        let cfg = ExperimentConfig::baseline()
+            .with_uops(30_000)
+            .with_integrator(Integrator::Rk4);
         let app = AppProfile::test_tiny();
         let pc = &cfg.processor;
         let machine = Machine::new(

@@ -64,6 +64,10 @@ pub enum EngineError {
     /// A stage ran before a phase it depends on (e.g. warm start without a
     /// pilot's nominal power).
     MissingPhase(&'static str),
+    /// An iterative phase failed to converge (e.g. the warm start's
+    /// leakage↔temperature fixed point); its state must not be trusted or
+    /// cached.
+    NotConverged(&'static str),
 }
 
 impl std::fmt::Display for EngineError {
@@ -71,6 +75,7 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::InvalidConfig(msg) => write!(f, "{msg}"),
             EngineError::MissingPhase(msg) => write!(f, "missing phase: {msg}"),
+            EngineError::NotConverged(msg) => write!(f, "not converged: {msg}"),
         }
     }
 }

@@ -104,6 +104,7 @@ impl Stage for WarmStartStage {
         }
         let leak = cx.model.leakage_model();
         let mut temps = vec![cx.pkg.ambient_c; cx.machine.block_count()];
+        let mut converged = false;
         for _ in 0..40 {
             let p: Vec<f64> = nominal
                 .iter()
@@ -117,10 +118,22 @@ impl Stage for WarmStartStage {
                 .zip(&temps)
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0f64, f64::max);
+            // The finiteness check guards the max-fold above: a runaway
+            // fixed point overflows to non-finite temperatures whose NaN
+            // deltas f64::max silently drops.
+            let finite = new_temps.iter().all(|t| t.is_finite());
             temps = new_temps;
-            if delta < 0.01 {
+            if finite && delta < 0.01 {
+                converged = true;
                 break;
             }
+        }
+        // A non-converged state must never enter the shared cache: it
+        // would poison every later cell with the same key.
+        if !converged {
+            return Err(EngineError::NotConverged(
+                "leakage-temperature warm-start fixed point did not settle within 40 iterations",
+            ));
         }
         if let Some(cache) = &self.cache {
             cache.insert(
@@ -153,14 +166,7 @@ impl Stage for IntervalLoopStage {
         loop {
             apply_action(cx, action);
             let target = cx.sim.current_cycle() + cfg.interval_cycles;
-            let mut r = cx.sim.step(target, cfg.uops_per_app);
-            // DTM throttling: the same work takes 1/throttle the wall time,
-            // spreading its switching energy over the longer interval.
-            if let DtmAction::Throttle(throttle) = action {
-                if throttle < 1.0 {
-                    r.activity.cycles = (r.activity.cycles as f64 / throttle).round() as u64;
-                }
-            }
+            let r = cx.sim.step(target, cfg.uops_per_app);
             let gated: Vec<BlockId> = cx
                 .sim
                 .trace_cache()
@@ -176,8 +182,12 @@ impl Stage for IntervalLoopStage {
             for g in &gated {
                 power[cx.machine.index_of(*g)] = 0.0;
             }
-            // At a scaled operating point the same cycle count covers
-            // proportionally more wall time (identical at nominal).
+            // At a scaled operating point (DVFS or throttle, both applied
+            // through the model's effective frequency) the same cycle
+            // count covers proportionally more wall time, computed in f64
+            // from the exact cycle count — no integer rounding, so energy
+            // and wall-time accounting conserve the un-stretched interval
+            // exactly. Identical at nominal.
             let dt = r.activity.cycles as f64 / cx.model.effective_frequency_hz();
             cx.power_time_sum += power.iter().sum::<f64>() * dt;
             cx.time_sum += dt;
@@ -223,12 +233,15 @@ fn apply_action(cx: &mut EngineCx<'_>, action: DtmAction) {
     match action {
         DtmAction::Nominal => {}
         DtmAction::Throttle(factor) => {
-            // The other variants are validated by the hooks they engage;
-            // guard the division the loop performs with this one.
-            assert!(
-                factor.is_finite() && 0.0 < factor && factor <= 1.0,
-                "throttle factor {factor} outside (0, 1]"
-            );
+            // First-order frequency scaling at unchanged voltage: the same
+            // work takes 1/factor the wall time, spreading its switching
+            // energy over the stretched interval. Routing it through the
+            // operating point keeps dt and the power model's seconds
+            // derived from one un-rounded f64 stretch; the integer cycle
+            // count stays untouched for activity statistics. The operating
+            // point's own validation rejects factors outside (0, 1].
+            cx.model
+                .set_operating_point(OperatingPoint::scaled(factor, 1.0));
         }
         DtmAction::Dvfs { f_scale, v_scale } => {
             cx.model

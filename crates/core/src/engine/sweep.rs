@@ -180,8 +180,9 @@ impl SweepRunner {
     ///
     /// # Panics
     ///
-    /// Panics if any configuration is invalid (matching
-    /// [`run_app`](crate::runner::run_app)) or a worker thread dies.
+    /// Panics if any cell's engine fails — an invalid configuration or a
+    /// non-converged warm start (matching
+    /// [`run_app`](crate::runner::run_app)) — or a worker thread dies.
     pub fn grid(&self, configs: &[ExperimentConfig], apps: &[AppProfile]) -> Vec<Vec<AppResult>> {
         let cells = configs.len() * apps.len();
         let mut flat: Vec<Option<AppResult>> = (0..cells).map(|_| None).collect();
@@ -238,7 +239,7 @@ impl SweepRunner {
         CoupledEngine::new(cfg, app)
             .with_warm_cache(Arc::clone(&self.cache))
             .run()
-            .unwrap_or_else(|e| panic!("bad config: {e}"))
+            .unwrap_or_else(|e| panic!("engine failed for {}/{}: {e}", cfg.name, app.name))
     }
 }
 

@@ -1,7 +1,7 @@
 //! The engine's extension points: stages, thermal backends and DTM
 //! policies.
 
-use distfront_thermal::ThermalSolver;
+use distfront_thermal::{ExpPropagator, ThermalSolver};
 
 use super::{EngineCx, EngineError};
 use crate::emergency::EmergencyController;
@@ -28,9 +28,12 @@ pub trait Stage {
 
 /// A thermal solver the engine can drive.
 ///
-/// [`ThermalSolver`] is the default implementation; alternative solvers
-/// (model-order-reduced networks, lookup-table models, hardware-sensor
-/// replay) implement this trait and plug into
+/// [`ExpPropagator`] (the cached matrix-exponential propagator) is the
+/// default implementation; [`ThermalSolver`] keeps the sub-stepped RK4
+/// reference selectable via
+/// [`ExperimentConfig::integrator`](crate::ExperimentConfig). Alternative
+/// solvers (model-order-reduced networks, lookup-table models,
+/// hardware-sensor replay) implement this trait and plug into
 /// [`CoupledEngine::with_thermal`](super::CoupledEngine::with_thermal)
 /// without the interval loop changing.
 pub trait ThermalBackend {
@@ -68,6 +71,32 @@ impl ThermalBackend for ThermalSolver {
 
     fn advance(&mut self, power: &[f64], dt: f64) {
         ThermalSolver::advance(self, power, dt);
+    }
+
+    fn block_count(&self) -> usize {
+        self.network().block_count()
+    }
+}
+
+impl ThermalBackend for ExpPropagator {
+    fn block_temperatures(&self) -> &[f64] {
+        ExpPropagator::block_temperatures(self)
+    }
+
+    fn node_temperatures(&self) -> &[f64] {
+        self.temperatures()
+    }
+
+    fn set_node_temperatures(&mut self, t: Vec<f64>) {
+        self.set_temperatures(t);
+    }
+
+    fn steady_state(&mut self, power: &[f64]) {
+        self.set_steady_state(power);
+    }
+
+    fn advance(&mut self, power: &[f64], dt: f64) {
+        ExpPropagator::advance(self, power, dt);
     }
 
     fn block_count(&self) -> usize {

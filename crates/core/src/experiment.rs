@@ -4,6 +4,7 @@
 use crate::dtm::{DvfsPolicy, FetchGatePolicy, MigrationPolicy};
 use crate::emergency::EmergencyPolicy;
 use distfront_cache::trace_cache::TraceCacheConfig;
+use distfront_thermal::Integrator;
 use distfront_uarch::{FrontendMode, ProcessorConfig};
 
 /// Which dynamic-thermal-management policy a configuration runs with.
@@ -101,6 +102,9 @@ pub struct ExperimentConfig {
     /// names it as future work — see [`crate::emergency`] and
     /// [`crate::dtm`]).
     pub dtm: Option<DtmSpec>,
+    /// Transient integrator for the default thermal backend: the cached
+    /// matrix-exponential propagator (default) or the RK4 reference.
+    pub integrator: Integrator,
 }
 
 impl ExperimentConfig {
@@ -117,6 +121,7 @@ impl ExperimentConfig {
             idle_density_w_mm2: 0.045,
             seed: 0xD15F,
             dtm: None,
+            integrator: Integrator::default(),
         }
     }
 
@@ -211,6 +216,13 @@ impl ExperimentConfig {
     /// chaining.
     pub fn with_dtm(mut self, spec: DtmSpec) -> Self {
         self.dtm = Some(spec);
+        self
+    }
+
+    /// Selects the transient integrator for the default thermal backend;
+    /// returns `self` for chaining.
+    pub fn with_integrator(mut self, integrator: Integrator) -> Self {
+        self.integrator = integrator;
         self
     }
 

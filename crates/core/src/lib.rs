@@ -49,6 +49,7 @@ pub mod report;
 pub mod runner;
 pub mod scenarios;
 
+pub use distfront_thermal::Integrator;
 pub use dtm::{
     DvfsPolicy, FetchGateController, FetchGatePolicy, GlobalDvfsController, MigrationController,
     MigrationPolicy,

@@ -14,6 +14,14 @@
 //!    the thermal-aware bank mapping from the bank sensors, and rotating
 //!    the gated bank when hopping is enabled.
 //!
+//! The per-interval transient solve defaults to the cached
+//! matrix-exponential propagator
+//! ([`ExpPropagator`](distfront_thermal::ExpPropagator) — exact for the
+//! piecewise-constant interval power, two dense mat-vecs per advance);
+//! [`ExperimentConfig::with_integrator`] switches a run back to the
+//! sub-stepped RK4 reference
+//! ([`Integrator::Rk4`](distfront_thermal::Integrator)) for cross-checks.
+//!
 //! [`run_app`] is the one-cell convenience wrapper; grids and suites
 //! parallelize through [`SweepRunner`](crate::engine::SweepRunner) with
 //! bit-identical results.
@@ -126,11 +134,14 @@ impl BlockGroups {
 ///
 /// # Panics
 ///
-/// Panics if the configuration is invalid.
+/// Panics if the configuration is invalid or the run fails (e.g. a
+/// non-converged warm start); use
+/// [`CoupledEngine::run`](crate::engine::CoupledEngine::run) directly to
+/// handle [`EngineError`](crate::engine::EngineError)s instead.
 pub fn run_app(cfg: &ExperimentConfig, profile: &AppProfile) -> AppResult {
     CoupledEngine::new(cfg, profile)
         .run()
-        .unwrap_or_else(|e| panic!("bad config: {e}"))
+        .unwrap_or_else(|e| panic!("engine failed for {}/{}: {e}", cfg.name, profile.name))
 }
 
 /// Runs a whole application suite under one configuration, serially (the

@@ -29,6 +29,7 @@
 
 use std::fmt::Write as _;
 
+use distfront_thermal::Integrator;
 use distfront_trace::AppProfile;
 
 use crate::dtm::{DvfsPolicy, FetchGatePolicy, MigrationPolicy};
@@ -69,7 +70,10 @@ impl Scenario {
     ///
     /// Panics if the scenario's configuration is invalid.
     pub fn run(&self, opts: &RunOptions) -> ScenarioReport {
-        let cfg = self.config().with_uops(opts.uops);
+        let cfg = self
+            .config()
+            .with_uops(opts.uops)
+            .with_integrator(opts.integrator);
         let apps = opts.apps();
         let results = SweepRunner::with_threads(opts.workers).suite(&cfg, &apps);
         ScenarioReport {
@@ -89,6 +93,8 @@ pub struct RunOptions {
     pub workers: usize,
     /// Smoke mode: a 4-application subset instead of the full 26.
     pub smoke: bool,
+    /// Transient integrator (matrix-exponential propagator by default).
+    pub integrator: Integrator,
 }
 
 impl RunOptions {
@@ -99,6 +105,7 @@ impl RunOptions {
             uops: 200_000,
             workers: SweepRunner::new().threads(),
             smoke: false,
+            integrator: Integrator::default(),
         }
     }
 
@@ -121,6 +128,12 @@ impl RunOptions {
     /// Overrides the worker count; returns `self` for chaining.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Overrides the transient integrator; returns `self` for chaining.
+    pub fn with_integrator(mut self, integrator: Integrator) -> Self {
+        self.integrator = integrator;
         self
     }
 

@@ -150,6 +150,12 @@ impl PowerModel {
         self.leakage
     }
 
+    /// Replaces the leakage model (sensitivity studies, or stress tests of
+    /// the leakage↔temperature coupling).
+    pub fn set_leakage_model(&mut self, leakage: LeakageModel) {
+        self.leakage = leakage;
+    }
+
     /// Sets the per-block nominal average dynamic power used by the leakage
     /// term (from a pilot run).
     ///

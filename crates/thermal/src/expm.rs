@@ -1,0 +1,546 @@
+//! Exact transient advance via a cached matrix-exponential propagator.
+//!
+//! The thermal network's `C`, `L` and `G_amb` matrices are constant across
+//! a run, and the engine holds block power piecewise-constant per
+//! half-interval — so the transient `C·dT/dt = b − A·T` (with
+//! `A = L + diag(G_amb)` and `b = P + G_amb·T_amb`) has the exact closed
+//! form
+//!
+//! ```text
+//! T(t+h) = Φ·T(t) + Ψ·b,   Φ = e^(−h·C⁻¹A),   Ψ = (I − Φ)·A⁻¹
+//! ```
+//!
+//! [`ExpPropagator`] precomputes the discrete pair `(Φ, Ψ)` once per
+//! distinct step size `h` — the exponential by scaling-and-squaring, the
+//! `A⁻¹` solves through the same [`SteadyFactor`] LU factorization the
+//! steady state uses — and advances an interval in two dense mat-vecs
+//! instead of the hundreds of RK4 sub-steps [`ThermalSolver::advance`]
+//! needs for stability. Propagators are cached keyed on `h.to_bits()`, so
+//! DVFS- or throttle-stretched intervals (each a distinct wall-clock `h`)
+//! each factor exactly once and the whole advance path stays a
+//! deterministic, bit-reproducible function of `(state, power, h)`.
+//!
+//! [`ThermalSolver`]'s RK4 integrator remains the cross-check reference
+//! (mirroring how `solve_steady_dense` backs `SteadyFactor`); the property
+//! tests at the bottom of this module pin the two within 1e-6 °C.
+//!
+//! [`ThermalSolver`]: crate::solver::ThermalSolver
+//! [`ThermalSolver::advance`]: crate::solver::ThermalSolver::advance
+
+use std::collections::HashMap;
+
+use crate::rc::ThermalNetwork;
+use crate::solver::{assemble_matrix, assemble_rhs, SteadyFactor};
+
+/// Which transient integrator a run uses.
+///
+/// [`Integrator::Expm`] (the default) is exact for piecewise-constant power
+/// and advances an interval in one dense propagator application;
+/// [`Integrator::Rk4`] keeps the explicit sub-stepped reference available
+/// for cross-checks and A/B benchmarking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrator {
+    /// Explicit RK4, sub-stepped below the smallest network time constant.
+    Rk4,
+    /// Cached matrix-exponential propagator (exact for constant power).
+    #[default]
+    Expm,
+}
+
+impl std::str::FromStr for Integrator {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "rk4" => Ok(Integrator::Rk4),
+            "expm" => Ok(Integrator::Expm),
+            other => Err(format!("unknown integrator {other} (expected rk4|expm)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Integrator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Integrator::Rk4 => "rk4",
+            Integrator::Expm => "expm",
+        })
+    }
+}
+
+/// The discrete propagator pair for one step size.
+#[derive(Debug, Clone)]
+struct Propagator {
+    /// `Φ = e^(−h·C⁻¹A)` — how the deviation from steady state decays.
+    phi: Vec<Vec<f64>>,
+    /// `Ψ = (I − Φ)·A⁻¹` — how the constant forcing accumulates.
+    psi: Vec<Vec<f64>>,
+}
+
+/// Owns the temperature state of a [`ThermalNetwork`] and advances it with
+/// cached matrix-exponential propagators.
+///
+/// Drop-in alternative to [`ThermalSolver`](crate::solver::ThermalSolver):
+/// the same construction-time LU factorization backs the steady-state
+/// solves, and `advance` is exact for the piecewise-constant power the
+/// interval loop supplies.
+///
+/// # Examples
+///
+/// ```
+/// use distfront_power::Machine;
+/// use distfront_thermal::{ExpPropagator, Floorplan, PackageConfig, ThermalNetwork};
+///
+/// let fp = Floorplan::for_machine(Machine::new(1, 4, 2));
+/// let net = ThermalNetwork::from_floorplan(&fp, &PackageConfig::paper());
+/// let mut solver = ExpPropagator::new(net);
+/// let power = vec![0.5; solver.network().block_count()];
+/// solver.advance(&power, 1e-3);
+/// assert!(solver.block_temperatures()[0] > 45.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExpPropagator {
+    net: ThermalNetwork,
+    /// Node temperatures in °C.
+    t: Vec<f64>,
+    /// LU factorization of `A`, shared by steady solves and Ψ assembly.
+    steady: SteadyFactor,
+    /// Propagator pairs keyed on the step size's exact bits.
+    cache: HashMap<u64, Propagator>,
+}
+
+impl ExpPropagator {
+    /// Creates a propagator-based solver with every node at ambient; the
+    /// steady-state matrix is assembled and LU-factored here, once.
+    /// Propagators themselves are built lazily, one per distinct step size.
+    pub fn new(net: ThermalNetwork) -> Self {
+        let t = vec![net.ambient_c(); net.node_count()];
+        let steady = SteadyFactor::factor(assemble_matrix(&net));
+        ExpPropagator {
+            net,
+            t,
+            steady,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &ThermalNetwork {
+        &self.net
+    }
+
+    /// All node temperatures (blocks, then spreader, then sink) in °C.
+    pub fn temperatures(&self) -> &[f64] {
+        &self.t
+    }
+
+    /// Block temperatures only, in °C.
+    pub fn block_temperatures(&self) -> &[f64] {
+        &self.t[..self.net.block_count()]
+    }
+
+    /// Distinct step sizes a propagator pair has been built for.
+    pub fn cached_steps(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Overwrites the state (for warm-start restore / checkpointing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match the node count.
+    pub fn set_temperatures(&mut self, t: Vec<f64>) {
+        assert_eq!(t.len(), self.net.node_count());
+        self.t = t;
+    }
+
+    /// Computes the steady-state temperatures without changing the state,
+    /// reusing the factorization done at construction. Bit-identical to
+    /// [`ThermalSolver::solve_steady`](crate::solver::ThermalSolver::solve_steady)
+    /// on the same network.
+    pub fn solve_steady(&self, power: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            power.len(),
+            self.net.block_count(),
+            "one power entry per block"
+        );
+        self.steady.solve(&assemble_rhs(&self.net, power))
+    }
+
+    /// Solves for the steady state under constant block `power` and adopts
+    /// it as the current state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power` does not have one entry per block.
+    pub fn set_steady_state(&mut self, power: &[f64]) {
+        self.t = self.solve_steady(power);
+    }
+
+    /// Advances the transient state by `dt` seconds under constant block
+    /// `power` — one propagator application, exact for constant power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power` does not have one entry per block or `dt` is not
+    /// positive.
+    pub fn advance(&mut self, power: &[f64], dt: f64) {
+        assert!(dt > 0.0, "dt must be positive");
+        assert_eq!(power.len(), self.net.block_count());
+        let key = dt.to_bits();
+        if !self.cache.contains_key(&key) {
+            let prop = build_propagator(&self.net, &self.steady, dt);
+            self.cache.insert(key, prop);
+        }
+        let prop = &self.cache[&key];
+        let b = assemble_rhs(&self.net, power);
+        let mut next = mat_vec(&prop.phi, &self.t);
+        for (n, f) in next.iter_mut().zip(mat_vec(&prop.psi, &b)) {
+            *n += f;
+        }
+        self.t = next;
+    }
+}
+
+/// Builds the `(Φ, Ψ)` pair for one step size.
+fn build_propagator(net: &ThermalNetwork, steady: &SteadyFactor, h: f64) -> Propagator {
+    let n = net.node_count();
+    let a = assemble_matrix(net);
+    // X = −h·C⁻¹A (row i of A scaled by −h/Cᵢ).
+    let x: Vec<Vec<f64>> = a
+        .iter()
+        .zip(net.capacitances())
+        .map(|(row, &c)| row.iter().map(|&v| -h * v / c).collect())
+        .collect();
+    let phi = expm(&x);
+    // Ψ = (I − Φ)·A⁻¹. A is symmetric, so row j of Ψ is A⁻¹ applied to
+    // row j of (I − Φ) — one O(n²) pair of triangular solves per row
+    // through the factorization already built for the steady state.
+    let psi = (0..n)
+        .map(|j| {
+            let rhs: Vec<f64> = (0..n)
+                .map(|k| f64::from(u8::from(j == k)) - phi[j][k])
+                .collect();
+            steady.solve(&rhs)
+        })
+        .collect();
+    Propagator { phi, psi }
+}
+
+/// Dense matrix exponential by scaling-and-squaring over a Taylor series.
+///
+/// The argument is scaled by `2⁻ˢ` until its infinity norm is ≤ 0.5, the
+/// series is summed to machine precision (it converges geometrically with
+/// ratio ≤ 0.5 from term ~1 on), and the result is squared back `s` times.
+/// For the thermal system `X = −h·C⁻¹A` the exponential is a contraction,
+/// so the squarings are numerically benign.
+fn expm(x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = x.len();
+    let norm = inf_norm(x);
+    let squarings = if norm > 0.5 {
+        (norm / 0.5).log2().ceil() as u32
+    } else {
+        0
+    };
+    let scale = (0.5f64).powi(squarings as i32);
+    let scaled: Vec<Vec<f64>> = x
+        .iter()
+        .map(|row| row.iter().map(|&v| v * scale).collect())
+        .collect();
+
+    // e^scaled = I + scaled + scaled²/2! + ...
+    let mut result = identity(n);
+    add_assign(&mut result, &scaled, 1.0);
+    let mut term = scaled.clone();
+    for k in 2..200u32 {
+        term = mat_mul(&term, &scaled);
+        let f = 1.0 / f64::from(k);
+        scale_assign(&mut term, f);
+        add_assign(&mut result, &term, 1.0);
+        if inf_norm(&term) <= f64::EPSILON * inf_norm(&result) {
+            break;
+        }
+    }
+    for _ in 0..squarings {
+        result = mat_mul(&result, &result);
+    }
+    result
+}
+
+fn identity(n: usize) -> Vec<Vec<f64>> {
+    let mut m = vec![vec![0.0; n]; n];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    m
+}
+
+fn inf_norm(m: &[Vec<f64>]) -> f64 {
+    m.iter()
+        .map(|row| row.iter().map(|v| v.abs()).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+fn add_assign(dst: &mut [Vec<f64>], src: &[Vec<f64>], f: f64) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        for (dv, sv) in d.iter_mut().zip(s) {
+            *dv += f * sv;
+        }
+    }
+}
+
+fn scale_assign(m: &mut [Vec<f64>], f: f64) {
+    for row in m.iter_mut() {
+        for v in row.iter_mut() {
+            *v *= f;
+        }
+    }
+}
+
+fn mat_mul(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = a.len();
+    let mut out = vec![vec![0.0; n]; n];
+    for (orow, arow) in out.iter_mut().zip(a) {
+        for (k, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            for (ov, &bv) in orow.iter_mut().zip(&b[k]) {
+                *ov += av * bv;
+            }
+        }
+    }
+    out
+}
+
+fn mat_vec(m: &[Vec<f64>], v: &[f64]) -> Vec<f64> {
+    m.iter()
+        .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::Floorplan;
+    use crate::package::PackageConfig;
+    use crate::solver::ThermalSolver;
+    use distfront_power::Machine;
+
+    fn paper_net() -> ThermalNetwork {
+        let fp = Floorplan::for_machine(Machine::new(1, 4, 2));
+        ThermalNetwork::from_floorplan(&fp, &PackageConfig::paper())
+    }
+
+    /// Advances an RK4 reference solver with sub-steps ~200× below the
+    /// smallest time constant — far finer than the solver's own τ/8
+    /// stability step, so its error is negligible against 1e-6 °C.
+    fn rk4_fine(s: &mut ThermalSolver, power: &[f64], dt: f64) {
+        let tau = s.network().min_time_constant();
+        let steps = (dt / (tau / 200.0)).ceil().max(1.0) as usize;
+        let h = dt / steps as f64;
+        for _ in 0..steps {
+            s.advance(power, h);
+        }
+    }
+
+    #[test]
+    fn integrator_parses_and_displays() {
+        assert_eq!("rk4".parse::<Integrator>().unwrap(), Integrator::Rk4);
+        assert_eq!("expm".parse::<Integrator>().unwrap(), Integrator::Expm);
+        assert!("euler".parse::<Integrator>().is_err());
+        assert_eq!(Integrator::default(), Integrator::Expm);
+        assert_eq!(Integrator::Rk4.to_string(), "rk4");
+        assert_eq!(Integrator::Expm.to_string(), "expm");
+    }
+
+    #[test]
+    fn matches_analytic_single_rc() {
+        // One node, G_amb = 0.5 W/K, C = 2 J/K: T(t) = T_inf + (T0−T_inf)e^(−t/4).
+        let net = ThermalNetwork::from_parts(vec![vec![0.0]], vec![0.5], vec![2.0], 45.0, 1);
+        let mut s = ExpPropagator::new(net);
+        let p = [10.0];
+        let dt = 1.0;
+        s.advance(&p, dt);
+        let analytic = 65.0 + (45.0f64 - 65.0) * (-dt / 4.0).exp();
+        assert!(
+            (s.temperatures()[0] - analytic).abs() < 1e-10,
+            "expm {} vs analytic {analytic}",
+            s.temperatures()[0]
+        );
+    }
+
+    #[test]
+    fn steady_solve_is_bit_identical_to_rk4_solver() {
+        let expm = ExpPropagator::new(paper_net());
+        let rk4 = ThermalSolver::new(paper_net());
+        let nb = expm.network().block_count();
+        let power: Vec<f64> = (0..nb).map(|i| 0.1 + 0.04 * (i % 7) as f64).collect();
+        for (a, b) in expm
+            .solve_steady(&power)
+            .iter()
+            .zip(rk4.solve_steady(&power))
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "steady paths must share bits");
+        }
+    }
+
+    #[test]
+    fn matches_rk4_on_the_paper_floorplan() {
+        let mut expm = ExpPropagator::new(paper_net());
+        let mut rk4 = ThermalSolver::new(paper_net());
+        let nb = expm.network().block_count();
+        let hot: Vec<f64> = (0..nb).map(|i| 0.2 + 0.3 * (i % 5) as f64).collect();
+        let cool = vec![0.1; nb];
+        // A realistic interval sequence: alternating power, dt/2 half-steps.
+        let dt = 2e-5;
+        for step in 0..20 {
+            let p = if step % 2 == 0 { &hot } else { &cool };
+            expm.advance(p, dt / 2.0);
+            rk4_fine(&mut rk4, p, dt / 2.0);
+        }
+        for (i, (a, b)) in expm
+            .temperatures()
+            .iter()
+            .zip(rk4.temperatures())
+            .enumerate()
+        {
+            assert!((a - b).abs() < 1e-6, "node {i}: expm {a} vs rk4 {b}");
+        }
+        // Both half-step sizes hit the same cache entry.
+        assert_eq!(expm.cached_steps(), 1);
+    }
+
+    #[test]
+    fn long_step_relaxes_back_to_steady_state() {
+        // Perturb only the block nodes off the steady solution (the sink
+        // alone has an hours-long time constant); steps ≫ the block time
+        // constants must relax them back.
+        let mut s = ExpPropagator::new(paper_net());
+        let nb = s.network().block_count();
+        let power = vec![0.6; nb];
+        let steady = s.solve_steady(&power);
+        let mut init = steady.clone();
+        for t in init.iter_mut().take(nb) {
+            *t -= 1.0;
+        }
+        s.set_temperatures(init);
+        for _ in 0..50 {
+            s.advance(&power, 0.01);
+        }
+        for (i, (got, want)) in s.temperatures().iter().zip(&steady).enumerate().take(nb) {
+            assert!((got - want).abs() < 0.5, "node {i}: {got} vs steady {want}");
+        }
+    }
+
+    #[test]
+    fn zero_power_stays_at_ambient() {
+        let mut s = ExpPropagator::new(paper_net());
+        let nb = s.network().block_count();
+        s.advance(&vec![0.0; nb], 0.1);
+        for &t in s.temperatures() {
+            assert!((t - 45.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn distinct_step_sizes_factor_once_each() {
+        let mut s = ExpPropagator::new(paper_net());
+        let nb = s.network().block_count();
+        let p = vec![0.5; nb];
+        for _ in 0..5 {
+            s.advance(&p, 1e-5);
+            s.advance(&p, 2e-5);
+        }
+        assert_eq!(s.cached_steps(), 2);
+    }
+
+    #[test]
+    fn advance_is_deterministic() {
+        let run = || {
+            let mut s = ExpPropagator::new(paper_net());
+            let nb = s.network().block_count();
+            let p: Vec<f64> = (0..nb).map(|i| 0.3 + 0.02 * i as f64).collect();
+            for _ in 0..8 {
+                s.advance(&p, 1.3e-5);
+            }
+            s.temperatures().to_vec()
+        };
+        let a = run();
+        let b = run();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn zero_dt_panics() {
+        let mut s = ExpPropagator::new(paper_net());
+        let nb = s.network().block_count();
+        s.advance(&vec![0.0; nb], 0.0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::solver::ThermalSolver;
+    use proptest::prelude::*;
+
+    /// Builds a random well-posed RC network: symmetric non-negative
+    /// conductances, strictly positive capacitances, every node tied to
+    /// ambient (so the steady-state system is positive definite).
+    fn random_net(n: usize, g_raw: &[f64], g_amb: &[f64], c: &[f64]) -> ThermalNetwork {
+        let mut g = vec![vec![0.0; n]; n];
+        let pairs = (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j)));
+        for (k, (i, j)) in pairs.enumerate() {
+            g[i][j] = g_raw[k % g_raw.len()];
+            g[j][i] = g[i][j];
+        }
+        ThermalNetwork::from_parts(g, g_amb[..n].to_vec(), c[..n].to_vec(), 45.0, n)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// The propagator matches a finely sub-stepped RK4 reference within
+        /// 1e-6 °C over random positive-definite networks driven by random
+        /// piecewise-constant power.
+        #[test]
+        fn expm_matches_rk4_reference(
+            n in 2usize..7,
+            g_raw in proptest::collection::vec(0.05f64..3.0, 21),
+            g_amb in proptest::collection::vec(0.1f64..1.5, 7),
+            c in proptest::collection::vec(0.4f64..4.0, 7),
+            power in proptest::collection::vec(0.0f64..6.0, 28),
+            dt_factor in 0.2f64..2.5,
+        ) {
+            let net = random_net(n, &g_raw, &g_amb, &c);
+            let tau = net.min_time_constant();
+            let dt = dt_factor * tau;
+            let mut fast = ExpPropagator::new(net.clone());
+            let mut reference = ThermalSolver::new(net);
+            // Four pieces of constant power, both solvers from ambient.
+            for piece in 0..4 {
+                let p: Vec<f64> = (0..n).map(|i| power[(piece * n + i) % power.len()]).collect();
+                fast.advance(&p, dt);
+                let steps = (dt / (tau / 200.0)).ceil().max(1.0) as usize;
+                let h = dt / steps as f64;
+                for _ in 0..steps {
+                    reference.advance(&p, h);
+                }
+            }
+            for (i, (a, b)) in fast
+                .temperatures()
+                .iter()
+                .zip(reference.temperatures())
+                .enumerate()
+            {
+                prop_assert!(
+                    (a - b).abs() < 1e-6,
+                    "node {}: expm {} vs rk4 {} (n={}, dt={})", i, a, b, n, dt
+                );
+            }
+        }
+    }
+}

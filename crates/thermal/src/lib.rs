@@ -12,19 +12,23 @@
 //! * [`package`] — die, interface, spreader, sink and convection parameters,
 //! * [`rc`] — building the conductance matrix and capacitance vector,
 //! * [`solver`] — steady-state solve (warm start, as the paper boots its
-//!   simulations already warm) and RK4 transient integration,
+//!   simulations already warm) and the RK4 reference transient integrator,
+//! * [`expm`] — the default transient path: a cached matrix-exponential
+//!   propagator that advances an interval exactly in two dense mat-vecs,
 //! * [`metrics`] — the paper's AbsMax / Average / AvgMax temperature
 //!   metrics over block groups.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod expm;
 pub mod floorplan;
 pub mod metrics;
 pub mod package;
 pub mod rc;
 pub mod solver;
 
+pub use expm::{ExpPropagator, Integrator};
 pub use floorplan::{Floorplan, Rect};
 pub use metrics::{GroupMetrics, TemperatureTracker};
 pub use package::PackageConfig;

@@ -9,8 +9,15 @@
 //! O(n²) triangular substitutions instead of an O(n³) elimination.
 //! [`ThermalSolver::solve_steady_dense`] keeps the single-shot Gaussian
 //! elimination as a cross-check reference.
-//! Transients integrate `C · dT/dt = P − L·T − G_amb·(T − T_amb)` with RK4,
-//! sub-stepping below the network's smallest time constant for stability.
+//!
+//! Transients integrate `C · dT/dt = P − L·T − G_amb·(T − T_amb)`. The
+//! production path is the cached matrix-exponential propagator in
+//! [`crate::expm`] ([`ExpPropagator`](crate::expm::ExpPropagator)), which
+//! is exact for the piecewise-constant power the engine supplies and
+//! advances a whole interval in two dense mat-vecs; the RK4 integrator
+//! here ([`ThermalSolver::advance`], sub-stepped below the network's
+//! smallest time constant for stability) is kept as the cross-check
+//! reference and remains selectable with `--integrator rk4`.
 
 use crate::rc::ThermalNetwork;
 
@@ -264,8 +271,9 @@ impl ThermalSolver {
     }
 }
 
-/// Assembles the steady-state system matrix `A = L + diag(g_amb)`.
-fn assemble_matrix(net: &ThermalNetwork) -> Vec<Vec<f64>> {
+/// Assembles the steady-state system matrix `A = L + diag(g_amb)`
+/// (shared with the matrix-exponential propagator in [`crate::expm`]).
+pub(crate) fn assemble_matrix(net: &ThermalNetwork) -> Vec<Vec<f64>> {
     let n = net.node_count();
     let mut a = vec![vec![0.0f64; n]; n];
     for (i, row) in a.iter_mut().enumerate() {
@@ -282,8 +290,9 @@ fn assemble_matrix(net: &ThermalNetwork) -> Vec<Vec<f64>> {
     a
 }
 
-/// Assembles the right-hand side `b = P_ext + g_amb · T_amb`.
-fn assemble_rhs(net: &ThermalNetwork, power: &[f64]) -> Vec<f64> {
+/// Assembles the right-hand side `b = P_ext + g_amb · T_amb`
+/// (shared with the matrix-exponential propagator in [`crate::expm`]).
+pub(crate) fn assemble_rhs(net: &ThermalNetwork, power: &[f64]) -> Vec<f64> {
     let nb = net.block_count();
     (0..net.node_count())
         .map(|i| {

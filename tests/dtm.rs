@@ -93,3 +93,68 @@ fn hard_limit_rarely_fires_at_calibration() {
         "calibration far above the emergency limit"
     );
 }
+
+/// The throttle stretch is computed in f64 from the exact cycle count —
+/// no per-interval integer rounding — so interval energy and wall-time
+/// accounting conserve the un-throttled run exactly: a throttled run's
+/// extra wall time is proportional to `1/factor − 1`, and the committed
+/// work (cycles, uops) is untouched.
+#[test]
+fn throttle_stretch_conserves_interval_accounting() {
+    use distfront::engine::{CoupledEngine, DtmAction, DtmPolicy};
+
+    /// Throttles every interval after the first at a fixed factor.
+    struct ConstThrottle(f64);
+    impl DtmPolicy for ConstThrottle {
+        fn decide(&mut self, _temps_c: &[f64]) -> DtmAction {
+            DtmAction::Throttle(self.0)
+        }
+        fn triggers(&self) -> u64 {
+            0
+        }
+        fn throttled_intervals(&self) -> u64 {
+            0
+        }
+    }
+
+    let cfg = ExperimentConfig::baseline().with_uops(60_000);
+    let app = AppProfile::test_tiny();
+    let throttled = |factor: f64| {
+        CoupledEngine::new(&cfg, &app)
+            .with_dtm(Box::new(ConstThrottle(factor)))
+            .run()
+            .unwrap()
+    };
+
+    let free = run_app(&cfg, &app);
+    // 0.3 does not divide any binary cycle count evenly — the case the
+    // old `(cycles / throttle).round()` accounting drifted on by up to
+    // half a cycle per interval.
+    let slow = throttled(0.3);
+    let third = throttled(1.0 / 3.0);
+
+    // Throttling never changes the committed work, only its wall time.
+    assert_eq!(slow.cycles, free.cycles);
+    assert_eq!(slow.uops, free.uops);
+    assert_eq!(third.cycles, free.cycles);
+
+    // The first interval runs nominal (the policy is consulted at each
+    // interval's end), every later interval stretches by 1/factor; the
+    // extra wall time is therefore (1/factor − 1) · t_throttled_portion,
+    // giving an exact cross-factor identity:
+    //   (w(0.3) − w_free) / (w(1/3) − w_free) = (1/0.3 − 1) / (3 − 1).
+    let extra_a = slow.wall_time_s - free.wall_time_s;
+    let extra_b = third.wall_time_s - free.wall_time_s;
+    assert!(extra_a > 0.0 && extra_b > 0.0, "throttle must cost time");
+    let want = (1.0 / 0.3 - 1.0) / (1.0 / (1.0 / 3.0) - 1.0);
+    let got = extra_a / extra_b;
+    assert!(
+        (got / want - 1.0).abs() < 1e-9,
+        "stretch ratio {got} vs exact {want} — integer rounding drift"
+    );
+
+    // Dynamic switching energy is conserved under the stretch: the same
+    // joules spread over more seconds, so average power must drop below
+    // the free-running value rather than track it.
+    assert!(slow.avg_power_w < free.avg_power_w);
+}

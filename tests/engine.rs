@@ -156,3 +156,90 @@ fn figure_rows_unchanged_on_the_engine() {
     assert_eq!(pr[0].label, "drc");
     assert_eq!(pr[0].values.len(), 10);
 }
+
+/// (d) The default (matrix-exponential) engine and the RK4 reference
+/// engine agree on the physics: same committed work, temperatures within
+/// the RK4 integrator's own error band.
+#[test]
+fn expm_and_rk4_engines_agree_closely() {
+    use distfront::Integrator;
+    let app = AppProfile::test_tiny();
+    let expm = run_app(
+        &ExperimentConfig::baseline()
+            .with_uops(60_000)
+            .with_integrator(Integrator::Expm),
+        &app,
+    );
+    let rk4 = run_app(
+        &ExperimentConfig::baseline()
+            .with_uops(60_000)
+            .with_integrator(Integrator::Rk4),
+        &app,
+    );
+    assert_eq!(expm.uops, rk4.uops);
+    assert!(
+        (expm.temps.processor.abs_max_c - rk4.temps.processor.abs_max_c).abs() < 0.1,
+        "peak: expm {} vs rk4 {}",
+        expm.temps.processor.abs_max_c,
+        rk4.temps.processor.abs_max_c
+    );
+    assert!((expm.temps.processor.average_c - rk4.temps.processor.average_c).abs() < 0.1);
+    assert!((expm.avg_power_w - rk4.avg_power_w).abs() / rk4.avg_power_w < 1e-3);
+}
+
+/// (e) A warm start whose leakage↔temperature fixed point diverges is an
+/// error, and the non-converged state never enters the shared cache.
+#[test]
+fn non_converged_warm_start_is_an_error_and_never_cached() {
+    use distfront::engine::{EngineCx, EngineError, Stage, WarmStartStage};
+    use distfront::engine::{IntervalLoopStage, PilotStage};
+    use distfront_power::LeakageModel;
+
+    /// Installs a leakage model whose feedback gain exceeds one with no
+    /// emergency cap: every fixed-point iteration heats the chip further,
+    /// so the warm start can never settle.
+    struct DivergentLeakage;
+    impl Stage for DivergentLeakage {
+        fn name(&self) -> &'static str {
+            "divergent-leakage"
+        }
+        fn run(&mut self, cx: &mut EngineCx<'_>) -> Result<(), EngineError> {
+            cx.model.set_leakage_model(LeakageModel {
+                ratio_at_ambient: 6.0,
+                doubling_celsius: 4.0,
+                emergency_c: f64::MAX,
+                ..LeakageModel::paper()
+            });
+            Ok(())
+        }
+    }
+
+    let cfg = ExperimentConfig::baseline().with_uops(30_000);
+    let app = AppProfile::test_tiny();
+    let cache = Arc::new(WarmStartCache::new());
+    let err = CoupledEngine::new(&cfg, &app)
+        .with_stages(vec![
+            Box::new(PilotStage),
+            Box::new(DivergentLeakage),
+            Box::new(WarmStartStage::with_cache(Arc::clone(&cache))),
+            Box::new(IntervalLoopStage),
+        ])
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, EngineError::NotConverged(_)),
+        "expected NotConverged, got {err:?}"
+    );
+    assert!(
+        cache.is_empty(),
+        "a non-converged warm start poisoned the shared cache"
+    );
+
+    // The same pipeline with the stock leakage model converges and caches.
+    let ok = CoupledEngine::new(&cfg, &app)
+        .with_warm_cache(Arc::clone(&cache))
+        .run()
+        .unwrap();
+    assert_eq!(cache.len(), 1);
+    assert_eq!(ok, run_app(&cfg, &app));
+}

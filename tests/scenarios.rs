@@ -146,3 +146,35 @@ fn over_limit_residency_tracks_workload_heat() {
     );
     assert_eq!(cool.over_limit_s, 0.0, "mcf must stay legal");
 }
+
+#[test]
+fn scenario_bytes_identical_across_workers_for_both_integrators() {
+    use distfront::Integrator;
+    // The integrator choice changes the numbers, never the determinism:
+    // CSV and JSON stay byte-identical at 1, 2 and 5 workers under both
+    // the matrix-exponential default and the RK4 reference.
+    let s = scenarios::by_name("dtm-dvfs").unwrap();
+    for integrator in [Integrator::Expm, Integrator::Rk4] {
+        let opts = RunOptions::smoke()
+            .with_uops(30_000)
+            .with_integrator(integrator);
+        let serial = s.run(&opts.with_workers(1));
+        let (csv1, json1) = (
+            scenarios::to_csv(std::slice::from_ref(&serial)),
+            scenarios::to_json(std::slice::from_ref(&serial)),
+        );
+        for workers in [2, 5] {
+            let parallel = s.run(&opts.with_workers(workers));
+            assert_eq!(
+                csv1,
+                scenarios::to_csv(std::slice::from_ref(&parallel)),
+                "{integrator:?} CSV diverged at {workers} workers"
+            );
+            assert_eq!(
+                json1,
+                scenarios::to_json(std::slice::from_ref(&parallel)),
+                "{integrator:?} JSON diverged at {workers} workers"
+            );
+        }
+    }
+}
