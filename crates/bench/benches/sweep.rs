@@ -1,14 +1,26 @@
-//! Serial vs. parallel sweep: runs the 26-application evaluation set under
-//! the baseline and the combined distributed frontend through the staged
-//! engine, once on a single worker and once across every available core,
-//! verifies the results are bit-identical, and prints the wall-clock
-//! speedup. On a 4-core machine the parallel sweep is expected to finish
-//! ≥ 2× faster; the grid is embarrassingly parallel, so the speedup tracks
-//! the core count.
+//! Serial vs. parallel sweep, plus the warm-start cache under contention.
+//!
+//! First the 26-application evaluation set runs under the baseline and the
+//! combined distributed frontend through the staged engine, once on a
+//! single worker and once across every available core, verifying the
+//! fault-tolerant reports are bit-identical and printing the wall-clock
+//! speedup (on a 4-core machine expect ≥ 2×; the grid is embarrassingly
+//! parallel, so the speedup tracks the core count).
+//!
+//! Then the [`WarmStartCache`] is measured head-to-head: one shard (every
+//! lookup through a single lock — the pre-sharding design) against the
+//! default sharded layout, at 1 worker and at ≥ 4 workers. The numbers
+//! are written to `BENCH_sweep.json` at the workspace root (override with
+//! `DISTFRONT_BENCH_SWEEP_JSON`), giving CI a tracked baseline: sharding
+//! must be free serially and win under contention. The parallel number is
+//! only meaningful on a multicore host (`host_cores` in the JSON records
+//! it): on one core the workers timeshare and both layouts tie.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use distfront::engine::{EngineError, WarmStartCache};
 use distfront::{ExperimentConfig, SweepRunner};
 use distfront_bench::{bench_uops, evaluation_apps, kernel_app};
+use distfront_power::{LeakageModel, Machine};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -27,22 +39,106 @@ fn sweep_comparison() {
     );
 
     let t0 = Instant::now();
-    let serial = SweepRunner::serial().grid(&configs, apps);
+    let serial = SweepRunner::serial().try_grid(&configs, apps);
     let serial_s = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let parallel = SweepRunner::new().grid(&configs, apps);
+    let parallel = SweepRunner::new().try_grid(&configs, apps);
     let parallel_s = t1.elapsed().as_secs_f64();
 
     assert_eq!(serial, parallel, "parallel sweep diverged from serial");
+    assert!(serial.is_complete(), "bench grid must have no failed cells");
     println!(
         "serial {serial_s:.2} s | parallel {parallel_s:.2} s | speedup {:.2}x on {cores} cores (results bit-identical)\n",
         serial_s / parallel_s
     );
 }
 
+/// Distinct nominal power profiles, every one a distinct cache key.
+fn key_set(machine: Machine, keys: usize) -> Vec<Vec<f64>> {
+    (0..keys)
+        .map(|k| {
+            (0..machine.block_count())
+                .map(|b| 0.25 + 0.01 * k as f64 + 0.003 * b as f64)
+                .collect()
+        })
+        .collect()
+}
+
+/// Mean ns per `get_or_compute` hit with `threads` workers hammering a
+/// pre-populated cache (the sweep's steady state: every lookup a hit).
+fn time_cache_lookups(cache: &WarmStartCache, machine: Machine, threads: usize) -> f64 {
+    let keys = key_set(machine, 64);
+    for nominal in &keys {
+        cache
+            .get_or_compute(machine, &LeakageModel::paper(), nominal, || {
+                Ok::<_, EngineError>(vec![60.0; machine.block_count()])
+            })
+            .expect("synthetic solve cannot fail");
+    }
+    let per_thread = 20_000usize;
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let keys = &keys;
+            let cache = &cache;
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    let nominal = &keys[(i + t) % keys.len()];
+                    let (state, hit) = cache
+                        .get_or_compute(machine, &LeakageModel::paper(), nominal, || {
+                            Err::<Vec<f64>, _>(EngineError::NotConverged("must be a hit"))
+                        })
+                        .expect("every lookup is a hit");
+                    assert!(hit);
+                    black_box(state);
+                }
+            });
+        }
+    });
+    t0.elapsed().as_secs_f64() * 1e9 / (threads * per_thread) as f64
+}
+
+fn cache_contention_comparison() {
+    let machine = Machine::new(2, 4, 3);
+    let host_cores = SweepRunner::new().threads();
+    let width = host_cores.max(4);
+    let contended = WarmStartCache::with_shards(1);
+    let sharded = WarmStartCache::new();
+
+    let contended_serial_ns = time_cache_lookups(&contended, machine, 1);
+    let sharded_serial_ns = time_cache_lookups(&sharded, machine, 1);
+    let contended_wide_ns = time_cache_lookups(&contended, machine, width);
+    let sharded_wide_ns = time_cache_lookups(&sharded, machine, width);
+    let speedup = contended_wide_ns / sharded_wide_ns;
+    println!(
+        "warm cache ({} shards vs 1): serial {sharded_serial_ns:.0} vs {contended_serial_ns:.0} \
+         ns/lookup | {width} workers {sharded_wide_ns:.0} vs {contended_wide_ns:.0} ns/lookup \
+         | contended/sharded speedup {speedup:.1}x\n",
+        sharded.shard_count()
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"sweep_warm_cache\",\n  \"shards\": {},\n  \"workers\": {width},\n  \
+         \"host_cores\": {host_cores},\n  \
+         \"contended_serial_ns_per_lookup\": {contended_serial_ns:.1},\n  \
+         \"sharded_serial_ns_per_lookup\": {sharded_serial_ns:.1},\n  \
+         \"contended_parallel_ns_per_lookup\": {contended_wide_ns:.1},\n  \
+         \"sharded_parallel_ns_per_lookup\": {sharded_wide_ns:.1},\n  \
+         \"parallel_speedup\": {speedup:.2}\n}}\n",
+        sharded.shard_count()
+    );
+    let path = std::env::var("DISTFRONT_BENCH_SWEEP_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json").into());
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
 fn bench(c: &mut Criterion) {
     sweep_comparison();
+    cache_contention_comparison();
     let app = kernel_app();
     c.bench_function("sweep/parallel_two_config_grid", |b| {
         let configs = [
@@ -51,7 +147,26 @@ fn bench(c: &mut Criterion) {
         ];
         let apps = [app];
         let runner = SweepRunner::new();
-        b.iter(|| black_box(runner.grid(&configs, &apps)))
+        b.iter(|| black_box(runner.try_grid(&configs, &apps)))
+    });
+    c.bench_function("sweep/warm_cache_hit_sharded", |b| {
+        let machine = Machine::new(2, 4, 3);
+        let cache = WarmStartCache::new();
+        let nominal = key_set(machine, 1).pop().unwrap();
+        cache
+            .get_or_compute(machine, &LeakageModel::paper(), &nominal, || {
+                Ok::<_, EngineError>(vec![60.0; machine.block_count()])
+            })
+            .unwrap();
+        b.iter(|| {
+            black_box(
+                cache
+                    .get_or_compute(machine, &LeakageModel::paper(), &nominal, || {
+                        Err::<Vec<f64>, _>(EngineError::NotConverged("must hit"))
+                    })
+                    .unwrap(),
+            )
+        })
     });
 }
 

@@ -2,7 +2,9 @@
 //! set (a lighter-weight version of the `sweep` bench).
 //!
 //! Exits with status 1 if the parallel results diverge from the serial
-//! reference, so CI smoke jobs can gate on the bit-identity guarantee.
+//! reference, so CI smoke jobs can gate on the bit-identity guarantee —
+//! which covers error cells too: the fault-tolerant reports are compared
+//! whole, and any failed cell is listed (exit 2) instead of panicking.
 //!
 //! ```sh
 //! cargo run --release --example sweep_speedup -p distfront -- 100000
@@ -30,14 +32,18 @@ fn main() -> ExitCode {
     );
 
     let t0 = Instant::now();
-    let serial = SweepRunner::serial().grid(&configs, apps);
+    let serial = SweepRunner::serial().try_grid(&configs, apps);
     let serial_s = t0.elapsed().as_secs_f64();
     println!("serial:   {serial_s:.2} s");
 
+    let parallel_runner = SweepRunner::new();
     let t1 = Instant::now();
-    let parallel = SweepRunner::new().grid(&configs, apps);
+    let parallel = parallel_runner.try_grid(&configs, apps);
     let parallel_s = t1.elapsed().as_secs_f64();
-    println!("parallel: {parallel_s:.2} s");
+    println!(
+        "parallel: {parallel_s:.2} s ({} warm-cache hits)",
+        parallel.warm_hits()
+    );
 
     if serial != parallel {
         eprintln!(
@@ -45,6 +51,16 @@ fn main() -> ExitCode {
              guarantee is broken"
         );
         return ExitCode::FAILURE;
+    }
+    if !serial.is_complete() {
+        for cell in serial.failures() {
+            eprintln!(
+                "error: cell {} failed: {}",
+                cell.label(),
+                cell.result.as_ref().unwrap_err()
+            );
+        }
+        return ExitCode::from(2);
     }
     println!(
         "speedup {:.2}x on {cores} cores; results bit-identical",

@@ -11,16 +11,25 @@
 //!   --uops N         micro-ops per application (default 200000; smoke 40000)
 //!   --workers N      sweep workers (default: all hardware threads)
 //!   --integrator I   transient integrator: expm (default) or rk4
-//!   --csv PATH       write results as CSV
+//!   --csv PATH       write results as CSV (rows stream to the file as cells
+//!                    complete; rewritten in canonical order at the end)
 //!   --json PATH      write results as JSON
+//!   --progress       print one line per cell as it completes
 //!   --verify         also run serially and fail unless the bytes match
+//!   --inject-fail    append a divergent-leakage scenario whose cells all
+//!                    fail (exercises the partial-results path; CI uses it)
 //! ```
 //!
 //! Exit status: 0 on success, 1 when `--verify` detects a divergence,
-//! 2 on a usage error.
+//! 2 when any cell failed (the failed coordinates are listed on stderr
+//! and the surviving cells are still written), 3 when writing an output
+//! file failed, 64 on a usage error.
 
+use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 
+use distfront::engine::CellOutcome;
 use distfront::scenarios::{self, RunOptions, Scenario, ScenarioReport};
 use distfront_thermal::Integrator;
 
@@ -34,14 +43,25 @@ struct Args {
     integrator: Option<Integrator>,
     csv: Option<String>,
     json: Option<String>,
+    progress: bool,
     verify: bool,
+    inject_fail: bool,
 }
 
 fn usage() -> &'static str {
     "usage: distfront-scenarios --list | --all | --run NAME [--run NAME ...]\n\
      options: [--smoke] [--uops N] [--workers N] [--integrator rk4|expm] \
-     [--csv PATH] [--json PATH] [--verify]"
+     [--csv PATH] [--json PATH] [--progress] [--verify] [--inject-fail]"
 }
+
+/// Exit code for command-line misuse (BSD `EX_USAGE`; 1 and 2 carry
+/// run-outcome meanings here).
+const EXIT_USAGE: u8 = 64;
+/// Exit code when any cell failed.
+const EXIT_CELLS_FAILED: u8 = 2;
+/// Exit code when results were computed but an output file could not be
+/// written (distinct from misuse: the invocation was fine, data was lost).
+const EXIT_IO: u8 = 3;
 
 fn parse(mut argv: std::env::Args) -> Result<Args, String> {
     let mut args = Args {
@@ -54,7 +74,9 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         integrator: None,
         csv: None,
         json: None,
+        progress: false,
         verify: false,
+        inject_fail: false,
     };
     argv.next(); // program name
     while let Some(a) = argv.next() {
@@ -82,11 +104,13 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
             }
             "--csv" => args.csv = Some(value("--csv")?),
             "--json" => args.json = Some(value("--json")?),
+            "--progress" => args.progress = true,
             "--verify" => args.verify = true,
+            "--inject-fail" => args.inject_fail = true,
             other => return Err(format!("unknown argument {other}")),
         }
     }
-    if !args.list && !args.all && args.run.is_empty() {
+    if !args.list && !args.all && args.run.is_empty() && !args.inject_fail {
         return Err("nothing to do".into());
     }
     Ok(args)
@@ -117,7 +141,60 @@ fn options(args: &Args) -> RunOptions {
     opts
 }
 
-fn run_all(selected: &[Scenario], opts: &RunOptions) -> Vec<ScenarioReport> {
+/// Streams per-cell progress lines and (optionally) CSV rows to `csv` as
+/// cells complete, so a killed run still leaves partial results on disk.
+/// Rows arrive in completion order; `main` rewrites the file in canonical
+/// order once the run finishes.
+struct CellStream {
+    scenario: &'static str,
+    progress: bool,
+    csv: Option<Arc<Mutex<std::fs::File>>>,
+}
+
+impl CellStream {
+    fn observe(&self, cell: &CellOutcome) {
+        if self.progress {
+            match &cell.result {
+                Ok(_) => eprintln!(
+                    "  [{}/{}] ok in {:.2}s{}",
+                    self.scenario,
+                    cell.app_name,
+                    cell.wall_time_s,
+                    if cell.warm_hit { " (warm hit)" } else { "" }
+                ),
+                Err(e) => eprintln!("  [{}/{}] FAILED: {e}", self.scenario, cell.app_name),
+            }
+        }
+        if let (Some(file), Ok(r)) = (&self.csv, &cell.result) {
+            let mut file = file.lock().expect("csv stream poisoned");
+            let row = scenarios::csv_row(self.scenario, r);
+            if let Err(e) = writeln!(file, "{row}").and_then(|()| file.flush()) {
+                eprintln!("warning: streaming CSV row: {e}");
+            }
+        }
+    }
+}
+
+fn run_all(
+    selected: &[Scenario],
+    opts: &RunOptions,
+    progress: bool,
+    csv_path: Option<&str>,
+) -> Vec<ScenarioReport> {
+    // The streaming CSV starts with the header so a partial file is
+    // self-describing even if the run dies on the first scenario. One
+    // shared handle serves every scenario's stream.
+    let csv = csv_path.and_then(|path| {
+        match std::fs::File::create(path)
+            .and_then(|mut f| writeln!(f, "{}", scenarios::CSV_HEADER).map(|()| f))
+        {
+            Ok(f) => Some(Arc::new(Mutex::new(f))),
+            Err(e) => {
+                eprintln!("warning: cannot stream CSV to {path}: {e}");
+                None
+            }
+        }
+    });
     selected
         .iter()
         .map(|s| {
@@ -129,7 +206,12 @@ fn run_all(selected: &[Scenario], opts: &RunOptions) -> Vec<ScenarioReport> {
                 opts.workers,
                 opts.integrator
             );
-            s.run(opts)
+            let stream = CellStream {
+                scenario: s.name,
+                progress,
+                csv: csv.clone(),
+            };
+            s.run_streaming(opts, move |cell| stream.observe(cell))
         })
         .collect()
 }
@@ -139,17 +221,17 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n{}", usage());
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     if args.list {
         list();
-        if !args.all && args.run.is_empty() {
+        if !args.all && args.run.is_empty() && !args.inject_fail {
             return ExitCode::SUCCESS;
         }
     }
 
-    let selected: Vec<Scenario> = if args.all {
+    let mut selected: Vec<Scenario> = if args.all {
         scenarios::registry()
     } else {
         let mut picked = Vec::new();
@@ -158,20 +240,23 @@ fn main() -> ExitCode {
                 Some(s) => picked.push(s),
                 None => {
                     eprintln!("error: unknown scenario {name} (try --list)");
-                    return ExitCode::from(2);
+                    return ExitCode::from(EXIT_USAGE);
                 }
             }
         }
         picked
     };
+    if args.inject_fail {
+        selected.push(scenarios::fault_injection());
+    }
 
     let opts = options(&args);
-    let reports = run_all(&selected, &opts);
+    let reports = run_all(&selected, &opts, args.progress, args.csv.as_deref());
     let csv = scenarios::to_csv(&reports);
 
     if args.verify {
         println!("verify: re-running serially to check byte identity...");
-        let serial = run_all(&selected, &opts.with_workers(1));
+        let serial = run_all(&selected, &opts.with_workers(1), false, None);
         if scenarios::to_csv(&serial) != csv {
             eprintln!(
                 "error: serial and {}-worker results diverge — the bit-identity \
@@ -186,21 +271,46 @@ fn main() -> ExitCode {
         );
     }
 
+    // Rewrite the streamed CSV in canonical (suite) order: the streaming
+    // writes above are completion-ordered crash insurance; the final file
+    // is deterministic, byte-identical across worker counts.
     if let Some(path) = &args.csv {
         if let Err(e) = std::fs::write(path, &csv) {
             eprintln!("error: writing {path}: {e}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_IO);
         }
         println!("wrote {path}");
     }
     if let Some(path) = &args.json {
         if let Err(e) = std::fs::write(path, scenarios::to_json(&reports)) {
             eprintln!("error: writing {path}: {e}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_IO);
         }
         println!("wrote {path}");
     }
 
     println!("\n{}", scenarios::summary_table(&reports));
+
+    let mut failed = 0usize;
+    for rep in &reports {
+        for cell in rep.failures() {
+            failed += 1;
+            eprintln!(
+                "error: cell {}/{} (config {}, app {}): {}",
+                rep.scenario,
+                cell.app_name,
+                cell.config,
+                cell.app,
+                cell.result.as_ref().unwrap_err()
+            );
+        }
+    }
+    if failed > 0 {
+        eprintln!(
+            "error: {failed} cell(s) failed; surviving results were written \
+             (see rows above)"
+        );
+        return ExitCode::from(EXIT_CELLS_FAILED);
+    }
     ExitCode::SUCCESS
 }

@@ -1,6 +1,6 @@
 //! The shared state stages hand each other.
 
-use distfront_power::{BlockId, EnergyTable, LeakageModel, Machine, PowerModel};
+use distfront_power::{BlockId, EnergyTable, Machine, PowerModel};
 use distfront_thermal::{
     ExpPropagator, Floorplan, Integrator, PackageConfig, TemperatureTracker, ThermalNetwork,
     ThermalSolver,
@@ -76,12 +76,7 @@ impl<'a> EngineCx<'a> {
         let fp = Floorplan::for_machine(machine);
         let areas = fp.areas();
         let pkg = PackageConfig::paper();
-        let model = PowerModel::new(
-            machine,
-            EnergyTable::nm65(),
-            LeakageModel::paper(),
-            pc.frequency_hz,
-        );
+        let model = PowerModel::new(machine, EnergyTable::nm65(), cfg.leakage, pc.frequency_hz);
         let groups = BlockGroups::for_machine(machine);
 
         // Background (clock-tree) power per block; trace-cache banks under

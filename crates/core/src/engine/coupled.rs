@@ -42,6 +42,15 @@ pub struct CoupledEngine<'a> {
     stages: Option<Vec<Box<dyn Stage>>>,
 }
 
+/// Per-run execution statistics: how a run executed, as opposed to what it
+/// simulated (that is the [`AppResult`]). Collected even when the run
+/// fails, so sweep reports can attribute cache behavior to error cells.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Whether the warm start was served from a shared [`WarmStartCache`].
+    pub warm_start_hit: bool,
+}
+
 impl<'a> CoupledEngine<'a> {
     /// An engine with the default stage pipeline.
     pub fn new(cfg: &'a ExperimentConfig, profile: &'a AppProfile) -> Self {
@@ -59,9 +68,10 @@ impl<'a> CoupledEngine<'a> {
     ///
     /// The cache stores the default
     /// [`ThermalSolver`](distfront_thermal::ThermalSolver)'s node state, keyed
-    /// by (machine shape, nominal power); when a custom thermal backend is
-    /// substituted via [`with_thermal`](Self::with_thermal) the cache is
-    /// ignored, since another backend's node layout need not match.
+    /// by (machine shape, leakage model, nominal power); when a custom
+    /// thermal backend is substituted via [`with_thermal`](Self::with_thermal)
+    /// the cache is ignored, since another backend's node layout need not
+    /// match.
     #[must_use]
     pub fn with_warm_cache(mut self, cache: Arc<WarmStartCache>) -> Self {
         self.warm_cache = Some(cache);
@@ -110,9 +120,18 @@ impl<'a> CoupledEngine<'a> {
     ///
     /// # Errors
     ///
-    /// Returns an error when the configuration is invalid or a stage's
-    /// prerequisites are missing.
+    /// Returns an error when the configuration is invalid, a stage's
+    /// prerequisites are missing, or an iterative phase fails to converge.
     pub fn run(self) -> Result<AppResult, EngineError> {
+        self.run_with_stats().0
+    }
+
+    /// Runs the pipeline to completion and also reports [`RunStats`].
+    ///
+    /// The stats are returned alongside — not inside — the result, so
+    /// execution metadata is available for failed runs too (the sweep
+    /// executor's per-cell reports want both).
+    pub fn run_with_stats(self) -> (Result<AppResult, EngineError>, RunStats) {
         // A cached warm start is the default solver's node vector; never
         // restore it into a custom backend with its own node layout.
         let warm_cache = if self.thermal.is_some() {
@@ -120,23 +139,42 @@ impl<'a> CoupledEngine<'a> {
         } else {
             self.warm_cache
         };
-        let mut cx = EngineCx::build(self.cfg, self.profile, self.thermal, self.dtm)?;
+        let mut cx = match EngineCx::build(self.cfg, self.profile, self.thermal, self.dtm) {
+            Ok(cx) => cx,
+            Err(e) => return (Err(e), RunStats::default()),
+        };
         let mut stages = self
             .stages
             .unwrap_or_else(|| Self::default_stages(warm_cache));
         for stage in &mut stages {
-            stage.run(&mut cx)?;
+            if let Err(e) = stage.run(&mut cx) {
+                let stats = RunStats {
+                    warm_start_hit: cx.warm_start_hit,
+                };
+                return (Err(e), stats);
+            }
         }
-        Ok(finish(&cx))
+        let stats = RunStats {
+            warm_start_hit: cx.warm_start_hit,
+        };
+        (finish(&cx), stats)
     }
 }
 
 /// Assembles the final [`AppResult`] from the context the stages left.
-fn finish(cx: &EngineCx<'_>) -> AppResult {
+///
+/// Fails with [`EngineError::NoData`] when the stages closed no
+/// measurement intervals (a custom pipeline that skipped the interval
+/// loop): the temperature metrics would be undefined.
+fn finish(cx: &EngineCx<'_>) -> Result<AppResult, EngineError> {
     let cycles = cx.sim.current_cycle();
     let uops = cx.sim.total_committed();
-    let g = |idx: &[usize]| cx.tracker.group_metrics(idx);
-    AppResult {
+    let g = |idx: &[usize]| {
+        cx.tracker.try_group_metrics(idx).ok_or(EngineError::NoData(
+            "the pipeline closed no measurement intervals",
+        ))
+    };
+    Ok(AppResult {
         app: cx.profile.name,
         cycles,
         uops,
@@ -152,15 +190,15 @@ fn finish(cx: &EngineCx<'_>) -> AppResult {
             .tracker
             .time_above(cx.model.leakage_model().emergency_c, &cx.groups.processor),
         temps: TempReport {
-            rob: g(&cx.groups.rob),
-            rat: g(&cx.groups.rat),
-            trace_cache: g(&cx.groups.trace_cache),
-            frontend: g(&cx.groups.frontend),
-            backend: g(&cx.groups.backend),
-            ul2: g(&cx.groups.ul2),
-            processor: g(&cx.groups.processor),
+            rob: g(&cx.groups.rob)?,
+            rat: g(&cx.groups.rat)?,
+            trace_cache: g(&cx.groups.trace_cache)?,
+            frontend: g(&cx.groups.frontend)?,
+            backend: g(&cx.groups.backend)?,
+            ul2: g(&cx.groups.ul2)?,
+            processor: g(&cx.groups.processor)?,
         },
-    }
+    })
 }
 
 #[cfg(test)]

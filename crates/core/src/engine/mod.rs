@@ -16,9 +16,13 @@
 //!   thermal solvers and dynamic-thermal-management policies,
 //! * [`SweepRunner`] — executes an application × configuration grid in
 //!   parallel over `std::thread::scope`, with results ordered exactly as a
-//!   serial double loop would produce them, and
+//!   serial double loop would produce them; grids are fault-tolerant
+//!   ([`SweepRunner::try_grid`] returns a [`SweepReport`] of per-cell
+//!   [`CellOutcome`]s — one failing cell never aborts the others), and
 //! * [`WarmStartCache`] — shares converged steady-state warm starts
-//!   between grid cells keyed by (machine shape, nominal power profile).
+//!   between grid cells keyed by (machine shape, leakage model, nominal
+//!   power profile), sharded by key hash with same-key cold solves
+//!   deduplicated.
 //!
 //! Every path through the engine is bit-identical: the same configuration
 //! and profile produce the same [`AppResult`](crate::runner::AppResult)
@@ -51,9 +55,9 @@ mod sweep;
 mod traits;
 
 pub use context::EngineCx;
-pub use coupled::CoupledEngine;
+pub use coupled::{CoupledEngine, RunStats};
 pub use stages::{IntervalLoopStage, PilotStage, WarmStartStage};
-pub use sweep::{SweepRunner, WarmStartCache};
+pub use sweep::{CellOutcome, SweepReport, SweepRunner, WarmStartCache};
 pub use traits::{DtmAction, DtmPolicy, Stage, ThermalBackend};
 
 /// Errors the engine can surface instead of panicking mid-pipeline.
@@ -68,6 +72,9 @@ pub enum EngineError {
     /// leakage↔temperature fixed point); its state must not be trusted or
     /// cached.
     NotConverged(&'static str),
+    /// The run produced no measurable data (e.g. a custom pipeline closed
+    /// no measurement intervals), so the report metrics are undefined.
+    NoData(&'static str),
 }
 
 impl std::fmt::Display for EngineError {
@@ -76,6 +83,7 @@ impl std::fmt::Display for EngineError {
             EngineError::InvalidConfig(msg) => write!(f, "{msg}"),
             EngineError::MissingPhase(msg) => write!(f, "missing phase: {msg}"),
             EngineError::NotConverged(msg) => write!(f, "not converged: {msg}"),
+            EngineError::NoData(msg) => write!(f, "no data: {msg}"),
         }
     }
 }

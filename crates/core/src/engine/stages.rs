@@ -68,9 +68,9 @@ impl Stage for PilotStage {
 /// ("simulations are started with the processor already warm", §4).
 ///
 /// With a shared [`WarmStartCache`] the converged state is reused across
-/// grid cells that share a machine shape and nominal power profile; the
-/// fixed point is a pure function of exactly those inputs, so a cache hit
-/// restores bit-identical temperatures.
+/// grid cells that share a machine shape, leakage model and nominal power
+/// profile; the fixed point is a pure function of exactly those inputs,
+/// so a cache hit restores bit-identical temperatures.
 #[derive(Debug, Default)]
 pub struct WarmStartStage {
     cache: Option<Arc<WarmStartCache>>,
@@ -95,55 +95,65 @@ impl Stage for WarmStartStage {
 
     fn run(&mut self, cx: &mut EngineCx<'_>) -> Result<(), EngineError> {
         let nominal = cx.nominal()?.to_vec();
-        if let Some(cache) = &self.cache {
-            if let Some(state) = cache.lookup(cx.machine, &nominal) {
-                cx.thermal.set_node_temperatures(state.as_ref().clone());
-                cx.warm_start_hit = true;
-                return Ok(());
-            }
-        }
-        let leak = cx.model.leakage_model();
-        let mut temps = vec![cx.pkg.ambient_c; cx.machine.block_count()];
-        let mut converged = false;
-        for _ in 0..40 {
-            let p: Vec<f64> = nominal
-                .iter()
-                .zip(&temps)
-                .map(|(&n, &t)| n + leak.leakage_watts(n, t))
-                .collect();
-            cx.thermal.steady_state(&p);
-            let new_temps = cx.thermal.block_temperatures().to_vec();
-            let delta = new_temps
-                .iter()
-                .zip(&temps)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0f64, f64::max);
-            // The finiteness check guards the max-fold above: a runaway
-            // fixed point overflows to non-finite temperatures whose NaN
-            // deltas f64::max silently drops.
-            let finite = new_temps.iter().all(|t| t.is_finite());
-            temps = new_temps;
-            if finite && delta < 0.01 {
-                converged = true;
-                break;
-            }
-        }
-        // A non-converged state must never enter the shared cache: it
-        // would poison every later cell with the same key.
-        if !converged {
-            return Err(EngineError::NotConverged(
-                "leakage-temperature warm-start fixed point did not settle within 40 iterations",
-            ));
-        }
-        if let Some(cache) = &self.cache {
-            cache.insert(
-                cx.machine,
-                &nominal,
-                cx.thermal.node_temperatures().to_vec(),
-            );
+        let Some(cache) = &self.cache else {
+            return solve_warm_fixed_point(cx, &nominal);
+        };
+        // Single cache entry per cell: the closure solves cold (leaving
+        // `cx.thermal` at the converged state) only when this engine is
+        // the key's first; same-key racers wait on the key's slot and take
+        // the solved state as a hit. A non-converged error propagates and
+        // leaves the cache without the key — a failed fixed point must
+        // never poison later cells.
+        let leakage = cx.model.leakage_model();
+        let (state, hit) = cache.get_or_compute(cx.machine, &leakage, &nominal, || {
+            solve_warm_fixed_point(cx, &nominal)?;
+            Ok(cx.thermal.node_temperatures().to_vec())
+        })?;
+        if hit {
+            cx.thermal.set_node_temperatures(state.as_ref().clone());
+            cx.warm_start_hit = true;
         }
         Ok(())
     }
+}
+
+/// Iterates the leakage↔temperature fixed point under nominal power until
+/// the hottest block moves < 0.01 °C, leaving `cx.thermal` at the
+/// converged steady state.
+///
+/// # Errors
+///
+/// Returns [`EngineError::NotConverged`] when the fixed point fails to
+/// settle within 40 iterations (e.g. a leakage feedback gain above one);
+/// the thermal state must then not be trusted or cached.
+fn solve_warm_fixed_point(cx: &mut EngineCx<'_>, nominal: &[f64]) -> Result<(), EngineError> {
+    let leak = cx.model.leakage_model();
+    let mut temps = vec![cx.pkg.ambient_c; cx.machine.block_count()];
+    for _ in 0..40 {
+        let p: Vec<f64> = nominal
+            .iter()
+            .zip(&temps)
+            .map(|(&n, &t)| n + leak.leakage_watts(n, t))
+            .collect();
+        cx.thermal.steady_state(&p);
+        let new_temps = cx.thermal.block_temperatures().to_vec();
+        let delta = new_temps
+            .iter()
+            .zip(&temps)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        // The finiteness check guards the max-fold above: a runaway
+        // fixed point overflows to non-finite temperatures whose NaN
+        // deltas f64::max silently drops.
+        let finite = new_temps.iter().all(|t| t.is_finite());
+        temps = new_temps;
+        if finite && delta < 0.01 {
+            return Ok(());
+        }
+    }
+    Err(EngineError::NotConverged(
+        "leakage-temperature warm-start fixed point did not settle within 40 iterations",
+    ))
 }
 
 /// The evaluation run: updates block power and temperature every interval,

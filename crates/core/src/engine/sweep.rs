@@ -1,88 +1,242 @@
 //! Parallel execution of an application × configuration grid, plus the
-//! warm-start cache shared between its cells.
+//! sharded warm-start cache shared between its cells.
+//!
+//! Execution is *fault-tolerant*: every cell of a [`SweepRunner::try_grid`]
+//! is an independent [`Result`], so one non-converged configuration aborts
+//! exactly one [`CellOutcome`] instead of the whole sweep. The strict,
+//! panicking surface survives behind [`SweepReport::strict`] (which is all
+//! [`SweepRunner::grid`] is).
 
+use std::cell::RefCell;
+use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
+use std::hash::BuildHasher;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
+use std::time::Instant;
 
-use distfront_power::Machine;
+use distfront_power::{LeakageModel, Machine};
 use distfront_trace::AppProfile;
 
 use super::coupled::CoupledEngine;
+use super::EngineError;
 use crate::experiment::ExperimentConfig;
 use crate::runner::AppResult;
 
-/// Cache key: the machine shape plus the exact bits of the nominal power
-/// profile. The warm-start fixed point is a pure function of these (the
-/// package and leakage model are constants), so an exact-bit key makes a
-/// cache hit indistinguishable from a cold solve.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct WarmKey {
-    partitions: usize,
-    backends: usize,
-    tc_banks: usize,
-    nominal_bits: Vec<u64>,
+/// Packs a cache key — the machine shape, the exact bits of the leakage
+/// model, and the exact bits of the nominal power profile — into one
+/// `u64` slice:
+/// `[partitions, backends, tc_banks, leakage_bits×4, nominal_bits...]`.
+///
+/// The warm-start fixed point is a pure function of these (the package is
+/// a constant), so an exact-bit key makes a cache hit indistinguishable
+/// from a cold solve. The leakage model is part of the key because it is
+/// per-configuration: two configurations identical in shape and nominal
+/// power but differing in silicon must never share a warm start. Packing
+/// into a flat slice lets the map be keyed by `Box<[u64]>` and *probed*
+/// by `&[u64]` (via `Borrow<[u64]>`), so a lookup never allocates: the
+/// slice is built in a thread-local scratch buffer.
+fn pack_key(machine: Machine, leakage: &LeakageModel, nominal: &[f64], buf: &mut Vec<u64>) {
+    buf.clear();
+    buf.reserve(7 + nominal.len());
+    buf.push(machine.partitions as u64);
+    buf.push(machine.backends as u64);
+    buf.push(machine.tc_banks as u64);
+    buf.push(leakage.ratio_at_ambient.to_bits());
+    buf.push(leakage.ambient_c.to_bits());
+    buf.push(leakage.doubling_celsius.to_bits());
+    buf.push(leakage.emergency_c.to_bits());
+    buf.extend(nominal.iter().map(|x| x.to_bits()));
 }
 
-impl WarmKey {
-    fn new(machine: Machine, nominal: &[f64]) -> Self {
-        WarmKey {
-            partitions: machine.partitions,
-            backends: machine.backends,
-            tc_banks: machine.tc_banks,
-            nominal_bits: nominal.iter().map(|x| x.to_bits()).collect(),
-        }
-    }
+thread_local! {
+    static KEY_SCRATCH: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
 }
+
+/// One cache slot: `None` while the first computation for its key is in
+/// flight, `Some` once a converged state is stored. The slot mutex — not
+/// the shard mutex — serializes same-key computations, so two cells
+/// missing on the same key perform one cold solve while cells with other
+/// keys pass by untouched.
+#[derive(Debug, Default)]
+struct Slot(Mutex<Option<Arc<Vec<f64>>>>);
+
+/// One key-hash shard of the cache map.
+type Shard = Mutex<HashMap<Box<[u64]>, Arc<Slot>>>;
+
+/// The streaming callback [`SweepRunner::with_on_cell`] installs.
+type CellCallback = Box<dyn Fn(&CellOutcome) + Send + Sync>;
+
+/// Default shard count: enough that a full-width sweep on a large host
+/// rarely has two workers hashing into the same shard at once.
+const DEFAULT_SHARDS: usize = 16;
 
 /// Shares converged steady-state warm starts between engines.
 ///
-/// Keyed by (machine shape, nominal power profile) — the warm-start fixed
-/// point is a pure function of exactly those inputs, and the key stores
-/// the power profile's exact bits, so a hit is bit-identical to solving
-/// cold. Thread-safe; one cache is shared by every cell of a
-/// [`SweepRunner`] grid.
-#[derive(Debug, Default)]
+/// Keyed by (machine shape, leakage model, nominal power profile) — the
+/// warm-start fixed point is a pure function of exactly those inputs, and
+/// the key stores the leakage parameters' and power profile's exact bits,
+/// so a hit is bit-identical to solving cold. The map is split into key-hash shards, each behind its own lock,
+/// and [`get_or_compute`](Self::get_or_compute) holds a shard lock only
+/// for the map probe itself: cold solves run under a per-key slot lock, so
+/// concurrent misses on *different* keys never contend and concurrent
+/// misses on the *same* key solve once. One cache is shared by every cell
+/// of a [`SweepRunner`] grid.
+#[derive(Debug)]
 pub struct WarmStartCache {
-    map: Mutex<HashMap<WarmKey, Arc<Vec<f64>>>>,
+    shards: Box<[Shard]>,
+    hasher: RandomState,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
+impl Default for WarmStartCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl WarmStartCache {
-    /// An empty cache.
+    /// An empty cache with the default shard count.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_shards(DEFAULT_SHARDS)
     }
 
-    /// Looks up the converged node temperatures for a machine shape and
-    /// nominal power profile.
-    pub fn lookup(&self, machine: Machine, nominal: &[f64]) -> Option<Arc<Vec<f64>>> {
-        let key = WarmKey::new(machine, nominal);
-        let found = self.map.lock().expect("cache poisoned").get(&key).cloned();
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
+    /// An empty cache split into `shards` key-hash shards.
+    ///
+    /// The shard count is a pure concurrency knob: hit/miss totals and the
+    /// states returned are identical for any count (a property test pins
+    /// this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards > 0, "a cache needs at least one shard");
+        WarmStartCache {
+            shards: (0..shards).map(|_| Mutex::default()).collect(),
+            hasher: RandomState::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 
-    /// Stores converged node temperatures for a machine shape and nominal
-    /// power profile.
-    pub fn insert(&self, machine: Machine, nominal: &[f64], node_temps: Vec<f64>) {
-        let key = WarmKey::new(machine, nominal);
-        self.map
-            .lock()
-            .expect("cache poisoned")
-            .entry(key)
-            .or_insert_with(|| Arc::new(node_temps));
+    /// The number of key-hash shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
-    /// Distinct warm starts stored.
+    fn shard_of(&self, key: &[u64]) -> &Shard {
+        &self.shards[(self.hasher.hash_one(key) as usize) % self.shards.len()]
+    }
+
+    /// Returns the slot for the packed key, inserting an empty one first if
+    /// the key is new. The shard lock is held only for this probe.
+    fn slot_of(&self, key: &[u64]) -> Arc<Slot> {
+        let mut map = self.shard_of(key).lock().expect("cache poisoned");
+        match map.get(key) {
+            Some(slot) => Arc::clone(slot),
+            None => {
+                let slot = Arc::new(Slot::default());
+                map.insert(key.into(), Arc::clone(&slot));
+                slot
+            }
+        }
+    }
+
+    /// Removes `key`'s entry if it still holds `slot` un-filled, so a
+    /// failed computation never leaves a key claimed. The slot is probed
+    /// with `try_lock` to keep the shard critical section O(probe): an
+    /// unobtainable slot lock means a racer is mid-solve on the key, so
+    /// the entry is in use and must not be evicted (if that solve also
+    /// fails, the racer's own eviction retries).
+    fn evict_empty(&self, key: &[u64], slot: &Arc<Slot>) {
+        let mut map = self.shard_of(key).lock().expect("cache poisoned");
+        if let Some(existing) = map.get(key) {
+            let unfilled = Arc::ptr_eq(existing, slot)
+                && matches!(existing.0.try_lock(), Ok(state) if state.is_none());
+            if unfilled {
+                map.remove(key);
+            }
+        }
+    }
+
+    /// Looks up the converged node temperatures for a (machine shape,
+    /// leakage model, nominal power profile), solving cold via `compute`
+    /// on a miss.
+    ///
+    /// Returns the state plus whether it was served from the cache. The
+    /// single-entry design fixes two flaws of a lookup-then-insert pair:
+    /// the key is hashed and the map locked once instead of twice, and two
+    /// threads missing on the same key perform **one** cold solve — the
+    /// second blocks on the key's slot and takes the first's state as a
+    /// hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error; a failed computation leaves the cache
+    /// without the key (so a later attempt solves cold again) and counts
+    /// as a miss.
+    pub fn get_or_compute<E>(
+        &self,
+        machine: Machine,
+        leakage: &LeakageModel,
+        nominal: &[f64],
+        compute: impl FnOnce() -> Result<Vec<f64>, E>,
+    ) -> Result<(Arc<Vec<f64>>, bool), E> {
+        let slot = KEY_SCRATCH.with(|scratch| {
+            let mut buf = scratch.borrow_mut();
+            pack_key(machine, leakage, nominal, &mut buf);
+            self.slot_of(&buf)
+        });
+        let mut state = slot.0.lock().expect("cache poisoned");
+        if let Some(v) = state.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(v), true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        match compute() {
+            Ok(v) => {
+                let v = Arc::new(v);
+                *state = Some(Arc::clone(&v));
+                drop(state);
+                // Re-link the filled slot: a racer's failed solve may have
+                // evicted the key while this solve ran (its evict_empty can
+                // win the try_lock before this thread locks the slot), and
+                // without the re-link this success would fill an orphaned
+                // slot the map can no longer reach — every later lookup
+                // would solve cold. Lock order stays shard-only here (the
+                // slot guard is already dropped).
+                KEY_SCRATCH.with(|scratch| {
+                    let mut buf = scratch.borrow_mut();
+                    pack_key(machine, leakage, nominal, &mut buf);
+                    let mut map = self.shard_of(&buf).lock().expect("cache poisoned");
+                    if !map.contains_key(buf.as_slice()) {
+                        map.insert(buf[..].into(), Arc::clone(&slot));
+                    }
+                });
+                Ok((v, false))
+            }
+            Err(e) => {
+                drop(state);
+                KEY_SCRATCH.with(|scratch| {
+                    let mut buf = scratch.borrow_mut();
+                    pack_key(machine, leakage, nominal, &mut buf);
+                    self.evict_empty(&buf, &slot);
+                });
+                Err(e)
+            }
+        }
+    }
+
+    /// Distinct warm starts stored (in-flight cold solves included).
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache poisoned").len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache poisoned").len())
+            .sum()
     }
 
     /// Whether the cache is empty.
@@ -90,7 +244,8 @@ impl WarmStartCache {
         self.len() == 0
     }
 
-    /// Lookups answered from the cache.
+    /// Lookups answered from the cache (including lookups that waited for
+    /// another thread's in-flight solve of the same key).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
@@ -101,14 +256,59 @@ impl WarmStartCache {
     }
 }
 
-/// Executes an application × configuration grid, fanning cells out over
-/// `std::thread::scope` workers.
+/// The outcome of one grid cell: the engine's result plus per-cell
+/// execution metadata (wall time, warm-cache hit).
 ///
-/// Every cell is an independent [`CoupledEngine`] run — a pure function of
-/// its (configuration, application) pair — so the grid parallelizes
-/// embarrassingly and the output is **bit-identical to a serial double
-/// loop** regardless of thread count or scheduling: results are written
-/// into their grid slot by index, never in completion order.
+/// Equality ignores the measurement metadata — two outcomes are equal when
+/// their coordinates and engine results are, which is what the engine's
+/// bit-identity guarantee is about (wall time is never deterministic).
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Configuration (row) index into the sweep's `configs`.
+    pub config: usize,
+    /// Application (column) index into the sweep's `apps`.
+    pub app: usize,
+    /// The configuration's name.
+    pub config_name: &'static str,
+    /// The application's name.
+    pub app_name: &'static str,
+    /// What the engine produced for this cell.
+    pub result: Result<AppResult, EngineError>,
+    /// Wall-clock seconds this cell took (measurement metadata; excluded
+    /// from equality).
+    pub wall_time_s: f64,
+    /// Whether the cell's warm start was served from the shared cache
+    /// (excluded from equality: it depends on cell scheduling).
+    pub warm_hit: bool,
+}
+
+impl CellOutcome {
+    /// `"config/app"`, the coordinate label used in error reports.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.config_name, self.app_name)
+    }
+
+    /// The one-line failure description every strict consumer panics
+    /// with: `"engine failed for config/app: error"`. Empty-string free:
+    /// only meaningful for failed cells.
+    pub fn failure_line(&self) -> String {
+        match &self.result {
+            Ok(_) => format!("cell {} did not fail", self.label()),
+            Err(e) => format!("engine failed for {}: {e}", self.label()),
+        }
+    }
+}
+
+impl PartialEq for CellOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config && self.app == other.app && self.result == other.result
+    }
+}
+
+/// The outcome of a whole sweep: one [`CellOutcome`] per (configuration,
+/// application) pair, row-major, placed by index — never by completion
+/// order — so serial and parallel reports of the same grid compare equal
+/// (error cells included; per-cell wall times are excluded from equality).
 ///
 /// # Examples
 ///
@@ -119,14 +319,149 @@ impl WarmStartCache {
 ///
 /// let cfgs = [ExperimentConfig::baseline().with_uops(30_000)];
 /// let apps = [AppProfile::test_tiny()];
-/// let parallel = SweepRunner::new().grid(&cfgs, &apps);
-/// let serial = SweepRunner::serial().grid(&cfgs, &apps);
+/// let report = SweepRunner::new().try_grid(&cfgs, &apps);
+/// assert!(report.is_complete());
+/// assert!(report.cell(0, 0).result.is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    configs: usize,
+    apps: usize,
+    cells: Vec<CellOutcome>,
+}
+
+impl SweepReport {
+    /// `(configuration count, application count)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.configs, self.apps)
+    }
+
+    /// All cells, row-major (`configs[0]` × every app first).
+    pub fn cells(&self) -> &[CellOutcome] {
+        &self.cells
+    }
+
+    /// The cell for `configs[config]` × `apps[app]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn cell(&self, config: usize, app: usize) -> &CellOutcome {
+        assert!(
+            config < self.configs && app < self.apps,
+            "cell out of range"
+        );
+        &self.cells[config * self.apps + app]
+    }
+
+    /// One configuration's outcomes across every application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is out of range.
+    pub fn row(&self, config: usize) -> &[CellOutcome] {
+        &self.cells[config * self.apps..(config + 1) * self.apps]
+    }
+
+    /// The cells that failed, in grid order.
+    pub fn failures(&self) -> impl Iterator<Item = &CellOutcome> {
+        self.cells.iter().filter(|c| c.result.is_err())
+    }
+
+    /// How many cells failed.
+    pub fn failed(&self) -> usize {
+        self.failures().count()
+    }
+
+    /// Whether every cell succeeded.
+    pub fn is_complete(&self) -> bool {
+        self.failed() == 0
+    }
+
+    /// How many cells' warm starts were served from the shared cache.
+    pub fn warm_hits(&self) -> usize {
+        self.cells.iter().filter(|c| c.warm_hit).count()
+    }
+
+    /// Total CPU seconds spent across all cells (≈ `workers ×` the sweep's
+    /// wall time when the grid is balanced).
+    pub fn total_cell_time_s(&self) -> f64 {
+        self.cells.iter().map(|c| c.wall_time_s).sum()
+    }
+
+    /// The strict view: every cell's `AppResult`, as
+    /// `result[config][app]`, panicking if any cell failed — the
+    /// pre-fault-tolerance contract, for callers (figures, calibration)
+    /// that cannot use a partial grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell failed, listing every failed cell's coordinates
+    /// and error.
+    pub fn strict(self) -> Vec<Vec<AppResult>> {
+        let failed: Vec<String> = self.failures().map(CellOutcome::failure_line).collect();
+        assert!(
+            failed.is_empty(),
+            "{} of {} sweep cells failed:\n{}",
+            failed.len(),
+            self.cells.len(),
+            failed.join("\n")
+        );
+        let apps = self.apps.max(1);
+        let mut rows = Vec::with_capacity(self.configs);
+        let mut cells = self.cells.into_iter();
+        for _ in 0..self.configs {
+            rows.push(
+                cells
+                    .by_ref()
+                    .take(apps)
+                    .map(|c| c.result.expect("failures checked above"))
+                    .collect(),
+            );
+        }
+        rows
+    }
+}
+
+/// Executes an application × configuration grid, fanning cells out over
+/// `std::thread::scope` workers.
+///
+/// Every cell is an independent [`CoupledEngine`] run — a pure function of
+/// its (configuration, application) pair — so the grid parallelizes
+/// embarrassingly and the output is **bit-identical to a serial double
+/// loop** regardless of thread count or scheduling: results are written
+/// into their grid slot by index, never in completion order. Cell failures
+/// are part of that contract: [`try_grid`](Self::try_grid) returns a
+/// [`SweepReport`] in which a failing cell is an `Err` *outcome*, not a
+/// sweep-wide panic.
+///
+/// # Examples
+///
+/// ```
+/// use distfront::engine::SweepRunner;
+/// use distfront::ExperimentConfig;
+/// use distfront_trace::AppProfile;
+///
+/// let cfgs = [ExperimentConfig::baseline().with_uops(30_000)];
+/// let apps = [AppProfile::test_tiny()];
+/// let parallel = SweepRunner::new().try_grid(&cfgs, &apps);
+/// let serial = SweepRunner::serial().try_grid(&cfgs, &apps);
 /// assert_eq!(parallel, serial);
 /// ```
-#[derive(Debug)]
 pub struct SweepRunner {
     threads: usize,
     cache: Arc<WarmStartCache>,
+    on_cell: Option<CellCallback>,
+}
+
+impl std::fmt::Debug for SweepRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepRunner")
+            .field("threads", &self.threads)
+            .field("cache", &self.cache)
+            .field("on_cell", &self.on_cell.as_ref().map(|_| "…"))
+            .finish()
+    }
 }
 
 impl Default for SweepRunner {
@@ -159,7 +494,19 @@ impl SweepRunner {
         SweepRunner {
             threads,
             cache: Arc::new(WarmStartCache::new()),
+            on_cell: None,
         }
+    }
+
+    /// Streams cell outcomes as they complete: `f` is invoked once per
+    /// cell, in *completion* order (which only equals grid order on a
+    /// serial runner), from the thread that called
+    /// [`try_grid`](Self::try_grid). Progress displays and incremental row
+    /// emitters hang off this; the returned report is unaffected.
+    #[must_use]
+    pub fn with_on_cell(mut self, f: impl Fn(&CellOutcome) + Send + Sync + 'static) -> Self {
+        self.on_cell = Some(Box::new(f));
+        self
     }
 
     /// The worker count.
@@ -174,72 +521,109 @@ impl SweepRunner {
         &self.cache
     }
 
-    /// Runs every configuration over every application; `result[c][a]`
-    /// corresponds to `configs[c]` and `apps[a]`, exactly as the serial
-    /// nested loop would order them.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any cell's engine fails — an invalid configuration or a
-    /// non-converged warm start (matching
-    /// [`run_app`](crate::runner::run_app)) — or a worker thread dies.
-    pub fn grid(&self, configs: &[ExperimentConfig], apps: &[AppProfile]) -> Vec<Vec<AppResult>> {
-        let cells = configs.len() * apps.len();
-        let mut flat: Vec<Option<AppResult>> = (0..cells).map(|_| None).collect();
-        let workers = self.threads.min(cells);
+    /// Runs every configuration over every application, fault-tolerantly:
+    /// the report's `cell(c, a)` corresponds to `configs[c]` and `apps[a]`
+    /// exactly as the serial nested loop would order them, and a failing
+    /// cell is an `Err` outcome in its slot — every other cell still runs.
+    pub fn try_grid(&self, configs: &[ExperimentConfig], apps: &[AppProfile]) -> SweepReport {
+        let cell_count = configs.len() * apps.len();
+        let mut flat: Vec<Option<CellOutcome>> = (0..cell_count).map(|_| None).collect();
+        let workers = self.threads.min(cell_count);
         if workers <= 1 {
             for (i, slot) in flat.iter_mut().enumerate() {
-                *slot = Some(self.run_cell(configs, apps, i));
+                let outcome = self.run_cell(configs, apps, i);
+                if let Some(cb) = &self.on_cell {
+                    cb(&outcome);
+                }
+                *slot = Some(outcome);
             }
         } else {
             let next = AtomicUsize::new(0);
-            let (tx, rx) = mpsc::channel::<(usize, AppResult)>();
+            let (tx, rx) = mpsc::channel::<CellOutcome>();
             thread::scope(|scope| {
                 for _ in 0..workers {
                     let tx = tx.clone();
                     let next = &next;
                     scope.spawn(move || loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= cells {
+                        if i >= cell_count {
                             break;
                         }
-                        let result = self.run_cell(configs, apps, i);
-                        if tx.send((i, result)).is_err() {
+                        let outcome = self.run_cell(configs, apps, i);
+                        if tx.send(outcome).is_err() {
                             break;
                         }
                     });
                 }
                 drop(tx);
-                for (i, result) in rx {
-                    flat[i] = Some(result);
+                for outcome in rx {
+                    if let Some(cb) = &self.on_cell {
+                        cb(&outcome);
+                    }
+                    let i = outcome.config * apps.len() + outcome.app;
+                    flat[i] = Some(outcome);
                 }
             });
         }
-        let mut flat = flat.into_iter();
-        configs
-            .iter()
-            .map(|_| {
-                apps.iter()
-                    .map(|_| flat.next().flatten().expect("worker died mid-sweep"))
-                    .collect()
-            })
-            .collect()
+        SweepReport {
+            configs: configs.len(),
+            apps: apps.len(),
+            cells: flat
+                .into_iter()
+                .map(|c| c.expect("worker died mid-sweep"))
+                .collect(),
+        }
     }
 
-    /// Runs one configuration over a whole application suite.
+    /// Runs one configuration over a whole application suite,
+    /// fault-tolerantly (a one-row [`try_grid`](Self::try_grid)).
+    pub fn try_suite(&self, cfg: &ExperimentConfig, apps: &[AppProfile]) -> SweepReport {
+        self.try_grid(std::slice::from_ref(cfg), apps)
+    }
+
+    /// The strict grid: `result[c][a]` corresponds to `configs[c]` and
+    /// `apps[a]`, exactly as the serial nested loop would order them.
+    /// Shorthand for [`try_grid`](Self::try_grid) followed by
+    /// [`SweepReport::strict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell's engine fails — an invalid configuration or a
+    /// non-converged warm start (matching
+    /// [`run_app`](crate::runner::run_app)) — listing every failed cell.
+    pub fn grid(&self, configs: &[ExperimentConfig], apps: &[AppProfile]) -> Vec<Vec<AppResult>> {
+        self.try_grid(configs, apps).strict()
+    }
+
+    /// Runs one configuration over a whole application suite (strict; see
+    /// [`grid`](Self::grid)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell's engine fails.
     pub fn suite(&self, cfg: &ExperimentConfig, apps: &[AppProfile]) -> Vec<AppResult> {
         self.grid(std::slice::from_ref(cfg), apps)
             .pop()
             .expect("one configuration in, one row out")
     }
 
-    fn run_cell(&self, configs: &[ExperimentConfig], apps: &[AppProfile], i: usize) -> AppResult {
-        let cfg = &configs[i / apps.len()];
-        let app = &apps[i % apps.len()];
-        CoupledEngine::new(cfg, app)
+    fn run_cell(&self, configs: &[ExperimentConfig], apps: &[AppProfile], i: usize) -> CellOutcome {
+        let (config, app) = (i / apps.len(), i % apps.len());
+        let cfg = &configs[config];
+        let profile = &apps[app];
+        let started = Instant::now();
+        let (result, stats) = CoupledEngine::new(cfg, profile)
             .with_warm_cache(Arc::clone(&self.cache))
-            .run()
-            .unwrap_or_else(|e| panic!("engine failed for {}/{}: {e}", cfg.name, app.name))
+            .run_with_stats();
+        CellOutcome {
+            config,
+            app,
+            config_name: cfg.name,
+            app_name: profile.name,
+            result,
+            wall_time_s: started.elapsed().as_secs_f64(),
+            warm_hit: stats.warm_start_hit,
+        }
     }
 }
 
@@ -281,6 +665,26 @@ mod tests {
     }
 
     #[test]
+    fn try_grid_report_indexes_cells_by_coordinates() {
+        let (cfgs, apps) = tiny_grid();
+        let report = SweepRunner::with_threads(3).try_grid(&cfgs, &apps);
+        assert_eq!(report.shape(), (2, 2));
+        assert!(report.is_complete());
+        assert_eq!(report.failed(), 0);
+        for (c, cfg) in cfgs.iter().enumerate() {
+            assert_eq!(report.row(c).len(), apps.len());
+            for (a, app) in apps.iter().enumerate() {
+                let cell = report.cell(c, a);
+                assert_eq!((cell.config, cell.app), (c, a));
+                assert_eq!(cell.config_name, cfg.name);
+                assert_eq!(cell.app_name, app.name);
+                assert_eq!(cell.result.as_ref().unwrap(), &run_app(cfg, app));
+                assert!(cell.wall_time_s >= 0.0);
+            }
+        }
+    }
+
+    #[test]
     fn suite_matches_run_suite() {
         let cfg = ExperimentConfig::baseline().with_uops(40_000);
         let apps = [
@@ -308,18 +712,112 @@ mod tests {
         let runner = SweepRunner::with_threads(2);
         let cfgs = vec![ExperimentConfig::baseline().with_uops(30_000)];
         let apps = vec![AppProfile::test_tiny()];
-        let first = runner.grid(&cfgs, &apps);
+        let first = runner.try_grid(&cfgs, &apps);
         assert_eq!(runner.warm_cache().len(), 1);
         assert_eq!(runner.warm_cache().hits(), 0);
+        assert_eq!(first.warm_hits(), 0);
         // The same cell again: warm start served from cache, same result.
-        let second = runner.grid(&cfgs, &apps);
+        let second = runner.try_grid(&cfgs, &apps);
         assert_eq!(runner.warm_cache().hits(), 1);
+        assert_eq!(second.warm_hits(), 1);
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn on_cell_streams_every_outcome_once() {
+        let (cfgs, apps) = tiny_grid();
+        let seen = Arc::new(Mutex::new(Vec::<(usize, usize)>::new()));
+        let sink = Arc::clone(&seen);
+        let report = SweepRunner::with_threads(4)
+            .with_on_cell(move |cell| {
+                sink.lock().unwrap().push((cell.config, cell.app));
+            })
+            .try_grid(&cfgs, &apps);
+        let mut coords = seen.lock().unwrap().clone();
+        coords.sort_unstable();
+        // Every cell streamed exactly once, whatever the completion order.
+        assert_eq!(coords, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+        assert!(report.is_complete());
+    }
+
+    #[test]
+    fn get_or_compute_coordinates_concurrent_misses() {
+        let cache = Arc::new(WarmStartCache::with_shards(4));
+        let machine = Machine::new(2, 4, 3);
+        let leakage = LeakageModel::paper();
+        let nominal = vec![1.0; machine.block_count()];
+        let solves = Arc::new(AtomicU64::new(0));
+        thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let nominal = nominal.clone();
+                let solves = Arc::clone(&solves);
+                scope.spawn(move || {
+                    let (state, _) = cache
+                        .get_or_compute(machine, &LeakageModel::paper(), &nominal, || {
+                            solves.fetch_add(1, Ordering::Relaxed);
+                            Ok::<_, EngineError>(vec![42.0])
+                        })
+                        .unwrap();
+                    assert_eq!(state.as_slice(), &[42.0]);
+                });
+            }
+        });
+        // Eight racers on one key: exactly one cold solve.
+        assert_eq!(solves.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 7);
+        assert_eq!(cache.len(), 1);
+        // Distinct leakage silicon never shares the key.
+        let (_, hit) = cache
+            .get_or_compute(
+                machine,
+                &LeakageModel {
+                    ratio_at_ambient: 0.31,
+                    ..leakage
+                },
+                &nominal,
+                || Ok::<_, EngineError>(vec![43.0]),
+            )
+            .unwrap();
+        assert!(!hit, "a different leakage model must miss");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn failed_compute_leaves_no_entry_behind() {
+        let cache = WarmStartCache::new();
+        let machine = Machine::new(1, 4, 2);
+        let leakage = LeakageModel::paper();
+        let nominal = vec![0.5; machine.block_count()];
+        let err = cache
+            .get_or_compute(machine, &leakage, &nominal, || {
+                Err::<Vec<f64>, _>(EngineError::NotConverged("synthetic"))
+            })
+            .unwrap_err();
+        assert_eq!(err, EngineError::NotConverged("synthetic"));
+        assert!(cache.is_empty(), "failed solve left a key claimed");
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        // The key is free again: a later attempt solves cold and caches.
+        let (state, hit) = cache
+            .get_or_compute(machine, &leakage, &nominal, || {
+                Ok::<_, EngineError>(vec![1.0])
+            })
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(state.as_slice(), &[1.0]);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         SweepRunner::with_threads(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        WarmStartCache::with_shards(0);
     }
 }

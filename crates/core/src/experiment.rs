@@ -4,6 +4,7 @@
 use crate::dtm::{DvfsPolicy, FetchGatePolicy, MigrationPolicy};
 use crate::emergency::EmergencyPolicy;
 use distfront_cache::trace_cache::TraceCacheConfig;
+use distfront_power::LeakageModel;
 use distfront_thermal::Integrator;
 use distfront_uarch::{FrontendMode, ProcessorConfig};
 
@@ -105,6 +106,11 @@ pub struct ExperimentConfig {
     /// Transient integrator for the default thermal backend: the cached
     /// matrix-exponential propagator (default) or the RK4 reference.
     pub integrator: Integrator,
+    /// The silicon's leakage model (the paper's calibration by default).
+    /// Overridable for sensitivity studies — or to stress the
+    /// leakage↔temperature fixed point past its stability limit, which is
+    /// how fault-injection runs create a cell that genuinely fails.
+    pub leakage: LeakageModel,
 }
 
 impl ExperimentConfig {
@@ -122,6 +128,7 @@ impl ExperimentConfig {
             seed: 0xD15F,
             dtm: None,
             integrator: Integrator::default(),
+            leakage: LeakageModel::paper(),
         }
     }
 
@@ -226,6 +233,12 @@ impl ExperimentConfig {
         self
     }
 
+    /// Overrides the leakage model; returns `self` for chaining.
+    pub fn with_leakage(mut self, leakage: LeakageModel) -> Self {
+        self.leakage = leakage;
+        self
+    }
+
     /// Pilot run length in micro-ops.
     pub fn pilot_uops(&self) -> u64 {
         ((self.uops_per_app as f64 * self.pilot_fraction) as u64).max(10_000)
@@ -252,6 +265,12 @@ impl ExperimentConfig {
         }
         if self.idle_density_w_mm2 < 0.0 {
             return Err("negative idle density".into());
+        }
+        if self.leakage.ratio_at_ambient.is_nan() || self.leakage.ratio_at_ambient < 0.0 {
+            return Err("negative leakage ratio".into());
+        }
+        if self.leakage.doubling_celsius.is_nan() || self.leakage.doubling_celsius <= 0.0 {
+            return Err("leakage doubling temperature must be positive".into());
         }
         if let Some(d) = &self.dtm {
             d.validate()?;

@@ -21,7 +21,7 @@
 
 use distfront_trace::AppProfile;
 
-use crate::engine::SweepRunner;
+use crate::engine::{CellOutcome, SweepRunner};
 use crate::experiment::ExperimentConfig;
 use crate::report::{FigureRow, FigureTable};
 use crate::runner::{average_temps, slowdown, AppResult, TempReport};
@@ -48,22 +48,54 @@ impl ComparisonData {
     /// [`collect`](Self::collect) on a caller-supplied runner (e.g.
     /// [`SweepRunner::serial`] for a reference run, or a shared runner
     /// whose warm-start cache spans several figures).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell fails, listing every failed cell — a figure's
+    /// reductions are relative to the baseline row, so a partial grid
+    /// cannot be plotted. Use [`try_collect_with`](Self::try_collect_with)
+    /// to handle the failures instead.
     pub fn collect_with(
         runner: &SweepRunner,
         apps: &[AppProfile],
         configs: &[ExperimentConfig],
         uops_per_app: u64,
     ) -> Self {
+        Self::try_collect_with(runner, apps, configs, uops_per_app).unwrap_or_else(|failed| {
+            let list: Vec<String> = failed.iter().map(CellOutcome::failure_line).collect();
+            panic!("{} figure cells failed:\n{}", failed.len(), list.join("\n"))
+        })
+    }
+
+    /// The fault-tolerant [`collect_with`](Self::collect_with): runs the
+    /// grid through [`SweepRunner::try_grid`] and, when any cell fails,
+    /// returns the failed cells instead of panicking (a figure needs its
+    /// full grid — reductions are computed against the baseline row — so
+    /// there is no partial `ComparisonData`).
+    ///
+    /// # Errors
+    ///
+    /// Returns every failed [`CellOutcome`] when the grid is incomplete.
+    pub fn try_collect_with(
+        runner: &SweepRunner,
+        apps: &[AppProfile],
+        configs: &[ExperimentConfig],
+        uops_per_app: u64,
+    ) -> Result<Self, Vec<CellOutcome>> {
         let mut grid_cfgs = Vec::with_capacity(configs.len() + 1);
         grid_cfgs.push(ExperimentConfig::baseline().with_uops(uops_per_app));
         grid_cfgs.extend(configs.iter().map(|c| c.clone().with_uops(uops_per_app)));
-        let mut rows = runner.grid(&grid_cfgs, apps).into_iter();
+        let report = runner.try_grid(&grid_cfgs, apps);
+        if !report.is_complete() {
+            return Err(report.failures().cloned().collect());
+        }
+        let mut rows = report.strict().into_iter();
         let baseline = rows.next().expect("baseline row");
         let techniques = grid_cfgs[1..].iter().map(|c| c.name).zip(rows).collect();
-        ComparisonData {
+        Ok(ComparisonData {
             baseline,
             techniques,
-        }
+        })
     }
 
     /// One figure row per technique: the nine reduction percentages

@@ -55,11 +55,15 @@ pub use dtm::{
     MigrationPolicy,
 };
 pub use emergency::{EmergencyController, EmergencyPolicy};
-pub use engine::{CoupledEngine, DtmAction, DtmPolicy, SweepRunner, WarmStartCache};
+pub use engine::{
+    CellOutcome, CoupledEngine, DtmAction, DtmPolicy, EngineError, RunStats, SweepReport,
+    SweepRunner, WarmStartCache,
+};
 pub use experiment::{DtmSpec, ExperimentConfig};
 pub use figures::{figure1, figure12, figure13, figure14, ComparisonData, AMBIENT_C};
 pub use report::{FigureRow, FigureTable};
 pub use runner::{
-    average_temps, mean_cpi, run_app, run_suite, slowdown, AppResult, BlockGroups, TempReport,
+    average_temps, mean_cpi, run_app, run_suite, slowdown, try_run_app, AppResult, BlockGroups,
+    TempReport,
 };
 pub use scenarios::{RunOptions, Scenario, ScenarioReport};

@@ -30,7 +30,7 @@ use distfront_power::{BlockId, Machine};
 use distfront_thermal::GroupMetrics;
 use distfront_trace::AppProfile;
 
-use crate::engine::CoupledEngine;
+use crate::engine::{CoupledEngine, EngineError};
 use crate::experiment::ExperimentConfig;
 
 /// Temperature metrics for the block groups the paper reports on.
@@ -135,13 +135,24 @@ impl BlockGroups {
 /// # Panics
 ///
 /// Panics if the configuration is invalid or the run fails (e.g. a
-/// non-converged warm start); use
-/// [`CoupledEngine::run`](crate::engine::CoupledEngine::run) directly to
-/// handle [`EngineError`](crate::engine::EngineError)s instead.
+/// non-converged warm start); use [`try_run_app`] to handle
+/// [`EngineError`]s instead.
 pub fn run_app(cfg: &ExperimentConfig, profile: &AppProfile) -> AppResult {
-    CoupledEngine::new(cfg, profile)
-        .run()
+    try_run_app(cfg, profile)
         .unwrap_or_else(|e| panic!("engine failed for {}/{}: {e}", cfg.name, profile.name))
+}
+
+/// The fault-tolerant [`run_app`]: one application under one configuration
+/// through the default staged engine, with failures surfaced as
+/// [`EngineError`]s (the per-cell semantics grids get from
+/// [`SweepRunner::try_grid`](crate::engine::SweepRunner::try_grid)).
+///
+/// # Errors
+///
+/// Returns an error when the configuration is invalid, a stage's
+/// prerequisites are missing, or an iterative phase fails to converge.
+pub fn try_run_app(cfg: &ExperimentConfig, profile: &AppProfile) -> Result<AppResult, EngineError> {
+    CoupledEngine::new(cfg, profile).run()
 }
 
 /// Runs a whole application suite under one configuration, serially (the

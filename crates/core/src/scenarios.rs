@@ -17,6 +17,12 @@
 //! distfront-scenarios --all --smoke --verify   # serial vs parallel bytes
 //! ```
 //!
+//! Scenario execution is *fault-tolerant*: a cell that fails (e.g. a
+//! non-converged warm start) becomes an `Err` outcome in the report — the
+//! remaining cells still run, the CSV/JSON emitters publish the partial
+//! results, and the summary table counts the failures. The CLI exits with
+//! status 2 when any cell failed, listing the failed coordinates.
+//!
 //! # Examples
 //!
 //! ```
@@ -24,17 +30,19 @@
 //!
 //! let scenario = scenarios::by_name("baseline").unwrap();
 //! let report = scenario.run(&RunOptions::smoke().with_uops(30_000));
-//! assert_eq!(report.results.len(), RunOptions::smoke().apps().len());
+//! assert!(report.is_complete());
+//! assert_eq!(report.results().count(), RunOptions::smoke().apps().len());
 //! ```
 
 use std::fmt::Write as _;
 
+use distfront_power::LeakageModel;
 use distfront_thermal::Integrator;
 use distfront_trace::AppProfile;
 
 use crate::dtm::{DvfsPolicy, FetchGatePolicy, MigrationPolicy};
 use crate::emergency::EmergencyPolicy;
-use crate::engine::SweepRunner;
+use crate::engine::{CellOutcome, SweepReport, SweepRunner};
 use crate::experiment::{DtmSpec, ExperimentConfig};
 use crate::report::{FigureRow, FigureTable};
 use crate::runner::AppResult;
@@ -58,30 +66,72 @@ pub struct Scenario {
 }
 
 impl Scenario {
+    /// A scenario from its parts (the [`registry`] covers the paper; this
+    /// is for ad-hoc scenarios like the CLI's fault injection).
+    pub fn new(name: &'static str, summary: &'static str, build: fn() -> ExperimentConfig) -> Self {
+        Scenario {
+            name,
+            summary,
+            build,
+        }
+    }
+
     /// The scenario's experiment configuration (before run-length scaling).
     pub fn config(&self) -> ExperimentConfig {
         (self.build)()
     }
 
     /// Runs the scenario over `opts.apps()` on a [`SweepRunner`] with
-    /// `opts.workers` workers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the scenario's configuration is invalid.
+    /// `opts.workers` workers. Fault-tolerant: a failing cell becomes an
+    /// `Err` outcome in the report, never a panic.
     pub fn run(&self, opts: &RunOptions) -> ScenarioReport {
+        self.run_streaming(opts, |_| {})
+    }
+
+    /// [`run`](Self::run) with a streaming callback: `on_cell` fires once
+    /// per application as its cell completes (completion order), which is
+    /// what the CLI's `--progress` display and incremental CSV emission
+    /// hang off.
+    pub fn run_streaming(
+        &self,
+        opts: &RunOptions,
+        on_cell: impl Fn(&CellOutcome) + Send + Sync + 'static,
+    ) -> ScenarioReport {
         let cfg = self
             .config()
             .with_uops(opts.uops)
             .with_integrator(opts.integrator);
         let apps = opts.apps();
-        let results = SweepRunner::with_threads(opts.workers).suite(&cfg, &apps);
+        let report = SweepRunner::with_threads(opts.workers)
+            .with_on_cell(on_cell)
+            .try_suite(&cfg, &apps);
         ScenarioReport {
             scenario: self.name,
             summary: self.summary,
-            results,
+            report,
         }
     }
+}
+
+/// A deliberately broken scenario for fault-injection runs: the baseline
+/// with a leakage feedback gain far past the stability limit, so every
+/// cell's warm start fails with
+/// [`EngineError::NotConverged`](crate::engine::EngineError). Not part of
+/// the [`registry`]; the CLI's `--inject-fail` appends it so CI can assert
+/// the partial-results contract (exit code 2, surviving cells published).
+pub fn fault_injection() -> Scenario {
+    Scenario::new(
+        "fault-injection",
+        "baseline with runaway leakage feedback: every cell fails to converge",
+        || {
+            ExperimentConfig::baseline().with_leakage(LeakageModel {
+                ratio_at_ambient: 6.0,
+                doubling_celsius: 4.0,
+                emergency_c: f64::MAX,
+                ..LeakageModel::paper()
+            })
+        },
+    )
 }
 
 /// How a scenario run is sized and parallelized.
@@ -160,14 +210,47 @@ impl Default for RunOptions {
 }
 
 /// The results of one scenario over its application suite.
+///
+/// Equality (like the underlying [`SweepReport`]'s) covers the outcomes —
+/// error cells included — but not per-cell wall times, so serial and
+/// parallel runs of the same scenario compare equal.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioReport {
     /// Scenario name.
     pub scenario: &'static str,
     /// Scenario description.
     pub summary: &'static str,
-    /// One result per application, in suite order.
-    pub results: Vec<AppResult>,
+    /// One outcome per application, in suite order (a one-row sweep).
+    pub report: SweepReport,
+}
+
+impl ScenarioReport {
+    /// Per-application outcomes, in suite order.
+    pub fn outcomes(&self) -> &[CellOutcome] {
+        self.report.cells()
+    }
+
+    /// The successful results, in suite order.
+    pub fn results(&self) -> impl Iterator<Item = &AppResult> {
+        self.outcomes()
+            .iter()
+            .filter_map(|c| c.result.as_ref().ok())
+    }
+
+    /// The failed cells, in suite order.
+    pub fn failures(&self) -> impl Iterator<Item = &CellOutcome> {
+        self.report.failures()
+    }
+
+    /// How many cells failed.
+    pub fn failed(&self) -> usize {
+        self.report.failed()
+    }
+
+    /// Whether every application produced a result.
+    pub fn is_complete(&self) -> bool {
+        self.report.is_complete()
+    }
 }
 
 /// Every scenario in presentation order: the paper's technique ladder
@@ -253,50 +336,60 @@ avg_power_w,wall_time_s,emergencies,throttled_intervals,over_limit_s,\
 proc_abs_max_c,proc_average_c,proc_avg_max_c,frontend_abs_max_c,frontend_average_c,\
 trace_cache_abs_max_c,rob_abs_max_c,rat_abs_max_c";
 
-/// Renders scenario reports as CSV (header + one row per scenario × app).
+/// One CSV row (no trailing newline) for a successful result, matching
+/// [`CSV_HEADER`]. Public so streaming emitters (the CLI's incremental
+/// CSV) produce bytes identical to [`to_csv`]'s.
+pub fn csv_row(scenario: &str, r: &AppResult) -> String {
+    let t = &r.temps;
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        scenario,
+        r.app,
+        r.cycles,
+        r.uops,
+        r.ipc,
+        r.cpi,
+        r.tc_hit_rate,
+        r.mispredict_rate,
+        r.avg_power_w,
+        r.wall_time_s,
+        r.emergencies,
+        r.throttled_intervals,
+        r.over_limit_s,
+        t.processor.abs_max_c,
+        t.processor.average_c,
+        t.processor.avg_max_c,
+        t.frontend.abs_max_c,
+        t.frontend.average_c,
+        t.trace_cache.abs_max_c,
+        t.rob.abs_max_c,
+        t.rat.abs_max_c,
+    )
+}
+
+/// Renders scenario reports as CSV (header + one row per *successful*
+/// scenario × app cell; failed cells are reported out-of-band, so a
+/// partially failed suite still yields a usable partial CSV).
 ///
 /// Results are bit-identical across worker counts, and every float is
 /// formatted with Rust's shortest-roundtrip `Display`, so the bytes are
-/// identical too.
+/// identical too — error cells included, since an engine failure is as
+/// deterministic as a result.
 pub fn to_csv(reports: &[ScenarioReport]) -> String {
     let mut out = String::from(CSV_HEADER);
     out.push('\n');
     for rep in reports {
-        for r in &rep.results {
-            let t = &r.temps;
-            writeln!(
-                out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-                rep.scenario,
-                r.app,
-                r.cycles,
-                r.uops,
-                r.ipc,
-                r.cpi,
-                r.tc_hit_rate,
-                r.mispredict_rate,
-                r.avg_power_w,
-                r.wall_time_s,
-                r.emergencies,
-                r.throttled_intervals,
-                r.over_limit_s,
-                t.processor.abs_max_c,
-                t.processor.average_c,
-                t.processor.avg_max_c,
-                t.frontend.abs_max_c,
-                t.frontend.average_c,
-                t.trace_cache.abs_max_c,
-                t.rob.abs_max_c,
-                t.rat.abs_max_c,
-            )
-            .expect("writing to a String cannot fail");
+        for r in rep.results() {
+            out.push_str(&csv_row(rep.scenario, r));
+            out.push('\n');
         }
     }
     out
 }
 
 /// Renders scenario reports as a JSON document (an object with a
-/// `scenarios` array; same fields as the CSV, nested per application).
+/// `scenarios` array; same fields as the CSV, nested per application,
+/// plus a `failures` array naming any failed cells and their errors).
 pub fn to_json(reports: &[ScenarioReport]) -> String {
     let mut out = String::from("{\n  \"scenarios\": [");
     for (i, rep) in reports.iter().enumerate() {
@@ -309,7 +402,7 @@ pub fn to_json(reports: &[ScenarioReport]) -> String {
             rep.scenario, rep.summary
         )
         .expect("writing to a String cannot fail");
-        for (j, r) in rep.results.iter().enumerate() {
+        for (j, r) in rep.results().enumerate() {
             if j > 0 {
                 out.push(',');
             }
@@ -346,21 +439,39 @@ pub fn to_json(reports: &[ScenarioReport]) -> String {
             )
             .expect("writing to a String cannot fail");
         }
+        out.push_str("\n      ],\n      \"failures\": [");
+        for (j, cell) in rep.failures().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let err = cell.result.as_ref().unwrap_err();
+            write!(
+                out,
+                "\n        {{\"app\": \"{}\", \"error\": \"{err}\"}}",
+                cell.app_name
+            )
+            .expect("writing to a String cannot fail");
+        }
         out.push_str("\n      ]\n    }");
     }
     out.push_str("\n  ]\n}\n");
     out
 }
 
-/// A per-scenario summary (suite means and peaks) ready to print.
+/// A per-scenario summary (suite means and peaks) ready to print. Means
+/// cover the *successful* cells; the final `Failed` column counts the
+/// cells that produced no result (a scenario with failures still gets a
+/// summary row from its surviving cells).
 pub fn summary_table(reports: &[ScenarioReport]) -> FigureTable {
     let rows = reports
         .iter()
         .map(|rep| {
-            let n = rep.results.len().max(1) as f64;
-            let mean = |f: &dyn Fn(&AppResult) -> f64| rep.results.iter().map(f).sum::<f64>() / n;
-            let peak = rep
-                .results
+            let ok: Vec<&AppResult> = rep.results().collect();
+            let n = ok.len().max(1) as f64;
+            // `+ 0.0` turns an empty sum's -0.0 into an unsigned zero.
+            let mean =
+                |f: &dyn Fn(&AppResult) -> f64| (ok.iter().map(|r| f(r)).sum::<f64>() + 0.0) / n;
+            let peak = ok
                 .iter()
                 .map(|r| r.temps.processor.abs_max_c)
                 .fold(f64::NEG_INFINITY, f64::max);
@@ -370,22 +481,20 @@ pub fn summary_table(reports: &[ScenarioReport]) -> FigureTable {
                     mean(&|r| r.ipc),
                     mean(&|r| r.cpi),
                     mean(&|r| r.avg_power_w),
-                    peak,
+                    if ok.is_empty() { f64::NAN } else { peak },
                     mean(&|r| r.temps.processor.average_c),
                     mean(&|r| r.temps.frontend.abs_max_c),
-                    rep.results.iter().map(|r| r.emergencies).sum::<u64>() as f64,
-                    rep.results
-                        .iter()
-                        .map(|r| r.throttled_intervals)
-                        .sum::<u64>() as f64,
+                    ok.iter().map(|r| r.emergencies).sum::<u64>() as f64,
+                    ok.iter().map(|r| r.throttled_intervals).sum::<u64>() as f64,
                     mean(&|r| r.over_limit_s) * 1e3,
+                    rep.failed() as f64,
                 ],
             }
         })
         .collect();
     FigureTable {
         id: "scenarios",
-        title: "Scenario summary (suite means; temperatures in C)".into(),
+        title: "Scenario summary (suite means over surviving cells; temperatures in C)".into(),
         columns: [
             "IPC",
             "CPI",
@@ -396,6 +505,7 @@ pub fn summary_table(reports: &[ScenarioReport]) -> FigureTable {
             "Emerg.",
             "Throttled",
             "OverLim(ms)",
+            "Failed",
         ]
         .iter()
         .map(|s| (*s).to_string())
@@ -458,5 +568,68 @@ mod tests {
         let table = summary_table(&reports);
         assert_eq!(table.rows.len(), 2);
         assert!(table.value("baseline", 0).unwrap() > 0.0, "IPC positive");
+        assert_eq!(table.value("baseline", 9), Some(0.0), "no failed cells");
+    }
+
+    #[test]
+    fn streamed_rows_reassemble_into_to_csv() {
+        use std::sync::{Arc, Mutex};
+        let opts = RunOptions::smoke().with_uops(20_000).with_workers(2);
+        let rows = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&rows);
+        let report = by_name("baseline")
+            .unwrap()
+            .run_streaming(&opts, move |cell| {
+                if let Ok(r) = &cell.result {
+                    sink.lock()
+                        .unwrap()
+                        .push((cell.app, csv_row("baseline", r)));
+                }
+            });
+        // Streamed rows arrive in completion order; sorted by suite index
+        // they are byte-identical to the canonical emitter's.
+        let mut rows = rows.lock().unwrap().clone();
+        rows.sort_by_key(|(app, _)| *app);
+        let streamed: Vec<String> = rows.into_iter().map(|(_, row)| row).collect();
+        let canonical: Vec<String> = to_csv(std::slice::from_ref(&report))
+            .lines()
+            .skip(1)
+            .map(str::to_owned)
+            .collect();
+        assert_eq!(streamed, canonical);
+    }
+
+    #[test]
+    fn fault_injection_scenario_fails_every_cell_without_panicking() {
+        let opts = RunOptions::smoke().with_uops(20_000).with_workers(2);
+        let report = fault_injection().run(&opts);
+        assert_eq!(report.failed(), opts.apps().len());
+        assert!(!report.is_complete());
+        assert_eq!(report.results().count(), 0);
+        for cell in report.failures() {
+            assert!(
+                matches!(
+                    cell.result,
+                    Err(crate::engine::EngineError::NotConverged(_))
+                ),
+                "{}: unexpected error kind",
+                cell.label()
+            );
+        }
+        // The emitters degrade instead of aborting: an all-failed scenario
+        // is a header-only CSV, a failures-only JSON, and a summary row
+        // whose Failed column carries the count.
+        let reports = [report];
+        assert_eq!(to_csv(&reports), format!("{CSV_HEADER}\n"));
+        let json = to_json(&reports);
+        assert_eq!(
+            json.matches("\"error\": \"not converged").count(),
+            opts.apps().len()
+        );
+        let table = summary_table(&reports);
+        assert_eq!(
+            table.value("fault-injection", 9),
+            Some(opts.apps().len() as f64)
+        );
     }
 }

@@ -80,18 +80,42 @@ impl TemperatureTracker {
     ///
     /// # Panics
     ///
-    /// Panics if `areas` is empty or contains a non-positive area.
+    /// Panics if `areas` is empty or contains a non-positive area; use
+    /// [`try_new`](Self::try_new) for a recoverable error.
     pub fn new(areas: Vec<f64>) -> Self {
         assert!(!areas.is_empty(), "no blocks to track");
-        assert!(areas.iter().all(|&a| a > 0.0), "areas must be positive");
+        assert!(
+            areas.iter().all(|&a| a.is_finite() && a > 0.0),
+            "areas must be positive"
+        );
+        Self::try_new(areas).expect("validated above")
+    }
+
+    /// The non-panicking [`new`](Self::new).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the defect when `areas` is empty or
+    /// contains a non-positive (or non-finite) area.
+    pub fn try_new(areas: Vec<f64>) -> Result<Self, String> {
+        if areas.is_empty() {
+            return Err("no blocks to track".into());
+        }
+        if let Some((i, a)) = areas
+            .iter()
+            .enumerate()
+            .find(|(_, a)| !(a.is_finite() && **a > 0.0))
+        {
+            return Err(format!("areas must be positive: block {i} has {a} mm²"));
+        }
         let n = areas.len();
-        TemperatureTracker {
+        Ok(TemperatureTracker {
             areas,
             intervals: Vec::new(),
             cur_max: vec![f64::NEG_INFINITY; n],
             cur_sum: vec![0.0; n],
             cur_time: 0.0,
-        }
+        })
     }
 
     /// Number of tracked blocks.
@@ -167,11 +191,28 @@ impl TemperatureTracker {
     ///
     /// # Panics
     ///
-    /// Panics if no intervals are closed, the group is empty, or an index
-    /// is out of range.
+    /// Panics if no intervals are closed or the group is empty (use
+    /// [`try_group_metrics`](Self::try_group_metrics) for a recoverable
+    /// `None` instead), or if an index is out of range.
     pub fn group_metrics(&self, blocks: &[usize]) -> GroupMetrics {
         assert!(!self.intervals.is_empty(), "no closed intervals");
         assert!(!blocks.is_empty(), "empty block group");
+        self.try_group_metrics(blocks).expect("validated above")
+    }
+
+    /// The non-panicking [`group_metrics`](Self::group_metrics): `None`
+    /// when no intervals are closed or the group is empty — the metrics
+    /// are undefined then (e.g. a zero-interval smoke run), and a report
+    /// path should degrade gracefully instead of aborting.
+    ///
+    /// # Panics
+    ///
+    /// Still panics if a block index is out of range — that is a caller
+    /// bug, not a data condition.
+    pub fn try_group_metrics(&self, blocks: &[usize]) -> Option<GroupMetrics> {
+        if self.intervals.is_empty() || blocks.is_empty() {
+            return None;
+        }
         let group_area: f64 = blocks.iter().map(|&b| self.areas[b]).sum();
         let mut abs_max = f64::NEG_INFINITY;
         let mut avg_max_sum = 0.0;
@@ -192,11 +233,11 @@ impl TemperatureTracker {
             avg_sum += area_avg * iv.duration;
             total_time += iv.duration;
         }
-        GroupMetrics {
+        Some(GroupMetrics {
             abs_max_c: abs_max,
             average_c: avg_sum / total_time,
             avg_max_c: avg_max_sum / self.intervals.len() as f64,
-        }
+        })
     }
 }
 
@@ -325,5 +366,32 @@ mod tests {
     #[should_panic(expected = "areas must be positive")]
     fn bad_area_panics() {
         TemperatureTracker::new(vec![0.0]);
+    }
+
+    #[test]
+    fn try_group_metrics_degrades_instead_of_panicking() {
+        let mut tr = TemperatureTracker::new(vec![1.0]);
+        // Zero closed intervals: undefined metrics, not an abort.
+        assert_eq!(tr.try_group_metrics(&[0]), None);
+        assert_eq!(tr.try_group_metrics(&[]), None);
+        tr.record(&[55.0], 1.0);
+        tr.end_interval();
+        let m = tr.try_group_metrics(&[0]).unwrap();
+        assert_eq!(m, tr.group_metrics(&[0]), "try_ and panicking agree");
+        assert_eq!(m.abs_max_c, 55.0);
+    }
+
+    #[test]
+    fn try_new_reports_defects() {
+        assert!(TemperatureTracker::try_new(vec![]).is_err());
+        let err = TemperatureTracker::try_new(vec![1.0, -2.0]).unwrap_err();
+        assert!(err.contains("block 1"), "{err}");
+        assert!(TemperatureTracker::try_new(vec![1.0, f64::NAN]).is_err());
+        assert_eq!(
+            TemperatureTracker::try_new(vec![1.0])
+                .unwrap()
+                .block_count(),
+            1
+        );
     }
 }
