@@ -1,0 +1,186 @@
+//! Record-once / replay-many benchmark: the cost of a thermal/DTM sweep
+//! cell driven live (full core simulation) vs replayed from a recorded
+//! [`ActivityTrace`].
+//!
+//! Before the Criterion timing loops run, the comparison is measured
+//! head-to-head on a small suite: every cell runs live N times, then the
+//! suite is recorded once and replayed N times under a power-level DTM
+//! sweep. The numbers — per-cell live and replay times, the recording
+//! overhead, and the replay speedup — are written to `BENCH_replay.json`
+//! at the workspace root (override the path with
+//! `DISTFRONT_BENCH_REPLAY_JSON`), so CI tracks the record/replay
+//! trajectory across PRs; the acceptance bar is ≥ 2× per cell, and the
+//! measured speedup is typically far higher because replay skips the core
+//! simulator entirely. Byte identity between the live and replayed
+//! reports is asserted, not assumed. Runs in `--test` mode too.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distfront::emergency::EmergencyPolicy;
+use distfront::engine::{CoupledEngine, TraceMode, TraceStore};
+use distfront::{DtmSpec, ExperimentConfig, SweepRunner};
+use distfront_bench::kernel_app;
+use distfront_trace::{AppProfile, Workload};
+use std::hint::black_box;
+
+/// Per-app run length: long enough that a cell closes many intervals,
+/// short enough for CI (`DISTFRONT_BENCH_UOPS` raises it).
+fn uops() -> u64 {
+    std::env::var("DISTFRONT_BENCH_UOPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000)
+}
+
+fn suite() -> Vec<AppProfile> {
+    vec![
+        AppProfile::test_tiny(),
+        kernel_app(),
+        *AppProfile::by_name("mcf").expect("profile exists"),
+    ]
+}
+
+/// The power-side sweep driven from the recording: the emergency throttle
+/// at a trip that engages on the hot cells (a pure thermal/DTM change,
+/// exactly what record/replay accelerates).
+fn throttled(uops: u64) -> ExperimentConfig {
+    ExperimentConfig::baseline()
+        .with_uops(uops)
+        .with_dtm(DtmSpec::Emergency(EmergencyPolicy::with_threshold(100.0)))
+}
+
+fn comparison() {
+    let uops = uops();
+    let apps = suite();
+    let cfg = throttled(uops);
+    let rounds = 3u32;
+    println!(
+        "\nreplay: {} apps x {uops} uops, {rounds} live rounds vs record-once-replay-{rounds}...",
+        apps.len()
+    );
+
+    // Live reference: the throttled sweep, simulated end to end.
+    let t0 = Instant::now();
+    let mut live = None;
+    for _ in 0..rounds {
+        live = Some(SweepRunner::serial().try_suite(&cfg, &apps));
+    }
+    let live_s = t0.elapsed().as_secs_f64();
+    let live = live.expect("at least one live round");
+    assert!(live.is_complete(), "live bench cells must not fail");
+
+    // Record once (under the plain baseline — the uarch side the sweep
+    // shares), then replay the throttled sweep from it.
+    let store = Arc::new(TraceStore::new());
+    let base = ExperimentConfig::baseline().with_uops(uops);
+    let t1 = Instant::now();
+    SweepRunner::serial()
+        .with_trace_mode(TraceMode::Record(Arc::clone(&store)))
+        .try_suite(&base, &apps);
+    let record_s = t1.elapsed().as_secs_f64();
+
+    let t2 = Instant::now();
+    let mut replayed = None;
+    for _ in 0..rounds {
+        replayed = Some(
+            SweepRunner::serial()
+                .with_trace_mode(TraceMode::Replay(Arc::clone(&store)))
+                .try_suite(&cfg, &apps),
+        );
+    }
+    let replay_s = t2.elapsed().as_secs_f64();
+    let replayed = replayed.expect("at least one replay round");
+    assert_eq!(
+        replayed.replayed(),
+        apps.len(),
+        "every replay cell must come from the recording"
+    );
+    assert_eq!(replayed, live, "replay diverged from live simulation");
+
+    let cells = (apps.len() as u32 * rounds) as f64;
+    let live_ms = live_s * 1e3 / cells;
+    let replay_ms = replay_s * 1e3 / cells;
+    let speedup = live_ms / replay_ms;
+    println!(
+        "live {live_ms:.2} ms/cell | replay {replay_ms:.2} ms/cell | speedup {speedup:.1}x \
+         (record once: {:.2} ms/cell; results bit-identical)\n",
+        record_s * 1e3 / apps.len() as f64
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"replay_sweep_cell\",\n  \"apps\": {},\n  \"uops\": {uops},\n  \
+         \"rounds\": {rounds},\n  \"live_ms_per_cell\": {live_ms:.3},\n  \
+         \"replay_ms_per_cell\": {replay_ms:.3},\n  \"record_ms_per_cell\": {:.3},\n  \
+         \"speedup\": {speedup:.2}\n}}\n",
+        apps.len(),
+        record_s * 1e3 / apps.len() as f64
+    );
+    let path = std::env::var("DISTFRONT_BENCH_REPLAY_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replay.json").into());
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    comparison();
+
+    let uops = uops();
+    let cfg = ExperimentConfig::baseline().with_uops(uops);
+    let app = AppProfile::test_tiny();
+    let (recorded, _) = CoupledEngine::new(&cfg, &app).run_recorded();
+    let trace = Arc::new(recorded.expect("recording the bench kernel").1);
+
+    c.bench_function("replay/cell_live", |b| {
+        b.iter(|| black_box(CoupledEngine::new(&cfg, &app).run().unwrap()))
+    });
+    c.bench_function("replay/cell_replayed", |b| {
+        b.iter(|| {
+            black_box(
+                CoupledEngine::new(&cfg, &app)
+                    .with_replay(Arc::clone(&trace))
+                    .run()
+                    .unwrap(),
+            )
+        })
+    });
+    c.bench_function("replay/trace_codec_roundtrip", |b| {
+        let bytes = trace.encode();
+        b.iter(|| {
+            black_box(
+                distfront_trace::ActivityTrace::decode(black_box(&bytes))
+                    .unwrap()
+                    .intervals
+                    .len(),
+            )
+        })
+    });
+
+    // Keep the workload plumbing honest under Criterion too: a phased
+    // workload through the engine in one timed kernel.
+    c.bench_function("replay/phased_cell_live", |b| {
+        let phased = Workload::Phased(distfront_trace::PhasedProfile::alternating(
+            "bench-tiny-gzip",
+            AppProfile::test_tiny(),
+            kernel_app(),
+            5_000,
+        ));
+        b.iter(|| {
+            black_box(
+                CoupledEngine::for_workload(&cfg, phased.clone())
+                    .run()
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

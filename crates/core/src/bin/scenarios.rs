@@ -18,6 +18,12 @@
 //!   --verify         also run serially and fail unless the bytes match
 //!   --inject-fail    append a divergent-leakage scenario whose cells all
 //!                    fail (exercises the partial-results path; CI uses it)
+//!   --record DIR     simulate live and write one .dft activity trace per
+//!                    successful cell into DIR
+//!   --replay DIR     load .dft traces from DIR and replay compatible cells
+//!                    instead of re-simulating the core (live fallback
+//!                    otherwise); byte-identical output, several times
+//!                    faster per replayed cell
 //! ```
 //!
 //! Exit status: 0 on success, 1 when `--verify` detects a divergence,
@@ -26,12 +32,14 @@
 //! file failed, 64 on a usage error.
 
 use std::io::Write as _;
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
 
-use distfront::engine::CellOutcome;
+use distfront::engine::{CellOutcome, TraceMode, TraceStore};
 use distfront::scenarios::{self, RunOptions, Scenario, ScenarioReport};
 use distfront_thermal::Integrator;
+use distfront_trace::ActivityTrace;
 
 struct Args {
     list: bool,
@@ -46,12 +54,15 @@ struct Args {
     progress: bool,
     verify: bool,
     inject_fail: bool,
+    record: Option<String>,
+    replay: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: distfront-scenarios --list | --all | --run NAME [--run NAME ...]\n\
      options: [--smoke] [--uops N] [--workers N] [--integrator rk4|expm] \
-     [--csv PATH] [--json PATH] [--progress] [--verify] [--inject-fail]"
+     [--csv PATH] [--json PATH] [--progress] [--verify] [--inject-fail] \
+     [--record DIR | --replay DIR]"
 }
 
 /// Exit code for command-line misuse (BSD `EX_USAGE`; 1 and 2 carry
@@ -77,6 +88,8 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         progress: false,
         verify: false,
         inject_fail: false,
+        record: None,
+        replay: None,
     };
     argv.next(); // program name
     while let Some(a) = argv.next() {
@@ -107,11 +120,16 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
             "--progress" => args.progress = true,
             "--verify" => args.verify = true,
             "--inject-fail" => args.inject_fail = true,
+            "--record" => args.record = Some(value("--record")?),
+            "--replay" => args.replay = Some(value("--replay")?),
             other => return Err(format!("unknown argument {other}")),
         }
     }
     if !args.list && !args.all && args.run.is_empty() && !args.inject_fail {
         return Err("nothing to do".into());
+    }
+    if args.record.is_some() && args.replay.is_some() {
+        return Err("--record and --replay are mutually exclusive".into());
     }
     Ok(args)
 }
@@ -156,11 +174,12 @@ impl CellStream {
         if self.progress {
             match &cell.result {
                 Ok(_) => eprintln!(
-                    "  [{}/{}] ok in {:.2}s{}",
+                    "  [{}/{}] ok in {:.2}s{}{}",
                     self.scenario,
                     cell.app_name,
                     cell.wall_time_s,
-                    if cell.warm_hit { " (warm hit)" } else { "" }
+                    if cell.warm_hit { " (warm hit)" } else { "" },
+                    if cell.replayed { " (replayed)" } else { "" }
                 ),
                 Err(e) => eprintln!("  [{}/{}] FAILED: {e}", self.scenario, cell.app_name),
             }
@@ -175,9 +194,47 @@ impl CellStream {
     }
 }
 
+/// Reads every `.dft` trace under `dir` into a store for replay;
+/// undecodable files warn and are skipped (their cells fall back to live
+/// simulation).
+fn load_traces(dir: &str) -> Result<Arc<TraceStore>, String> {
+    let store = TraceStore::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {dir}: {e}"))?;
+    for entry in entries {
+        let path = entry.map_err(|e| format!("reading {dir}: {e}"))?.path();
+        if path.extension().is_none_or(|ext| ext != "dft") {
+            continue;
+        }
+        match std::fs::read(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|b| ActivityTrace::decode(&b).map_err(|e| e.to_string()))
+        {
+            Ok(trace) => store.insert(trace),
+            Err(e) => eprintln!("warning: skipping {}: {e}", path.display()),
+        }
+    }
+    Ok(Arc::new(store))
+}
+
+/// Writes every recorded trace to `dir` as
+/// `<config>__<workload>.dft`.
+fn save_traces(dir: &str, store: &TraceStore) -> Result<usize, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+    let traces = store.traces();
+    for trace in &traces {
+        let file =
+            format!("{}__{}.dft", trace.meta.config, trace.meta.workload).replace(['/', '\\'], "-");
+        let path = Path::new(dir).join(file);
+        std::fs::write(&path, trace.encode())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    Ok(traces.len())
+}
+
 fn run_all(
     selected: &[Scenario],
     opts: &RunOptions,
+    mode: &TraceMode,
     progress: bool,
     csv_path: Option<&str>,
 ) -> Vec<ScenarioReport> {
@@ -199,9 +256,9 @@ fn run_all(
         .iter()
         .map(|s| {
             println!(
-                "running {:<16} ({} apps x {} uops, {} workers, {} integrator)",
+                "running {:<16} ({} workloads x {} uops, {} workers, {} integrator)",
                 s.name,
-                opts.apps().len(),
+                s.workloads(opts).len(),
                 opts.uops,
                 opts.workers,
                 opts.integrator
@@ -211,7 +268,7 @@ fn run_all(
                 progress,
                 csv: csv.clone(),
             };
-            s.run_streaming(opts, move |cell| stream.observe(cell))
+            s.run_traced(opts, mode.clone(), move |cell| stream.observe(cell))
         })
         .collect()
 }
@@ -251,12 +308,52 @@ fn main() -> ExitCode {
     }
 
     let opts = options(&args);
-    let reports = run_all(&selected, &opts, args.progress, args.csv.as_deref());
+    let mode = if args.record.is_some() {
+        TraceMode::Record(Arc::new(TraceStore::new()))
+    } else if let Some(dir) = &args.replay {
+        match load_traces(dir) {
+            Ok(store) => {
+                println!("replay: loaded {} trace(s) from {dir}", store.len());
+                TraceMode::Replay(store)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(EXIT_IO);
+            }
+        }
+    } else {
+        TraceMode::Live
+    };
+    let reports = run_all(&selected, &opts, &mode, args.progress, args.csv.as_deref());
     let csv = scenarios::to_csv(&reports);
 
+    if let (Some(dir), TraceMode::Record(store)) = (&args.record, &mode) {
+        match save_traces(dir, store) {
+            Ok(n) => println!("recorded {n} trace(s) to {dir}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(EXIT_IO);
+            }
+        }
+    }
+    if matches!(mode, TraceMode::Replay(_)) {
+        let replayed: usize = reports.iter().map(|r| r.report.replayed()).sum();
+        let cells: usize = reports.iter().map(|r| r.outcomes().len()).sum();
+        println!("replay: {replayed}/{cells} cell(s) replayed, the rest ran live");
+    }
+
     if args.verify {
+        // The serial verify rerun is always live, so with --replay it
+        // independently checks the replayed bytes against a live
+        // simulation, not just against another replay.
         println!("verify: re-running serially to check byte identity...");
-        let serial = run_all(&selected, &opts.with_workers(1), false, None);
+        let serial = run_all(
+            &selected,
+            &opts.with_workers(1),
+            &TraceMode::Live,
+            false,
+            None,
+        );
         if scenarios::to_csv(&serial) != csv {
             eprintln!(
                 "error: serial and {}-worker results diverge — the bit-identity \

@@ -5,9 +5,11 @@ use distfront_thermal::{
     ExpPropagator, Floorplan, Integrator, PackageConfig, TemperatureTracker, ThermalNetwork,
     ThermalSolver,
 };
-use distfront_trace::AppProfile;
+use distfront_trace::record::FinalStats;
+use distfront_trace::Workload;
 use distfront_uarch::Simulator;
 
+use super::replay::TraceRecorder;
 use super::traits::{DtmPolicy, ThermalBackend};
 use super::EngineError;
 use crate::experiment::ExperimentConfig;
@@ -22,8 +24,9 @@ use crate::runner::BlockGroups;
 pub struct EngineCx<'a> {
     /// The experiment configuration.
     pub cfg: &'a ExperimentConfig,
-    /// The application under test.
-    pub profile: &'a AppProfile,
+    /// The workload under test (a single application or a phased
+    /// composition).
+    pub workload: &'a Workload,
     /// The machine shape (fixes the canonical block order).
     pub machine: Machine,
     /// The thermal package (supplies the ambient temperature).
@@ -50,23 +53,33 @@ pub struct EngineCx<'a> {
     pub time_sum: f64,
     /// Whether the warm start was satisfied from a shared cache.
     pub warm_start_hit: bool,
+    /// When present, the pilot and interval-loop stages append the run's
+    /// activity here ([`CoupledEngine::run_recorded`](super::CoupledEngine)
+    /// installs it). Recording only observes: a recorded run's result is
+    /// bit-identical to an unrecorded one.
+    pub recorder: Option<TraceRecorder>,
+    /// Core-side final statistics injected by a replay (the replayed
+    /// pipeline never runs `sim`, so the report reads these instead).
+    pub replay_finals: Option<FinalStats>,
 }
 
 impl<'a> EngineCx<'a> {
-    /// Builds the context for a configuration and application, optionally
+    /// Builds the context for a configuration and workload, optionally
     /// overriding the thermal backend and DTM policy.
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::InvalidConfig`] when the configuration fails
+    /// Returns [`EngineError::InvalidConfig`] when the configuration or
+    /// the workload (every application profile it involves) fails
     /// validation.
     pub fn build(
         cfg: &'a ExperimentConfig,
-        profile: &'a AppProfile,
+        workload: &'a Workload,
         thermal: Option<Box<dyn ThermalBackend>>,
         dtm: Option<Box<dyn DtmPolicy>>,
     ) -> Result<Self, EngineError> {
         cfg.validate().map_err(EngineError::InvalidConfig)?;
+        workload.validate().map_err(EngineError::InvalidConfig)?;
         let pc = &cfg.processor;
         let machine = Machine::new(
             pc.frontend_mode.partitions(),
@@ -112,13 +125,13 @@ impl<'a> EngineCx<'a> {
 
         Ok(EngineCx {
             cfg,
-            profile,
+            workload,
             machine,
             pkg,
             groups,
             idle,
             model,
-            sim: Simulator::new(pc.clone(), profile, cfg.seed),
+            sim: Simulator::with_workload(pc.clone(), workload, cfg.seed),
             thermal,
             tracker: TemperatureTracker::new(areas),
             dtm,
@@ -126,6 +139,8 @@ impl<'a> EngineCx<'a> {
             power_time_sum: 0.0,
             time_sum: 0.0,
             warm_start_hit: false,
+            recorder: None,
+            replay_finals: None,
         })
     }
 

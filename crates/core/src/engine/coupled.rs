@@ -3,9 +3,11 @@
 
 use std::sync::Arc;
 
-use distfront_trace::AppProfile;
+use distfront_trace::record::{ActivityTrace, FinalStats};
+use distfront_trace::{AppProfile, Workload};
 
 use super::context::EngineCx;
+use super::replay::{ReplayBackend, TraceRecorder};
 use super::stages::{IntervalLoopStage, PilotStage, WarmStartStage};
 use super::sweep::WarmStartCache;
 use super::traits::{DtmPolicy, Stage, ThermalBackend};
@@ -14,11 +16,15 @@ use crate::experiment::ExperimentConfig;
 use crate::runner::{AppResult, TempReport};
 
 /// Couples the cycle simulator, power model and thermal solver for one
-/// application under one configuration, as a pipeline of [`Stage`]s.
+/// workload under one configuration, as a pipeline of [`Stage`]s.
 ///
 /// The default pipeline ([`PilotStage`] → [`WarmStartStage`] →
 /// [`IntervalLoopStage`]) reproduces the paper's §4 methodology exactly;
-/// every piece is swappable.
+/// every piece is swappable. [`run_recorded`](Self::run_recorded) captures
+/// the run as an [`ActivityTrace`]; [`with_replay`](Self::with_replay)
+/// substitutes the [`ReplayBackend`] pipeline that drives the
+/// power/thermal/DTM loop from such a trace without re-simulating the
+/// core.
 ///
 /// # Examples
 ///
@@ -35,11 +41,12 @@ use crate::runner::{AppResult, TempReport};
 /// ```
 pub struct CoupledEngine<'a> {
     cfg: &'a ExperimentConfig,
-    profile: &'a AppProfile,
+    workload: Workload,
     warm_cache: Option<Arc<WarmStartCache>>,
     thermal: Option<Box<dyn ThermalBackend>>,
     dtm: Option<Box<dyn DtmPolicy>>,
     stages: Option<Vec<Box<dyn Stage>>>,
+    replay: Option<Arc<ActivityTrace>>,
 }
 
 /// Per-run execution statistics: how a run executed, as opposed to what it
@@ -49,18 +56,29 @@ pub struct CoupledEngine<'a> {
 pub struct RunStats {
     /// Whether the warm start was served from a shared [`WarmStartCache`].
     pub warm_start_hit: bool,
+    /// Whether the run was driven from a recorded trace instead of the
+    /// live core simulator.
+    pub replayed: bool,
 }
 
 impl<'a> CoupledEngine<'a> {
-    /// An engine with the default stage pipeline.
-    pub fn new(cfg: &'a ExperimentConfig, profile: &'a AppProfile) -> Self {
+    /// An engine with the default stage pipeline over a single
+    /// application profile.
+    pub fn new(cfg: &'a ExperimentConfig, profile: &AppProfile) -> Self {
+        Self::for_workload(cfg, Workload::Single(*profile))
+    }
+
+    /// An engine with the default stage pipeline over any [`Workload`]
+    /// (single-profile or phased).
+    pub fn for_workload(cfg: &'a ExperimentConfig, workload: Workload) -> Self {
         CoupledEngine {
             cfg,
-            profile,
+            workload,
             warm_cache: None,
             thermal: None,
             dtm: None,
             stages: None,
+            replay: None,
         }
     }
 
@@ -95,10 +113,24 @@ impl<'a> CoupledEngine<'a> {
         self
     }
 
-    /// Replaces the stage pipeline entirely.
+    /// Replaces the stage pipeline entirely (takes precedence over
+    /// [`with_replay`](Self::with_replay)).
     #[must_use]
     pub fn with_stages(mut self, stages: Vec<Box<dyn Stage>>) -> Self {
         self.stages = Some(stages);
+        self
+    }
+
+    /// Drives the run from a recorded trace through the [`ReplayBackend`]
+    /// pipeline instead of the live core simulator.
+    ///
+    /// The trace must have been recorded for the same core-side
+    /// configuration and workload, and the DTM policy (if any) must act
+    /// purely at the power level; [`run`](Self::run) fails with
+    /// [`EngineError::ReplayIncompatible`] otherwise.
+    #[must_use]
+    pub fn with_replay(mut self, trace: Arc<ActivityTrace>) -> Self {
+        self.replay = Some(trace);
         self
     }
 
@@ -121,7 +153,8 @@ impl<'a> CoupledEngine<'a> {
     /// # Errors
     ///
     /// Returns an error when the configuration is invalid, a stage's
-    /// prerequisites are missing, or an iterative phase fails to converge.
+    /// prerequisites are missing, an iterative phase fails to converge, or
+    /// a requested replay is incompatible.
     pub fn run(self) -> Result<AppResult, EngineError> {
         self.run_with_stats().0
     }
@@ -132,6 +165,40 @@ impl<'a> CoupledEngine<'a> {
     /// execution metadata is available for failed runs too (the sweep
     /// executor's per-cell reports want both).
     pub fn run_with_stats(self) -> (Result<AppResult, EngineError>, RunStats) {
+        let (result, stats, _) = self.execute(false);
+        (result, stats)
+    }
+
+    /// Runs the pipeline to completion while recording the run as an
+    /// [`ActivityTrace`], plus [`RunStats`]. The recording taps only
+    /// observe: the returned [`AppResult`] is bit-identical to
+    /// [`run`](Self::run)'s.
+    ///
+    /// Recording a replayed run is refused (the replay pipeline never
+    /// produces fresh activity), as is recording through a fully custom
+    /// stage list that bypasses the default taps.
+    pub fn run_recorded(self) -> (Result<(AppResult, ActivityTrace), EngineError>, RunStats) {
+        if self.replay.is_some() || self.stages.is_some() {
+            return (
+                Err(EngineError::InvalidConfig(
+                    "recording requires the default live pipeline".into(),
+                )),
+                RunStats::default(),
+            );
+        }
+        let (result, stats, trace) = self.execute(true);
+        let result = result.map(|r| (r, trace.expect("recording pipeline produced a trace")));
+        (result, stats)
+    }
+
+    fn execute(
+        self,
+        record: bool,
+    ) -> (
+        Result<AppResult, EngineError>,
+        RunStats,
+        Option<ActivityTrace>,
+    ) {
         // A cached warm start is the default solver's node vector; never
         // restore it into a custom backend with its own node layout.
         let warm_cache = if self.thermal.is_some() {
@@ -139,49 +206,90 @@ impl<'a> CoupledEngine<'a> {
         } else {
             self.warm_cache
         };
-        let mut cx = match EngineCx::build(self.cfg, self.profile, self.thermal, self.dtm) {
-            Ok(cx) => cx,
-            Err(e) => return (Err(e), RunStats::default()),
+        let workload = self.workload;
+        let replay = match (&self.stages, self.replay) {
+            // An explicit stage list wins; replay otherwise, validated
+            // before any model is built.
+            (None, Some(trace)) => {
+                if let Err(e) = ReplayBackend::validate(self.cfg, &workload, &trace) {
+                    return (Err(e), RunStats::default(), None);
+                }
+                Some(trace)
+            }
+            _ => None,
         };
-        let mut stages = self
-            .stages
-            .unwrap_or_else(|| Self::default_stages(warm_cache));
+        // A policy installed via with_dtm is an arbitrary boxed object the
+        // recorder cannot prove power-level-only; it taints the recording
+        // as not replay-safe.
+        let custom_dtm = self.dtm.is_some();
+        let mut cx = match EngineCx::build(self.cfg, &workload, self.thermal, self.dtm) {
+            Ok(cx) => cx,
+            Err(e) => return (Err(e), RunStats::default(), None),
+        };
+        if record {
+            cx.recorder = Some(TraceRecorder::new(self.cfg, &workload, custom_dtm));
+        }
+        let replayed = replay.is_some();
+        let mut stages = match (self.stages, replay) {
+            (Some(stages), _) => stages,
+            (None, Some(trace)) => ReplayBackend::stages(trace, warm_cache),
+            (None, None) => Self::default_stages(warm_cache),
+        };
         for stage in &mut stages {
             if let Err(e) = stage.run(&mut cx) {
                 let stats = RunStats {
                     warm_start_hit: cx.warm_start_hit,
+                    replayed,
                 };
-                return (Err(e), stats);
+                return (Err(e), stats, None);
             }
         }
         let stats = RunStats {
             warm_start_hit: cx.warm_start_hit,
+            replayed,
         };
-        (finish(&cx), stats)
+        let trace = cx.recorder.take().map(|rec| {
+            rec.finish(FinalStats {
+                cycles: cx.sim.current_cycle(),
+                uops: cx.sim.total_committed(),
+                tc_hit_rate: cx.sim.tc_hit_rate(),
+                mispredict_rate: cx.sim.mispredict_rate(),
+            })
+        });
+        (finish(&cx), stats, trace)
     }
 }
 
 /// Assembles the final [`AppResult`] from the context the stages left.
 ///
-/// Fails with [`EngineError::NoData`] when the stages closed no
-/// measurement intervals (a custom pipeline that skipped the interval
+/// Core-side statistics come from the simulator — or, on a replay, from
+/// the trace's recorded [`FinalStats`] (the replay pipeline never runs the
+/// simulator). Fails with [`EngineError::NoData`] when the stages closed
+/// no measurement intervals (a custom pipeline that skipped the interval
 /// loop): the temperature metrics would be undefined.
 fn finish(cx: &EngineCx<'_>) -> Result<AppResult, EngineError> {
-    let cycles = cx.sim.current_cycle();
-    let uops = cx.sim.total_committed();
+    let (cycles, uops, tc_hit_rate, mispredict_rate) = match &cx.replay_finals {
+        Some(f) => (f.cycles, f.uops, f.tc_hit_rate, f.mispredict_rate),
+        None => (
+            cx.sim.current_cycle(),
+            cx.sim.total_committed(),
+            cx.sim.tc_hit_rate(),
+            cx.sim.mispredict_rate(),
+        ),
+    };
     let g = |idx: &[usize]| {
         cx.tracker.try_group_metrics(idx).ok_or(EngineError::NoData(
             "the pipeline closed no measurement intervals",
         ))
     };
     Ok(AppResult {
-        app: cx.profile.name,
+        app: cx.workload.name(),
         cycles,
         uops,
         ipc: uops as f64 / cycles.max(1) as f64,
         cpi: cycles as f64 / uops.max(1) as f64,
-        tc_hit_rate: cx.sim.tc_hit_rate(),
-        mispredict_rate: cx.sim.mispredict_rate(),
+        tc_hit_rate,
+        mispredict_rate,
         avg_power_w: cx.power_time_sum / cx.time_sum.max(1e-12),
         wall_time_s: cx.time_sum,
         emergencies: cx.dtm.as_ref().map_or(0, |c| c.triggers()),
@@ -233,6 +341,20 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(matches!(err, EngineError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn invalid_workload_profile_is_an_error_not_nonsense() {
+        // AppProfile::validate is on the engine path: a profile violating
+        // its invariants surfaces as a config error on every entry point
+        // instead of silently simulating garbage.
+        let cfg = ExperimentConfig::baseline().with_uops(30_000);
+        let mut bad = AppProfile::test_tiny();
+        bad.load_frac = 1.4;
+        let err = CoupledEngine::new(&cfg, &bad).run().unwrap_err();
+        assert!(matches!(err, EngineError::InvalidConfig(_)), "{err:?}");
+        let err = crate::runner::try_run_app(&cfg, &bad).unwrap_err();
+        assert!(err.to_string().contains("mix fractions"), "{err}");
     }
 
     #[test]
@@ -316,5 +438,76 @@ mod tests {
             .unwrap();
         assert!(r.emergencies >= 1);
         assert!(r.throttled_intervals >= 1);
+    }
+
+    #[test]
+    fn recording_is_invisible_and_replay_reproduces_the_run() {
+        let cfg = ExperimentConfig::baseline().with_uops(40_000);
+        let app = AppProfile::test_tiny();
+        let plain = run_app(&cfg, &app);
+        let (recorded, stats) = CoupledEngine::new(&cfg, &app).run_recorded();
+        let (result, trace) = recorded.unwrap();
+        assert!(!stats.replayed);
+        assert_eq!(result, plain, "recording changed the run");
+        assert_eq!(trace.meta.workload, "tiny");
+        assert!(!trace.intervals.is_empty());
+        assert!(trace.intervals.last().unwrap().done);
+
+        let (replayed, stats) = CoupledEngine::new(&cfg, &app)
+            .with_replay(Arc::new(trace))
+            .run_with_stats();
+        assert!(stats.replayed);
+        assert_eq!(replayed.unwrap(), plain, "replay diverged from live");
+    }
+
+    #[test]
+    fn replay_rejects_core_side_mismatches() {
+        let cfg = ExperimentConfig::baseline().with_uops(40_000);
+        let app = AppProfile::test_tiny();
+        let (recorded, _) = CoupledEngine::new(&cfg, &app).run_recorded();
+        let trace = Arc::new(recorded.unwrap().1);
+
+        // Different run length.
+        let longer = ExperimentConfig::baseline().with_uops(80_000);
+        let err = CoupledEngine::new(&longer, &app)
+            .with_replay(Arc::clone(&trace))
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(&err, EngineError::ReplayIncompatible(m) if m.contains("uops_per_app")),
+            "{err}"
+        );
+
+        // Different workload.
+        let gzip = *AppProfile::by_name("gzip").unwrap();
+        let err = CoupledEngine::new(&cfg, &gzip)
+            .with_replay(Arc::clone(&trace))
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(&err, EngineError::ReplayIncompatible(m) if m.contains("workload")),
+            "{err}"
+        );
+
+        // A core-perturbing DTM policy names itself in the error.
+        use crate::dtm::DvfsPolicy;
+        use crate::experiment::DtmSpec;
+        let dvfs = ExperimentConfig::baseline()
+            .with_uops(40_000)
+            .with_dtm(DtmSpec::GlobalDvfs(DvfsPolicy::paper_limit()));
+        let err = CoupledEngine::new(&dvfs, &app)
+            .with_replay(Arc::clone(&trace))
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(&err, EngineError::ReplayIncompatible(m) if m.contains("global-dvfs")),
+            "{err}"
+        );
+
+        // Recording a replay makes no sense.
+        let (res, _) = CoupledEngine::new(&cfg, &app)
+            .with_replay(trace)
+            .run_recorded();
+        assert!(matches!(res, Err(EngineError::InvalidConfig(_))));
     }
 }

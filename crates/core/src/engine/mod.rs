@@ -22,7 +22,16 @@
 //! * [`WarmStartCache`] — shares converged steady-state warm starts
 //!   between grid cells keyed by (machine shape, leakage model, nominal
 //!   power profile), sharded by key hash with same-key cold solves
-//!   deduplicated.
+//!   deduplicated,
+//! * [`TraceRecorder`] / [`ReplayBackend`] — record a live run's
+//!   per-interval activity as an
+//!   [`ActivityTrace`](distfront_trace::record::ActivityTrace) and replay
+//!   it through the power/thermal/DTM loop without re-simulating the
+//!   core (exact for power-level DTM policies; the engine rejects
+//!   core-perturbing ones with [`EngineError::ReplayIncompatible`]), and
+//! * [`TraceStore`] / [`TraceMode`] — the sweep-level record-once /
+//!   replay-many plumbing, with per-cell fallback to live simulation
+//!   when no compatible trace exists.
 //!
 //! Every path through the engine is bit-identical: the same configuration
 //! and profile produce the same [`AppResult`](crate::runner::AppResult)
@@ -50,14 +59,16 @@
 
 mod context;
 mod coupled;
+mod replay;
 mod stages;
 mod sweep;
 mod traits;
 
 pub use context::EngineCx;
 pub use coupled::{CoupledEngine, RunStats};
+pub use replay::{ReplayBackend, ReplayLoopStage, ReplayPilotStage, TraceRecorder};
 pub use stages::{IntervalLoopStage, PilotStage, WarmStartStage};
-pub use sweep::{CellOutcome, SweepReport, SweepRunner, WarmStartCache};
+pub use sweep::{CellOutcome, SweepReport, SweepRunner, TraceMode, TraceStore, WarmStartCache};
 pub use traits::{DtmAction, DtmPolicy, Stage, ThermalBackend};
 
 /// Errors the engine can surface instead of panicking mid-pipeline.
@@ -75,6 +86,13 @@ pub enum EngineError {
     /// The run produced no measurable data (e.g. a custom pipeline closed
     /// no measurement intervals), so the report metrics are undefined.
     NoData(&'static str),
+    /// A recorded trace cannot stand in for this run: the core-side
+    /// configuration differs from the recording's, or the DTM policy (or
+    /// one of its actions) perturbs the core pipeline, which a replay
+    /// cannot honor. The message names the offending field, policy or
+    /// action; callers that can (the replaying sweep executor) fall back
+    /// to live simulation.
+    ReplayIncompatible(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -84,6 +102,7 @@ impl std::fmt::Display for EngineError {
             EngineError::MissingPhase(msg) => write!(f, "missing phase: {msg}"),
             EngineError::NotConverged(msg) => write!(f, "not converged: {msg}"),
             EngineError::NoData(msg) => write!(f, "no data: {msg}"),
+            EngineError::ReplayIncompatible(msg) => write!(f, "replay incompatible: {msg}"),
         }
     }
 }

@@ -1,0 +1,376 @@
+//! Trace record/replay: capturing a live run's per-interval activity and
+//! driving the power/thermal/DTM loop from the recording, without
+//! re-simulating the core.
+//!
+//! * [`TraceRecorder`] is the tap the default stages write into when
+//!   [`CoupledEngine::run_recorded`](super::CoupledEngine::run_recorded)
+//!   installs it: the pilot's merged activity, one record per evaluation
+//!   interval (flattened counters + the gated trace-cache bank), and the
+//!   run's final core statistics. Recording only observes — a recorded
+//!   run's [`AppResult`](crate::runner::AppResult) is bit-identical to an
+//!   unrecorded one.
+//! * [`ReplayBackend`] is the uarch-free stage pipeline that consumes a
+//!   recorded [`ActivityTrace`]: a replay pilot re-derives the nominal
+//!   power bit-exactly from the recorded pilot activity (so warm starts —
+//!   and the shared [`WarmStartCache`] keys — are identical to live), the
+//!   regular [`WarmStartStage`] runs unchanged, and the replay loop feeds
+//!   each recorded interval through the same power/thermal/DTM arithmetic
+//!   as the live interval loop.
+//!
+//! # When replay is exact
+//!
+//! Replay is **byte-identical** to the live run whenever the core
+//! pipeline would have behaved identically: same configuration core side
+//! (seed, run length, interval, machine shape, hopping) and a DTM policy
+//! that acts purely at the power level ([`DtmAction::Nominal`] /
+//! [`DtmAction::Throttle`], i.e. no policy or the emergency throttle).
+//! Policies that perturb the core — DVFS's clock rescaling, fetch gating,
+//! migration — change the activity stream itself; the engine rejects them
+//! at build time with [`EngineError::ReplayIncompatible`] naming the
+//! offending policy (and the sweep executor falls back to live
+//! simulation). One deliberate approximation remains: a thermally-biased
+//! bank mapping reacts to the replayed temperature trajectory, whose
+//! bank-mapping decisions are baked into the recording — replaying such a
+//! trace under a *different* power-side configuration is an approximation
+//! rather than exact, while replaying under the recording configuration
+//! is always exact.
+
+use std::sync::Arc;
+
+use distfront_power::{BlockId, Machine, OperatingPoint};
+use distfront_trace::record::{
+    ActivityTrace, FinalStats, IntervalRecord, TraceMeta, TraceShape, TRACE_FORMAT_VERSION,
+};
+use distfront_trace::Workload;
+use distfront_uarch::{record as tap, ActivityCounters};
+
+use super::stages::WarmStartStage;
+use super::sweep::WarmStartCache;
+use super::traits::{DtmAction, Stage};
+use super::{EngineCx, EngineError};
+use crate::experiment::ExperimentConfig;
+
+/// Collects a live run's activity into an [`ActivityTrace`].
+///
+/// Installed in [`EngineCx::recorder`] by
+/// [`CoupledEngine::run_recorded`](super::CoupledEngine::run_recorded);
+/// the pilot and interval-loop stages feed it at each interval boundary.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    meta: TraceMeta,
+    pilot: Vec<u64>,
+    intervals: Vec<IntervalRecord>,
+}
+
+impl TraceRecorder {
+    /// A recorder for a run of `workload` under `cfg`.
+    ///
+    /// `custom_dtm` flags a DTM policy installed through
+    /// [`CoupledEngine::with_dtm`](super::CoupledEngine::with_dtm) rather
+    /// than the configuration's [`DtmSpec`](crate::experiment::DtmSpec):
+    /// an arbitrary boxed policy cannot be proven power-level-only, so
+    /// such recordings are conservatively marked not replay-safe.
+    pub fn new(cfg: &ExperimentConfig, workload: &Workload, custom_dtm: bool) -> Self {
+        let pc = &cfg.processor;
+        TraceRecorder {
+            meta: TraceMeta {
+                version: TRACE_FORMAT_VERSION,
+                workload: workload.name().to_string(),
+                config: cfg.name.to_string(),
+                processor_fingerprint: processor_fingerprint(cfg),
+                seed: cfg.seed,
+                uops_per_app: cfg.uops_per_app,
+                interval_cycles: cfg.interval_cycles,
+                shape: TraceShape {
+                    partitions: pc.frontend_mode.partitions() as u32,
+                    backends: pc.backends as u32,
+                    tc_banks: pc.trace_cache.physical_banks() as u32,
+                },
+                hop: cfg.hop,
+                replay_safe: !custom_dtm && cfg.dtm.as_ref().is_none_or(|d| d.replay_compatible()),
+                dtm: cfg
+                    .dtm
+                    .as_ref()
+                    .map(|d| d.name().to_string())
+                    .or_else(|| custom_dtm.then(|| "custom".to_string())),
+            },
+            pilot: Vec::new(),
+            intervals: Vec::new(),
+        }
+    }
+
+    /// Records the pilot phase's merged activity.
+    pub fn record_pilot(&mut self, act: &ActivityCounters) {
+        self.pilot = tap::flatten(act);
+    }
+
+    /// Records one evaluation interval.
+    pub fn record_interval(&mut self, act: &ActivityCounters, gated_bank: Option<u8>, done: bool) {
+        self.intervals.push(IntervalRecord {
+            counters: tap::flatten(act),
+            gated_bank,
+            done,
+        });
+    }
+
+    /// Finalizes the trace with the run's core statistics.
+    pub fn finish(self, finals: FinalStats) -> ActivityTrace {
+        ActivityTrace {
+            meta: self.meta,
+            pilot: self.pilot,
+            intervals: self.intervals,
+            finals,
+        }
+    }
+}
+
+/// The uarch-free replay pipeline over a recorded [`ActivityTrace`].
+///
+/// Use through
+/// [`CoupledEngine::with_replay`](super::CoupledEngine::with_replay) (or a
+/// replaying [`SweepRunner`](super::SweepRunner)); [`ReplayBackend::stages`]
+/// exposes the raw stage list for custom pipelines.
+#[derive(Debug)]
+pub struct ReplayBackend;
+
+impl ReplayBackend {
+    /// Checks that replaying `trace` for (`cfg`, `workload`) is exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ReplayIncompatible`] naming the first
+    /// mismatch: an unsupported trace version, a core-side configuration
+    /// difference (workload, seed, run length, interval, machine shape,
+    /// hopping), a core-perturbing DTM policy on either side, or an empty
+    /// recording.
+    pub fn validate(
+        cfg: &ExperimentConfig,
+        workload: &Workload,
+        trace: &ActivityTrace,
+    ) -> Result<(), EngineError> {
+        let m = &trace.meta;
+        let fail = |msg: String| Err(EngineError::ReplayIncompatible(msg));
+        if m.version != TRACE_FORMAT_VERSION {
+            return fail(format!(
+                "trace format version {} (this build replays {TRACE_FORMAT_VERSION})",
+                m.version
+            ));
+        }
+        if m.workload != workload.name() {
+            return fail(format!(
+                "trace records workload {}, run wants {}",
+                m.workload,
+                workload.name()
+            ));
+        }
+        // The fingerprint covers the *whole* core side: two processor
+        // configurations sharing shape/seed/run-length but differing
+        // anywhere else (say, only in the trace-cache mapping policy)
+        // produce different activity streams and must never stand in for
+        // each other.
+        if m.processor_fingerprint != processor_fingerprint(cfg) {
+            return fail(format!(
+                "trace was recorded under processor configuration {} \
+                 (fingerprint {:#018x}), which differs from this run's \
+                 ({:#018x})",
+                m.config,
+                m.processor_fingerprint,
+                processor_fingerprint(cfg)
+            ));
+        }
+        let pc = &cfg.processor;
+        let shape = TraceShape {
+            partitions: pc.frontend_mode.partitions() as u32,
+            backends: pc.backends as u32,
+            tc_banks: pc.trace_cache.physical_banks() as u32,
+        };
+        if m.shape != shape {
+            return fail(format!(
+                "trace machine shape {:?} differs from the configuration's {shape:?}",
+                m.shape
+            ));
+        }
+        for (field, recorded, wanted) in [
+            ("seed", m.seed, cfg.seed),
+            ("uops_per_app", m.uops_per_app, cfg.uops_per_app),
+            ("interval_cycles", m.interval_cycles, cfg.interval_cycles),
+        ] {
+            if recorded != wanted {
+                return fail(format!("trace {field} {recorded} differs from {wanted}"));
+            }
+        }
+        if m.hop != cfg.hop {
+            return fail(format!(
+                "trace records hop={}, configuration has hop={}",
+                m.hop, cfg.hop
+            ));
+        }
+        if !m.replay_safe {
+            return fail(format!(
+                "trace was recorded under the core-perturbing DTM policy {}",
+                m.dtm.as_deref().unwrap_or("<unknown>")
+            ));
+        }
+        if let Some(spec) = &cfg.dtm {
+            if !spec.replay_compatible() {
+                return fail(format!(
+                    "DTM policy {} perturbs the core pipeline and cannot run on a replay",
+                    spec.name()
+                ));
+            }
+        }
+        if trace.intervals.is_empty() {
+            return fail("trace records no evaluation intervals".to_string());
+        }
+        if trace.pilot.len() != m.shape.flat_len() {
+            return fail("trace pilot record mismatches its declared shape".to_string());
+        }
+        Ok(())
+    }
+
+    /// The replay pipeline: replay-pilot → warm start → replay-loop.
+    ///
+    /// The warm start is the regular [`WarmStartStage`] — the replayed
+    /// nominal power is bit-identical to the live pilot's, so live and
+    /// replayed cells share [`WarmStartCache`] entries.
+    pub fn stages(
+        trace: Arc<ActivityTrace>,
+        cache: Option<Arc<WarmStartCache>>,
+    ) -> Vec<Box<dyn Stage>> {
+        let warm = match cache {
+            Some(c) => WarmStartStage::with_cache(c),
+            None => WarmStartStage::new(),
+        };
+        vec![
+            Box::new(ReplayPilotStage {
+                trace: Arc::clone(&trace),
+            }),
+            Box::new(warm),
+            Box::new(ReplayLoopStage { trace }),
+        ]
+    }
+}
+
+/// Re-derives the nominal power profile from the recorded pilot activity
+/// (bit-identical to [`PilotStage`](super::PilotStage) on the same run).
+#[derive(Debug)]
+pub struct ReplayPilotStage {
+    trace: Arc<ActivityTrace>,
+}
+
+impl Stage for ReplayPilotStage {
+    fn name(&self) -> &'static str {
+        "replay-pilot"
+    }
+
+    fn run(&mut self, cx: &mut EngineCx<'_>) -> Result<(), EngineError> {
+        let pilot_act = unflatten_for(cx.machine, &self.trace.pilot)?;
+        let mut nominal = cx.model.dynamic_power(&pilot_act);
+        for (n, i) in nominal.iter_mut().zip(&cx.idle) {
+            *n += i;
+        }
+        cx.model.set_nominal_dynamic(nominal.clone());
+        cx.nominal = Some(nominal);
+        Ok(())
+    }
+}
+
+/// Feeds recorded per-interval activity through the same power → thermal
+/// → DTM arithmetic as the live
+/// [`IntervalLoopStage`](super::IntervalLoopStage), skipping the core
+/// simulator entirely.
+#[derive(Debug)]
+pub struct ReplayLoopStage {
+    trace: Arc<ActivityTrace>,
+}
+
+impl Stage for ReplayLoopStage {
+    fn name(&self) -> &'static str {
+        "replay-loop"
+    }
+
+    fn run(&mut self, cx: &mut EngineCx<'_>) -> Result<(), EngineError> {
+        let trace = Arc::clone(&self.trace);
+        let mut action = DtmAction::Nominal;
+        for rec in &trace.intervals {
+            apply_power_action(cx, action)?;
+            let act = unflatten_for(cx.machine, &rec.counters)?;
+            let gated: Vec<BlockId> = rec.gated_bank.map(BlockId::TcBank).into_iter().collect();
+            let temps_now = cx.thermal.block_temperatures().to_vec();
+            let mut power = cx.model.total_power(&act, &temps_now, &gated);
+            for (p, i) in power.iter_mut().zip(&cx.idle) {
+                *p += i;
+            }
+            for g in &gated {
+                power[cx.machine.index_of(*g)] = 0.0;
+            }
+            // Same wall-time accounting as the live loop: dt derives from
+            // the recorded cycle count at the model's effective frequency,
+            // so power-level throttling stretches replayed intervals
+            // exactly as it stretches live ones.
+            let dt = act.cycles as f64 / cx.model.effective_frequency_hz();
+            cx.power_time_sum += power.iter().sum::<f64>() * dt;
+            cx.time_sum += dt;
+            cx.thermal.advance(&power, dt / 2.0);
+            cx.tracker.record(cx.thermal.block_temperatures(), dt / 2.0);
+            cx.thermal.advance(&power, dt / 2.0);
+            cx.tracker.record(cx.thermal.block_temperatures(), dt / 2.0);
+            cx.tracker.end_interval();
+            // The live loop's bank rebalance/hop are core-side effects
+            // already baked into the recorded activity; only the DTM
+            // decision is re-taken (its trajectory is part of what a
+            // replayed sweep varies). It runs on the final interval too,
+            // exactly like the live loop, so trigger counts match.
+            if let Some(ctrl) = &mut cx.dtm {
+                action = ctrl.decide(cx.thermal.block_temperatures());
+            }
+            if rec.done {
+                break;
+            }
+        }
+        cx.replay_finals = Some(trace.finals);
+        Ok(())
+    }
+}
+
+/// Opaque fingerprint of the full core-side processor configuration,
+/// hashed over its canonical debug rendering (every field participates:
+/// frontend mode, penalties, widths, cache and mapping configs, …).
+/// Deliberately conservative — any core-side difference, even one that
+/// might happen to be activity-neutral, forces a re-record rather than an
+/// unproven replay. Stable within a toolchain; across toolchains a
+/// mismatch merely falls back to live simulation.
+fn processor_fingerprint(cfg: &ExperimentConfig) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    format!("{:?}", cfg.processor).hash(&mut h);
+    h.finish()
+}
+
+/// Reconstructs counters for the machine shape, surfacing layout
+/// mismatches as [`EngineError::ReplayIncompatible`].
+fn unflatten_for(machine: Machine, flat: &[u64]) -> Result<ActivityCounters, EngineError> {
+    tap::unflatten(machine.partitions, machine.backends, machine.tc_banks, flat)
+        .map_err(EngineError::ReplayIncompatible)
+}
+
+/// Applies a power-level action, releasing whatever the previous interval
+/// engaged (the power half of the live loop's action translation):
+/// core-perturbing actions cannot be honored without the simulator and
+/// abort the replay.
+fn apply_power_action(cx: &mut EngineCx<'_>, action: DtmAction) -> Result<(), EngineError> {
+    cx.model.set_operating_point(OperatingPoint::nominal());
+    match action {
+        DtmAction::Nominal => Ok(()),
+        DtmAction::Throttle(factor) => {
+            cx.model
+                .set_operating_point(OperatingPoint::scaled(factor, 1.0));
+            Ok(())
+        }
+        DtmAction::Dvfs { .. } | DtmAction::FetchGate { .. } | DtmAction::MigrateTo(_) => {
+            Err(EngineError::ReplayIncompatible(format!(
+                "DTM action {action:?} perturbs the core pipeline and cannot run on a replay"
+            )))
+        }
+    }
+}

@@ -31,7 +31,7 @@ impl Stage for PilotStage {
         // The context hands the pilot a freshly built simulator; only
         // rebuild when an earlier custom stage already ran it.
         if cx.sim.total_committed() > 0 || cx.sim.current_cycle() > 0 {
-            cx.sim.reset(cx.profile, cfg.seed);
+            cx.sim.reset_workload(cx.workload, cfg.seed);
         }
         let mut pilot_act = None::<ActivityCounters>;
         loop {
@@ -53,6 +53,9 @@ impl Stage for PilotStage {
             }
         }
         let pilot_act = pilot_act.expect("pilot ran at least one interval");
+        if let Some(rec) = &mut cx.recorder {
+            rec.record_pilot(&pilot_act);
+        }
         let mut nominal = cx.model.dynamic_power(&pilot_act);
         for (n, i) in nominal.iter_mut().zip(&cx.idle) {
             *n += i;
@@ -171,19 +174,17 @@ impl Stage for IntervalLoopStage {
     fn run(&mut self, cx: &mut EngineCx<'_>) -> Result<(), EngineError> {
         let cfg = cx.cfg;
         let pc = &cfg.processor;
-        cx.sim.reset(cx.profile, cfg.seed);
+        cx.sim.reset_workload(cx.workload, cfg.seed);
         let mut action = DtmAction::Nominal;
         loop {
             apply_action(cx, action);
             let target = cx.sim.current_cycle() + cfg.interval_cycles;
             let r = cx.sim.step(target, cfg.uops_per_app);
-            let gated: Vec<BlockId> = cx
-                .sim
-                .trace_cache()
-                .gated_bank()
-                .map(|b| BlockId::TcBank(b as u8))
-                .into_iter()
-                .collect();
+            let gated_bank = cx.sim.trace_cache().gated_bank().map(|b| b as u8);
+            if let Some(rec) = &mut cx.recorder {
+                rec.record_interval(&r.activity, gated_bank, r.done);
+            }
+            let gated: Vec<BlockId> = gated_bank.map(BlockId::TcBank).into_iter().collect();
             let temps_now = cx.thermal.block_temperatures().to_vec();
             let mut power = cx.model.total_power(&r.activity, &temps_now, &gated);
             for (p, i) in power.iter_mut().zip(&cx.idle) {

@@ -18,9 +18,11 @@ use std::thread;
 use std::time::Instant;
 
 use distfront_power::{LeakageModel, Machine};
-use distfront_trace::AppProfile;
+use distfront_trace::record::ActivityTrace;
+use distfront_trace::{AppProfile, Workload};
 
 use super::coupled::CoupledEngine;
+use super::replay::ReplayBackend;
 use super::EngineError;
 use crate::experiment::ExperimentConfig;
 use crate::runner::AppResult;
@@ -256,12 +258,84 @@ impl WarmStartCache {
     }
 }
 
+/// Shares recorded [`ActivityTrace`]s between sweep runs: a recording
+/// sweep inserts one trace per successful cell, a replaying sweep looks
+/// cells up by `(configuration name, workload name)` — the recording key,
+/// under the convention that a configuration's name identifies its core
+/// (uarch) side, which is exactly what two configurations sweeping only
+/// the power/thermal/DTM side share.
+#[derive(Debug, Default)]
+pub struct TraceStore {
+    map: Mutex<HashMap<(String, String), Arc<ActivityTrace>>>,
+}
+
+impl TraceStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a trace under its recorded `(config, workload)` key,
+    /// replacing any previous recording of the same cell.
+    pub fn insert(&self, trace: ActivityTrace) {
+        let key = (trace.meta.config.clone(), trace.meta.workload.clone());
+        self.map
+            .lock()
+            .expect("trace store poisoned")
+            .insert(key, Arc::new(trace));
+    }
+
+    /// Looks up the trace recorded for a configuration × workload cell.
+    pub fn get(&self, config: &str, workload: &str) -> Option<Arc<ActivityTrace>> {
+        self.map
+            .lock()
+            .expect("trace store poisoned")
+            .get(&(config.to_string(), workload.to_string()))
+            .cloned()
+    }
+
+    /// Number of stored traces.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("trace store poisoned").len()
+    }
+
+    /// Whether the store holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every stored trace, ordered by key (deterministic, for writing
+    /// trace directories).
+    pub fn traces(&self) -> Vec<Arc<ActivityTrace>> {
+        let map = self.map.lock().expect("trace store poisoned");
+        let mut entries: Vec<_> = map.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        entries.into_iter().map(|(_, t)| Arc::clone(t)).collect()
+    }
+}
+
+/// How a sweep interacts with recorded traces.
+#[derive(Debug, Clone, Default)]
+pub enum TraceMode {
+    /// Simulate every cell live (the default).
+    #[default]
+    Live,
+    /// Simulate live and record each successful cell into the store.
+    /// Cells whose configuration makes the recording unreplayable (a
+    /// core-perturbing DTM policy) still run live but are not stored.
+    Record(Arc<TraceStore>),
+    /// Replay cells from the store where a compatible trace exists; fall
+    /// back to live simulation (leaving the store untouched) otherwise.
+    Replay(Arc<TraceStore>),
+}
+
 /// The outcome of one grid cell: the engine's result plus per-cell
-/// execution metadata (wall time, warm-cache hit).
+/// execution metadata (wall time, warm-cache hit, replay provenance).
 ///
 /// Equality ignores the measurement metadata — two outcomes are equal when
 /// their coordinates and engine results are, which is what the engine's
-/// bit-identity guarantee is about (wall time is never deterministic).
+/// bit-identity guarantee is about (wall time is never deterministic, and
+/// a replayed cell is by construction equal to its live counterpart).
 #[derive(Debug, Clone)]
 pub struct CellOutcome {
     /// Configuration (row) index into the sweep's `configs`.
@@ -270,7 +344,7 @@ pub struct CellOutcome {
     pub app: usize,
     /// The configuration's name.
     pub config_name: &'static str,
-    /// The application's name.
+    /// The workload's name.
     pub app_name: &'static str,
     /// What the engine produced for this cell.
     pub result: Result<AppResult, EngineError>,
@@ -280,6 +354,10 @@ pub struct CellOutcome {
     /// Whether the cell's warm start was served from the shared cache
     /// (excluded from equality: it depends on cell scheduling).
     pub warm_hit: bool,
+    /// Whether the cell was driven from a recorded trace instead of the
+    /// live core simulator (excluded from equality: replay is exactly the
+    /// claim that the results match).
+    pub replayed: bool,
 }
 
 impl CellOutcome {
@@ -383,6 +461,11 @@ impl SweepReport {
         self.cells.iter().filter(|c| c.warm_hit).count()
     }
 
+    /// How many cells were driven from recorded traces.
+    pub fn replayed(&self) -> usize {
+        self.cells.iter().filter(|c| c.replayed).count()
+    }
+
     /// Total CPU seconds spent across all cells (≈ `workers ×` the sweep's
     /// wall time when the grid is balanced).
     pub fn total_cell_time_s(&self) -> f64 {
@@ -452,6 +535,7 @@ pub struct SweepRunner {
     threads: usize,
     cache: Arc<WarmStartCache>,
     on_cell: Option<CellCallback>,
+    mode: TraceMode,
 }
 
 impl std::fmt::Debug for SweepRunner {
@@ -460,6 +544,7 @@ impl std::fmt::Debug for SweepRunner {
             .field("threads", &self.threads)
             .field("cache", &self.cache)
             .field("on_cell", &self.on_cell.as_ref().map(|_| "…"))
+            .field("mode", &self.mode)
             .finish()
     }
 }
@@ -495,7 +580,17 @@ impl SweepRunner {
             threads,
             cache: Arc::new(WarmStartCache::new()),
             on_cell: None,
+            mode: TraceMode::Live,
         }
+    }
+
+    /// Selects how this runner's cells interact with recorded traces:
+    /// live simulation (the default), record-into-store, or
+    /// replay-from-store with per-cell live fallback.
+    #[must_use]
+    pub fn with_trace_mode(mut self, mode: TraceMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Streams cell outcomes as they complete: `f` is invoked once per
@@ -526,12 +621,23 @@ impl SweepRunner {
     /// exactly as the serial nested loop would order them, and a failing
     /// cell is an `Err` outcome in its slot — every other cell still runs.
     pub fn try_grid(&self, configs: &[ExperimentConfig], apps: &[AppProfile]) -> SweepReport {
-        let cell_count = configs.len() * apps.len();
+        let workloads: Vec<Workload> = apps.iter().map(|p| Workload::Single(*p)).collect();
+        self.try_grid_workloads(configs, &workloads)
+    }
+
+    /// [`try_grid`](Self::try_grid) over arbitrary [`Workload`]s (single
+    /// profiles and phased compositions mix freely in one suite).
+    pub fn try_grid_workloads(
+        &self,
+        configs: &[ExperimentConfig],
+        workloads: &[Workload],
+    ) -> SweepReport {
+        let cell_count = configs.len() * workloads.len();
         let mut flat: Vec<Option<CellOutcome>> = (0..cell_count).map(|_| None).collect();
         let workers = self.threads.min(cell_count);
         if workers <= 1 {
             for (i, slot) in flat.iter_mut().enumerate() {
-                let outcome = self.run_cell(configs, apps, i);
+                let outcome = self.run_cell(configs, workloads, i);
                 if let Some(cb) = &self.on_cell {
                     cb(&outcome);
                 }
@@ -549,7 +655,7 @@ impl SweepRunner {
                         if i >= cell_count {
                             break;
                         }
-                        let outcome = self.run_cell(configs, apps, i);
+                        let outcome = self.run_cell(configs, workloads, i);
                         if tx.send(outcome).is_err() {
                             break;
                         }
@@ -560,14 +666,14 @@ impl SweepRunner {
                     if let Some(cb) = &self.on_cell {
                         cb(&outcome);
                     }
-                    let i = outcome.config * apps.len() + outcome.app;
+                    let i = outcome.config * workloads.len() + outcome.app;
                     flat[i] = Some(outcome);
                 }
             });
         }
         SweepReport {
             configs: configs.len(),
-            apps: apps.len(),
+            apps: workloads.len(),
             cells: flat
                 .into_iter()
                 .map(|c| c.expect("worker died mid-sweep"))
@@ -579,6 +685,17 @@ impl SweepRunner {
     /// fault-tolerantly (a one-row [`try_grid`](Self::try_grid)).
     pub fn try_suite(&self, cfg: &ExperimentConfig, apps: &[AppProfile]) -> SweepReport {
         self.try_grid(std::slice::from_ref(cfg), apps)
+    }
+
+    /// Runs one configuration over a whole workload suite,
+    /// fault-tolerantly (a one-row
+    /// [`try_grid_workloads`](Self::try_grid_workloads)).
+    pub fn try_suite_workloads(
+        &self,
+        cfg: &ExperimentConfig,
+        workloads: &[Workload],
+    ) -> SweepReport {
+        self.try_grid_workloads(std::slice::from_ref(cfg), workloads)
     }
 
     /// The strict grid: `result[c][a]` corresponds to `configs[c]` and
@@ -607,22 +724,59 @@ impl SweepRunner {
             .expect("one configuration in, one row out")
     }
 
-    fn run_cell(&self, configs: &[ExperimentConfig], apps: &[AppProfile], i: usize) -> CellOutcome {
-        let (config, app) = (i / apps.len(), i % apps.len());
+    fn run_cell(
+        &self,
+        configs: &[ExperimentConfig],
+        workloads: &[Workload],
+        i: usize,
+    ) -> CellOutcome {
+        let (config, app) = (i / workloads.len(), i % workloads.len());
         let cfg = &configs[config];
-        let profile = &apps[app];
+        let workload = &workloads[app];
         let started = Instant::now();
-        let (result, stats) = CoupledEngine::new(cfg, profile)
-            .with_warm_cache(Arc::clone(&self.cache))
-            .run_with_stats();
+        let engine = || {
+            CoupledEngine::for_workload(cfg, workload.clone())
+                .with_warm_cache(Arc::clone(&self.cache))
+        };
+        let (result, stats) = match &self.mode {
+            TraceMode::Live => engine().run_with_stats(),
+            TraceMode::Record(store) => {
+                let (recorded, stats) = engine().run_recorded();
+                let result = recorded.map(|(result, trace)| {
+                    // A trace recorded under a core-perturbing DTM policy
+                    // can never pass replay validation; storing it would
+                    // only clobber a replay-safe recording of the same
+                    // (config, workload) key made by another scenario
+                    // sharing the uarch side.
+                    if trace.meta.replay_safe {
+                        store.insert(trace);
+                    }
+                    result
+                });
+                (result, stats)
+            }
+            TraceMode::Replay(store) => {
+                // Replay when a compatible trace exists; anything else —
+                // no recording, a core-side mismatch, a core-perturbing
+                // DTM policy — falls back to live simulation so a
+                // replaying sweep always completes.
+                match store.get(cfg.name, workload.name()) {
+                    Some(trace) if ReplayBackend::validate(cfg, workload, &trace).is_ok() => {
+                        engine().with_replay(trace).run_with_stats()
+                    }
+                    _ => engine().run_with_stats(),
+                }
+            }
+        };
         CellOutcome {
             config,
             app,
             config_name: cfg.name,
-            app_name: profile.name,
+            app_name: workload.name(),
             result,
             wall_time_s: started.elapsed().as_secs_f64(),
             warm_hit: stats.warm_start_hit,
+            replayed: stats.replayed,
         }
     }
 }

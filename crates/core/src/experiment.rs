@@ -72,6 +72,21 @@ impl DtmSpec {
             DtmSpec::Migration(_) => "migration",
         }
     }
+
+    /// Whether the policy acts purely at the power level, leaving the core
+    /// pipeline untouched — the precondition for trace replay being exact.
+    ///
+    /// The emergency throttle only stretches wall-clock time through the
+    /// power model's operating point, so recorded activity is unaffected
+    /// and replay is exact. Global DVFS rescales the core clock (uncore
+    /// latencies get relatively closer), and fetch gating / migration
+    /// steer the pipeline directly: all three change the activity stream
+    /// itself, so a trace recorded without them cannot stand in for a live
+    /// run with them (see
+    /// [`ReplayBackend`](crate::engine::ReplayBackend)).
+    pub fn replay_compatible(&self) -> bool {
+        matches!(self, DtmSpec::Emergency(_))
+    }
 }
 
 /// A complete experiment configuration: processor + thermal-management

@@ -56,8 +56,8 @@ pub use dtm::{
 };
 pub use emergency::{EmergencyController, EmergencyPolicy};
 pub use engine::{
-    CellOutcome, CoupledEngine, DtmAction, DtmPolicy, EngineError, RunStats, SweepReport,
-    SweepRunner, WarmStartCache,
+    CellOutcome, CoupledEngine, DtmAction, DtmPolicy, EngineError, ReplayBackend, RunStats,
+    SweepReport, SweepRunner, TraceMode, TraceStore, WarmStartCache,
 };
 pub use experiment::{DtmSpec, ExperimentConfig};
 pub use figures::{figure1, figure12, figure13, figure14, ComparisonData, AMBIENT_C};

@@ -38,11 +38,11 @@ use std::fmt::Write as _;
 
 use distfront_power::LeakageModel;
 use distfront_thermal::Integrator;
-use distfront_trace::AppProfile;
+use distfront_trace::{AppProfile, PhasedProfile, Workload};
 
 use crate::dtm::{DvfsPolicy, FetchGatePolicy, MigrationPolicy};
 use crate::emergency::EmergencyPolicy;
-use crate::engine::{CellOutcome, SweepReport, SweepRunner};
+use crate::engine::{CellOutcome, SweepReport, SweepRunner, TraceMode};
 use crate::experiment::{DtmSpec, ExperimentConfig};
 use crate::report::{FigureRow, FigureTable};
 use crate::runner::AppResult;
@@ -55,7 +55,7 @@ use crate::runner::AppResult;
 /// run free — the regime the paper's §4 discussion is about.
 pub const STUDY_TRIP_C: f64 = 100.0;
 
-/// One named experiment: application suite × configuration × policy.
+/// One named experiment: workload suite × configuration × policy.
 #[derive(Debug, Clone, Copy)]
 pub struct Scenario {
     /// Registry name (stable; used by `--run`).
@@ -63,6 +63,9 @@ pub struct Scenario {
     /// One-line description shown by `--list`.
     pub summary: &'static str,
     build: fn() -> ExperimentConfig,
+    /// Fixed workload suite; `None` runs over the [`RunOptions`] app
+    /// suite. Phased/multi-program scenarios pin their own workloads.
+    workloads: Option<fn() -> Vec<Workload>>,
 }
 
 impl Scenario {
@@ -73,7 +76,17 @@ impl Scenario {
             name,
             summary,
             build,
+            workloads: None,
         }
+    }
+
+    /// Pins a fixed workload suite (phased profiles, interleavings) in
+    /// place of the [`RunOptions`] application suite; returns `self` for
+    /// chaining.
+    #[must_use]
+    pub fn with_workloads(mut self, workloads: fn() -> Vec<Workload>) -> Self {
+        self.workloads = Some(workloads);
+        self
     }
 
     /// The scenario's experiment configuration (before run-length scaling).
@@ -81,7 +94,16 @@ impl Scenario {
         (self.build)()
     }
 
-    /// Runs the scenario over `opts.apps()` on a [`SweepRunner`] with
+    /// The workload suite a run with `opts` would execute: the pinned
+    /// suite if the scenario has one, otherwise `opts.apps()`.
+    pub fn workloads(&self, opts: &RunOptions) -> Vec<Workload> {
+        match self.workloads {
+            Some(f) => f(),
+            None => opts.apps().into_iter().map(Workload::Single).collect(),
+        }
+    }
+
+    /// Runs the scenario over its workload suite on a [`SweepRunner`] with
     /// `opts.workers` workers. Fault-tolerant: a failing cell becomes an
     /// `Err` outcome in the report, never a panic.
     pub fn run(&self, opts: &RunOptions) -> ScenarioReport {
@@ -89,7 +111,7 @@ impl Scenario {
     }
 
     /// [`run`](Self::run) with a streaming callback: `on_cell` fires once
-    /// per application as its cell completes (completion order), which is
+    /// per workload as its cell completes (completion order), which is
     /// what the CLI's `--progress` display and incremental CSV emission
     /// hang off.
     pub fn run_streaming(
@@ -97,14 +119,30 @@ impl Scenario {
         opts: &RunOptions,
         on_cell: impl Fn(&CellOutcome) + Send + Sync + 'static,
     ) -> ScenarioReport {
+        self.run_traced(opts, TraceMode::Live, on_cell)
+    }
+
+    /// [`run_streaming`](Self::run_streaming) with an explicit
+    /// [`TraceMode`]: `Record` captures every successful cell's activity
+    /// into the mode's [`TraceStore`](crate::engine::TraceStore), `Replay`
+    /// drives cells from the store where a compatible trace exists and
+    /// falls back to live simulation otherwise. Results are byte-identical
+    /// across all three modes.
+    pub fn run_traced(
+        &self,
+        opts: &RunOptions,
+        mode: TraceMode,
+        on_cell: impl Fn(&CellOutcome) + Send + Sync + 'static,
+    ) -> ScenarioReport {
         let cfg = self
             .config()
             .with_uops(opts.uops)
             .with_integrator(opts.integrator);
-        let apps = opts.apps();
+        let workloads = self.workloads(opts);
         let report = SweepRunner::with_threads(opts.workers)
             .with_on_cell(on_cell)
-            .try_suite(&cfg, &apps);
+            .with_trace_mode(mode)
+            .try_suite_workloads(&cfg, &workloads);
         ScenarioReport {
             scenario: self.name,
             summary: self.summary,
@@ -253,15 +291,75 @@ impl ScenarioReport {
     }
 }
 
+/// Phased workloads for the `phased-hot-cold` scenario: long alternating
+/// slices of a hot compute-bound application and a cooler memory-bound
+/// one, so the thermal trajectory actually follows the phases.
+fn hot_cold_workloads() -> Vec<Workload> {
+    let p = |n| *AppProfile::by_name(n).expect("registry profile exists");
+    vec![
+        Workload::Phased(PhasedProfile::alternating(
+            "crafty-mcf",
+            p("crafty"),
+            p("mcf"),
+            25_000,
+        )),
+        Workload::Phased(PhasedProfile::alternating(
+            "gzip-art",
+            p("gzip"),
+            p("art"),
+            25_000,
+        )),
+    ]
+}
+
+/// Phased workloads for the `phased-ramp` scenario: three-phase cycles
+/// stepping compute-bound → memory-bound → FP-streaming behaviour.
+fn ramp_workloads() -> Vec<Workload> {
+    use distfront_trace::Phase;
+    let p = |n| *AppProfile::by_name(n).expect("registry profile exists");
+    let ramp = |name, a, b, c| {
+        Workload::Phased(PhasedProfile::new(
+            name,
+            [a, b, c]
+                .into_iter()
+                .map(|n| Phase {
+                    profile: p(n),
+                    uops: 20_000,
+                })
+                .collect(),
+        ))
+    };
+    vec![
+        ramp("gzip-mcf-swim", "gzip", "mcf", "swim"),
+        ramp("crafty-art-mgrid", "crafty", "art", "mgrid"),
+    ]
+}
+
+/// Multi-program workloads for the `multiprog-timeslice` scenario: OS-style
+/// round-robin interleavings with short quanta, each program in its own
+/// address-space slab (context switches thrash the trace cache).
+fn multiprog_workloads() -> Vec<Workload> {
+    let p = |n| *AppProfile::by_name(n).expect("registry profile exists");
+    vec![
+        Workload::Phased(PhasedProfile::interleaving(
+            "gzip+swim",
+            &[p("gzip"), p("swim")],
+            4_000,
+        )),
+        Workload::Phased(PhasedProfile::interleaving(
+            "int4-mix",
+            &[p("gzip"), p("mcf"), p("crafty"), p("bzip2")],
+            2_000,
+        )),
+    ]
+}
+
 /// Every scenario in presentation order: the paper's technique ladder
-/// first, then the DTM policy study.
+/// first, then the DTM policy study, then the phased/multi-program
+/// workload studies.
 pub fn registry() -> Vec<Scenario> {
     fn s(name: &'static str, summary: &'static str, build: fn() -> ExperimentConfig) -> Scenario {
-        Scenario {
-            name,
-            summary,
-            build,
-        }
+        Scenario::new(name, summary, build)
     }
     vec![
         s(
@@ -322,6 +420,34 @@ pub fn registry() -> Vec<Scenario> {
                     .with_dtm(DtmSpec::Migration(MigrationPolicy::with_trip(STUDY_TRIP_C)))
             },
         ),
+        s(
+            "phased-hot-cold",
+            "baseline over alternating hot-compute / cool-memory phase pairs",
+            ExperimentConfig::baseline,
+        )
+        .with_workloads(hot_cold_workloads),
+        s(
+            "phased-ramp",
+            "baseline over compute -> memory -> FP-streaming three-phase ramps",
+            ExperimentConfig::baseline,
+        )
+        .with_workloads(ramp_workloads),
+        s(
+            "multiprog-timeslice",
+            "baseline over round-robin multi-program interleavings (short quanta)",
+            ExperimentConfig::baseline,
+        )
+        .with_workloads(multiprog_workloads),
+        s(
+            "phased-dtm-emergency",
+            "emergency throttle over the hot/cold phase pairs (replay-exact DTM)",
+            || {
+                ExperimentConfig::baseline().with_dtm(DtmSpec::Emergency(
+                    EmergencyPolicy::with_threshold(STUDY_TRIP_C),
+                ))
+            },
+        )
+        .with_workloads(hot_cold_workloads),
     ]
 }
 
@@ -526,12 +652,57 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), reg.len(), "duplicate scenario names");
+        let opts = RunOptions::smoke();
         for s in &reg {
             s.config()
                 .validate()
                 .unwrap_or_else(|e| panic!("{}: {e}", s.name));
             assert!(!s.summary.is_empty());
+            // Every workload a scenario would run — pinned phased suites
+            // included — validates, and names are unique within the suite
+            // (they become CSV rows and trace-store keys).
+            let workloads = s.workloads(&opts);
+            assert!(!workloads.is_empty(), "{}: empty suite", s.name);
+            let mut wnames = Vec::new();
+            for w in &workloads {
+                w.validate()
+                    .unwrap_or_else(|e| panic!("{}/{}: {e}", s.name, w.name()));
+                assert!(!w.name().contains(','), "{}: comma in name", w.name());
+                wnames.push(w.name());
+            }
+            wnames.sort_unstable();
+            wnames.dedup();
+            assert_eq!(wnames.len(), workloads.len(), "{}: dup workload", s.name);
         }
+    }
+
+    #[test]
+    fn registry_includes_phased_and_multiprogram_scenarios() {
+        let phased: Vec<_> = registry()
+            .into_iter()
+            .filter(|s| {
+                s.workloads(&RunOptions::smoke())
+                    .iter()
+                    .any(|w| matches!(w, Workload::Phased(_)))
+            })
+            .collect();
+        assert!(
+            phased.len() >= 3,
+            "need at least three phased/multi-program scenarios, got {}",
+            phased.len()
+        );
+        assert!(phased.iter().any(|s| s.name == "multiprog-timeslice"));
+    }
+
+    #[test]
+    fn phased_scenario_runs_and_reports_its_workload_names() {
+        let opts = RunOptions::smoke().with_uops(30_000).with_workers(2);
+        let report = by_name("phased-hot-cold").unwrap().run(&opts);
+        assert!(report.is_complete());
+        let apps: Vec<_> = report.results().map(|r| r.app).collect();
+        assert_eq!(apps, vec!["crafty-mcf", "gzip-art"]);
+        let csv = to_csv(std::slice::from_ref(&report));
+        assert!(csv.contains("phased-hot-cold,crafty-mcf,"));
     }
 
     #[test]

@@ -1,11 +1,20 @@
 //! Dynamic micro-op stream generation.
 //!
-//! A [`TraceGenerator`] performs a stochastic walk over a
-//! [`SyntheticProgram`]'s CFG and materializes [`MicroOp`]s: branch outcomes
+//! A [`TraceGenerator`] performs a stochastic walk over one or more
+//! [`SyntheticProgram`] CFGs and materializes [`MicroOp`]s: branch outcomes
 //! are drawn from per-block probabilities, and memory addresses evolve per
 //! static memory template (base + n·stride within the template's region), so
 //! the stream exhibits the profile's temporal and spatial locality.
+//!
+//! A generator over a [`PhasedProfile`] multiplexes one walk per phase:
+//! each phase owns its own program, RNG stream and address-space slab, and
+//! the generator rotates between them on the phase schedule, switching only
+//! at basic-block boundaries (so every phase preserves the trace-cache
+//! invariant that re-fetching a PC yields the same micro-ops). A
+//! single-profile generator is the one-walk special case and produces a
+//! stream bit-identical to the pre-phase implementation.
 
+use crate::phased::PhasedProfile;
 use crate::profile::AppProfile;
 use crate::program::{MemRegion, SyntheticProgram};
 use crate::rng::SplitMix64;
@@ -16,7 +25,111 @@ pub const HOT_BASE: u64 = 0x1000_0000;
 /// Base address of the cold data region.
 pub const COLD_BASE: u64 = 0x4000_0000;
 
-/// An infinite, deterministic micro-op stream for one application.
+/// Address-space slab size per phase: phase `i` of a phased workload has
+/// its code, hot and cold regions shifted by `i * PHASE_ADDR_STRIDE`, so
+/// distinct programs never alias in the trace cache or data caches (the
+/// largest SPEC2000 working set is well under a slab).
+pub const PHASE_ADDR_STRIDE: u64 = 1 << 32;
+
+/// One phase's stochastic walk over its program, with all state needed to
+/// suspend at a block boundary and resume later.
+#[derive(Debug, Clone)]
+struct ProgramWalk {
+    program: SyntheticProgram,
+    rng: SplitMix64,
+    /// Current block index.
+    block: usize,
+    /// Next template index within the current block.
+    slot: usize,
+    /// Per-template dynamic execution counts (drives strided addresses).
+    mem_iter: Vec<u64>,
+    /// Cumulative template index of the first template of each block.
+    template_base: Vec<usize>,
+    /// Address-space slab offset applied to code and data addresses.
+    addr_offset: u64,
+}
+
+impl ProgramWalk {
+    fn new(program: SyntheticProgram, seed: u64, addr_offset: u64) -> Self {
+        let mut template_base = Vec::with_capacity(program.blocks.len());
+        let mut acc = 0;
+        for b in &program.blocks {
+            template_base.push(acc);
+            acc += b.len();
+        }
+        ProgramWalk {
+            mem_iter: vec![0; acc],
+            template_base,
+            program,
+            rng: SplitMix64::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1)),
+            block: 0,
+            slot: 0,
+            addr_offset,
+        }
+    }
+
+    /// Produces the next micro-op of this walk, stamped with the global
+    /// sequence number `seq`.
+    fn next_uop(&mut self, seq: u64) -> MicroOp {
+        let blocks = &self.program.blocks;
+        let block = &blocks[self.block];
+        let t = &block.templates[self.slot];
+        let pc = block.uop_pc(self.slot) + self.addr_offset;
+        let is_last = self.slot + 1 == block.len();
+
+        let mem_addr = t.mem.map(|m| {
+            let idx = self.template_base[self.block] + self.slot;
+            let n = self.mem_iter[idx];
+            self.mem_iter[idx] = n + 1;
+            let (base, size) = match m.region {
+                MemRegion::Hot => (HOT_BASE, self.program.hot_size),
+                MemRegion::Cold => (COLD_BASE, self.program.cold_size),
+            };
+            base + (m.offset + n * m.stride) % size.max(8) + self.addr_offset
+        });
+
+        let (taken, target, next_block) = if is_last {
+            let taken = self.rng.chance(block.taken_prob);
+            let succ = if taken {
+                block.taken_target
+            } else {
+                block.fallthrough
+            };
+            (taken, blocks[succ].pc + self.addr_offset, succ)
+        } else {
+            (false, 0, self.block)
+        };
+
+        let uop = MicroOp {
+            seq,
+            pc,
+            kind: t.kind,
+            dst: t.dst,
+            srcs: t.srcs,
+            mem_addr,
+            taken,
+            target,
+            ends_block: is_last,
+        };
+
+        if is_last {
+            self.block = next_block;
+            self.slot = 0;
+        } else {
+            self.slot += 1;
+        }
+        uop
+    }
+}
+
+/// Per-phase seed: phase 0 reuses the workload seed exactly (so a
+/// one-phase schedule reproduces the single-profile stream), later phases
+/// decorrelate via an odd multiplier.
+fn phase_seed(seed: u64, phase: usize) -> u64 {
+    seed ^ (phase as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// An infinite, deterministic micro-op stream for one workload.
 ///
 /// # Examples
 ///
@@ -31,18 +144,18 @@ pub const COLD_BASE: u64 = 0x4000_0000;
 /// ```
 #[derive(Debug, Clone)]
 pub struct TraceGenerator {
-    program: SyntheticProgram,
-    rng: SplitMix64,
-    /// Current block index.
-    block: usize,
-    /// Next template index within the current block.
-    slot: usize,
-    /// Next sequence number.
+    walks: Vec<ProgramWalk>,
+    /// Micro-op budget per visit, per walk.
+    slices: Vec<u64>,
+    /// Index of the walk currently emitting.
+    active: usize,
+    /// Micro-ops left in the current visit; once it reaches zero the
+    /// generator rotates at the next block boundary.
+    left: u64,
+    /// Next global sequence number.
     seq: u64,
-    /// Per-template dynamic execution counts (drives strided addresses).
-    mem_iter: Vec<u64>,
-    /// Cumulative template index of the first template of each block.
-    template_base: Vec<usize>,
+    /// Micro-ops emitted per phase (phase-boundary accounting).
+    phase_uops: Vec<u64>,
 }
 
 impl TraceGenerator {
@@ -54,77 +167,83 @@ impl TraceGenerator {
 
     /// Creates a generator over an existing program.
     pub fn from_program(program: SyntheticProgram, seed: u64) -> Self {
-        let mut template_base = Vec::with_capacity(program.blocks.len());
-        let mut acc = 0;
-        for b in &program.blocks {
-            template_base.push(acc);
-            acc += b.len();
-        }
         TraceGenerator {
-            mem_iter: vec![0; acc],
-            template_base,
-            program,
-            rng: SplitMix64::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1)),
-            block: 0,
-            slot: 0,
+            walks: vec![ProgramWalk::new(program, seed, 0)],
+            slices: vec![u64::MAX],
+            active: 0,
+            left: u64::MAX,
+            seq: 0,
+            phase_uops: vec![0],
+        }
+    }
+
+    /// Creates a generator over a phase schedule: one program walk per
+    /// phase, each in its own address-space slab, rotated cyclically with
+    /// visits of `phase.uops` micro-ops rounded up to a block boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule fails [`PhasedProfile::validate`].
+    pub fn phased(profile: &PhasedProfile, seed: u64) -> Self {
+        profile
+            .validate()
+            .unwrap_or_else(|e| panic!("bad phased profile: {e}"));
+        let walks: Vec<ProgramWalk> = profile
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(i, phase)| {
+                let ps = phase_seed(seed, i);
+                ProgramWalk::new(
+                    SyntheticProgram::generate(&phase.profile, ps),
+                    ps,
+                    i as u64 * PHASE_ADDR_STRIDE,
+                )
+            })
+            .collect();
+        let slices: Vec<u64> = profile.phases.iter().map(|p| p.uops).collect();
+        TraceGenerator {
+            left: slices[0],
+            phase_uops: vec![0; walks.len()],
+            walks,
+            slices,
+            active: 0,
             seq: 0,
         }
     }
 
-    /// The program being walked.
+    /// The program the active phase is walking.
     pub fn program(&self) -> &SyntheticProgram {
-        &self.program
+        &self.walks[self.active].program
+    }
+
+    /// Number of phases (1 for a single-profile generator).
+    pub fn phase_count(&self) -> usize {
+        self.walks.len()
+    }
+
+    /// The phase currently emitting.
+    pub fn active_phase(&self) -> usize {
+        self.active
+    }
+
+    /// Micro-ops emitted so far, per phase. Each visit emits its phase's
+    /// nominal slice rounded up to the basic-block boundary in flight, so
+    /// per-phase totals exceed `visits × slice` by less than one block per
+    /// visit.
+    pub fn phase_uops(&self) -> &[u64] {
+        &self.phase_uops
     }
 
     /// Produces the next micro-op in program order.
     pub fn next_uop(&mut self) -> MicroOp {
-        let blocks = &self.program.blocks;
-        let block = &blocks[self.block];
-        let t = &block.templates[self.slot];
-        let pc = block.uop_pc(self.slot);
-        let is_last = self.slot + 1 == block.len();
-
-        let mem_addr = t.mem.map(|m| {
-            let idx = self.template_base[self.block] + self.slot;
-            let n = self.mem_iter[idx];
-            self.mem_iter[idx] = n + 1;
-            let (base, size) = match m.region {
-                MemRegion::Hot => (HOT_BASE, self.program.hot_size),
-                MemRegion::Cold => (COLD_BASE, self.program.cold_size),
-            };
-            base + (m.offset + n * m.stride) % size.max(8)
-        });
-
-        let (taken, target, next_block) = if is_last {
-            let taken = self.rng.chance(block.taken_prob);
-            let succ = if taken {
-                block.taken_target
-            } else {
-                block.fallthrough
-            };
-            (taken, blocks[succ].pc, succ)
-        } else {
-            (false, 0, self.block)
-        };
-
-        let uop = MicroOp {
-            seq: self.seq,
-            pc,
-            kind: t.kind,
-            dst: t.dst,
-            srcs: t.srcs,
-            mem_addr,
-            taken,
-            target,
-            ends_block: is_last,
-        };
-
+        let uop = self.walks[self.active].next_uop(self.seq);
         self.seq += 1;
-        if is_last {
-            self.block = next_block;
-            self.slot = 0;
-        } else {
-            self.slot += 1;
+        self.phase_uops[self.active] += 1;
+        self.left = self.left.saturating_sub(1);
+        if self.left == 0 && uop.ends_block && self.walks.len() > 1 {
+            self.active = (self.active + 1) % self.walks.len();
+            self.left = self.slices[self.active];
         }
         uop
     }
@@ -141,6 +260,7 @@ impl Iterator for TraceGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::phased::Phase;
     use crate::uop::UopKind;
     use std::collections::HashMap;
 
@@ -252,5 +372,115 @@ mod tests {
             let g = TraceGenerator::new(p, 1);
             assert_eq!(g.take(2000).count(), 2000);
         }
+    }
+
+    #[test]
+    fn one_phase_schedule_reproduces_the_single_profile_stream() {
+        // The phased path with a single phase must be bit-identical to the
+        // plain generator: same program seed, zero address offset, and a
+        // rotation that never actually rotates.
+        let profile = AppProfile::test_tiny();
+        let phased = PhasedProfile::new(
+            "solo",
+            vec![Phase {
+                profile,
+                uops: 1_000,
+            }],
+        );
+        let a: Vec<_> = TraceGenerator::new(&profile, 7).take(10_000).collect();
+        let b: Vec<_> = TraceGenerator::phased(&phased, 7).take(10_000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn phases_switch_at_block_boundaries_with_bounded_overshoot() {
+        let a = AppProfile::test_tiny();
+        let b = *AppProfile::by_name("gzip").unwrap();
+        let slice = 1_000u64;
+        let phased = PhasedProfile::alternating("ab", a, b, slice);
+        let mut g = TraceGenerator::phased(&phased, 3);
+        let mut prev_phase = g.active_phase();
+        let mut last: Option<MicroOp> = None;
+        let mut switches = 0;
+        for _ in 0..40_000 {
+            let u = g.next_uop();
+            let phase = g.active_phase();
+            if phase != prev_phase {
+                switches += 1;
+                // The uop just emitted closed a basic block.
+                assert!(u.ends_block, "phase switched mid-block");
+                prev_phase = phase;
+            }
+            last = Some(u);
+        }
+        assert!(switches >= 10, "only {switches} switches in 40k uops");
+        assert!(last.is_some());
+        // Accounting: both phases ran, each visit within one block of the
+        // nominal slice. With alternating equal slices the totals differ by
+        // at most (overshoot per visit) × visits; blocks are ≤ ~32 uops.
+        let counts = g.phase_uops();
+        assert_eq!(counts.len(), 2);
+        let total: u64 = counts.iter().sum();
+        assert_eq!(total, 40_000);
+        for (i, &c) in counts.iter().enumerate() {
+            let visits = c.div_ceil(slice);
+            assert!(c >= slice, "phase {i} never completed a visit: {c}");
+            assert!(
+                c <= visits * (slice + 64),
+                "phase {i} overshoot too large: {c} uops in {visits} visits"
+            );
+        }
+    }
+
+    #[test]
+    fn phases_live_in_disjoint_address_slabs() {
+        let a = AppProfile::test_tiny();
+        let b = *AppProfile::by_name("gzip").unwrap();
+        let phased = PhasedProfile::alternating("ab", a, b, 500);
+        let mut g = TraceGenerator::phased(&phased, 5);
+        let mut slabs = [false, false];
+        for _ in 0..5_000 {
+            let phase = g.active_phase();
+            let u = g.next_uop();
+            let slab = (u.pc / PHASE_ADDR_STRIDE) as usize;
+            assert_eq!(slab, phase, "pc {:#x} outside its phase slab", u.pc);
+            if let Some(m) = u.mem_addr {
+                assert_eq!((m / PHASE_ADDR_STRIDE) as usize, phase);
+            }
+            slabs[slab] = true;
+        }
+        assert_eq!(slabs, [true, true], "one phase never ran");
+    }
+
+    #[test]
+    fn interleaving_round_robins_every_program() {
+        let apps: Vec<AppProfile> = ["gzip", "mcf", "swim"]
+            .iter()
+            .map(|n| *AppProfile::by_name(n).unwrap())
+            .collect();
+        let phased = PhasedProfile::interleaving("mix3", &apps, 300);
+        let mut g = TraceGenerator::phased(&phased, 9);
+        let mut order = Vec::new();
+        let mut prev = g.active_phase();
+        order.push(prev);
+        for _ in 0..20_000 {
+            g.next_uop();
+            let phase = g.active_phase();
+            if phase != prev {
+                order.push(phase);
+                prev = phase;
+            }
+        }
+        // Rotation is strictly cyclic: 0, 1, 2, 0, 1, 2, ...
+        for (i, &p) in order.iter().enumerate() {
+            assert_eq!(p, i % 3, "rotation broke at visit {i}");
+        }
+        assert!(order.len() >= 12, "too few rotations: {}", order.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad phased profile")]
+    fn phased_generator_rejects_empty_schedules() {
+        TraceGenerator::phased(&PhasedProfile::new("none", vec![]), 1);
     }
 }

@@ -13,7 +13,13 @@
 //!   re-visiting a PC re-fetches the *same* micro-ops (this is what makes a
 //!   trace cache meaningful), and
 //! * 26 per-application [`profile::AppProfile`]s that mimic the SPEC2000
-//!   integer and floating-point mixes the paper evaluates.
+//!   integer and floating-point mixes the paper evaluates,
+//! * phase-structured and multi-program workloads
+//!   ([`phased::PhasedProfile`], [`phased::Workload`]) composed from those
+//!   profiles, and
+//! * the serializable recorded-activity format
+//!   ([`record::ActivityTrace`]) that the engine's record/replay pipeline
+//!   stores per-interval per-unit activity in.
 //!
 //! # Examples
 //!
@@ -30,12 +36,16 @@
 #![warn(missing_docs)]
 
 pub mod generator;
+pub mod phased;
 pub mod profile;
 pub mod program;
+pub mod record;
 pub mod rng;
 pub mod uop;
 
 pub use generator::TraceGenerator;
+pub use phased::{Phase, PhasedProfile, Workload};
 pub use profile::AppProfile;
 pub use program::{BasicBlock, SyntheticProgram};
+pub use record::{ActivityTrace, FinalStats, IntervalRecord, TraceMeta, TraceShape};
 pub use uop::{ArchReg, MicroOp, RegClass, UopKind};

@@ -1,0 +1,242 @@
+//! Phase-structured and multi-program workloads.
+//!
+//! Real applications are not stationary: they alternate between hot
+//! compute loops, memory-bound pointer chases and I/O-ish lulls, and a
+//! multiprogrammed machine timeslices several of them. A [`PhasedProfile`]
+//! composes existing [`AppProfile`]s into exactly such a workload: a
+//! cyclic schedule of *phases*, each an `(AppProfile, micro-op slice)`
+//! pair. The [`TraceGenerator`](crate::TraceGenerator) walks one synthetic
+//! program per phase and rotates between them, switching only at basic
+//! block boundaries so the trace-cache-critical "same PC, same micro-ops"
+//! invariant holds within every phase.
+//!
+//! Two usage patterns fall out of the one mechanism:
+//!
+//! * **Phased execution** — a few long slices (tens of thousands of
+//!   micro-ops): the thermal state actually follows the phase (hot →
+//!   cool → hot), which is what distinguishes transient studies from the
+//!   stationary single-profile runs.
+//! * **Multi-program interleaving** — many short slices (a few thousand
+//!   micro-ops): a round-robin timeslice of independent programs, each in
+//!   its own address-space slab so their code and data never alias in the
+//!   caches (a context switch thrashes the trace cache, exactly as on
+//!   real hardware).
+//!
+//! [`Workload`] is the closed sum of both workload kinds the simulator
+//! accepts; everything above the generator (the simulator, the engine,
+//! the sweep executor, the scenario registry) is written against it.
+//!
+//! # Examples
+//!
+//! ```
+//! use distfront_trace::{AppProfile, PhasedProfile, Workload};
+//!
+//! let gzip = *AppProfile::by_name("gzip").unwrap();
+//! let mcf = *AppProfile::by_name("mcf").unwrap();
+//! let phased = PhasedProfile::alternating("gzip-mcf", gzip, mcf, 20_000);
+//! assert_eq!(phased.phases.len(), 2);
+//! let workload = Workload::Phased(phased);
+//! assert_eq!(workload.name(), "gzip-mcf");
+//! workload.validate().unwrap();
+//! ```
+
+use crate::profile::AppProfile;
+
+/// One phase of a [`PhasedProfile`]: which application to imitate and for
+/// how many micro-ops per visit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// The application profile driving this phase.
+    pub profile: AppProfile,
+    /// Nominal micro-ops per visit of this phase. The generator overshoots
+    /// to the end of the basic block in flight when the slice expires, so
+    /// the realized visit length is `uops` rounded up to a block boundary.
+    pub uops: u64,
+}
+
+/// A cyclic schedule of [`Phase`]s over existing [`AppProfile`]s.
+///
+/// The schedule repeats forever: phase 0 runs for its slice, then phase 1,
+/// …, then phase 0 again, each phase resuming its own program walk where
+/// it left off (programs are never restarted between visits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasedProfile {
+    /// Workload name used in reports and trace metadata. Keep it free of
+    /// commas so CSV rows stay single-celled.
+    pub name: &'static str,
+    /// The schedule, visited cyclically.
+    pub phases: Vec<Phase>,
+}
+
+impl PhasedProfile {
+    /// A schedule from explicit phases.
+    pub fn new(name: &'static str, phases: Vec<Phase>) -> Self {
+        PhasedProfile { name, phases }
+    }
+
+    /// A two-phase workload alternating between `a` and `b`, `slice`
+    /// micro-ops per visit — the canonical hot/cold phase structure.
+    pub fn alternating(name: &'static str, a: AppProfile, b: AppProfile, slice: u64) -> Self {
+        PhasedProfile {
+            name,
+            phases: vec![
+                Phase {
+                    profile: a,
+                    uops: slice,
+                },
+                Phase {
+                    profile: b,
+                    uops: slice,
+                },
+            ],
+        }
+    }
+
+    /// A round-robin multi-program interleaving: every program gets a
+    /// `quantum`-micro-op timeslice per turn, mimicking an OS scheduler
+    /// timeslicing independent address spaces.
+    pub fn interleaving(name: &'static str, programs: &[AppProfile], quantum: u64) -> Self {
+        PhasedProfile {
+            name,
+            phases: programs
+                .iter()
+                .map(|p| Phase {
+                    profile: *p,
+                    uops: quantum,
+                })
+                .collect(),
+        }
+    }
+
+    /// Nominal micro-ops in one full trip around the schedule (the
+    /// realized trip is slightly longer because every visit rounds up to
+    /// a basic-block boundary).
+    pub fn cycle_uops(&self) -> u64 {
+        self.phases.iter().map(|p| p.uops).sum()
+    }
+
+    /// Validates the schedule and every underlying profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.phases.is_empty() {
+            return Err(format!("{}: phased workload with no phases", self.name));
+        }
+        for (i, phase) in self.phases.iter().enumerate() {
+            if phase.uops == 0 {
+                return Err(format!("{}: phase {i} has an empty slice", self.name));
+            }
+            phase
+                .profile
+                .validate()
+                .map_err(|e| format!("{}: phase {i}: {e}", self.name))?;
+        }
+        Ok(())
+    }
+}
+
+/// Any workload the simulator can run: a stationary single application or
+/// a phase-structured composition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// One application profile, stationary for the whole run (the
+    /// original, pre-phase workload kind; streams are bit-identical to
+    /// running the profile directly).
+    Single(AppProfile),
+    /// A cyclic phase schedule (including multi-program interleavings).
+    Phased(PhasedProfile),
+}
+
+impl Workload {
+    /// The workload's report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Single(p) => p.name,
+            Workload::Phased(p) => p.name,
+        }
+    }
+
+    /// Validates the workload (every profile involved).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Workload::Single(p) => p.validate(),
+            Workload::Phased(p) => p.validate(),
+        }
+    }
+}
+
+impl From<AppProfile> for Workload {
+    fn from(profile: AppProfile) -> Self {
+        Workload::Single(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternating_builds_two_phases() {
+        let a = AppProfile::test_tiny();
+        let b = *AppProfile::by_name("mcf").unwrap();
+        let p = PhasedProfile::alternating("ab", a, b, 10_000);
+        assert_eq!(p.phases.len(), 2);
+        assert_eq!(p.cycle_uops(), 20_000);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn interleaving_gives_every_program_the_quantum() {
+        let apps: Vec<AppProfile> = ["gzip", "mcf", "swim"]
+            .iter()
+            .map(|n| *AppProfile::by_name(n).unwrap())
+            .collect();
+        let p = PhasedProfile::interleaving("mix3", &apps, 4_000);
+        assert_eq!(p.phases.len(), 3);
+        assert!(p.phases.iter().all(|ph| ph.uops == 4_000));
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_and_zero_slice_schedules_are_invalid() {
+        assert!(PhasedProfile::new("none", vec![]).validate().is_err());
+        let p = PhasedProfile::new(
+            "zero",
+            vec![Phase {
+                profile: AppProfile::test_tiny(),
+                uops: 0,
+            }],
+        );
+        assert!(p.validate().unwrap_err().contains("empty slice"));
+    }
+
+    #[test]
+    fn invalid_profile_fails_workload_validation() {
+        let mut bad = AppProfile::test_tiny();
+        bad.block_len = 0.0;
+        assert!(Workload::Single(bad).validate().is_err());
+        let p = PhasedProfile::alternating("bad", AppProfile::test_tiny(), bad, 1_000);
+        assert!(Workload::Phased(p).validate().is_err());
+    }
+
+    #[test]
+    fn workload_names_and_conversion() {
+        let w: Workload = AppProfile::test_tiny().into();
+        assert_eq!(w.name(), "tiny");
+        let p = Workload::Phased(PhasedProfile::alternating(
+            "pair",
+            AppProfile::test_tiny(),
+            AppProfile::test_tiny(),
+            500,
+        ));
+        assert_eq!(p.name(), "pair");
+    }
+}

@@ -1,0 +1,587 @@
+//! Recorded-activity traces: the serializable record/replay format.
+//!
+//! An [`ActivityTrace`] captures everything the power/thermal/DTM side of
+//! an experiment consumes from the cycle simulator: the pilot's merged
+//! activity, one [`IntervalRecord`] per evaluation interval (flattened
+//! per-unit activity counters plus the Vdd-gated trace-cache bank in
+//! force), and the run's final cycle/micro-op statistics. Replaying the
+//! trace through the engine's `ReplayBackend` reproduces a live run
+//! bit-for-bit without re-simulating the core — which is what makes pure
+//! thermal/DTM sweeps several times cheaper per cell.
+//!
+//! # Format and version policy
+//!
+//! Traces serialize through a small self-contained binary codec (no
+//! external dependencies): the magic bytes `DFAT`, a little-endian `u32`
+//! format version, then the metadata, pilot, interval and final-stats
+//! sections, with every integer little-endian, every float stored as its
+//! exact IEEE-754 bits, and every string length-prefixed UTF-8.
+//!
+//! The version number is the compatibility contract:
+//!
+//! * [`TRACE_FORMAT_VERSION`] is bumped on **any** layout change — field
+//!   reordering, widening, new sections, and in particular any change to
+//!   the flattened-counter layout implied by [`TraceShape::flat_len`]
+//!   (the flattening itself lives in `distfront_uarch`, next to the
+//!   counters it serializes).
+//! * Decoding rejects unknown versions outright
+//!   ([`TraceCodecError::UnsupportedVersion`]) rather than guessing:
+//!   a replayed trace feeds physical models, so a misread field would
+//!   silently produce plausible-but-wrong science. Old traces are cheap
+//!   to regenerate (`distfront-scenarios --record`); there is no
+//!   cross-version migration path by design.
+//! * Within one version, decoding validates structure (magic, counter
+//!   lengths against the declared [`TraceShape`], no trailing bytes), so
+//!   `decode(encode(t)) == t` and truncated or corrupt files fail loudly.
+//!
+//! # Examples
+//!
+//! ```
+//! use distfront_trace::record::*;
+//!
+//! let shape = TraceShape { partitions: 1, backends: 4, tc_banks: 2 };
+//! let trace = ActivityTrace {
+//!     meta: TraceMeta {
+//!         version: TRACE_FORMAT_VERSION,
+//!         workload: "tiny".into(),
+//!         config: "baseline".into(),
+//!         processor_fingerprint: 0xFEED,
+//!         seed: 7,
+//!         uops_per_app: 1000,
+//!         interval_cycles: 500,
+//!         shape,
+//!         hop: false,
+//!         replay_safe: true,
+//!         dtm: None,
+//!     },
+//!     pilot: vec![0; shape.flat_len()],
+//!     intervals: vec![IntervalRecord {
+//!         counters: vec![1; shape.flat_len()],
+//!         gated_bank: Some(1),
+//!         done: true,
+//!     }],
+//!     finals: FinalStats { cycles: 500, uops: 1000, tc_hit_rate: 0.9, mispredict_rate: 0.05 },
+//! };
+//! let bytes = trace.encode();
+//! assert_eq!(ActivityTrace::decode(&bytes).unwrap(), trace);
+//! ```
+
+/// Current serialization version; see the module docs for the policy.
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+/// Magic bytes opening every serialized trace.
+pub const TRACE_MAGIC: [u8; 4] = *b"DFAT";
+
+/// The machine shape a trace's flattened counters describe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceShape {
+    /// Frontend partitions.
+    pub partitions: u32,
+    /// Backend clusters.
+    pub backends: u32,
+    /// Physical trace-cache banks.
+    pub tc_banks: u32,
+}
+
+impl TraceShape {
+    /// Number of `u64` words in one flattened activity-counter record for
+    /// this shape. The layout (defined by `distfront_uarch`'s flattening,
+    /// which tests itself against this formula) is: 12 scalar counters,
+    /// the per-bank accesses, 6 per-partition vectors, then 15 counters
+    /// per backend cluster.
+    pub fn flat_len(&self) -> usize {
+        12 + self.tc_banks as usize + 6 * self.partitions as usize + 15 * self.backends as usize
+    }
+}
+
+/// Run-identifying metadata stored in the trace header. Replay validates
+/// these against the target configuration: the core-side fields (seed,
+/// run length, interval, shape, hop) must match exactly, while the
+/// power/thermal/DTM side is free to differ — that is the whole point of
+/// replaying.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMeta {
+    /// Format version the trace was written with.
+    pub version: u32,
+    /// Workload name (an `AppProfile` or `PhasedProfile` name).
+    pub workload: String,
+    /// Name of the experiment configuration the trace was recorded under.
+    pub config: String,
+    /// Opaque fingerprint of the full core-side (processor) configuration,
+    /// computed by the recorder. Replay recomputes it for the target
+    /// configuration and rejects any mismatch, so two configurations that
+    /// share shape, seed and run length but differ elsewhere in the core
+    /// (e.g. only in a cache mapping policy) can never silently stand in
+    /// for each other. The hash is stable within a toolchain; across
+    /// toolchains a mismatch merely forces a (cheap) re-record.
+    pub processor_fingerprint: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Micro-ops simulated per application.
+    pub uops_per_app: u64,
+    /// Control/thermal interval in cycles.
+    pub interval_cycles: u64,
+    /// Machine shape of the flattened counters.
+    pub shape: TraceShape,
+    /// Whether trace-cache bank hopping was enabled.
+    pub hop: bool,
+    /// `true` when the record-time DTM policy (if any) acted purely at the
+    /// power level, leaving the core pipeline untouched — the precondition
+    /// for the recorded activity being replayable at all.
+    pub replay_safe: bool,
+    /// Name of the record-time DTM policy, if one was configured.
+    pub dtm: Option<String>,
+}
+
+/// One evaluation interval: the flattened activity counters (layout per
+/// [`TraceShape::flat_len`]) plus the simulator-side state the interval
+/// loop reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalRecord {
+    /// Flattened activity-counter words (`distfront_uarch`'s
+    /// `ActivityCounters` in canonical order); length is exactly
+    /// [`TraceShape::flat_len`].
+    pub counters: Vec<u64>,
+    /// The Vdd-gated trace-cache bank during this interval, if any.
+    pub gated_bank: Option<u8>,
+    /// Whether the run's micro-op budget was reached in this interval.
+    pub done: bool,
+}
+
+/// End-of-run statistics the report surface needs but the replayed
+/// power/thermal loop cannot recompute (they belong to the core
+/// simulator). Floats are carried bit-exactly so a replayed report is
+/// byte-identical to the live one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FinalStats {
+    /// Total cycles to commit the budget.
+    pub cycles: u64,
+    /// Micro-ops committed.
+    pub uops: u64,
+    /// Trace-cache hit rate over the run.
+    pub tc_hit_rate: f64,
+    /// Branch misprediction rate over the run.
+    pub mispredict_rate: f64,
+}
+
+/// A complete recorded run: header, pilot activity, per-interval records
+/// and final statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityTrace {
+    /// Run-identifying metadata.
+    pub meta: TraceMeta,
+    /// The pilot phase's merged flattened activity (length
+    /// [`TraceShape::flat_len`]), from which replay re-derives the nominal
+    /// power profile bit-exactly.
+    pub pilot: Vec<u64>,
+    /// One record per evaluation interval, in execution order.
+    pub intervals: Vec<IntervalRecord>,
+    /// End-of-run statistics.
+    pub finals: FinalStats,
+}
+
+/// Why a byte stream failed to decode as an [`ActivityTrace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceCodecError {
+    /// The stream does not start with [`TRACE_MAGIC`].
+    BadMagic,
+    /// The stream's version is not [`TRACE_FORMAT_VERSION`].
+    UnsupportedVersion(u32),
+    /// The stream ended inside the named section.
+    Truncated(&'static str),
+    /// A structural invariant failed (bad lengths, invalid UTF-8,
+    /// trailing bytes).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for TraceCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceCodecError::BadMagic => write!(f, "not an activity trace (bad magic)"),
+            TraceCodecError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported trace format version {v} (this build reads {TRACE_FORMAT_VERSION})"
+                )
+            }
+            TraceCodecError::Truncated(what) => write!(f, "trace truncated in {what}"),
+            TraceCodecError::Corrupt(what) => write!(f, "trace corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceCodecError {}
+
+/// Sentinel encoding `gated_bank: None` (a machine never has 2^16−1
+/// physical banks).
+const NO_GATED_BANK: u16 = u16::MAX;
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn words(&mut self, words: &[u64]) {
+        self.u32(words.len() as u32);
+        for &w in words {
+            self.u64(w);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], TraceCodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(TraceCodecError::Corrupt("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(TraceCodecError::Truncated(what));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self, what: &'static str) -> Result<u8, TraceCodecError> {
+        Ok(self.take(1, what)?[0])
+    }
+    fn u16(&mut self, what: &'static str) -> Result<u16, TraceCodecError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+    fn u32(&mut self, what: &'static str) -> Result<u32, TraceCodecError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+    fn u64(&mut self, what: &'static str) -> Result<u64, TraceCodecError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+    fn f64(&mut self, what: &'static str) -> Result<f64, TraceCodecError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+    fn str(&mut self, what: &'static str) -> Result<String, TraceCodecError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| TraceCodecError::Corrupt("invalid UTF-8"))
+    }
+    fn words(&mut self, what: &'static str) -> Result<Vec<u64>, TraceCodecError> {
+        let len = self.u32(what)? as usize;
+        let mut out = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            out.push(self.u64(what)?);
+        }
+        Ok(out)
+    }
+    fn flag(&mut self, what: &'static str) -> Result<bool, TraceCodecError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(TraceCodecError::Corrupt("flag byte not 0/1")),
+        }
+    }
+}
+
+impl ActivityTrace {
+    /// Serializes the trace to the versioned binary format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer(Vec::with_capacity(
+            64 + 8 * (self.pilot.len() + self.intervals.len() * (self.pilot.len() + 2)),
+        ));
+        w.0.extend_from_slice(&TRACE_MAGIC);
+        w.u32(self.meta.version);
+        w.str(&self.meta.workload);
+        w.str(&self.meta.config);
+        w.u64(self.meta.processor_fingerprint);
+        w.u64(self.meta.seed);
+        w.u64(self.meta.uops_per_app);
+        w.u64(self.meta.interval_cycles);
+        w.u32(self.meta.shape.partitions);
+        w.u32(self.meta.shape.backends);
+        w.u32(self.meta.shape.tc_banks);
+        w.u8(u8::from(self.meta.hop));
+        w.u8(u8::from(self.meta.replay_safe));
+        match &self.meta.dtm {
+            None => w.u8(0),
+            Some(name) => {
+                w.u8(1);
+                w.str(name);
+            }
+        }
+        w.words(&self.pilot);
+        w.u32(self.intervals.len() as u32);
+        for rec in &self.intervals {
+            w.u16(rec.gated_bank.map_or(NO_GATED_BANK, u16::from));
+            w.u8(u8::from(rec.done));
+            w.words(&rec.counters);
+        }
+        w.u64(self.finals.cycles);
+        w.u64(self.finals.uops);
+        w.f64(self.finals.tc_hit_rate);
+        w.f64(self.finals.mispredict_rate);
+        w.0
+    }
+
+    /// Deserializes a trace, validating structure as described in the
+    /// module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceCodecError`] naming the first violated invariant.
+    pub fn decode(bytes: &[u8]) -> Result<ActivityTrace, TraceCodecError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.take(4, "magic")? != TRACE_MAGIC {
+            return Err(TraceCodecError::BadMagic);
+        }
+        let version = r.u32("version")?;
+        if version != TRACE_FORMAT_VERSION {
+            return Err(TraceCodecError::UnsupportedVersion(version));
+        }
+        let workload = r.str("workload name")?;
+        let config = r.str("config name")?;
+        let processor_fingerprint = r.u64("processor fingerprint")?;
+        let seed = r.u64("seed")?;
+        let uops_per_app = r.u64("uops")?;
+        let interval_cycles = r.u64("interval")?;
+        let shape = TraceShape {
+            partitions: r.u32("shape")?,
+            backends: r.u32("shape")?,
+            tc_banks: r.u32("shape")?,
+        };
+        if shape.partitions == 0 || shape.backends == 0 || shape.tc_banks == 0 {
+            return Err(TraceCodecError::Corrupt("degenerate machine shape"));
+        }
+        let hop = r.flag("hop flag")?;
+        let replay_safe = r.flag("replay-safe flag")?;
+        let dtm = match r.u8("dtm flag")? {
+            0 => None,
+            1 => Some(r.str("dtm name")?),
+            _ => return Err(TraceCodecError::Corrupt("dtm flag byte not 0/1")),
+        };
+        let flat_len = shape.flat_len();
+        let pilot = r.words("pilot counters")?;
+        if pilot.len() != flat_len {
+            return Err(TraceCodecError::Corrupt("pilot length mismatches shape"));
+        }
+        let n = r.u32("interval count")? as usize;
+        let mut intervals = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let gated = r.u16("gated bank")?;
+            let gated_bank = if gated == NO_GATED_BANK {
+                None
+            } else if gated <= u16::from(u8::MAX) && (u32::from(gated)) < shape.tc_banks {
+                Some(gated as u8)
+            } else {
+                return Err(TraceCodecError::Corrupt("gated bank outside shape"));
+            };
+            let done = r.flag("done flag")?;
+            let counters = r.words("interval counters")?;
+            if counters.len() != flat_len {
+                return Err(TraceCodecError::Corrupt("interval length mismatches shape"));
+            }
+            intervals.push(IntervalRecord {
+                counters,
+                gated_bank,
+                done,
+            });
+        }
+        let finals = FinalStats {
+            cycles: r.u64("final stats")?,
+            uops: r.u64("final stats")?,
+            tc_hit_rate: r.f64("final stats")?,
+            mispredict_rate: r.f64("final stats")?,
+        };
+        if r.pos != bytes.len() {
+            return Err(TraceCodecError::Corrupt("trailing bytes"));
+        }
+        Ok(ActivityTrace {
+            meta: TraceMeta {
+                version,
+                workload,
+                config,
+                processor_fingerprint,
+                seed,
+                uops_per_app,
+                interval_cycles,
+                shape,
+                hop,
+                replay_safe,
+                dtm,
+            },
+            pilot,
+            intervals,
+            finals,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+    use proptest::prelude::*;
+
+    fn sample_trace(seed: u64) -> ActivityTrace {
+        let mut rng = SplitMix64::new(seed);
+        let shape = TraceShape {
+            partitions: 1 + (rng.next_below(3) as u32),
+            backends: 1 + (rng.next_below(6) as u32),
+            tc_banks: 1 + (rng.next_below(4) as u32),
+        };
+        let flat = shape.flat_len();
+        let mut words = |n: usize| (0..n).map(|_| rng.next_u64()).collect::<Vec<u64>>();
+        let pilot = words(flat);
+        let n_intervals = 1 + rng.next_below(6) as usize;
+        let mut intervals = Vec::new();
+        for i in 0..n_intervals {
+            let gated = if rng.chance(0.5) {
+                Some(rng.next_below(u64::from(shape.tc_banks)) as u8)
+            } else {
+                None
+            };
+            intervals.push(IntervalRecord {
+                counters: (0..flat).map(|_| rng.next_u64()).collect(),
+                gated_bank: gated,
+                done: i + 1 == n_intervals,
+            });
+        }
+        let name_pool = ["tiny", "gzip-mcf", "mix3", "baseline", "drc+bh+ab"];
+        ActivityTrace {
+            meta: TraceMeta {
+                version: TRACE_FORMAT_VERSION,
+                workload: name_pool[rng.next_below(5) as usize].to_string(),
+                config: name_pool[rng.next_below(5) as usize].to_string(),
+                processor_fingerprint: rng.next_u64(),
+                seed: rng.next_u64(),
+                uops_per_app: rng.next_u64(),
+                interval_cycles: rng.next_u64(),
+                shape,
+                hop: rng.chance(0.5),
+                replay_safe: rng.chance(0.5),
+                dtm: rng.chance(0.5).then(|| "emergency-throttle".to_string()),
+            },
+            pilot,
+            intervals,
+            finals: FinalStats {
+                cycles: rng.next_u64(),
+                uops: rng.next_u64(),
+                tc_hit_rate: rng.next_f64(),
+                mispredict_rate: rng.next_f64(),
+            },
+        }
+    }
+
+    proptest! {
+        /// encode → decode is the identity for arbitrary traces.
+        #[test]
+        fn encode_decode_roundtrip(seed in 0u64..1_000_000_000) {
+            let trace = sample_trace(seed);
+            let bytes = trace.encode();
+            let back = ActivityTrace::decode(&bytes).unwrap();
+            prop_assert_eq!(back, trace);
+        }
+
+        /// Truncating an encoded trace anywhere fails loudly, never
+        /// panics, and never yields a successful decode.
+        #[test]
+        fn truncation_is_detected(seed in 0u64..1_000_000, frac in 0.0f64..1.0) {
+            let bytes = sample_trace(seed).encode();
+            let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+            prop_assert!(ActivityTrace::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn flat_len_formula() {
+        let s = TraceShape {
+            partitions: 2,
+            backends: 4,
+            tc_banks: 3,
+        };
+        assert_eq!(s.flat_len(), 12 + 3 + 12 + 60);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut bytes = sample_trace(1).encode();
+        assert_eq!(
+            ActivityTrace::decode(b"NOPE"),
+            Err(TraceCodecError::BadMagic)
+        );
+        bytes[4] = 99;
+        assert_eq!(
+            ActivityTrace::decode(&bytes),
+            Err(TraceCodecError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = sample_trace(2).encode();
+        bytes.push(0);
+        assert_eq!(
+            ActivityTrace::decode(&bytes),
+            Err(TraceCodecError::Corrupt("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn gated_bank_255_round_trips_on_a_wide_machine() {
+        // The u8 range's top value is a legal bank index when the shape
+        // is wide enough; only the u16::MAX sentinel means "none".
+        let mut trace = sample_trace(8);
+        trace.meta.shape.tc_banks = 300;
+        let flat = trace.meta.shape.flat_len();
+        trace.pilot = vec![1; flat];
+        for rec in &mut trace.intervals {
+            rec.counters = vec![2; flat];
+            rec.gated_bank = Some(255);
+        }
+        let back = ActivityTrace::decode(&trace.encode()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn gated_bank_outside_shape_is_corrupt() {
+        let mut trace = sample_trace(3);
+        trace.intervals[0].gated_bank = Some(trace.meta.shape.tc_banks as u8);
+        let bytes = trace.encode();
+        assert_eq!(
+            ActivityTrace::decode(&bytes),
+            Err(TraceCodecError::Corrupt("gated bank outside shape"))
+        );
+    }
+
+    #[test]
+    fn errors_display_helpfully() {
+        let msgs = [
+            TraceCodecError::BadMagic.to_string(),
+            TraceCodecError::UnsupportedVersion(7).to_string(),
+            TraceCodecError::Truncated("pilot counters").to_string(),
+            TraceCodecError::Corrupt("trailing bytes").to_string(),
+        ];
+        assert!(msgs[0].contains("magic"));
+        assert!(msgs[1].contains("version 7"));
+        assert!(msgs[2].contains("pilot"));
+        assert!(msgs[3].contains("trailing"));
+    }
+}

@@ -134,6 +134,62 @@ mod tests {
     }
 
     #[test]
+    fn chance_p_zero_never_and_p_one_always() {
+        // The edges must hold over many draws, not just the first: p = 0
+        // can never fire (next_f64 < 0.0 is impossible) and p = 1 always
+        // fires (next_f64 lies in [0, 1)).
+        let mut rng = SplitMix64::new(77);
+        for _ in 0..10_000 {
+            assert!(!rng.chance(0.0));
+            assert!(rng.chance(1.0));
+        }
+        // Out-of-range probabilities clamp to the same certainties.
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn geometric_mean_one_is_always_one() {
+        // mean = 1 gives success probability 1 per trial: the very first
+        // trial terminates, so the distance is the lower clamp exactly.
+        let mut rng = SplitMix64::new(21);
+        for _ in 0..1_000 {
+            assert_eq!(rng.geometric(1.0, 1 << 20), 1);
+        }
+    }
+
+    #[test]
+    fn geometric_max_clamp_binds() {
+        // A mean far beyond the cap almost always walks to the cap; the
+        // cap must bind exactly, never overshoot, and max = 1 degenerates
+        // to the constant 1.
+        let mut rng = SplitMix64::new(22);
+        let mut hit_cap = 0;
+        for _ in 0..2_000 {
+            let d = rng.geometric(1e9, 16);
+            assert!((1..=16).contains(&d));
+            if d == 16 {
+                hit_cap += 1;
+            }
+        }
+        assert!(hit_cap > 1_900, "cap almost never reached: {hit_cap}/2000");
+        for _ in 0..100 {
+            assert_eq!(rng.geometric(8.0, 1), 1);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_tracks_parameter_under_loose_cap() {
+        // Sanity on the mean at a second operating point (the generator
+        // uses means between ~3 and ~9).
+        let mut rng = SplitMix64::new(23);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| rng.geometric(8.0, 1_000)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((6.5..9.5).contains(&mean), "mean {mean} out of band");
+    }
+
+    #[test]
     fn geometric_bounds() {
         let mut rng = SplitMix64::new(11);
         for _ in 0..500 {

@@ -35,6 +35,7 @@
 pub mod activity;
 pub mod bpred;
 pub mod config;
+pub mod record;
 pub mod rename;
 pub mod rob;
 pub mod sim;

@@ -23,7 +23,7 @@ use distfront_cache::trace_cache::TraceCache;
 use distfront_cache::ul2::UnifiedL2;
 use distfront_trace::profile::AppProfile;
 use distfront_trace::uop::{MicroOp, RegClass, UopKind, NUM_ARCH_REGS};
-use distfront_trace::TraceGenerator;
+use distfront_trace::{TraceGenerator, Workload};
 
 use crate::activity::ActivityCounters;
 use crate::bpred::BranchPredictor;
@@ -256,13 +256,30 @@ impl Simulator {
     ///
     /// Panics if `cfg` fails [`ProcessorConfig::validate`].
     pub fn new(cfg: ProcessorConfig, profile: &AppProfile, seed: u64) -> Self {
+        Self::with_workload(cfg, &Workload::Single(*profile), seed)
+    }
+
+    /// Creates a simulator for any [`Workload`] — a stationary application
+    /// profile or a phase-structured composition — with a deterministic
+    /// `seed`. Single-profile workloads are bit-identical to
+    /// [`Simulator::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`ProcessorConfig::validate`] or the workload
+    /// fails [`Workload::validate`].
+    pub fn with_workload(cfg: ProcessorConfig, workload: &Workload, seed: u64) -> Self {
         cfg.validate().unwrap_or_else(|e| panic!("bad config: {e}"));
+        let generator = match workload {
+            Workload::Single(profile) => TraceGenerator::new(profile, seed),
+            Workload::Phased(phased) => TraceGenerator::phased(phased, seed),
+        };
         let partitions = cfg.frontend_mode.partitions();
         let tc = TraceCache::new(cfg.trace_cache);
         let physical_banks = cfg.trace_cache.physical_banks();
         Simulator {
             builder: TraceBuilder::new(
-                TraceGenerator::new(profile, seed),
+                generator,
                 TraceLimits {
                     max_uops: cfg.trace_cache.line_uops as usize,
                     max_branches: 3,
@@ -383,6 +400,13 @@ impl Simulator {
     /// (and across grid cells) instead of rebuilding it.
     pub fn reset(&mut self, profile: &AppProfile, seed: u64) {
         *self = Simulator::new(self.cfg.clone(), profile, seed);
+    }
+
+    /// [`reset`](Self::reset) for any [`Workload`]: returns the simulator
+    /// to a fresh run of `workload` under the same processor
+    /// configuration.
+    pub fn reset_workload(&mut self, workload: &Workload, seed: u64) {
+        *self = Simulator::with_workload(self.cfg.clone(), workload, seed);
     }
 
     /// A fresh simulator with the same configuration, ready to run

@@ -1,0 +1,94 @@
+//! Golden-scenario regression tests: canonical CSV outputs for three
+//! smoke scenarios are committed under `tests/golden/` and diffed
+//! byte-for-byte against the current engine. Any behavioural change —
+//! simulator timing, power arithmetic, thermal integration, CSV
+//! formatting — shows up here as a precise diff instead of a silent
+//! drift.
+//!
+//! To re-bless after an *intentional* change:
+//!
+//! ```sh
+//! BLESS=1 cargo test -p distfront --test golden_scenarios
+//! ```
+//!
+//! then review the golden diffs like any other code change.
+
+use std::path::PathBuf;
+
+use distfront::scenarios::{self, RunOptions};
+
+/// The pinned run shape: small enough for CI, large enough that every
+/// scenario closes several intervals and the phased scenario genuinely
+/// crosses phase boundaries (its slices are 25 k micro-ops, so a 60 k
+/// run visits phase 0, phase 1, and phase 0 again — a regression in
+/// phase rotation, seeding or the address-slab offset changes these
+/// bytes).
+fn golden_opts() -> RunOptions {
+    RunOptions::smoke().with_uops(60_000).with_workers(2)
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden"))
+}
+
+fn check(scenario: &str) {
+    let s = scenarios::by_name(scenario).unwrap_or_else(|| panic!("unknown scenario {scenario}"));
+    let report = s.run(&golden_opts());
+    assert!(
+        report.is_complete(),
+        "{scenario}: {} cells failed",
+        report.failed()
+    );
+    let csv = scenarios::to_csv(std::slice::from_ref(&report));
+    let path = golden_dir().join(format!("{scenario}.csv"));
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, &csv).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with BLESS=1 to create it",
+            path.display()
+        )
+    });
+    if csv != golden {
+        // A byte diff with the first differing line pinpointed beats a
+        // 20-line assert_eq dump.
+        let mismatch = csv
+            .lines()
+            .zip(golden.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b);
+        match mismatch {
+            Some((i, (now, was))) => panic!(
+                "{scenario}: output diverged from {} at line {}:\n  golden:  {was}\n  current: {now}\n\
+                 (re-bless with BLESS=1 only if the change is intentional)",
+                path.display(),
+                i + 1
+            ),
+            None => panic!(
+                "{scenario}: output length diverged from {} ({} vs {} bytes)",
+                path.display(),
+                csv.len(),
+                golden.len()
+            ),
+        }
+    }
+}
+
+#[test]
+fn golden_baseline() {
+    check("baseline");
+}
+
+#[test]
+fn golden_dtm_emergency() {
+    check("dtm-emergency");
+}
+
+#[test]
+fn golden_phased_hot_cold() {
+    check("phased-hot-cold");
+}

@@ -1,0 +1,297 @@
+//! End-to-end tests of the trace record/replay pipeline: byte identity
+//! between live, recorded and replayed scenario runs at several worker
+//! counts, the per-cell live fallback, and the trace file round trip.
+
+use std::sync::Arc;
+
+use distfront::engine::{CoupledEngine, EngineError, SweepRunner, TraceMode, TraceStore};
+use distfront::scenarios::{self, RunOptions};
+use distfront::ExperimentConfig;
+use distfront_trace::{ActivityTrace, AppProfile, Workload};
+
+fn opts(workers: usize) -> RunOptions {
+    // 30 k uops: past the phased scenarios' 25 k-uop slice, so the phased
+    // identity runs below actually cross a phase boundary.
+    RunOptions::smoke().with_uops(30_000).with_workers(workers)
+}
+
+/// The acceptance contract: a recorded baseline smoke scenario replayed
+/// through the `ReplayBackend` produces byte-identical CSV and JSON to
+/// the live run, at 1, 2 and 5 workers — and the phased scenarios obey
+/// the same contract.
+#[test]
+fn replayed_scenarios_are_byte_identical_to_live_at_1_2_5_workers() {
+    for name in ["baseline", "phased-hot-cold"] {
+        let scenario = scenarios::by_name(name).unwrap();
+        let live = scenario.run(&opts(2));
+        let live_csv = scenarios::to_csv(std::slice::from_ref(&live));
+        let live_json = scenarios::to_json(std::slice::from_ref(&live));
+
+        // Recording taps must not change the run.
+        let store = Arc::new(TraceStore::new());
+        let recorded = scenario.run_traced(&opts(2), TraceMode::Record(Arc::clone(&store)), |_| {});
+        assert_eq!(recorded, live, "{name}: recording changed the results");
+        assert_eq!(store.len(), live.outcomes().len());
+
+        for workers in [1, 2, 5] {
+            let replayed = scenario.run_traced(
+                &opts(workers),
+                TraceMode::Replay(Arc::clone(&store)),
+                |_| {},
+            );
+            assert_eq!(
+                replayed.report.replayed(),
+                replayed.outcomes().len(),
+                "{name}: not every cell replayed at {workers} workers"
+            );
+            assert_eq!(
+                scenarios::to_csv(std::slice::from_ref(&replayed)),
+                live_csv,
+                "{name}: CSV diverged at {workers} workers"
+            );
+            assert_eq!(
+                scenarios::to_json(std::slice::from_ref(&replayed)),
+                live_json,
+                "{name}: JSON diverged at {workers} workers"
+            );
+        }
+    }
+}
+
+/// Replaying against an empty (or partial) store falls back to live
+/// simulation per cell, with identical results and honest provenance.
+#[test]
+fn replay_falls_back_to_live_when_traces_are_missing() {
+    let scenario = scenarios::by_name("baseline").unwrap();
+    let live = scenario.run(&opts(2));
+    let empty = Arc::new(TraceStore::new());
+    let fallback = scenario.run_traced(&opts(2), TraceMode::Replay(Arc::clone(&empty)), |_| {});
+    assert_eq!(fallback, live);
+    assert_eq!(fallback.report.replayed(), 0, "nothing could have replayed");
+    assert!(empty.is_empty(), "fallback must not record");
+}
+
+/// A replaying sweep whose configuration carries a core-perturbing DTM
+/// policy falls back to live simulation — and the direct engine API
+/// reports `ReplayIncompatible` naming the policy instead.
+#[test]
+fn core_perturbing_dtm_policies_fall_back_and_name_themselves() {
+    use distfront::dtm::DvfsPolicy;
+    use distfront::DtmSpec;
+
+    // Record the plain baseline.
+    let store = Arc::new(TraceStore::new());
+    let cfg = ExperimentConfig::baseline().with_uops(20_000);
+    let apps = [AppProfile::test_tiny()];
+    let recording = SweepRunner::serial()
+        .with_trace_mode(TraceMode::Record(Arc::clone(&store)))
+        .try_suite(&cfg, &apps);
+    assert!(recording.is_complete());
+
+    // The DVFS study shares the uarch side ("baseline" config name) but
+    // rescales the core clock: its cells must run live.
+    let dvfs = ExperimentConfig::baseline()
+        .with_uops(20_000)
+        .with_dtm(DtmSpec::GlobalDvfs(DvfsPolicy::paper_limit()));
+    let replaying = SweepRunner::serial()
+        .with_trace_mode(TraceMode::Replay(Arc::clone(&store)))
+        .try_suite(&dvfs, &apps);
+    assert!(replaying.is_complete());
+    assert_eq!(replaying.replayed(), 0);
+    assert_eq!(
+        replaying.cells()[0].result,
+        SweepRunner::serial().try_suite(&dvfs, &apps).cells()[0].result
+    );
+
+    // Direct replay of the same pairing is an explicit, named error.
+    let trace = store.get("baseline", "tiny").unwrap();
+    let err = CoupledEngine::new(&dvfs, &AppProfile::test_tiny())
+        .with_replay(trace)
+        .run()
+        .unwrap_err();
+    match err {
+        EngineError::ReplayIncompatible(msg) => {
+            assert!(msg.contains("global-dvfs"), "unhelpful message: {msg}")
+        }
+        other => panic!("expected ReplayIncompatible, got {other:?}"),
+    }
+}
+
+/// A power-level DTM policy (the emergency throttle) IS replayable: a
+/// trace recorded without DTM drives the throttled sweep, and the result
+/// matches the live throttled run bit-for-bit on the unbiased baseline.
+#[test]
+fn power_level_dtm_sweeps_replay_from_a_nominal_recording() {
+    use distfront::emergency::EmergencyPolicy;
+    use distfront::DtmSpec;
+
+    let store = Arc::new(TraceStore::new());
+    let cfg = ExperimentConfig::baseline().with_uops(20_000);
+    let apps = [
+        AppProfile::test_tiny(),
+        *AppProfile::by_name("gzip").unwrap(),
+    ];
+    SweepRunner::serial()
+        .with_trace_mode(TraceMode::Record(Arc::clone(&store)))
+        .try_suite(&cfg, &apps);
+
+    // A trip below ambient guarantees the throttle engages every interval,
+    // so this exercises the Throttle action on the replay path, not just
+    // Nominal.
+    let throttled = ExperimentConfig::baseline()
+        .with_uops(20_000)
+        .with_dtm(DtmSpec::Emergency(EmergencyPolicy::with_threshold(40.0)));
+    let live = SweepRunner::serial().try_suite(&throttled, &apps);
+    let replayed = SweepRunner::serial()
+        .with_trace_mode(TraceMode::Replay(Arc::clone(&store)))
+        .try_suite(&throttled, &apps);
+    assert_eq!(
+        replayed.replayed(),
+        apps.len(),
+        "throttle cells must replay"
+    );
+    assert_eq!(replayed, live);
+    let r = replayed.cells()[0].result.as_ref().unwrap();
+    assert!(r.throttled_intervals >= 1, "the throttle never engaged");
+}
+
+/// Core-side differences invisible to the shape check are still caught:
+/// `bank-hopping` and `bh+ab` share seed, run length, interval, hopping
+/// and machine shape, differing only in the trace-cache mapping policy —
+/// the processor fingerprint must reject the swap.
+#[test]
+fn replay_rejects_same_shape_configs_that_differ_elsewhere_in_the_core() {
+    let app = AppProfile::test_tiny();
+    let bh = ExperimentConfig::bank_hopping().with_uops(20_000);
+    let (recorded, _) = CoupledEngine::new(&bh, &app).run_recorded();
+    let trace = Arc::new(recorded.unwrap().1);
+
+    let bhab = ExperimentConfig::hopping_and_biasing().with_uops(20_000);
+    let err = CoupledEngine::new(&bhab, &app)
+        .with_replay(Arc::clone(&trace))
+        .run()
+        .unwrap_err();
+    match err {
+        EngineError::ReplayIncompatible(msg) => assert!(
+            msg.contains("fingerprint"),
+            "expected a fingerprint mismatch, got: {msg}"
+        ),
+        other => panic!("expected ReplayIncompatible, got {other:?}"),
+    }
+    // The recording config itself still replays exactly.
+    let replayed = CoupledEngine::new(&bh, &app)
+        .with_replay(trace)
+        .run()
+        .unwrap();
+    assert_eq!(replayed, distfront::run_app(&bh, &app));
+}
+
+/// A DTM policy installed through `with_dtm` (an arbitrary boxed object)
+/// taints the recording: it cannot be proven power-level-only, so the
+/// trace is marked not replay-safe and replaying it is refused.
+#[test]
+fn custom_with_dtm_policies_taint_recordings() {
+    use distfront::emergency::{EmergencyController, EmergencyPolicy};
+    let cfg = ExperimentConfig::baseline().with_uops(20_000);
+    let app = AppProfile::test_tiny();
+    let ctrl = EmergencyController::new(EmergencyPolicy::with_threshold(40.0));
+    let (recorded, _) = CoupledEngine::new(&cfg, &app)
+        .with_dtm(Box::new(ctrl))
+        .run_recorded();
+    let (_, trace) = recorded.unwrap();
+    assert!(!trace.meta.replay_safe);
+    assert_eq!(trace.meta.dtm.as_deref(), Some("custom"));
+    let err = CoupledEngine::new(&cfg, &app)
+        .with_replay(Arc::new(trace))
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, EngineError::ReplayIncompatible(_)), "{err:?}");
+}
+
+/// A recording sweep under a core-perturbing DTM spec runs live but does
+/// not store its (unreplayable) traces — so it can never clobber a
+/// replay-safe recording of the same (config, workload) key made by a
+/// scenario sharing the uarch side (the DTM studies all keep the
+/// `baseline` config name).
+#[test]
+fn record_mode_never_stores_unreplayable_traces() {
+    use distfront::dtm::FetchGatePolicy;
+    use distfront::DtmSpec;
+    let store = Arc::new(TraceStore::new());
+    let apps = [AppProfile::test_tiny()];
+
+    let base = ExperimentConfig::baseline().with_uops(20_000);
+    SweepRunner::serial()
+        .with_trace_mode(TraceMode::Record(Arc::clone(&store)))
+        .try_suite(&base, &apps);
+    let safe = store.get("baseline", "tiny").expect("baseline recorded");
+
+    // The fetch-gate study shares the "baseline" config name; recording
+    // it must not replace the replay-safe baseline trace.
+    let gated = ExperimentConfig::baseline()
+        .with_uops(20_000)
+        .with_dtm(DtmSpec::FetchGate(FetchGatePolicy::paper_limit()));
+    let report = SweepRunner::serial()
+        .with_trace_mode(TraceMode::Record(Arc::clone(&store)))
+        .try_suite(&gated, &apps);
+    assert!(report.is_complete(), "recording still runs the cell live");
+    assert_eq!(store.len(), 1, "unsafe trace must not be stored");
+    let still = store.get("baseline", "tiny").unwrap();
+    assert!(
+        Arc::ptr_eq(&safe, &still),
+        "replay-safe trace was clobbered"
+    );
+}
+
+/// Traces survive the disk round trip bit-for-bit, and the decoded file
+/// replays to the same result.
+#[test]
+fn trace_files_round_trip_through_disk() {
+    let cfg = ExperimentConfig::baseline().with_uops(20_000);
+    let app = AppProfile::test_tiny();
+    let (recorded, _) = CoupledEngine::new(&cfg, &app).run_recorded();
+    let (live, trace) = recorded.unwrap();
+
+    let path = std::env::temp_dir().join(format!("distfront-replay-{}.dft", std::process::id()));
+    std::fs::write(&path, trace.encode()).unwrap();
+    let decoded = ActivityTrace::decode(&std::fs::read(&path).unwrap()).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(decoded, trace);
+
+    let replayed = CoupledEngine::new(&cfg, &app)
+        .with_replay(Arc::new(decoded))
+        .run()
+        .unwrap();
+    assert_eq!(replayed, live);
+}
+
+/// Phased workloads flow through the whole engine surface: a phased cell
+/// runs on the sweep, records, replays bit-identically, and reports under
+/// its workload name.
+#[test]
+fn phased_workloads_record_and_replay_through_the_sweep() {
+    use distfront_trace::PhasedProfile;
+    let cfg = ExperimentConfig::baseline().with_uops(30_000);
+    let tiny = AppProfile::test_tiny();
+    let gzip = *AppProfile::by_name("gzip").unwrap();
+    let workloads = [
+        Workload::Single(tiny),
+        Workload::Phased(PhasedProfile::alternating("tiny-gzip", tiny, gzip, 5_000)),
+    ];
+    let store = Arc::new(TraceStore::new());
+    let live = SweepRunner::serial()
+        .with_trace_mode(TraceMode::Record(Arc::clone(&store)))
+        .try_suite_workloads(&cfg, &workloads);
+    assert!(live.is_complete());
+    assert_eq!(live.cells()[1].app_name, "tiny-gzip");
+    assert_eq!(
+        live.cells()[1].result.as_ref().unwrap().app,
+        "tiny-gzip",
+        "phased results carry the workload name"
+    );
+    let replayed = SweepRunner::with_threads(2)
+        .with_trace_mode(TraceMode::Replay(Arc::clone(&store)))
+        .try_suite_workloads(&cfg, &workloads);
+    assert_eq!(replayed.replayed(), 2);
+    assert_eq!(replayed, live);
+}
