@@ -24,12 +24,20 @@
 //!                    instead of re-simulating the core (live fallback
 //!                    otherwise); byte-identical output, several times
 //!                    faster per replayed cell
+//!   --batch          lockstep batched replay: advance cohorts of
+//!                    replay-mode cells through one shared batched
+//!                    propagator (default when --replay is given; inert
+//!                    otherwise)
+//!   --no-batch       disable batched replay
 //! ```
 //!
-//! Exit status: 0 on success, 1 when `--verify` detects a divergence,
-//! 2 when any cell failed (the failed coordinates are listed on stderr
-//! and the surviving cells are still written), 3 when writing an output
-//! file failed, 64 on a usage error.
+//! Exit status: 0 on success, 1 when `--verify` detects a divergence
+//! between the run and a serial live re-run, 2 when any cell failed (the
+//! failed coordinates are listed on stderr and the surviving cells are
+//! still written), 3 when writing an output file failed, 4 when `--verify`
+//! detects batched replay diverging from serial replay (checked before the
+//! live comparison, so a batching bug is distinguishable from a
+//! replay-vs-live one), 64 on a usage error.
 
 use std::io::Write as _;
 use std::path::Path;
@@ -56,13 +64,14 @@ struct Args {
     inject_fail: bool,
     record: Option<String>,
     replay: Option<String>,
+    batch: Option<bool>,
 }
 
 fn usage() -> &'static str {
     "usage: distfront-scenarios --list | --all | --run NAME [--run NAME ...]\n\
      options: [--smoke] [--uops N] [--workers N] [--integrator rk4|expm] \
      [--csv PATH] [--json PATH] [--progress] [--verify] [--inject-fail] \
-     [--record DIR | --replay DIR]"
+     [--record DIR | --replay DIR] [--batch | --no-batch]"
 }
 
 /// Exit code for command-line misuse (BSD `EX_USAGE`; 1 and 2 carry
@@ -73,6 +82,10 @@ const EXIT_CELLS_FAILED: u8 = 2;
 /// Exit code when results were computed but an output file could not be
 /// written (distinct from misuse: the invocation was fine, data was lost).
 const EXIT_IO: u8 = 3;
+/// Exit code when `--verify` finds batched replay diverging from serial
+/// replay — a batching bug specifically, as opposed to exit 1's
+/// run-vs-live divergence.
+const EXIT_BATCH_DIVERGED: u8 = 4;
 
 fn parse(mut argv: std::env::Args) -> Result<Args, String> {
     let mut args = Args {
@@ -90,6 +103,7 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         inject_fail: false,
         record: None,
         replay: None,
+        batch: None,
     };
     argv.next(); // program name
     while let Some(a) = argv.next() {
@@ -122,6 +136,8 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
             "--inject-fail" => args.inject_fail = true,
             "--record" => args.record = Some(value("--record")?),
             "--replay" => args.replay = Some(value("--replay")?),
+            "--batch" => args.batch = Some(true),
+            "--no-batch" => args.batch = Some(false),
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -156,7 +172,9 @@ fn options(args: &Args) -> RunOptions {
     if let Some(integrator) = args.integrator {
         opts = opts.with_integrator(integrator);
     }
-    opts
+    // Batched lockstep replay defaults on whenever cells can actually
+    // replay; an explicit --batch/--no-batch always wins.
+    opts.with_batch(args.batch.unwrap_or(args.replay.is_some()))
 }
 
 /// Streams per-cell progress lines and (optionally) CSV rows to `csv` as
@@ -343,6 +361,29 @@ fn main() -> ExitCode {
     }
 
     if args.verify {
+        // With batching on, first cross-check batched against *serial
+        // unbatched replay* of the same store: any divergence here is a
+        // batching bug by construction (same traces, same arithmetic
+        // contract), and gets its own exit code so CI can tell it apart
+        // from the replay-vs-live comparison below.
+        if opts.batch && matches!(mode, TraceMode::Replay(_)) {
+            println!("verify: re-replaying serially without batching...");
+            let unbatched = run_all(
+                &selected,
+                &opts.with_workers(1).with_batch(false),
+                &mode,
+                false,
+                None,
+            );
+            if scenarios::to_csv(&unbatched) != csv {
+                eprintln!(
+                    "error: batched and serial replay results diverge — the \
+                     batch propagator's bit-identity contract is broken"
+                );
+                return ExitCode::from(EXIT_BATCH_DIVERGED);
+            }
+            println!("verify: batched and serial replay CSV are byte-identical");
+        }
         // The serial verify rerun is always live, so with --replay it
         // independently checks the replayed bytes against a live
         // simulation, not just against another replay.

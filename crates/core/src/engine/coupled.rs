@@ -266,8 +266,10 @@ impl<'a> CoupledEngine<'a> {
 /// the trace's recorded [`FinalStats`] (the replay pipeline never runs the
 /// simulator). Fails with [`EngineError::NoData`] when the stages closed
 /// no measurement intervals (a custom pipeline that skipped the interval
-/// loop): the temperature metrics would be undefined.
-fn finish(cx: &EngineCx<'_>) -> Result<AppResult, EngineError> {
+/// loop): the temperature metrics would be undefined. Shared with the
+/// batched cohort scheduler, which finalizes each lane's context through
+/// the exact same assembly.
+pub(super) fn finish(cx: &EngineCx<'_>) -> Result<AppResult, EngineError> {
     let (cycles, uops, tc_hit_rate, mispredict_rate) = match &cx.replay_finals {
         Some(f) => (f.cycles, f.uops, f.tc_hit_rate, f.mispredict_rate),
         None => (

@@ -31,7 +31,14 @@
 //!   core-perturbing ones with [`EngineError::ReplayIncompatible`]), and
 //! * [`TraceStore`] / [`TraceMode`] — the sweep-level record-once /
 //!   replay-many plumbing, with per-cell fallback to live simulation
-//!   when no compatible trace exists.
+//!   when no compatible trace exists, and
+//! * [`BatchScheduler`] — lockstep batched replay: the sweep executor
+//!   groups replay-mode cells sharing a machine shape into cohorts
+//!   ([`SweepRunner::with_batch`]) and advances each cohort's
+//!   temperatures through one shared
+//!   [`BatchPropagator`](distfront_thermal::BatchPropagator) — two
+//!   mat-mats per interval instead of two mat-vecs per cell — with
+//!   per-cell outcomes bit-identical to serial replay.
 //!
 //! Every path through the engine is bit-identical: the same configuration
 //! and profile produce the same [`AppResult`](crate::runner::AppResult)
@@ -57,6 +64,7 @@
 //! assert_eq!(grid[0][0].app, "tiny");
 //! ```
 
+mod batch;
 mod context;
 mod coupled;
 mod replay;
@@ -64,6 +72,7 @@ mod stages;
 mod sweep;
 mod traits;
 
+pub use batch::BatchScheduler;
 pub use context::EngineCx;
 pub use coupled::{CoupledEngine, RunStats};
 pub use replay::{ReplayBackend, ReplayLoopStage, ReplayPilotStage, TraceRecorder};

@@ -258,6 +258,13 @@ pub struct ReplayPilotStage {
     trace: Arc<ActivityTrace>,
 }
 
+impl ReplayPilotStage {
+    /// A replay pilot over `trace`.
+    pub fn new(trace: Arc<ActivityTrace>) -> Self {
+        ReplayPilotStage { trace }
+    }
+}
+
 impl Stage for ReplayPilotStage {
     fn name(&self) -> &'static str {
         "replay-pilot"
@@ -349,7 +356,10 @@ fn processor_fingerprint(cfg: &ExperimentConfig) -> u64 {
 
 /// Reconstructs counters for the machine shape, surfacing layout
 /// mismatches as [`EngineError::ReplayIncompatible`].
-fn unflatten_for(machine: Machine, flat: &[u64]) -> Result<ActivityCounters, EngineError> {
+pub(super) fn unflatten_for(
+    machine: Machine,
+    flat: &[u64],
+) -> Result<ActivityCounters, EngineError> {
     tap::unflatten(machine.partitions, machine.backends, machine.tc_banks, flat)
         .map_err(EngineError::ReplayIncompatible)
 }
@@ -358,7 +368,10 @@ fn unflatten_for(machine: Machine, flat: &[u64]) -> Result<ActivityCounters, Eng
 /// engaged (the power half of the live loop's action translation):
 /// core-perturbing actions cannot be honored without the simulator and
 /// abort the replay.
-fn apply_power_action(cx: &mut EngineCx<'_>, action: DtmAction) -> Result<(), EngineError> {
+pub(super) fn apply_power_action(
+    cx: &mut EngineCx<'_>,
+    action: DtmAction,
+) -> Result<(), EngineError> {
     cx.model.set_operating_point(OperatingPoint::nominal());
     match action {
         DtmAction::Nominal => Ok(()),

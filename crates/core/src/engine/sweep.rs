@@ -18,9 +18,11 @@ use std::thread;
 use std::time::Instant;
 
 use distfront_power::{LeakageModel, Machine};
+use distfront_thermal::Integrator;
 use distfront_trace::record::ActivityTrace;
 use distfront_trace::{AppProfile, Workload};
 
+use super::batch::BatchScheduler;
 use super::coupled::CoupledEngine;
 use super::replay::ReplayBackend;
 use super::EngineError;
@@ -74,6 +76,31 @@ type CellCallback = Box<dyn Fn(&CellOutcome) + Send + Sync>;
 /// Default shard count: enough that a full-width sweep on a large host
 /// rarely has two workers hashing into the same shard at once.
 const DEFAULT_SHARDS: usize = 16;
+
+/// Largest lockstep cohort one task advances. Bounds the batch state
+/// matrix (`n_nodes × cohort`) and keeps enough independent tasks for the
+/// worker pool to load-balance; column counts beyond this see no further
+/// per-cell gain from the mat-mat kernel anyway.
+const MAX_COHORT: usize = 32;
+
+/// One schedulable unit of a sweep: a single grid cell, or a lockstep
+/// cohort of replay-mode cells sharing a machine shape that the
+/// [`BatchScheduler`] advances through one batched propagator.
+enum Task {
+    Cell(usize),
+    Cohort(Vec<(usize, Arc<ActivityTrace>)>),
+}
+
+impl Task {
+    /// The lowest grid index the task covers — tasks are ordered by this
+    /// so a serial batched sweep still streams outcomes near grid order.
+    fn first_cell(&self) -> usize {
+        match self {
+            Task::Cell(i) => *i,
+            Task::Cohort(members) => members.first().map_or(usize::MAX, |(i, _)| *i),
+        }
+    }
+}
 
 /// Shares converged steady-state warm starts between engines.
 ///
@@ -536,6 +563,7 @@ pub struct SweepRunner {
     cache: Arc<WarmStartCache>,
     on_cell: Option<CellCallback>,
     mode: TraceMode,
+    batch: bool,
 }
 
 impl std::fmt::Debug for SweepRunner {
@@ -545,6 +573,7 @@ impl std::fmt::Debug for SweepRunner {
             .field("cache", &self.cache)
             .field("on_cell", &self.on_cell.as_ref().map(|_| "…"))
             .field("mode", &self.mode)
+            .field("batch", &self.batch)
             .finish()
     }
 }
@@ -581,7 +610,25 @@ impl SweepRunner {
             cache: Arc::new(WarmStartCache::new()),
             on_cell: None,
             mode: TraceMode::Live,
+            batch: false,
         }
+    }
+
+    /// Enables (or disables) lockstep batched replay: replay-mode cells
+    /// sharing a machine shape are grouped into cohorts and advanced
+    /// together through one shared batched propagator (see
+    /// [`BatchScheduler`]), cutting the thermal advance from two mat-vecs
+    /// per cell-interval to two mat-mats per cohort-interval.
+    ///
+    /// Purely a performance knob: batched reports compare equal —
+    /// bit-identical cell results — to serial and parallel unbatched runs
+    /// of the same grid. Cells that cannot batch (live fallback, RK4
+    /// integrator, lone cohorts) run exactly as before; outside
+    /// [`TraceMode::Replay`] the flag has no effect.
+    #[must_use]
+    pub fn with_batch(mut self, batch: bool) -> Self {
+        self.batch = batch;
+        self
     }
 
     /// Selects how this runner's cells interact with recorded traces:
@@ -634,30 +681,35 @@ impl SweepRunner {
     ) -> SweepReport {
         let cell_count = configs.len() * workloads.len();
         let mut flat: Vec<Option<CellOutcome>> = (0..cell_count).map(|_| None).collect();
-        let workers = self.threads.min(cell_count);
+        let tasks = self.plan_tasks(configs, workloads);
+        let workers = self.threads.min(tasks.len());
         if workers <= 1 {
-            for (i, slot) in flat.iter_mut().enumerate() {
-                let outcome = self.run_cell(configs, workloads, i);
-                if let Some(cb) = &self.on_cell {
-                    cb(&outcome);
+            for task in &tasks {
+                for outcome in self.run_task(configs, workloads, task) {
+                    if let Some(cb) = &self.on_cell {
+                        cb(&outcome);
+                    }
+                    let i = outcome.config * workloads.len() + outcome.app;
+                    flat[i] = Some(outcome);
                 }
-                *slot = Some(outcome);
             }
         } else {
             let next = AtomicUsize::new(0);
             let (tx, rx) = mpsc::channel::<CellOutcome>();
+            let tasks = &tasks;
             thread::scope(|scope| {
                 for _ in 0..workers {
                     let tx = tx.clone();
                     let next = &next;
                     scope.spawn(move || loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= cell_count {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= tasks.len() {
                             break;
                         }
-                        let outcome = self.run_cell(configs, workloads, i);
-                        if tx.send(outcome).is_err() {
-                            break;
+                        for outcome in self.run_task(configs, workloads, &tasks[t]) {
+                            if tx.send(outcome).is_err() {
+                                return;
+                            }
                         }
                     });
                 }
@@ -722,6 +774,81 @@ impl SweepRunner {
         self.grid(std::slice::from_ref(cfg), apps)
             .pop()
             .expect("one configuration in, one row out")
+    }
+
+    /// Splits the grid into schedulable tasks: with batching off (or
+    /// outside replay mode) every cell is its own task; with batching on,
+    /// replayable cells sharing a machine shape coalesce into lockstep
+    /// cohorts (capped at [`MAX_COHORT`]) and everything else — live
+    /// fallbacks, RK4 cells, cohorts of one — stays a plain cell task.
+    fn plan_tasks(&self, configs: &[ExperimentConfig], workloads: &[Workload]) -> Vec<Task> {
+        let cell_count = configs.len() * workloads.len();
+        let store = match (&self.mode, self.batch) {
+            (TraceMode::Replay(store), true) => store,
+            _ => return (0..cell_count).map(Task::Cell).collect(),
+        };
+        // Cohort key: everything the shared thermal network depends on —
+        // the machine shape fixes the floorplan, hence the RC network and
+        // the propagator pair. Interval length and clock are included so a
+        // cohort's lanes also share the nominal step and advance as one
+        // column group (mixed steps would still be correct, just slower).
+        type CohortKey = (usize, usize, usize, u64, u64);
+        type Members = Vec<(usize, Arc<ActivityTrace>)>;
+        let mut tasks: Vec<Task> = Vec::new();
+        let mut cohorts: Vec<(CohortKey, Members)> = Vec::new();
+        for i in 0..cell_count {
+            let cfg = &configs[i / workloads.len()];
+            let workload = &workloads[i % workloads.len()];
+            let trace = store
+                .get(cfg.name, workload.name())
+                .filter(|t| ReplayBackend::validate(cfg, workload, t).is_ok());
+            match trace {
+                // Only the matrix-exponential path has a batched kernel;
+                // RK4 cells replay serially as before.
+                Some(t) if cfg.integrator == Integrator::Expm => {
+                    let pc = &cfg.processor;
+                    let key = (
+                        pc.frontend_mode.partitions(),
+                        pc.backends,
+                        pc.trace_cache.physical_banks(),
+                        cfg.interval_cycles,
+                        pc.frequency_hz.to_bits(),
+                    );
+                    match cohorts.iter_mut().find(|(k, _)| *k == key) {
+                        Some((_, members)) => members.push((i, t)),
+                        None => cohorts.push((key, vec![(i, t)])),
+                    }
+                }
+                _ => tasks.push(Task::Cell(i)),
+            }
+        }
+        for (_, members) in cohorts {
+            for chunk in members.chunks(MAX_COHORT) {
+                if chunk.len() < 2 {
+                    // A cohort of one gains nothing from the batch matrix;
+                    // the plain replay path avoids its setup entirely.
+                    tasks.extend(chunk.iter().map(|(i, _)| Task::Cell(*i)));
+                } else {
+                    tasks.push(Task::Cohort(chunk.to_vec()));
+                }
+            }
+        }
+        tasks.sort_by_key(Task::first_cell);
+        tasks
+    }
+
+    fn run_task(
+        &self,
+        configs: &[ExperimentConfig],
+        workloads: &[Workload],
+        task: &Task,
+    ) -> Vec<CellOutcome> {
+        match task {
+            Task::Cell(i) => vec![self.run_cell(configs, workloads, *i)],
+            Task::Cohort(members) => {
+                BatchScheduler::run_cohort(configs, workloads, members, Arc::clone(&self.cache))
+            }
+        }
     }
 
     fn run_cell(

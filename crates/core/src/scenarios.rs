@@ -142,6 +142,7 @@ impl Scenario {
         let report = SweepRunner::with_threads(opts.workers)
             .with_on_cell(on_cell)
             .with_trace_mode(mode)
+            .with_batch(opts.batch)
             .try_suite_workloads(&cfg, &workloads);
         ScenarioReport {
             scenario: self.name,
@@ -183,6 +184,11 @@ pub struct RunOptions {
     pub smoke: bool,
     /// Transient integrator (matrix-exponential propagator by default).
     pub integrator: Integrator,
+    /// Lockstep batched replay ([`SweepRunner::with_batch`]): group
+    /// replay-mode cells into cohorts advanced through one shared batched
+    /// propagator. Purely a performance knob — results are bit-identical
+    /// either way — and only meaningful under [`TraceMode::Replay`].
+    pub batch: bool,
 }
 
 impl RunOptions {
@@ -194,6 +200,7 @@ impl RunOptions {
             workers: SweepRunner::new().threads(),
             smoke: false,
             integrator: Integrator::default(),
+            batch: false,
         }
     }
 
@@ -222,6 +229,13 @@ impl RunOptions {
     /// Overrides the transient integrator; returns `self` for chaining.
     pub fn with_integrator(mut self, integrator: Integrator) -> Self {
         self.integrator = integrator;
+        self
+    }
+
+    /// Enables or disables lockstep batched replay; returns `self` for
+    /// chaining.
+    pub fn with_batch(mut self, batch: bool) -> Self {
+        self.batch = batch;
         self
     }
 

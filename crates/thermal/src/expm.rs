@@ -15,10 +15,39 @@
 //! `A⁻¹` solves through the same [`SteadyFactor`] LU factorization the
 //! steady state uses — and advances an interval in two dense mat-vecs
 //! instead of the hundreds of RK4 sub-steps [`ThermalSolver::advance`]
-//! needs for stability. Propagators are cached keyed on `h.to_bits()`, so
-//! DVFS- or throttle-stretched intervals (each a distinct wall-clock `h`)
-//! each factor exactly once and the whole advance path stays a
-//! deterministic, bit-reproducible function of `(state, power, h)`.
+//! needs for stability.
+//!
+//! # Flat storage
+//!
+//! Both matrices of a propagator pair are stored as flat, row-major
+//! `n × n` slabs (`Box<[f64]>`, row `i` at `[i·n, (i+1)·n)`), so the hot
+//! advance loop is pure iterator dot products over contiguous slices — no
+//! per-row pointer chase, no bounds checks. [`BatchPropagator`] extends
+//! the same idea across sweep cells: it holds a **column-major SoA state
+//! matrix** `T: n_nodes × n_cells` (column `j`, cell `j`'s node
+//! temperatures, contiguous at `[j·n, (j+1)·n)`) and advances many
+//! columns per propagator application — two mat-mats instead of `2N`
+//! mat-vecs, with each Φ/Ψ row streamed once per group of four columns
+//! instead of once per cell.
+//!
+//! # Bit-identity contract
+//!
+//! Batched advance is **bit-identical** to serial advance: column `j` of
+//! a [`BatchPropagator`] after `advance_columns` carries exactly the bits
+//! an independent [`ExpPropagator`] for cell `j` would hold after the
+//! same sequence of `advance` calls. This holds because every output
+//! element is the same two dot products (`Φ_row·T_col + Ψ_row·b_col`)
+//! accumulated in the same ascending-`k` order — the kernel widens across
+//! columns (independent accumulators), never across `k` within one
+//! element. The propagator pairs themselves are deterministic functions
+//! of `(network, h)`, so separately built caches agree to the bit.
+//!
+//! Propagators are cached keyed on `h.to_bits()` in a small bounded LRU
+//! ([`ExpPropagator::with_cache_capacity`]), so DVFS- or
+//! throttle-stretched intervals (each a distinct wall-clock `h`) factor
+//! once while a pathological spread of step sizes cannot grow the cache
+//! without bound. Rebuilding an evicted pair is deterministic, so
+//! eviction can never change results — only build time.
 //!
 //! [`ThermalSolver`]'s RK4 integrator remains the cross-check reference
 //! (mirroring how `solve_steady_dense` backs `SteadyFactor`); the property
@@ -27,10 +56,13 @@
 //! [`ThermalSolver`]: crate::solver::ThermalSolver
 //! [`ThermalSolver::advance`]: crate::solver::ThermalSolver::advance
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::rc::ThermalNetwork;
-use crate::solver::{assemble_matrix, assemble_rhs, SteadyFactor};
+use crate::solver::{assemble_matrix, assemble_rhs, assemble_rhs_into, SteadyFactor};
+
+/// Default capacity of the per-`dt` propagator cache.
+pub const DEFAULT_PROPAGATOR_CACHE: usize = 32;
 
 /// Which transient integrator a run uses.
 ///
@@ -68,13 +100,59 @@ impl std::fmt::Display for Integrator {
     }
 }
 
-/// The discrete propagator pair for one step size.
+/// The discrete propagator pair for one step size, stored flat row-major.
 #[derive(Debug, Clone)]
 struct Propagator {
+    /// Matrix dimension (node count).
+    n: usize,
     /// `Φ = e^(−h·C⁻¹A)` — how the deviation from steady state decays.
-    phi: Vec<Vec<f64>>,
+    phi: Box<[f64]>,
     /// `Ψ = (I − Φ)·A⁻¹` — how the constant forcing accumulates.
-    psi: Vec<Vec<f64>>,
+    psi: Box<[f64]>,
+}
+
+/// Bounded propagator cache, most-recently-used first.
+///
+/// Keyed on the step size's exact bits; at most `cap` pairs are kept and
+/// the least-recently-used pair is evicted. Entries are `Arc`-shared so a
+/// lookup never copies the dense matrices. With the handful of distinct
+/// step sizes a real run produces the scan is a few pointer compares.
+#[derive(Debug, Clone)]
+struct PropagatorCache {
+    cap: usize,
+    entries: Vec<(u64, Arc<Propagator>)>,
+}
+
+impl PropagatorCache {
+    fn new(cap: usize) -> Self {
+        PropagatorCache {
+            cap: cap.max(1),
+            entries: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns the pair for `dt`, building (and caching) it on a miss.
+    fn get_or_build(
+        &mut self,
+        net: &ThermalNetwork,
+        steady: &SteadyFactor,
+        dt: f64,
+    ) -> Arc<Propagator> {
+        let key = dt.to_bits();
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            let hit = self.entries.remove(pos);
+            self.entries.insert(0, hit);
+            return Arc::clone(&self.entries[0].1);
+        }
+        let built = Arc::new(build_propagator(net, steady, dt));
+        self.entries.insert(0, (key, Arc::clone(&built)));
+        self.entries.truncate(self.cap);
+        built
+    }
 }
 
 /// Owns the temperature state of a [`ThermalNetwork`] and advances it with
@@ -83,7 +161,9 @@ struct Propagator {
 /// Drop-in alternative to [`ThermalSolver`](crate::solver::ThermalSolver):
 /// the same construction-time LU factorization backs the steady-state
 /// solves, and `advance` is exact for the piecewise-constant power the
-/// interval loop supplies.
+/// interval loop supplies. The advance path is allocation-free: the
+/// right-hand side and the next state are scratch buffers reused across
+/// calls.
 ///
 /// # Examples
 ///
@@ -105,8 +185,12 @@ pub struct ExpPropagator {
     t: Vec<f64>,
     /// LU factorization of `A`, shared by steady solves and Ψ assembly.
     steady: SteadyFactor,
-    /// Propagator pairs keyed on the step size's exact bits.
-    cache: HashMap<u64, Propagator>,
+    /// Bounded LRU of propagator pairs keyed on the step size's exact bits.
+    cache: PropagatorCache,
+    /// Scratch: assembled right-hand side `b = P + G_amb·T_amb`.
+    rhs: Vec<f64>,
+    /// Scratch: the next state, swapped with `t` after each advance.
+    next: Vec<f64>,
 }
 
 impl ExpPropagator {
@@ -114,14 +198,25 @@ impl ExpPropagator {
     /// steady-state matrix is assembled and LU-factored here, once.
     /// Propagators themselves are built lazily, one per distinct step size.
     pub fn new(net: ThermalNetwork) -> Self {
-        let t = vec![net.ambient_c(); net.node_count()];
+        let n = net.node_count();
+        let t = vec![net.ambient_c(); n];
         let steady = SteadyFactor::factor(assemble_matrix(&net));
         ExpPropagator {
             net,
             t,
             steady,
-            cache: HashMap::new(),
+            cache: PropagatorCache::new(DEFAULT_PROPAGATOR_CACHE),
+            rhs: vec![0.0; n],
+            next: vec![0.0; n],
         }
+    }
+
+    /// Caps the per-`dt` propagator cache at `cap` pairs (≥ 1), evicting
+    /// least-recently-used pairs beyond it. Eviction cannot change
+    /// results — a rebuilt pair is bit-identical — only build time.
+    pub fn with_cache_capacity(mut self, cap: usize) -> Self {
+        self.cache = PropagatorCache::new(cap);
+        self
     }
 
     /// The underlying network.
@@ -139,7 +234,7 @@ impl ExpPropagator {
         &self.t[..self.net.block_count()]
     }
 
-    /// Distinct step sizes a propagator pair has been built for.
+    /// Distinct step sizes currently holding a cached propagator pair.
     pub fn cached_steps(&self) -> usize {
         self.cache.len()
     }
@@ -187,18 +282,345 @@ impl ExpPropagator {
     pub fn advance(&mut self, power: &[f64], dt: f64) {
         assert!(dt > 0.0, "dt must be positive");
         assert_eq!(power.len(), self.net.block_count());
-        let key = dt.to_bits();
-        if !self.cache.contains_key(&key) {
-            let prop = build_propagator(&self.net, &self.steady, dt);
-            self.cache.insert(key, prop);
+        let prop = self.cache.get_or_build(&self.net, &self.steady, dt);
+        assemble_rhs_into(&self.net, power, &mut self.rhs);
+        let n = self.t.len();
+        for ((out, phi_row), psi_row) in self
+            .next
+            .iter_mut()
+            .zip(prop.phi.chunks_exact(n))
+            .zip(prop.psi.chunks_exact(n))
+        {
+            *out = dot(phi_row, &self.t) + dot(psi_row, &self.rhs);
         }
-        let prop = &self.cache[&key];
-        let b = assemble_rhs(&self.net, power);
-        let mut next = mat_vec(&prop.phi, &self.t);
-        for (n, f) in next.iter_mut().zip(mat_vec(&prop.psi, &b)) {
-            *n += f;
+        std::mem::swap(&mut self.t, &mut self.next);
+    }
+
+    /// Spawns a batched propagator over `n_cells` lockstep cells on this
+    /// solver's network, every column starting at ambient.
+    ///
+    /// Column `j` of the batch advanced with some `(power_j, dt)` sequence
+    /// carries exactly the bits `advance` would produce on an independent
+    /// `ExpPropagator` fed the same sequence — see the module-level
+    /// bit-identity contract. Already-built propagator pairs are shared
+    /// with the batch (`Arc`-cloned), so nothing refactors.
+    pub fn batch(&self, n_cells: usize) -> BatchPropagator {
+        BatchPropagator::with_parts(
+            self.net.clone(),
+            self.steady.clone(),
+            self.cache.clone(),
+            n_cells,
+        )
+    }
+}
+
+/// Advances `N` lockstep cells sharing one [`ThermalNetwork`] — the state
+/// is a column-major SoA matrix `T: n_nodes × n_cells` and each propagator
+/// application is a two-mat-mat over all selected columns.
+///
+/// Column `j` is cell `j`'s full node-temperature vector, contiguous at
+/// `[j·n, (j+1)·n)`. [`advance_columns`](Self::advance_columns) takes an
+/// explicit column list, so cohorts whose cells momentarily disagree on
+/// `dt` (throttle-stretched intervals, final partial interval) advance as
+/// per-`dt` groups, and a failed cell's column simply stops being
+/// selected — the remaining columns are arithmetically untouched by its
+/// departure.
+///
+/// # Examples
+///
+/// ```
+/// use distfront_power::Machine;
+/// use distfront_thermal::{BatchPropagator, Floorplan, PackageConfig, ThermalNetwork};
+///
+/// let fp = Floorplan::for_machine(Machine::new(1, 4, 2));
+/// let net = ThermalNetwork::from_floorplan(&fp, &PackageConfig::paper());
+/// let nb = net.block_count();
+/// let mut batch = BatchPropagator::new(net, 8);
+/// let powers = vec![0.5; nb * 8];
+/// batch.advance_all(&powers, 1e-3);
+/// assert!(batch.block_column(0)[0] > 45.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchPropagator {
+    net: ThermalNetwork,
+    steady: SteadyFactor,
+    cache: PropagatorCache,
+    n_cells: usize,
+    /// Column-major state matrix `T: n_nodes × n_cells`.
+    t: Box<[f64]>,
+    /// Scratch: next state columns (only selected columns are written).
+    next: Box<[f64]>,
+    /// Scratch: per-column right-hand sides, same layout as `t`.
+    b: Box<[f64]>,
+}
+
+impl BatchPropagator {
+    /// Creates a batch of `n_cells` columns, all at ambient; the
+    /// steady-state system is assembled and LU-factored here, once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cells` is zero.
+    pub fn new(net: ThermalNetwork, n_cells: usize) -> Self {
+        let steady = SteadyFactor::factor(assemble_matrix(&net));
+        BatchPropagator::with_parts(
+            net,
+            steady,
+            PropagatorCache::new(DEFAULT_PROPAGATOR_CACHE),
+            n_cells,
+        )
+    }
+
+    fn with_parts(
+        net: ThermalNetwork,
+        steady: SteadyFactor,
+        cache: PropagatorCache,
+        n_cells: usize,
+    ) -> Self {
+        assert!(n_cells > 0, "batch needs at least one cell");
+        let n = net.node_count();
+        let t = vec![net.ambient_c(); n * n_cells].into_boxed_slice();
+        BatchPropagator {
+            net,
+            steady,
+            cache,
+            n_cells,
+            t,
+            next: vec![0.0; n * n_cells].into_boxed_slice(),
+            b: vec![0.0; n * n_cells].into_boxed_slice(),
         }
-        self.t = next;
+    }
+
+    /// The underlying network (shared by every column).
+    pub fn network(&self) -> &ThermalNetwork {
+        &self.net
+    }
+
+    /// Number of lockstep cells (columns).
+    pub fn n_cells(&self) -> usize {
+        self.n_cells
+    }
+
+    /// Distinct step sizes currently holding a cached propagator pair.
+    pub fn cached_steps(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// All node temperatures of cell `j` in °C.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn column(&self, j: usize) -> &[f64] {
+        let n = self.net.node_count();
+        &self.t[j * n..(j + 1) * n]
+    }
+
+    /// Block temperatures of cell `j` only, in °C.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn block_column(&self, j: usize) -> &[f64] {
+        let n = self.net.node_count();
+        &self.t[j * n..j * n + self.net.block_count()]
+    }
+
+    /// Overwrites cell `j`'s state (warm-start restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range or the length does not match the
+    /// node count.
+    pub fn set_column(&mut self, j: usize, t: &[f64]) {
+        let n = self.net.node_count();
+        assert_eq!(t.len(), n, "column length must match node count");
+        self.t[j * n..(j + 1) * n].copy_from_slice(t);
+    }
+
+    /// Advances every column by `dt` seconds — the all-same-`dt` fast
+    /// path: one propagator lookup, one pair of mat-mats.
+    ///
+    /// `powers` is column-major `block_count × n_cells`: cell `j`'s block
+    /// powers at `[j·nb, (j+1)·nb)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers` has the wrong length or `dt` is not positive.
+    pub fn advance_all(&mut self, powers: &[f64], dt: f64) {
+        let cols: Vec<usize> = (0..self.n_cells).collect();
+        self.advance_columns(powers, dt, &cols);
+    }
+
+    /// Advances only the selected columns by `dt` seconds; unselected
+    /// columns are untouched (their bits cannot change).
+    ///
+    /// `powers` spans all cells (column-major `block_count × n_cells`);
+    /// only the selected columns' slices are read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers` has the wrong length, `dt` is not positive, or
+    /// a column index is out of range.
+    pub fn advance_columns(&mut self, powers: &[f64], dt: f64, cols: &[usize]) {
+        assert!(dt > 0.0, "dt must be positive");
+        let nb = self.net.block_count();
+        let n = self.net.node_count();
+        assert_eq!(powers.len(), nb * self.n_cells, "one power column per cell");
+        let prop = self.cache.get_or_build(&self.net, &self.steady, dt);
+        for &j in cols {
+            assert!(j < self.n_cells, "column {j} out of range");
+            assemble_rhs_into(
+                &self.net,
+                &powers[j * nb..(j + 1) * nb],
+                &mut self.b[j * n..(j + 1) * n],
+            );
+        }
+        mat_mat_cols(&prop, &self.t, &self.b, &mut self.next, cols);
+        for &j in cols {
+            let col = j * n..(j + 1) * n;
+            self.t[col.clone()].copy_from_slice(&self.next[col]);
+        }
+    }
+}
+
+/// Sequential-`k` dot product — the one summation order every advance
+/// path (serial and batched) must share for bit-identity.
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Columns advanced per lane block by [`mat_mat_cols`]. Eight `f64`
+/// accumulator chains fill the FMA pipeline (≈ latency × throughput on
+/// current cores) and fit two 4-wide vector registers, so the lane loop
+/// vectorizes *across columns* without touching any column's summation
+/// order.
+const LANES: usize = 8;
+
+/// Applies `out[:, j] = Φ·T[:, j] + Ψ·B[:, j]` for each selected column.
+///
+/// Columns are processed [`LANES`] at a time: the selected state and rhs
+/// columns are first transposed into lane-major scratch (all lanes' `k`-th
+/// elements contiguous, an O(n·lanes) copy against the O(n²·lanes)
+/// multiply), then each Φ/Ψ row walks `k` once, broadcasting its element
+/// against the lane block with one independent accumulator chain per
+/// column. The widening is *across* columns — never across `k` within one
+/// element — so each column's bits match a serial [`dot`] exactly while
+/// the row data streams from memory once per block instead of once per
+/// column, and the per-`k` step is a broadcast × contiguous-load FMA the
+/// compiler vectorizes.
+fn mat_mat_cols(prop: &Propagator, t: &[f64], b: &[f64], out: &mut [f64], cols: &[usize]) {
+    let n = prop.n;
+    let mut blocks = cols.chunks_exact(LANES);
+    if blocks.len() > 0 {
+        let mut tt = vec![0.0f64; n * LANES];
+        let mut bt = vec![0.0f64; n * LANES];
+        for block in blocks.by_ref() {
+            for (l, &j) in block.iter().enumerate() {
+                let tc = &t[j * n..(j + 1) * n];
+                let bc = &b[j * n..(j + 1) * n];
+                for (k, (&tv, &bv)) in tc.iter().zip(bc).enumerate() {
+                    tt[k * LANES + l] = tv;
+                    bt[k * LANES + l] = bv;
+                }
+            }
+            advance_lanes(prop, &tt, &bt, out, block);
+        }
+    }
+    let mut quads = blocks.remainder().chunks_exact(4);
+    for quad in quads.by_ref() {
+        advance_quad(prop, t, b, out, [quad[0], quad[1], quad[2], quad[3]]);
+    }
+    for &j in quads.remainder() {
+        advance_single(prop, t, b, out, j);
+    }
+}
+
+/// A full lane block over transposed scratch: for each output row, all
+/// [`LANES`] Φ and Ψ accumulator chains advance through the same
+/// ascending-`k` order as [`dot`], one broadcast × lane-block FMA per
+/// matrix element.
+fn advance_lanes(prop: &Propagator, tt: &[f64], bt: &[f64], out: &mut [f64], js: &[usize]) {
+    let n = prop.n;
+    for (i, (phi_row, psi_row)) in prop
+        .phi
+        .chunks_exact(n)
+        .zip(prop.psi.chunks_exact(n))
+        .enumerate()
+    {
+        let mut acc = [0.0f64; LANES];
+        let mut sac = [0.0f64; LANES];
+        for (((&p, &s), tl), bl) in phi_row
+            .iter()
+            .zip(psi_row)
+            .zip(tt.chunks_exact(LANES))
+            .zip(bt.chunks_exact(LANES))
+        {
+            for l in 0..LANES {
+                acc[l] += p * tl[l];
+                sac[l] += s * bl[l];
+            }
+        }
+        for (l, &j) in js.iter().enumerate() {
+            out[j * n + i] = acc[l] + sac[l];
+        }
+    }
+}
+
+/// One column of `out[:, j] = Φ·T[:, j] + Ψ·B[:, j]`, same element order
+/// as [`ExpPropagator::advance`].
+fn advance_single(prop: &Propagator, t: &[f64], b: &[f64], out: &mut [f64], j: usize) {
+    let n = prop.n;
+    let tc = &t[j * n..(j + 1) * n];
+    let bc = &b[j * n..(j + 1) * n];
+    for ((o, phi_row), psi_row) in out[j * n..(j + 1) * n]
+        .iter_mut()
+        .zip(prop.phi.chunks_exact(n))
+        .zip(prop.psi.chunks_exact(n))
+    {
+        *o = dot(phi_row, tc) + dot(psi_row, bc);
+    }
+}
+
+/// Four columns in lockstep: each Φ/Ψ row is read once and multiplied
+/// against four state/rhs columns with four independent accumulator
+/// chains (per-column order identical to [`dot`]).
+fn advance_quad(prop: &Propagator, t: &[f64], b: &[f64], out: &mut [f64], js: [usize; 4]) {
+    let n = prop.n;
+    let [j0, j1, j2, j3] = js;
+    let t0 = &t[j0 * n..(j0 + 1) * n];
+    let t1 = &t[j1 * n..(j1 + 1) * n];
+    let t2 = &t[j2 * n..(j2 + 1) * n];
+    let t3 = &t[j3 * n..(j3 + 1) * n];
+    let b0 = &b[j0 * n..(j0 + 1) * n];
+    let b1 = &b[j1 * n..(j1 + 1) * n];
+    let b2 = &b[j2 * n..(j2 + 1) * n];
+    let b3 = &b[j3 * n..(j3 + 1) * n];
+    for (i, (phi_row, psi_row)) in prop
+        .phi
+        .chunks_exact(n)
+        .zip(prop.psi.chunks_exact(n))
+        .enumerate()
+    {
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for ((((&p, &x0), &x1), &x2), &x3) in phi_row.iter().zip(t0).zip(t1).zip(t2).zip(t3) {
+            a0 += p * x0;
+            a1 += p * x1;
+            a2 += p * x2;
+            a3 += p * x3;
+        }
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for ((((&p, &x0), &x1), &x2), &x3) in psi_row.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
+            s0 += p * x0;
+            s1 += p * x1;
+            s2 += p * x2;
+            s3 += p * x3;
+        }
+        out[j0 * n + i] = a0 + s0;
+        out[j1 * n + i] = a1 + s1;
+        out[j2 * n + i] = a2 + s2;
+        out[j3 * n + i] = a3 + s3;
     }
 }
 
@@ -206,117 +628,106 @@ impl ExpPropagator {
 fn build_propagator(net: &ThermalNetwork, steady: &SteadyFactor, h: f64) -> Propagator {
     let n = net.node_count();
     let a = assemble_matrix(net);
-    // X = −h·C⁻¹A (row i of A scaled by −h/Cᵢ).
-    let x: Vec<Vec<f64>> = a
-        .iter()
-        .zip(net.capacitances())
-        .map(|(row, &c)| row.iter().map(|&v| -h * v / c).collect())
-        .collect();
-    let phi = expm(&x);
+    // X = −h·C⁻¹A (row i of A scaled by −h/Cᵢ), flattened row-major.
+    let mut x = vec![0.0f64; n * n];
+    for ((xrow, arow), &c) in x.chunks_exact_mut(n).zip(&a).zip(net.capacitances()) {
+        for (xv, &av) in xrow.iter_mut().zip(arow) {
+            *xv = -h * av / c;
+        }
+    }
+    let phi = expm(&x, n);
     // Ψ = (I − Φ)·A⁻¹. A is symmetric, so row j of Ψ is A⁻¹ applied to
     // row j of (I − Φ) — one O(n²) pair of triangular solves per row
     // through the factorization already built for the steady state.
-    let psi = (0..n)
-        .map(|j| {
-            let rhs: Vec<f64> = (0..n)
-                .map(|k| f64::from(u8::from(j == k)) - phi[j][k])
-                .collect();
-            steady.solve(&rhs)
-        })
-        .collect();
-    Propagator { phi, psi }
+    let mut psi = vec![0.0f64; n * n];
+    for (j, psi_row) in psi.chunks_exact_mut(n).enumerate() {
+        let rhs: Vec<f64> = phi[j * n..(j + 1) * n]
+            .iter()
+            .enumerate()
+            .map(|(k, &pv)| f64::from(u8::from(j == k)) - pv)
+            .collect();
+        psi_row.copy_from_slice(&steady.solve(&rhs));
+    }
+    Propagator {
+        n,
+        phi: phi.into_boxed_slice(),
+        psi: psi.into_boxed_slice(),
+    }
 }
 
-/// Dense matrix exponential by scaling-and-squaring over a Taylor series.
+/// Dense matrix exponential by scaling-and-squaring over a Taylor series,
+/// on a flat row-major `n × n` matrix.
 ///
 /// The argument is scaled by `2⁻ˢ` until its infinity norm is ≤ 0.5, the
 /// series is summed to machine precision (it converges geometrically with
 /// ratio ≤ 0.5 from term ~1 on), and the result is squared back `s` times.
 /// For the thermal system `X = −h·C⁻¹A` the exponential is a contraction,
 /// so the squarings are numerically benign.
-fn expm(x: &[Vec<f64>]) -> Vec<Vec<f64>> {
-    let n = x.len();
-    let norm = inf_norm(x);
+fn expm(x: &[f64], n: usize) -> Vec<f64> {
+    let norm = inf_norm(x, n);
     let squarings = if norm > 0.5 {
         (norm / 0.5).log2().ceil() as u32
     } else {
         0
     };
     let scale = (0.5f64).powi(squarings as i32);
-    let scaled: Vec<Vec<f64>> = x
-        .iter()
-        .map(|row| row.iter().map(|&v| v * scale).collect())
-        .collect();
+    let scaled: Vec<f64> = x.iter().map(|&v| v * scale).collect();
 
     // e^scaled = I + scaled + scaled²/2! + ...
     let mut result = identity(n);
-    add_assign(&mut result, &scaled, 1.0);
+    for (r, &s) in result.iter_mut().zip(&scaled) {
+        *r += 1.0 * s;
+    }
     let mut term = scaled.clone();
     for k in 2..200u32 {
-        term = mat_mul(&term, &scaled);
+        term = mat_mul(&term, &scaled, n);
         let f = 1.0 / f64::from(k);
-        scale_assign(&mut term, f);
-        add_assign(&mut result, &term, 1.0);
-        if inf_norm(&term) <= f64::EPSILON * inf_norm(&result) {
+        for v in term.iter_mut() {
+            *v *= f;
+        }
+        for (r, &s) in result.iter_mut().zip(&term) {
+            *r += 1.0 * s;
+        }
+        if inf_norm(&term, n) <= f64::EPSILON * inf_norm(&result, n) {
             break;
         }
     }
     for _ in 0..squarings {
-        result = mat_mul(&result, &result);
+        result = mat_mul(&result, &result, n);
     }
     result
 }
 
-fn identity(n: usize) -> Vec<Vec<f64>> {
-    let mut m = vec![vec![0.0; n]; n];
-    for (i, row) in m.iter_mut().enumerate() {
-        row[i] = 1.0;
+fn identity(n: usize) -> Vec<f64> {
+    let mut m = vec![0.0f64; n * n];
+    for i in 0..n {
+        m[i * n + i] = 1.0;
     }
     m
 }
 
-fn inf_norm(m: &[Vec<f64>]) -> f64 {
-    m.iter()
+fn inf_norm(m: &[f64], n: usize) -> f64 {
+    m.chunks_exact(n)
         .map(|row| row.iter().map(|v| v.abs()).sum::<f64>())
         .fold(0.0, f64::max)
 }
 
-fn add_assign(dst: &mut [Vec<f64>], src: &[Vec<f64>], f: f64) {
-    for (d, s) in dst.iter_mut().zip(src) {
-        for (dv, sv) in d.iter_mut().zip(s) {
-            *dv += f * sv;
-        }
-    }
-}
-
-fn scale_assign(m: &mut [Vec<f64>], f: f64) {
-    for row in m.iter_mut() {
-        for v in row.iter_mut() {
-            *v *= f;
-        }
-    }
-}
-
-fn mat_mul(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
-    let n = a.len();
-    let mut out = vec![vec![0.0; n]; n];
-    for (orow, arow) in out.iter_mut().zip(a) {
+/// Flat row-major matrix product, accumulating over `k` in ascending
+/// order per output element (the `i, k, j` loop nest the Vec-of-Vec
+/// implementation used, so the flattening kept every bit).
+fn mat_mul(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    let mut out = vec![0.0f64; n * n];
+    for (orow, arow) in out.chunks_exact_mut(n).zip(a.chunks_exact(n)) {
         for (k, &av) in arow.iter().enumerate() {
             if av == 0.0 {
                 continue;
             }
-            for (ov, &bv) in orow.iter_mut().zip(&b[k]) {
+            for (ov, &bv) in orow.iter_mut().zip(&b[k * n..(k + 1) * n]) {
                 *ov += av * bv;
             }
         }
     }
     out
-}
-
-fn mat_vec(m: &[Vec<f64>], v: &[f64]) -> Vec<f64> {
-    m.iter()
-        .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
-        .collect()
 }
 
 #[cfg(test)]
@@ -480,6 +891,109 @@ mod tests {
         let nb = s.network().block_count();
         s.advance(&vec![0.0; nb], 0.0);
     }
+
+    #[test]
+    fn propagator_cache_is_bounded_under_throttle_stretched_steps() {
+        // A pathological DTM run can stretch every interval into a
+        // distinct wall-clock dt; the cache must stay capped regardless.
+        let mut s = ExpPropagator::new(paper_net()).with_cache_capacity(4);
+        let nb = s.network().block_count();
+        let p = vec![0.4; nb];
+        for i in 0..100 {
+            let dt = 1e-5 * (1.0 + i as f64 * 1e-3);
+            s.advance(&p, dt);
+            assert!(s.cached_steps() <= 4, "cache grew past its cap");
+        }
+        assert_eq!(s.cached_steps(), 4);
+    }
+
+    #[test]
+    fn cache_eviction_does_not_change_bits() {
+        // The same dt sequence through a capacity-1 cache (every reuse is
+        // a rebuild) and a roomy cache must agree to the bit.
+        let run = |cap: usize| {
+            let mut s = ExpPropagator::new(paper_net()).with_cache_capacity(cap);
+            let nb = s.network().block_count();
+            let p = vec![0.7; nb];
+            for _ in 0..4 {
+                s.advance(&p, 1e-5);
+                s.advance(&p, 2e-5);
+                s.advance(&p, 3e-5);
+            }
+            s.temperatures().to_vec()
+        };
+        for (a, b) in run(1).iter().zip(run(16)) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_columns_match_serial_advance_bits() {
+        // Five cells with distinct power profiles and a dt that changes
+        // mid-run: every batched column must carry the serial bits.
+        let n_cells = 5;
+        let net = paper_net();
+        let nb = net.block_count();
+        let serial_seed = ExpPropagator::new(net);
+        let mut batch = serial_seed.batch(n_cells);
+        let mut serial: Vec<ExpPropagator> = (0..n_cells).map(|_| serial_seed.clone()).collect();
+        let powers: Vec<f64> = (0..nb * n_cells)
+            .map(|i| 0.1 + 0.013 * (i % 17) as f64)
+            .collect();
+        for step in 0..6 {
+            let dt = if step < 3 { 1.1e-5 } else { 1.7e-5 };
+            batch.advance_all(&powers, dt);
+            for (j, s) in serial.iter_mut().enumerate() {
+                s.advance(&powers[j * nb..(j + 1) * nb], dt);
+            }
+        }
+        for (j, s) in serial.iter().enumerate() {
+            for (i, (a, b)) in batch.column(j).iter().zip(s.temperatures()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "cell {j} node {i}: batch {a} vs serial {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn advancing_a_subset_leaves_other_columns_untouched() {
+        let net = paper_net();
+        let nb = net.block_count();
+        let mut batch = BatchPropagator::new(net, 3);
+        let powers: Vec<f64> = (0..nb * 3).map(|i| 0.2 + 0.01 * (i % 9) as f64).collect();
+        batch.advance_all(&powers, 1e-5);
+        let frozen = batch.column(1).to_vec();
+        batch.advance_columns(&powers, 1e-5, &[0, 2]);
+        batch.advance_columns(&powers, 2e-5, &[0, 2]);
+        for (a, b) in batch.column(1).iter().zip(&frozen) {
+            assert_eq!(a.to_bits(), b.to_bits(), "unselected column drifted");
+        }
+        // And the survivors match serial cells fed the same sequence.
+        let mut s = ExpPropagator::new(paper_net());
+        s.advance(&powers[..nb], 1e-5);
+        s.advance(&powers[..nb], 1e-5);
+        s.advance(&powers[..nb], 2e-5);
+        for (a, b) in batch.column(0).iter().zip(s.temperatures()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_set_column_restores_state() {
+        let net = paper_net();
+        let nb = net.block_count();
+        let mut batch = BatchPropagator::new(net, 2);
+        let warm = vec![55.0; batch.network().node_count()];
+        batch.set_column(1, &warm);
+        assert_eq!(batch.column(1), &warm[..]);
+        assert!((batch.column(0)[0] - 45.0).abs() < 1e-12);
+        let powers = vec![0.3; nb * 2];
+        batch.advance_all(&powers, 1e-5);
+        assert!(batch.column(1)[0] > batch.column(0)[0]);
+    }
 }
 
 #[cfg(test)]
@@ -540,6 +1054,45 @@ mod prop_tests {
                     (a - b).abs() < 1e-6,
                     "node {}: expm {} vs rk4 {} (n={}, dt={})", i, a, b, n, dt
                 );
+            }
+        }
+
+        /// Batched columns are bit-identical to independent serial
+        /// propagators on random RC networks, cohort sizes and powers —
+        /// the module's bit-identity contract, pinned.
+        #[test]
+        fn batch_is_bit_identical_to_serial(
+            n in 2usize..7,
+            n_cells in 1usize..11,
+            g_raw in proptest::collection::vec(0.05f64..3.0, 21),
+            g_amb in proptest::collection::vec(0.1f64..1.5, 7),
+            c in proptest::collection::vec(0.4f64..4.0, 7),
+            power in proptest::collection::vec(0.0f64..6.0, 40),
+            dt_factor in 0.2f64..2.5,
+        ) {
+            let net = random_net(n, &g_raw, &g_amb, &c);
+            let dt = dt_factor * net.min_time_constant();
+            let seed = ExpPropagator::new(net);
+            let mut batch = seed.batch(n_cells);
+            let mut serial: Vec<ExpPropagator> =
+                (0..n_cells).map(|_| seed.clone()).collect();
+            let powers: Vec<f64> = (0..n * n_cells)
+                .map(|i| power[i % power.len()])
+                .collect();
+            for step in 0..3 {
+                let h = dt * (1.0 + step as f64 * 0.25);
+                batch.advance_all(&powers, h);
+                for (j, s) in serial.iter_mut().enumerate() {
+                    s.advance(&powers[j * n..(j + 1) * n], h);
+                }
+            }
+            for (j, s) in serial.iter().enumerate() {
+                for (a, b) in batch.column(j).iter().zip(s.temperatures()) {
+                    prop_assert!(
+                        a.to_bits() == b.to_bits(),
+                        "cell {} diverged: batch {} vs serial {}", j, a, b
+                    );
+                }
             }
         }
     }

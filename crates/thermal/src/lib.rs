@@ -28,7 +28,7 @@ pub mod package;
 pub mod rc;
 pub mod solver;
 
-pub use expm::{ExpPropagator, Integrator};
+pub use expm::{BatchPropagator, ExpPropagator, Integrator};
 pub use floorplan::{Floorplan, Rect};
 pub use metrics::{GroupMetrics, TemperatureTracker};
 pub use package::PackageConfig;

@@ -293,13 +293,21 @@ pub(crate) fn assemble_matrix(net: &ThermalNetwork) -> Vec<Vec<f64>> {
 /// Assembles the right-hand side `b = P_ext + g_amb · T_amb`
 /// (shared with the matrix-exponential propagator in [`crate::expm`]).
 pub(crate) fn assemble_rhs(net: &ThermalNetwork, power: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0f64; net.node_count()];
+    assemble_rhs_into(net, power, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`assemble_rhs`]: writes the right-hand
+/// side into a caller-provided node-count slice (the propagators' hot
+/// paths reuse scratch buffers across intervals).
+pub(crate) fn assemble_rhs_into(net: &ThermalNetwork, power: &[f64], out: &mut [f64]) {
     let nb = net.block_count();
-    (0..net.node_count())
-        .map(|i| {
-            let p = if i < nb { power[i] } else { 0.0 };
-            p + net.ambient_conductances()[i] * net.ambient_c()
-        })
-        .collect()
+    assert_eq!(out.len(), net.node_count(), "rhs length mismatch");
+    for (i, o) in out.iter_mut().enumerate() {
+        let p = if i < nb { power[i] } else { 0.0 };
+        *o = p + net.ambient_conductances()[i] * net.ambient_c();
+    }
 }
 
 /// Solves `A·x = b` by Gaussian elimination with partial pivoting,
