@@ -29,15 +29,28 @@
 //!                    propagator (default when --replay is given; inert
 //!                    otherwise)
 //!   --no-batch       disable batched replay
+//!
+//! Server-client mode (see `distfront-sweepd`):
+//!   --connect ADDR   submit the selected scenarios as jobs to a running
+//!                    sweep daemon instead of executing locally; streams
+//!                    results back and honors --smoke/--uops/--workers/
+//!                    --integrator/--batch/--csv/--progress (--record,
+//!                    --replay, --json and --verify are local-only)
+//!   --class C        job class for --connect: interactive (default,
+//!                    run-ahead) or deferrable (queued bulk work)
+//!   --shutdown       after any jobs complete, ask the daemon to drain
+//!                    and exit (usable alone: --connect ADDR --shutdown)
 //! ```
 //!
-//! Exit status: 0 on success, 1 when `--verify` detects a divergence
-//! between the run and a serial live re-run, 2 when any cell failed (the
-//! failed coordinates are listed on stderr and the surviving cells are
-//! still written), 3 when writing an output file failed, 4 when `--verify`
-//! detects batched replay diverging from serial replay (checked before the
-//! live comparison, so a batching bug is distinguishable from a
-//! replay-vs-live one), 64 on a usage error.
+//! Exit status — the [`StatusCode`] vocabulary, shared verbatim with the
+//! daemon's `DONE`/`ERR` frames so client and server cannot disagree:
+//! 0 on success, 1 when `--verify` detects a divergence between the run
+//! and a serial live re-run, 2 when any cell failed (the failed
+//! coordinates are listed on stderr and the surviving cells are still
+//! written), 3 when writing an output file or reaching the daemon
+//! failed, 4 when `--verify` detects batched replay diverging from
+//! serial replay (checked before the live comparison, so a batching bug
+//! is distinguishable from a replay-vs-live one), 64 on a usage error.
 
 use std::io::Write as _;
 use std::path::Path;
@@ -45,7 +58,9 @@ use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
 
 use distfront::engine::{CellOutcome, TraceMode, TraceStore};
+use distfront::job::{JobClass, JobSpec, StatusCode};
 use distfront::scenarios::{self, RunOptions, Scenario, ScenarioReport};
+use distfront::server::Client;
 use distfront_thermal::Integrator;
 use distfront_trace::ActivityTrace;
 
@@ -65,27 +80,18 @@ struct Args {
     record: Option<String>,
     replay: Option<String>,
     batch: Option<bool>,
+    connect: Option<String>,
+    class: JobClass,
+    shutdown: bool,
 }
 
 fn usage() -> &'static str {
     "usage: distfront-scenarios --list | --all | --run NAME [--run NAME ...]\n\
      options: [--smoke] [--uops N] [--workers N] [--integrator rk4|expm] \
      [--csv PATH] [--json PATH] [--progress] [--verify] [--inject-fail] \
-     [--record DIR | --replay DIR] [--batch | --no-batch]"
+     [--record DIR | --replay DIR] [--batch | --no-batch]\n\
+     client:  [--connect ADDR [--class interactive|deferrable] [--shutdown]]"
 }
-
-/// Exit code for command-line misuse (BSD `EX_USAGE`; 1 and 2 carry
-/// run-outcome meanings here).
-const EXIT_USAGE: u8 = 64;
-/// Exit code when any cell failed.
-const EXIT_CELLS_FAILED: u8 = 2;
-/// Exit code when results were computed but an output file could not be
-/// written (distinct from misuse: the invocation was fine, data was lost).
-const EXIT_IO: u8 = 3;
-/// Exit code when `--verify` finds batched replay diverging from serial
-/// replay — a batching bug specifically, as opposed to exit 1's
-/// run-vs-live divergence.
-const EXIT_BATCH_DIVERGED: u8 = 4;
 
 fn parse(mut argv: std::env::Args) -> Result<Args, String> {
     let mut args = Args {
@@ -104,6 +110,9 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         record: None,
         replay: None,
         batch: None,
+        connect: None,
+        class: JobClass::Interactive,
+        shutdown: false,
     };
     argv.next(); // program name
     while let Some(a) = argv.next() {
@@ -138,14 +147,29 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
             "--replay" => args.replay = Some(value("--replay")?),
             "--batch" => args.batch = Some(true),
             "--no-batch" => args.batch = Some(false),
+            "--connect" => args.connect = Some(value("--connect")?),
+            "--class" => {
+                let v = value("--class")?;
+                args.class = JobClass::parse(&v).ok_or_else(|| format!("bad --class value {v}"))?;
+            }
+            "--shutdown" => args.shutdown = true,
             other => return Err(format!("unknown argument {other}")),
         }
     }
-    if !args.list && !args.all && args.run.is_empty() && !args.inject_fail {
+    let shutdown_only = args.shutdown && args.connect.is_some();
+    if !args.list && !args.all && args.run.is_empty() && !args.inject_fail && !shutdown_only {
         return Err("nothing to do".into());
     }
     if args.record.is_some() && args.replay.is_some() {
         return Err("--record and --replay are mutually exclusive".into());
+    }
+    if args.shutdown && args.connect.is_none() {
+        return Err("--shutdown needs --connect".into());
+    }
+    if args.connect.is_some()
+        && (args.record.is_some() || args.replay.is_some() || args.verify || args.json.is_some())
+    {
+        return Err("--record/--replay/--verify/--json are local-only (not with --connect)".into());
     }
     Ok(args)
 }
@@ -291,18 +315,115 @@ fn run_all(
         .collect()
 }
 
+/// The job a scenario selection + CLI flags describe — the same
+/// [`JobSpec`] the daemon executes and the local path sizes its runner
+/// from, which is the point of the unified API: `--connect` changes
+/// where the spec runs, never what it means.
+fn spec_for(args: &Args, scenario: &str) -> JobSpec {
+    let mut spec = JobSpec::scenario(scenario)
+        .with_smoke(args.smoke)
+        .with_class(args.class)
+        .with_batch(args.batch.unwrap_or(false));
+    if let Some(uops) = args.uops {
+        spec = spec.with_uops(uops);
+    }
+    if let Some(workers) = args.workers {
+        spec = spec.with_workers(workers);
+    }
+    if let Some(integrator) = args.integrator {
+        spec = spec.with_integrator(integrator);
+    }
+    spec
+}
+
+/// Submits the selected scenarios to a running daemon and streams the
+/// results back; the thin-client half of the CLI.
+fn client_main(args: &Args, selected: &[Scenario]) -> StatusCode {
+    let addr = args.connect.as_deref().expect("checked by caller");
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("error: connecting to {addr}: {e}");
+            return StatusCode::Io;
+        }
+    };
+    let mut status = StatusCode::Ok;
+    let mut rows: Vec<String> = Vec::new();
+    for s in selected {
+        let spec = spec_for(args, s.name);
+        println!("submitting {:<16} to {addr} ({} class)", s.name, spec.class);
+        let progress = args.progress;
+        let response = match client.submit_streaming(&spec, |frame| {
+            if progress {
+                eprintln!("  {frame}");
+            }
+        }) {
+            Ok(response) => response,
+            Err(e) => {
+                eprintln!("error: job {}: {e}", s.name);
+                return StatusCode::Io;
+            }
+        };
+        if let Some(msg) = &response.error {
+            eprintln!("error: daemon rejected {}: {msg}", s.name);
+        } else {
+            println!(
+                "  {}: {} cell(s), {} failed{}",
+                s.name,
+                response.cells,
+                response.failed,
+                if response.cached {
+                    " (served from daemon cache)"
+                } else {
+                    ""
+                }
+            );
+        }
+        for line in &response.result_lines {
+            if let Some(err) = line.strip_prefix("ERRCELL ") {
+                eprintln!("error: cell {err}");
+            }
+        }
+        rows.extend(response.csv_rows.iter().cloned());
+        status = status.worst(response.status);
+    }
+    if let Some(path) = &args.csv {
+        let mut csv = String::from(scenarios::CSV_HEADER);
+        csv.push('\n');
+        for row in &rows {
+            csv.push_str(row);
+            csv.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, csv) {
+            eprintln!("error: writing {path}: {e}");
+            return status.worst(StatusCode::Io);
+        }
+        println!("wrote {path}");
+    }
+    if args.shutdown {
+        match client.shutdown() {
+            Ok(()) => println!("daemon at {addr} acknowledged shutdown"),
+            Err(e) => {
+                eprintln!("error: shutting down daemon at {addr}: {e}");
+                return status.worst(StatusCode::Io);
+            }
+        }
+    }
+    status
+}
+
 fn main() -> ExitCode {
     let args = match parse(std::env::args()) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n{}", usage());
-            return ExitCode::from(EXIT_USAGE);
+            return StatusCode::Usage.into();
         }
     };
     if args.list {
         list();
         if !args.all && args.run.is_empty() && !args.inject_fail {
-            return ExitCode::SUCCESS;
+            return StatusCode::Ok.into();
         }
     }
 
@@ -315,7 +436,7 @@ fn main() -> ExitCode {
                 Some(s) => picked.push(s),
                 None => {
                     eprintln!("error: unknown scenario {name} (try --list)");
-                    return ExitCode::from(EXIT_USAGE);
+                    return StatusCode::Usage.into();
                 }
             }
         }
@@ -323,6 +444,10 @@ fn main() -> ExitCode {
     };
     if args.inject_fail {
         selected.push(scenarios::fault_injection());
+    }
+
+    if args.connect.is_some() {
+        return client_main(&args, &selected).into();
     }
 
     let opts = options(&args);
@@ -336,7 +461,7 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("error: {e}");
-                return ExitCode::from(EXIT_IO);
+                return StatusCode::Io.into();
             }
         }
     } else {
@@ -350,7 +475,7 @@ fn main() -> ExitCode {
             Ok(n) => println!("recorded {n} trace(s) to {dir}"),
             Err(e) => {
                 eprintln!("error: {e}");
-                return ExitCode::from(EXIT_IO);
+                return StatusCode::Io.into();
             }
         }
     }
@@ -380,7 +505,7 @@ fn main() -> ExitCode {
                     "error: batched and serial replay results diverge — the \
                      batch propagator's bit-identity contract is broken"
                 );
-                return ExitCode::from(EXIT_BATCH_DIVERGED);
+                return StatusCode::BatchDiverged.into();
             }
             println!("verify: batched and serial replay CSV are byte-identical");
         }
@@ -401,7 +526,7 @@ fn main() -> ExitCode {
                  guarantee is broken",
                 opts.workers
             );
-            return ExitCode::FAILURE;
+            return StatusCode::VerifyDiverged.into();
         }
         println!(
             "verify: serial and {}-worker CSV are byte-identical",
@@ -415,14 +540,14 @@ fn main() -> ExitCode {
     if let Some(path) = &args.csv {
         if let Err(e) = std::fs::write(path, &csv) {
             eprintln!("error: writing {path}: {e}");
-            return ExitCode::from(EXIT_IO);
+            return StatusCode::Io.into();
         }
         println!("wrote {path}");
     }
     if let Some(path) = &args.json {
         if let Err(e) = std::fs::write(path, scenarios::to_json(&reports)) {
             eprintln!("error: writing {path}: {e}");
-            return ExitCode::from(EXIT_IO);
+            return StatusCode::Io.into();
         }
         println!("wrote {path}");
     }
@@ -448,7 +573,7 @@ fn main() -> ExitCode {
             "error: {failed} cell(s) failed; surviving results were written \
              (see rows above)"
         );
-        return ExitCode::from(EXIT_CELLS_FAILED);
+        return StatusCode::CellsFailed.into();
     }
-    ExitCode::SUCCESS
+    StatusCode::Ok.into()
 }

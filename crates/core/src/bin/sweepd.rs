@@ -1,0 +1,72 @@
+//! `distfront-sweepd` — the persistent sweep daemon.
+//!
+//! ```text
+//! distfront-sweepd [--addr HOST:PORT]
+//!
+//! Options:
+//!   --addr A   listen address (default 127.0.0.1:4705; port 0 picks an
+//!              ephemeral port, printed on the "listening" line)
+//! ```
+//!
+//! Serves the newline-delimited protocol documented in
+//! [`distfront::server::protocol`]: `JOB <jobspec>` submissions are
+//! deduped against a content-addressed result cache and executed on two
+//! class executors (interactive run-ahead, deferrable queue) sharing one
+//! process-wide warm-start cache and trace store. Drive it with
+//! `distfront-scenarios --connect ADDR` or raw `nc`.
+//!
+//! Exits 0 after a `SHUTDOWN` command drains both executors (std-only
+//! builds cannot trap signals, so SIGTERM just kills the process — safe,
+//! the caches are in-memory and rebuilt on demand). Usage errors exit
+//! 64, bind failures 3, per the shared [`StatusCode`] vocabulary.
+
+use std::process::ExitCode;
+
+use distfront::job::StatusCode;
+use distfront::server::SweepDaemon;
+
+/// Default listen address: loopback only (the protocol is
+/// unauthenticated), on an arbitrary fixed port.
+const DEFAULT_ADDR: &str = "127.0.0.1:4705";
+
+fn usage() -> &'static str {
+    "usage: distfront-sweepd [--addr HOST:PORT]"
+}
+
+fn parse_addr(mut argv: std::env::Args) -> Result<String, String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    argv.next(); // program name
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--addr" => {
+                addr = argv.next().ok_or("--addr needs a value")?;
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(addr)
+}
+
+fn main() -> ExitCode {
+    let addr = match parse_addr(std::env::args()) {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return StatusCode::Usage.into();
+        }
+    };
+    let daemon = match SweepDaemon::bind(&addr) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("error: binding {addr}: {e}");
+            return StatusCode::Io.into();
+        }
+    };
+    match daemon.run() {
+        Ok(()) => StatusCode::Ok.into(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            StatusCode::Io.into()
+        }
+    }
+}

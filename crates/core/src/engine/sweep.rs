@@ -614,6 +614,38 @@ impl SweepRunner {
         }
     }
 
+    /// A runner sized from a [`JobSpec`](crate::job::JobSpec)'s
+    /// scheduling fields — the unified construction path behind the
+    /// one-shot CLI, the daemon's executors and the test harness. The
+    /// legacy builder chain ([`with_threads`](Self::with_threads) →
+    /// [`with_batch`](Self::with_batch) →
+    /// [`with_trace_mode`](Self::with_trace_mode)) remains as a
+    /// compatibility shim over the same fields; new call sites should
+    /// construct a spec and come through here, then attach the runtime
+    /// handles a pure-data spec cannot carry
+    /// ([`with_warm_cache`](Self::with_warm_cache),
+    /// [`with_trace_mode`](Self::with_trace_mode),
+    /// [`with_on_cell`](Self::with_on_cell)).
+    pub fn from_spec(spec: &crate::job::JobSpec) -> Self {
+        let runner = if spec.workers == 0 {
+            Self::new()
+        } else {
+            Self::with_threads(spec.workers)
+        };
+        runner.with_batch(spec.batch)
+    }
+
+    /// Replaces this runner's warm-start cache with a shared one, so the
+    /// cache outlives the runner: the daemon hands every job's runner the
+    /// same process-wide cache, which is what makes a second job's warm
+    /// starts free. (A fresh runner owns a fresh cache; see
+    /// [`warm_cache`](Self::warm_cache).)
+    #[must_use]
+    pub fn with_warm_cache(mut self, cache: Arc<WarmStartCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
     /// Enables (or disables) lockstep batched replay: replay-mode cells
     /// sharing a machine shape are grouped into cohorts and advanced
     /// together through one shared batched propagator (see

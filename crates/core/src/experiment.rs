@@ -213,6 +213,27 @@ impl ExperimentConfig {
         ]
     }
 
+    /// Every named preset, in presentation order — the configuration
+    /// registry grid-targeted [`JobSpec`](crate::job::JobSpec)s resolve
+    /// against.
+    pub fn presets() -> Vec<ExperimentConfig> {
+        vec![
+            Self::baseline(),
+            Self::address_biasing(),
+            Self::blank_silicon(),
+            Self::bank_hopping(),
+            Self::hopping_and_biasing(),
+            Self::distributed_rename_commit(),
+            Self::combined(),
+        ]
+    }
+
+    /// Looks a preset up by its `name` field (`"baseline"`, `"drc"`,
+    /// `"drc+bh+ab"`, …).
+    pub fn by_name(name: &str) -> Option<ExperimentConfig> {
+        Self::presets().into_iter().find(|c| c.name == name)
+    }
+
     /// Scales the run length (and control interval) for quick tests or
     /// long evaluations; returns `self` for chaining.
     pub fn with_uops(mut self, uops: u64) -> Self {

@@ -45,9 +45,11 @@ pub mod emergency;
 pub mod engine;
 pub mod experiment;
 pub mod figures;
+pub mod job;
 pub mod report;
 pub mod runner;
 pub mod scenarios;
+pub mod server;
 
 pub use distfront_thermal::Integrator;
 pub use dtm::{
@@ -61,6 +63,9 @@ pub use engine::{
 };
 pub use experiment::{DtmSpec, ExperimentConfig};
 pub use figures::{figure1, figure12, figure13, figure14, ComparisonData, AMBIENT_C};
+pub use job::{
+    JobClass, JobEnv, JobReport, JobSpec, JobSpecError, JobTarget, StatusCode, TraceSpec,
+};
 pub use report::{FigureRow, FigureTable};
 pub use runner::{
     average_temps, mean_cpi, run_app, run_suite, slowdown, try_run_app, AppResult, BlockGroups,

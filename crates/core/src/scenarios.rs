@@ -139,10 +139,14 @@ impl Scenario {
             .with_uops(opts.uops)
             .with_integrator(opts.integrator);
         let workloads = self.workloads(opts);
-        let report = SweepRunner::with_threads(opts.workers)
+        // One construction path for every front end: options become a
+        // JobSpec, the runner comes from the spec (the builder calls
+        // below attach only the runtime handles a pure-data spec cannot
+        // carry — see `job`).
+        let spec = crate::job::JobSpec::from_options(self.name, opts);
+        let report = SweepRunner::from_spec(&spec)
             .with_on_cell(on_cell)
             .with_trace_mode(mode)
-            .with_batch(opts.batch)
             .try_suite_workloads(&cfg, &workloads);
         ScenarioReport {
             scenario: self.name,

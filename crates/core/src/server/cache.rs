@@ -1,0 +1,109 @@
+//! The daemon's content-addressed result cache.
+//!
+//! Maps a [`JobSpec::fingerprint`](crate::job::JobSpec::fingerprint) —
+//! which covers every result-affecting input including the `DFAT`
+//! trace-format version and the leakage-model bits, and excludes every
+//! scheduling knob — to the job's serialized result frames
+//! (`CELL`/`ERRCELL`/`DONE` lines in canonical grid order, see
+//! [`protocol`](super::protocol)). A hit replays the stored lines
+//! verbatim, which is what makes the cached response byte-identical to
+//! the first one: the bytes *are* the first one's.
+//!
+//! Deterministic failures are results too: a job whose cells all fail
+//! (the fault-injection scenario) caches its `ERRCELL` frames like any
+//! other outcome — resubmitting it is served without re-solving, with
+//! the same per-cell errors and `DONE status=2`. Only jobs that never
+//! ran (`ERR` frames: unresolvable spec, unknown name) bypass the cache,
+//! since there is no result to address.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Fingerprint-keyed store of serialized result frames.
+///
+/// Concurrency note: lookup and insert are separate operations, so two
+/// *concurrent* identical submissions may both execute and both insert —
+/// benign, because the engine's bit-identity contract makes their frames
+/// equal and the second insert overwrites with identical bytes. The
+/// cache guarantee the daemon advertises is for resubmission: a job
+/// whose twin has *completed* is always served stored frames.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    map: Mutex<HashMap<u64, Arc<Vec<String>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The stored frames for a fingerprint, counting a hit or miss.
+    pub fn lookup(&self, fingerprint: u64) -> Option<Arc<Vec<String>>> {
+        let found = self
+            .map
+            .lock()
+            .expect("result cache poisoned")
+            .get(&fingerprint)
+            .cloned();
+        match found {
+            Some(frames) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(frames)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a completed job's frames under its fingerprint.
+    pub fn insert(&self, fingerprint: u64, frames: Vec<String>) {
+        self.map
+            .lock()
+            .expect("result cache poisoned")
+            .insert(fingerprint, Arc::new(frames));
+    }
+
+    /// Distinct results stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("result cache poisoned").len()
+    }
+
+    /// Whether nothing is stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the store.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_and_counts() {
+        let cache = ResultCache::new();
+        assert!(cache.is_empty());
+        assert!(cache.lookup(7).is_none());
+        cache.insert(7, vec!["CELL a".into(), "DONE status=0".into()]);
+        let frames = cache.lookup(7).expect("stored");
+        assert_eq!(frames.len(), 2);
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+        assert!(cache.lookup(8).is_none());
+        assert_eq!(cache.misses(), 2);
+    }
+}

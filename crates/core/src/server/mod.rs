@@ -1,0 +1,705 @@
+//! Sweep-as-a-service: the `distfront-sweepd` daemon.
+//!
+//! Every one-shot CLI invocation pays twice for state that could outlive
+//! it: the [`WarmStartCache`](crate::engine::WarmStartCache) and
+//! [`TraceStore`](crate::engine::TraceStore) die with the process, so a
+//! second run of the same grid re-solves every warm start and re-records
+//! every trace. This module keeps them alive: a [`SweepDaemon`] is a
+//! long-running TCP service holding one process-wide [`JobEnv`] plus a
+//! content-addressed [`ResultCache`], so a resubmitted job is served
+//! from stored frames without re-solving a single cell, and even a
+//! *novel* job reuses every warm start and recorded trace earlier jobs
+//! left behind.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  client ──JOB──▶ connection thread ──▶ fingerprint ──▶ ResultCache ──hit──▶ replay frames
+//!                                              │ miss
+//!                                              ▼
+//!                      interactive queue   deferrable queue
+//!                            │                   │
+//!                      run-ahead executor   queued executor ──▶ JobEnv (warm starts + traces)
+//!                            └───── frames ──────┘
+//!                                  │
+//!                         stream to client + insert into ResultCache
+//! ```
+//!
+//! One thread per connection parses [`protocol`] commands; jobs are
+//! classified by their [`JobClass`] onto two executors — the
+//! *interactive* executor runs ahead (a bulk grid never delays a
+//! latency-sensitive probe), the *deferrable* executor drains bulk jobs
+//! in submission order. Both executors share the daemon's [`JobEnv`],
+//! which is the whole point: it is the state worth keeping alive.
+//!
+//! The daemon follows the CLI's no-registry discipline: plain std TCP on
+//! a loopback address, newline-delimited text frames, debuggable with
+//! `nc`. Shutdown is a protocol command (`SHUTDOWN`), not a signal —
+//! std-only Rust cannot trap SIGTERM, so the contract is: `SHUTDOWN`
+//! drains the executors and exits 0; SIGTERM just kills the process
+//! (safe, since the caches are in-memory and rebuilt on demand).
+//!
+//! # Examples
+//!
+//! ```
+//! use distfront::job::JobSpec;
+//! use distfront::server::{Client, SweepDaemon};
+//!
+//! let handle = SweepDaemon::bind("127.0.0.1:0").unwrap().spawn();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let spec = JobSpec::scenario("baseline").with_smoke(true).with_uops(20_000);
+//! let first = client.submit(&spec).unwrap();
+//! let second = client.submit(&spec).unwrap();
+//! assert!(!first.cached && second.cached);
+//! assert_eq!(first.result_lines, second.result_lines); // byte-identical
+//! client.shutdown().unwrap();
+//! handle.join().unwrap();
+//! ```
+
+pub mod cache;
+pub mod protocol;
+
+pub use cache::ResultCache;
+pub use protocol::Command;
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+use crate::job::{JobClass, JobEnv, JobSpec, StatusCode};
+
+/// One job waiting on an executor.
+struct QueuedJob {
+    spec: JobSpec,
+    fingerprint: u64,
+    class: JobClass,
+    /// Writer half of the submitting connection (reads happen on a
+    /// separate clone); the executor streams frames through it.
+    writer: Arc<Mutex<TcpStream>>,
+    /// Signalled when the job's terminal frame has been sent and its
+    /// result cached, so the connection thread can resume reading.
+    done: Arc<(Mutex<bool>, Condvar)>,
+}
+
+/// A class's submission queue. The mutex also arbitrates shutdown:
+/// [`push`](Self::push) refuses once the flag is up, and the flag is
+/// raised under the lock, so an accepted job is always drained.
+struct WorkQueue {
+    state: Mutex<(VecDeque<QueuedJob>, bool)>,
+    cv: Condvar,
+}
+
+impl WorkQueue {
+    fn new() -> Self {
+        WorkQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job unless the daemon is shutting down.
+    fn push(&self, job: QueuedJob) -> Result<(), QueuedJob> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.1 {
+            return Err(job);
+        }
+        state.0.push_back(job);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` means shutdown *and* drained.
+    fn pop(&self) -> Option<QueuedJob> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = state.0.pop_front() {
+                return Some(job);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self.cv.wait(state).expect("queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue poisoned").1 = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Daemon state shared by the acceptor, connection threads and
+/// executors.
+struct DaemonState {
+    addr: SocketAddr,
+    env: JobEnv,
+    results: ResultCache,
+    /// Indexed by [`class_index`].
+    queues: [WorkQueue; 2],
+    shutdown: AtomicBool,
+    jobs: AtomicU64,
+    executed: AtomicU64,
+}
+
+fn class_index(class: JobClass) -> usize {
+    match class {
+        JobClass::Interactive => 0,
+        JobClass::Deferrable => 1,
+    }
+}
+
+/// A bound-but-not-yet-running sweep daemon.
+pub struct SweepDaemon {
+    listener: TcpListener,
+    state: Arc<DaemonState>,
+}
+
+impl std::fmt::Debug for SweepDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepDaemon")
+            .field("addr", &self.state.addr)
+            .finish()
+    }
+}
+
+impl SweepDaemon {
+    /// Binds the daemon to `addr` (use port 0 for an ephemeral port;
+    /// loopback strongly recommended — the protocol has no
+    /// authentication).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<SweepDaemon> {
+        let listener = TcpListener::bind(addr)?;
+        let state = Arc::new(DaemonState {
+            addr: listener.local_addr()?,
+            env: JobEnv::default(),
+            results: ResultCache::new(),
+            queues: [WorkQueue::new(), WorkQueue::new()],
+            shutdown: AtomicBool::new(false),
+            jobs: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+        });
+        Ok(SweepDaemon { listener, state })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Serves until a `SHUTDOWN` command arrives, then drains both
+    /// executors and returns. Blocks the calling thread; see
+    /// [`spawn`](Self::spawn) for the background form.
+    ///
+    /// # Errors
+    ///
+    /// Returns accept-loop I/O errors; per-connection errors only end
+    /// their own connection.
+    pub fn run(self) -> io::Result<()> {
+        let executors: Vec<_> = [JobClass::Interactive, JobClass::Deferrable]
+            .into_iter()
+            .map(|class| {
+                let state = Arc::clone(&self.state);
+                thread::spawn(move || executor_loop(&state, class))
+            })
+            .collect();
+        println!("[sweepd] listening on {}", self.state.addr);
+        for stream in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let state = Arc::clone(&self.state);
+                    // Connection threads are detached: joining them would
+                    // hang shutdown on any idle client still connected.
+                    // Executors (below) are joined — accepted jobs drain.
+                    thread::spawn(move || handle_connection(&state, stream));
+                }
+                Err(e) => eprintln!("[sweepd] accept failed: {e}"),
+            }
+        }
+        for queue in &self.state.queues {
+            queue.close();
+        }
+        for executor in executors {
+            let _ = executor.join();
+        }
+        println!(
+            "[sweepd] shutdown: {} jobs, {} executed, {} cache hits",
+            self.state.jobs.load(Ordering::Relaxed),
+            self.state.executed.load(Ordering::Relaxed),
+            self.state.results.hits(),
+        );
+        Ok(())
+    }
+
+    /// Runs the daemon on a background thread, returning a handle with
+    /// the bound address — the in-process form the integration tests and
+    /// doctests use.
+    pub fn spawn(self) -> DaemonHandle {
+        let addr = self.state.addr;
+        let thread = thread::spawn(move || self.run());
+        DaemonHandle { addr, thread }
+    }
+}
+
+/// A running background daemon (see [`SweepDaemon::spawn`]).
+#[derive(Debug)]
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    thread: thread::JoinHandle<io::Result<()>>,
+}
+
+impl DaemonHandle {
+    /// The daemon's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the daemon to exit (something must have sent
+    /// `SHUTDOWN`, e.g. [`Client::shutdown`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the daemon's exit error, or an [`io::Error`] if its
+    /// thread panicked.
+    pub fn join(self) -> io::Result<()> {
+        self.thread
+            .join()
+            .map_err(|_| io::Error::other("daemon thread panicked"))?
+    }
+}
+
+/// The executor loop for one job class: pop, execute, stream, cache,
+/// signal — until shutdown *and* drained.
+fn executor_loop(state: &DaemonState, class: JobClass) {
+    let queue = &state.queues[class_index(class)];
+    while let Some(job) = queue.pop() {
+        state.executed.fetch_add(1, Ordering::Relaxed);
+        let progress_writer = Arc::clone(&job.writer);
+        let outcome = job.spec.execute(&state.env, move |cell| {
+            // Advisory, completion-order; a lost client must not kill
+            // the solve (its result is still worth caching).
+            let _ = write_line(&progress_writer, &protocol::progress_frame(cell));
+        });
+        match outcome {
+            Ok(report) => {
+                let frames = protocol::result_frames(&report);
+                send_result_frames(&job.writer, &frames, false);
+                // Insert before signalling: once the submitter has seen
+                // DONE, a resubmission is guaranteed a cache hit.
+                state.results.insert(job.fingerprint, frames);
+            }
+            Err(e) => {
+                // Unreachable in practice — the connection thread
+                // fingerprinted (hence resolved) the spec before
+                // enqueueing — but a protocol error beats a panic.
+                let _ = write_line(
+                    &job.writer,
+                    &protocol::err_frame(StatusCode::Usage, &e.to_string()),
+                );
+            }
+        }
+        let (lock, cv) = &*job.done;
+        *lock.lock().expect("done signal poisoned") = true;
+        cv.notify_all();
+    }
+}
+
+/// Writes one frame line; errors mean the client is gone.
+fn write_line(writer: &Arc<Mutex<TcpStream>>, line: &str) -> io::Result<()> {
+    let mut stream = writer.lock().expect("writer poisoned");
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")
+}
+
+/// Streams a job's stored result frames, appending the `cached=` token
+/// to the terminal `DONE` line (the only byte that may differ between a
+/// fresh run and a replay).
+fn send_result_frames(writer: &Arc<Mutex<TcpStream>>, frames: &[String], cached: bool) {
+    for frame in frames {
+        let line = if frame.starts_with("DONE ") {
+            format!("{frame} cached={}", u8::from(cached))
+        } else {
+            frame.clone()
+        };
+        if write_line(writer, &line).is_err() {
+            return;
+        }
+    }
+}
+
+/// Serves one connection until EOF, error, or `SHUTDOWN`.
+fn handle_connection(state: &DaemonState, stream: TcpStream) {
+    let reader = match stream.try_clone() {
+        Ok(read_half) => BufReader::new(read_half),
+        Err(e) => {
+            eprintln!("[sweepd] connection setup failed: {e}");
+            return;
+        }
+    };
+    let writer = Arc::new(Mutex::new(stream));
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => return, // client gone
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let command = match Command::parse(&line) {
+            Ok(command) => command,
+            Err((status, msg)) => {
+                if write_line(&writer, &protocol::err_frame(status, &msg)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        match command {
+            Command::Ping => {
+                if write_line(&writer, "PONG").is_err() {
+                    return;
+                }
+            }
+            Command::Stats => {
+                if write_line(&writer, &stats_frame(state)).is_err() {
+                    return;
+                }
+            }
+            Command::Shutdown => {
+                let _ = write_line(&writer, "BYE");
+                initiate_shutdown(state);
+                return;
+            }
+            Command::Job(spec) => {
+                if !handle_job(state, &writer, spec) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Handles one `JOB` submission; returns `false` when the connection is
+/// dead and its thread should exit.
+fn handle_job(state: &DaemonState, writer: &Arc<Mutex<TcpStream>>, spec: JobSpec) -> bool {
+    state.jobs.fetch_add(1, Ordering::Relaxed);
+    let fingerprint = match spec.fingerprint() {
+        Ok(fingerprint) => fingerprint,
+        Err(e) => {
+            return write_line(
+                writer,
+                &protocol::err_frame(StatusCode::Usage, &e.to_string()),
+            )
+            .is_ok();
+        }
+    };
+    if write_line(writer, &protocol::queued_frame(fingerprint, spec.class)).is_err() {
+        return false;
+    }
+    if let Some(frames) = state.results.lookup(fingerprint) {
+        println!(
+            "[sweepd] cache hit fp={fingerprint:016x} class={} ({} frames replayed)",
+            spec.class,
+            frames.len()
+        );
+        send_result_frames(writer, &frames, true);
+        return true;
+    }
+    println!("[sweepd] job fp={fingerprint:016x} class={}", spec.class);
+    let done = Arc::new((Mutex::new(false), Condvar::new()));
+    let job = QueuedJob {
+        fingerprint,
+        writer: Arc::clone(writer),
+        done: Arc::clone(&done),
+        class: spec.class,
+        spec,
+    };
+    let queue = &state.queues[class_index(job.class)];
+    if queue.push(job).is_err() {
+        return write_line(
+            writer,
+            &protocol::err_frame(StatusCode::Io, "daemon is shutting down"),
+        )
+        .is_ok();
+    }
+    let (lock, cv) = &*done;
+    let mut finished = lock.lock().expect("done signal poisoned");
+    while !*finished {
+        finished = cv.wait(finished).expect("done signal poisoned");
+    }
+    true
+}
+
+/// Raises the shutdown flag, closes both queues, and unblocks the
+/// accept loop with a throwaway self-connection.
+fn initiate_shutdown(state: &DaemonState) {
+    state.shutdown.store(true, Ordering::SeqCst);
+    for queue in &state.queues {
+        queue.close();
+    }
+    let _ = TcpStream::connect(state.addr);
+}
+
+/// The `STATS` response frame.
+fn stats_frame(state: &DaemonState) -> String {
+    format!(
+        "STATS jobs={} executed={} result_hits={} result_entries={} warm_hits={} warm_misses={} warm_entries={} traces={}",
+        state.jobs.load(Ordering::Relaxed),
+        state.executed.load(Ordering::Relaxed),
+        state.results.hits(),
+        state.results.len(),
+        state.env.warm.hits(),
+        state.env.warm.misses(),
+        state.env.warm.len(),
+        state.env.traces.len(),
+    )
+}
+
+/// Daemon counters, parsed from a `STATS` frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// `JOB` submissions accepted (hits and misses alike).
+    pub jobs: u64,
+    /// Jobs actually executed (cache misses).
+    pub executed: u64,
+    /// Result-cache hits.
+    pub result_hits: u64,
+    /// Distinct results stored.
+    pub result_entries: u64,
+    /// Warm-start cache hits across all jobs.
+    pub warm_hits: u64,
+    /// Warm-start cache misses (cold solves).
+    pub warm_misses: u64,
+    /// Warm-start states stored.
+    pub warm_entries: u64,
+    /// Recorded traces stored.
+    pub traces: u64,
+}
+
+impl DaemonStats {
+    /// Parses a `STATS` frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidData`] for anything else.
+    pub fn parse(frame: &str) -> io::Result<DaemonStats> {
+        let bad = || {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad STATS frame {frame:?}"),
+            )
+        };
+        let mut stats = DaemonStats::default();
+        let rest = frame.strip_prefix("STATS ").ok_or_else(bad)?;
+        for token in rest.split_ascii_whitespace() {
+            let (key, value) = token.split_once('=').ok_or_else(bad)?;
+            let value: u64 = value.parse().map_err(|_| bad())?;
+            match key {
+                "jobs" => stats.jobs = value,
+                "executed" => stats.executed = value,
+                "result_hits" => stats.result_hits = value,
+                "result_entries" => stats.result_entries = value,
+                "warm_hits" => stats.warm_hits = value,
+                "warm_misses" => stats.warm_misses = value,
+                "warm_entries" => stats.warm_entries = value,
+                "traces" => stats.traces = value,
+                _ => return Err(bad()),
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// One completed `JOB` exchange, as seen by a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobResponse {
+    /// The job's terminal status (from `DONE` or `ERR`).
+    pub status: StatusCode,
+    /// Whether the daemon served stored frames (`DONE … cached=1`).
+    pub cached: bool,
+    /// Total cells in the grid.
+    pub cells: usize,
+    /// Cells that failed.
+    pub failed: usize,
+    /// CSV rows from `CELL` frames, canonical grid order (no header).
+    pub csv_rows: Vec<String>,
+    /// The result frames verbatim — `CELL`/`ERRCELL` lines plus the
+    /// `DONE` line with its run-specific `cached=` token stripped. Two
+    /// responses to the same spec compare equal here whatever the worker
+    /// count, job class, or cache state: this is the byte-identity
+    /// surface.
+    pub result_lines: Vec<String>,
+    /// The `ERR` message, when the job never ran.
+    pub error: Option<String>,
+}
+
+/// A client connection to a running daemon — what `--connect` and the
+/// integration tests drive.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Ok(Client {
+            reader: BufReader::new(TcpStream::connect(addr)?),
+        })
+    }
+
+    fn send(&mut self, line: &str) -> io::Result<()> {
+        let stream = self.reader.get_mut();
+        stream.write_all(line.as_bytes())?;
+        stream.write_all(b"\n")
+    }
+
+    fn recv(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        while line.ends_with(['\n', '\r']) {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Submits a job and blocks until its terminal frame, discarding
+    /// progress.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and malformed frames; a job that *ran* and
+    /// failed is an `Ok` response with a non-[`Ok`](StatusCode::Ok)
+    /// status.
+    pub fn submit(&mut self, spec: &JobSpec) -> io::Result<JobResponse> {
+        self.submit_streaming(spec, |_| {})
+    }
+
+    /// [`submit`](Self::submit) with a frame callback: `on_frame` sees
+    /// every `PROGRESS` line as it arrives (completion order).
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Self::submit).
+    pub fn submit_streaming(
+        &mut self,
+        spec: &JobSpec,
+        mut on_frame: impl FnMut(&str),
+    ) -> io::Result<JobResponse> {
+        self.send(&Command::Job(spec.clone()).encode())?;
+        let mut response = JobResponse {
+            status: StatusCode::Io,
+            cached: false,
+            cells: 0,
+            failed: 0,
+            csv_rows: Vec::new(),
+            result_lines: Vec::new(),
+            error: None,
+        };
+        loop {
+            let line = self.recv()?;
+            let bad = || io::Error::new(io::ErrorKind::InvalidData, format!("bad frame {line:?}"));
+            if line.starts_with("QUEUED ") {
+                continue;
+            } else if line.starts_with("PROGRESS ") {
+                on_frame(&line);
+            } else if let Some(row) = line.strip_prefix("CELL ") {
+                response.csv_rows.push(row.to_string());
+                response.result_lines.push(line.clone());
+            } else if line.starts_with("ERRCELL ") {
+                response.result_lines.push(line.clone());
+            } else if let Some(rest) = line.strip_prefix("DONE ") {
+                let mut done_line = String::from("DONE");
+                for token in rest.split_ascii_whitespace() {
+                    let (key, value) = token.split_once('=').ok_or_else(bad)?;
+                    match key {
+                        "status" => {
+                            let code = value.parse::<u8>().map_err(|_| bad())?;
+                            response.status = StatusCode::from_code(code).ok_or_else(bad)?;
+                        }
+                        "cells" => response.cells = value.parse().map_err(|_| bad())?,
+                        "failed" => response.failed = value.parse().map_err(|_| bad())?,
+                        "cached" => response.cached = value == "1",
+                        _ => return Err(bad()),
+                    }
+                    if key != "cached" {
+                        done_line.push(' ');
+                        done_line.push_str(token);
+                    }
+                }
+                response.result_lines.push(done_line);
+                return Ok(response);
+            } else if let Some(rest) = line.strip_prefix("ERR ") {
+                let (code, msg) = rest.split_once(' ').unwrap_or((rest, ""));
+                let code = code.parse::<u8>().map_err(|_| bad())?;
+                response.status = StatusCode::from_code(code).ok_or_else(bad)?;
+                response.error = Some(msg.to_string());
+                return Ok(response);
+            } else {
+                return Err(bad());
+            }
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the daemon is unreachable or answers anything but
+    /// `PONG`.
+    pub fn ping(&mut self) -> io::Result<()> {
+        self.send("PING")?;
+        match self.recv()?.as_str() {
+            "PONG" => Ok(()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected PONG, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Fetches the daemon's counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and frame-parse failures.
+    pub fn stats(&mut self) -> io::Result<DaemonStats> {
+        self.send("STATS")?;
+        let line = self.recv()?;
+        DaemonStats::parse(&line)
+    }
+
+    /// Asks the daemon to drain and exit; consumes the client (the
+    /// connection is closed by the exchange).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the daemon does not acknowledge with `BYE`.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.send("SHUTDOWN")?;
+        match self.recv()?.as_str() {
+            "BYE" => Ok(()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected BYE, got {other:?}"),
+            )),
+        }
+    }
+}

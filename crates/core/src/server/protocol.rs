@@ -1,0 +1,189 @@
+//! The `distfront-sweepd` wire protocol: newline-delimited UTF-8 frames.
+//!
+//! # Framing
+//!
+//! Every message — both directions — is one line, terminated by `\n`,
+//! whose first space-separated token names the frame. The protocol is
+//! deliberately the same shape as the [`JobSpec`] line codec (and embeds
+//! it verbatim in `JOB` frames): debuggable with `nc`, no length
+//! prefixes, no binary.
+//!
+//! Client → server commands:
+//!
+//! | line | meaning |
+//! |---|---|
+//! | `JOB <jobspec-line>` | submit a job; the spec is [`JobSpec::encode_line`] verbatim |
+//! | `PING` | liveness probe; answered with `PONG` |
+//! | `STATS` | one `STATS` frame of daemon counters |
+//! | `SHUTDOWN` | stop accepting, drain executors, exit cleanly |
+//!
+//! Server → client responses to `JOB`, in order:
+//!
+//! | line | meaning |
+//! |---|---|
+//! | `QUEUED fp=<hex16> class=<class>` | accepted; content address echoed |
+//! | `PROGRESS <config> <app> <status>` | advisory, **completion order**; `ok`/`failed <msg>` |
+//! | `CELL <csv-row>` | one result row, **canonical grid order** |
+//! | `ERRCELL <config> <app> <msg>` | one failed cell, canonical grid order |
+//! | `DONE status=<code> cells=<n> failed=<n> cached=<0\|1>` | terminal |
+//! | `ERR <status-code> <msg>` | terminal: the job never ran |
+//!
+//! `PROGRESS` frames stream live as cells complete and are excluded from
+//! the byte-identity contract (their order is scheduling-dependent, and
+//! a cache hit replays none). `CELL`/`ERRCELL`/`DONE` are the result
+//! proper: emitted in canonical grid order after the job completes, they
+//! are byte-identical across runs, worker counts, job classes and cache
+//! hits — a replayed `DONE` differs only in its `cached=` token, which
+//! is why that token exists (and sits last on the line).
+//!
+//! # Version policy
+//!
+//! The frame vocabulary is versioned *through* the embedded jobspec line:
+//! a `JOB` frame carries `v=<n>` and the daemon rejects versions it does
+//! not speak with `ERR 64 …` (see [`JobSpecError::UnsupportedVersion`]).
+//! Frame names themselves are append-only — an existing name never
+//! changes meaning; new capabilities get new names — mirroring the
+//! `DFAT` trace-format policy in [`distfront_trace::record`].
+//!
+//! [`JobSpecError::UnsupportedVersion`]: crate::job::JobSpecError::UnsupportedVersion
+
+use crate::engine::CellOutcome;
+use crate::job::{JobClass, JobReport, JobSpec, StatusCode};
+
+/// A parsed client → server command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `JOB <jobspec-line>`: run (or serve from cache) the spec.
+    Job(JobSpec),
+    /// `PING`: answer `PONG` without touching the queues.
+    Ping,
+    /// `STATS`: report daemon counters.
+    Stats,
+    /// `SHUTDOWN`: drain and exit.
+    Shutdown,
+}
+
+impl Command {
+    /// Parses one command line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `ERR` frame to answer with: [`StatusCode::Usage`] and
+    /// a message, for unknown verbs and malformed jobspecs alike.
+    pub fn parse(line: &str) -> Result<Command, (StatusCode, String)> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let (verb, rest) = match line.split_once(' ') {
+            Some((v, r)) => (v, r),
+            None => (line, ""),
+        };
+        match verb {
+            "JOB" => JobSpec::parse_line(rest)
+                .map(Command::Job)
+                .map_err(|e| (StatusCode::Usage, e.to_string())),
+            "PING" if rest.is_empty() => Ok(Command::Ping),
+            "STATS" if rest.is_empty() => Ok(Command::Stats),
+            "SHUTDOWN" if rest.is_empty() => Ok(Command::Shutdown),
+            _ => Err((
+                StatusCode::Usage,
+                format!("unknown command {verb:?} (expected JOB/PING/STATS/SHUTDOWN)"),
+            )),
+        }
+    }
+
+    /// Serializes the command to its wire line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Command::Job(spec) => format!("JOB {}", spec.encode_line()),
+            Command::Ping => "PING".to_string(),
+            Command::Stats => "STATS".to_string(),
+            Command::Shutdown => "SHUTDOWN".to_string(),
+        }
+    }
+}
+
+/// The `QUEUED` acknowledgement frame.
+pub fn queued_frame(fingerprint: u64, class: JobClass) -> String {
+    format!("QUEUED fp={fingerprint:016x} class={class}")
+}
+
+/// One advisory `PROGRESS` frame (completion order, not part of the
+/// byte-identity contract).
+pub fn progress_frame(cell: &CellOutcome) -> String {
+    match &cell.result {
+        Ok(_) => format!("PROGRESS {} {} ok", cell.config_name, cell.app_name),
+        Err(e) => format!("PROGRESS {} {} failed {e}", cell.config_name, cell.app_name),
+    }
+}
+
+/// The result frames a completed job serializes to: `CELL`/`ERRCELL`
+/// lines in canonical grid order followed by the terminal `DONE` —
+/// exactly the lines the daemon caches and replays on a hit, minus the
+/// `DONE` frame's `cached=` suffix, which the sender appends (see the
+/// module docs).
+pub fn result_frames(report: &JobReport) -> Vec<String> {
+    let mut frames = Vec::new();
+    let mut cells = 0usize;
+    let mut failed = 0usize;
+    for cell in report.report.cells() {
+        cells += 1;
+        match &cell.result {
+            Ok(r) => frames.push(format!(
+                "CELL {}",
+                crate::scenarios::csv_row(report.row_label(cell), r)
+            )),
+            Err(e) => {
+                failed += 1;
+                frames.push(format!(
+                    "ERRCELL {} {} {e}",
+                    report.row_label(cell),
+                    cell.app_name
+                ));
+            }
+        }
+    }
+    frames.push(format!(
+        "DONE status={} cells={cells} failed={failed}",
+        report.status().code()
+    ));
+    frames
+}
+
+/// The terminal `ERR` frame for a job that never ran.
+pub fn err_frame(status: StatusCode, msg: &str) -> String {
+    format!("ERR {} {msg}", status.code())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpecError;
+
+    #[test]
+    fn commands_roundtrip() {
+        let spec = JobSpec::scenario("baseline").with_smoke(true);
+        for cmd in [
+            Command::Job(spec),
+            Command::Ping,
+            Command::Stats,
+            Command::Shutdown,
+        ] {
+            assert_eq!(Command::parse(&cmd.encode()), Ok(cmd));
+        }
+    }
+
+    #[test]
+    fn parse_tolerates_line_endings_and_rejects_junk() {
+        assert_eq!(Command::parse("PING\r\n"), Ok(Command::Ping));
+        assert!(Command::parse("EVAL rm -rf /").is_err());
+        assert!(Command::parse("PING extra").is_err());
+        let (status, msg) = Command::parse("JOB v=9 kind=scenario name=x").unwrap_err();
+        assert_eq!(status, StatusCode::Usage);
+        assert_eq!(msg, JobSpecError::UnsupportedVersion(9).to_string());
+    }
+
+    #[test]
+    fn queued_frame_is_fixed_width_hex() {
+        let frame = queued_frame(0xAB, JobClass::Deferrable);
+        assert_eq!(frame, "QUEUED fp=00000000000000ab class=deferrable");
+    }
+}

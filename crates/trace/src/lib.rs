@@ -47,5 +47,5 @@ pub use generator::TraceGenerator;
 pub use phased::{Phase, PhasedProfile, Workload};
 pub use profile::AppProfile;
 pub use program::{BasicBlock, SyntheticProgram};
-pub use record::{ActivityTrace, FinalStats, IntervalRecord, TraceMeta, TraceShape};
+pub use record::{ActivityTrace, FinalStats, Fingerprint, IntervalRecord, TraceMeta, TraceShape};
 pub use uop::{ArchReg, MicroOp, RegClass, UopKind};

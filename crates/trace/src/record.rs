@@ -72,6 +72,89 @@ pub const TRACE_FORMAT_VERSION: u32 = 1;
 /// Magic bytes opening every serialized trace.
 pub const TRACE_MAGIC: [u8; 4] = *b"DFAT";
 
+/// A stable, toolchain-independent content hash for addressing derived
+/// artifacts (cached sweep results, trace identities) by what produced
+/// them.
+///
+/// This is 64-bit FNV-1a over an explicitly enumerated byte stream — not
+/// `std::hash`, whose `DefaultHasher` output is unspecified across
+/// toolchains and whose `Hash` derives change silently when fields are
+/// reordered. Every hasher is seeded with [`TRACE_MAGIC`] and
+/// [`TRACE_FORMAT_VERSION`], so **any** trace-format bump changes every
+/// fingerprint derived through this type: a result cached against format
+/// v1 can never be served to a client speaking v2 (the same lesson as the
+/// warm-start key's leakage bits — identity must cover every input the
+/// bytes depend on).
+///
+/// Multi-byte integers are folded little-endian and floats as their exact
+/// IEEE-754 bits, matching the trace codec's conventions.
+///
+/// # Examples
+///
+/// ```
+/// use distfront_trace::record::Fingerprint;
+///
+/// let a = Fingerprint::new().with_bytes(b"baseline").with_u64(40_000);
+/// let b = Fingerprint::new().with_bytes(b"baseline").with_u64(40_000);
+/// assert_eq!(a.finish(), b.finish());
+/// assert_ne!(a.finish(), Fingerprint::new().finish());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher seeded with the trace-format magic and version.
+    #[allow(clippy::new_without_default)] // seeded, not empty: Default would lie
+    pub fn new() -> Self {
+        Fingerprint(Self::FNV_OFFSET)
+            .with_bytes(&TRACE_MAGIC)
+            .with_u32(TRACE_FORMAT_VERSION)
+    }
+
+    /// Folds raw bytes into the hash.
+    #[must_use]
+    pub fn with_bytes(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::FNV_PRIME);
+        }
+        self
+    }
+
+    /// Folds a length-prefixed string (so `"ab","c"` and `"a","bc"`
+    /// fingerprint differently).
+    #[must_use]
+    pub fn with_str(self, s: &str) -> Self {
+        self.with_u64(s.len() as u64).with_bytes(s.as_bytes())
+    }
+
+    /// Folds a `u32`, little-endian.
+    #[must_use]
+    pub fn with_u32(self, v: u32) -> Self {
+        self.with_bytes(&v.to_le_bytes())
+    }
+
+    /// Folds a `u64`, little-endian.
+    #[must_use]
+    pub fn with_u64(self, v: u64) -> Self {
+        self.with_bytes(&v.to_le_bytes())
+    }
+
+    /// Folds a float's exact IEEE-754 bits (so `-0.0` and `0.0`, or two
+    /// NaN payloads, are distinct — bit identity, not numeric equality).
+    #[must_use]
+    pub fn with_f64(self, v: f64) -> Self {
+        self.with_u64(v.to_bits())
+    }
+
+    /// The 64-bit content hash of everything folded so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// The machine shape a trace's flattened counters describe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceShape {
@@ -568,6 +651,40 @@ mod tests {
         assert_eq!(
             ActivityTrace::decode(&bytes),
             Err(TraceCodecError::Corrupt("gated bank outside shape"))
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_seeded_with_format_version() {
+        // An empty fingerprint is NOT the bare FNV offset basis: the
+        // format magic and version are folded in first, so a version bump
+        // invalidates every derived content address.
+        let empty = Fingerprint::new().finish();
+        assert_ne!(empty, 0xcbf2_9ce4_8422_2325);
+        // Reconstruct by hand: offset basis -> magic -> version LE.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in TRACE_MAGIC
+            .iter()
+            .copied()
+            .chain(TRACE_FORMAT_VERSION.to_le_bytes())
+        {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        assert_eq!(empty, h);
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_boundary_sensitive() {
+        let ab_c = Fingerprint::new().with_str("ab").with_str("c").finish();
+        let a_bc = Fingerprint::new().with_str("a").with_str("bc").finish();
+        assert_ne!(ab_c, a_bc, "length prefixes must separate fields");
+        let xy = Fingerprint::new().with_u64(1).with_u64(2).finish();
+        let yx = Fingerprint::new().with_u64(2).with_u64(1).finish();
+        assert_ne!(xy, yx);
+        // Bit identity for floats: -0.0 and 0.0 differ.
+        assert_ne!(
+            Fingerprint::new().with_f64(0.0).finish(),
+            Fingerprint::new().with_f64(-0.0).finish()
         );
     }
 
