@@ -5,14 +5,19 @@
 //! Before the Criterion timing loops run, the comparison is measured
 //! head-to-head on a small suite: every cell runs live N times, then the
 //! suite is recorded once and replayed N times under a power-level DTM
-//! sweep. The numbers — per-cell live and replay times, the recording
-//! overhead, and the replay speedup — are written to `BENCH_replay.json`
-//! at the workspace root (override the path with
-//! `DISTFRONT_BENCH_REPLAY_JSON`), so CI tracks the record/replay
-//! trajectory across PRs; the acceptance bar is ≥ 2× per cell, and the
-//! measured speedup is typically far higher because replay skips the core
-//! simulator entirely. Byte identity between the live and replayed
-//! reports is asserted, not assumed. Runs in `--test` mode too.
+//! sweep. The same head-to-head then repeats for the DFAT v2 ladder — a
+//! core-perturbing global-DVFS sweep whose recordings carry a
+//! multi-operating-point family, so replay selects among recorded points
+//! instead of rejecting the policy. The numbers — per-cell live and
+//! replay times, the recording overhead, the replay speedups, and the
+//! encoded trace bytes per cell for both the nominal-only and the
+//! multi-point family — are written to `BENCH_replay.json` at the
+//! workspace root (override the path with `DISTFRONT_BENCH_REPLAY_JSON`),
+//! so CI tracks the record/replay trajectory across PRs; the acceptance
+//! bar is ≥ 2× per cell, and the measured speedup is typically far
+//! higher because replay skips the core simulator entirely. Byte
+//! identity between the live and replayed reports is asserted, not
+//! assumed. Runs in `--test` mode too.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -20,7 +25,7 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, Criterion};
 use distfront::emergency::EmergencyPolicy;
 use distfront::engine::{CoupledEngine, TraceMode, TraceStore};
-use distfront::{DtmSpec, ExperimentConfig, SweepRunner};
+use distfront::{DtmSpec, DvfsPolicy, ExperimentConfig, SweepRunner};
 use distfront_bench::kernel_app;
 use distfront_trace::{AppProfile, Workload};
 use std::hint::black_box;
@@ -51,35 +56,39 @@ fn throttled(uops: u64) -> ExperimentConfig {
         .with_dtm(DtmSpec::Emergency(EmergencyPolicy::with_threshold(100.0)))
 }
 
-fn comparison() {
-    let uops = uops();
-    let apps = suite();
-    let cfg = throttled(uops);
-    let rounds = 3u32;
-    println!(
-        "\nreplay: {} apps x {uops} uops, {rounds} live rounds vs record-once-replay-{rounds}...",
-        apps.len()
-    );
-
-    // Live reference: the throttled sweep, simulated end to end.
+/// Per-cell live vs record-once-replay-many numbers for one sweep pair:
+/// the suite runs live under `replay_cfg` `rounds` times, is recorded
+/// once under `record_cfg`, and replays `rounds` times from that store.
+/// Byte identity between live and replayed reports is asserted. Returns
+/// `(live_ms, replay_ms, record_ms, trace_bytes)` per cell.
+fn head_to_head(
+    label: &str,
+    record_cfg: &ExperimentConfig,
+    replay_cfg: &ExperimentConfig,
+    apps: &[distfront_trace::AppProfile],
+    rounds: u32,
+) -> (f64, f64, f64, f64) {
+    // Live reference: the target sweep, simulated end to end.
     let t0 = Instant::now();
     let mut live = None;
     for _ in 0..rounds {
-        live = Some(SweepRunner::serial().try_suite(&cfg, &apps));
+        live = Some(SweepRunner::serial().try_suite(replay_cfg, apps));
     }
     let live_s = t0.elapsed().as_secs_f64();
     let live = live.expect("at least one live round");
-    assert!(live.is_complete(), "live bench cells must not fail");
+    assert!(
+        live.is_complete(),
+        "{label}: live bench cells must not fail"
+    );
 
-    // Record once (under the plain baseline — the uarch side the sweep
-    // shares), then replay the throttled sweep from it.
     let store = Arc::new(TraceStore::new());
-    let base = ExperimentConfig::baseline().with_uops(uops);
     let t1 = Instant::now();
     SweepRunner::serial()
         .with_trace_mode(TraceMode::Record(Arc::clone(&store)))
-        .try_suite(&base, &apps);
+        .try_suite(record_cfg, apps);
     let record_s = t1.elapsed().as_secs_f64();
+    let trace_bytes: usize = store.traces().iter().map(|t| t.encode().len()).sum();
+    let traces = store.len();
 
     let t2 = Instant::now();
     let mut replayed = None;
@@ -87,7 +96,7 @@ fn comparison() {
         replayed = Some(
             SweepRunner::serial()
                 .with_trace_mode(TraceMode::Replay(Arc::clone(&store)))
-                .try_suite(&cfg, &apps),
+                .try_suite(replay_cfg, apps),
         );
     }
     let replay_s = t2.elapsed().as_secs_f64();
@@ -95,27 +104,69 @@ fn comparison() {
     assert_eq!(
         replayed.replayed(),
         apps.len(),
-        "every replay cell must come from the recording"
+        "{label}: every replay cell must come from the recording"
     );
-    assert_eq!(replayed, live, "replay diverged from live simulation");
+    assert_eq!(
+        replayed, live,
+        "{label}: replay diverged from live simulation"
+    );
 
     let cells = (apps.len() as u32 * rounds) as f64;
-    let live_ms = live_s * 1e3 / cells;
-    let replay_ms = replay_s * 1e3 / cells;
+    (
+        live_s * 1e3 / cells,
+        replay_s * 1e3 / cells,
+        record_s * 1e3 / apps.len() as f64,
+        trace_bytes as f64 / traces as f64,
+    )
+}
+
+fn comparison() {
+    let uops = uops();
+    let apps = suite();
+    let rounds = 3u32;
+    println!(
+        "\nreplay: {} apps x {uops} uops, {rounds} live rounds vs record-once-replay-{rounds}...",
+        apps.len()
+    );
+
+    // Power-side sweep from a nominal-only recording: record under the
+    // plain baseline (the uarch side the sweep shares), replay the
+    // emergency-throttled variant from it.
+    let base = ExperimentConfig::baseline().with_uops(uops);
+    let (live_ms, replay_ms, record_ms, bytes) =
+        head_to_head("nominal", &base, &throttled(uops), &apps, rounds);
     let speedup = live_ms / replay_ms;
     println!(
-        "live {live_ms:.2} ms/cell | replay {replay_ms:.2} ms/cell | speedup {speedup:.1}x \
-         (record once: {:.2} ms/cell; results bit-identical)\n",
-        record_s * 1e3 / apps.len() as f64
+        "nominal: live {live_ms:.2} ms/cell | replay {replay_ms:.2} ms/cell | \
+         speedup {speedup:.1}x (record once: {record_ms:.2} ms/cell, {bytes:.0} trace B/cell; \
+         results bit-identical)"
+    );
+
+    // The DFAT v2 ladder: a core-perturbing global-DVFS sweep, recorded
+    // under its own policy so each trace carries the nominal + scaled
+    // operating points, then replayed by per-interval point selection.
+    let ladder = ExperimentConfig::baseline()
+        .with_uops(uops)
+        .with_dtm(DtmSpec::GlobalDvfs(DvfsPolicy::with_trip(50.0)));
+    let (l_live_ms, l_replay_ms, l_record_ms, l_bytes) =
+        head_to_head("ladder", &ladder, &ladder, &apps, rounds);
+    let l_speedup = l_live_ms / l_replay_ms;
+    println!(
+        "ladder (dvfs): live {l_live_ms:.2} ms/cell | replay {l_replay_ms:.2} ms/cell | \
+         speedup {l_speedup:.1}x (record once: {l_record_ms:.2} ms/cell, {l_bytes:.0} trace \
+         B/cell; results bit-identical)\n"
     );
 
     let json = format!(
         "{{\n  \"bench\": \"replay_sweep_cell\",\n  \"apps\": {},\n  \"uops\": {uops},\n  \
          \"rounds\": {rounds},\n  \"live_ms_per_cell\": {live_ms:.3},\n  \
-         \"replay_ms_per_cell\": {replay_ms:.3},\n  \"record_ms_per_cell\": {:.3},\n  \
-         \"speedup\": {speedup:.2}\n}}\n",
+         \"replay_ms_per_cell\": {replay_ms:.3},\n  \"record_ms_per_cell\": {record_ms:.3},\n  \
+         \"trace_bytes_per_cell\": {bytes:.0},\n  \"speedup\": {speedup:.2},\n  \
+         \"ladder_live_ms_per_cell\": {l_live_ms:.3},\n  \
+         \"ladder_replay_ms_per_cell\": {l_replay_ms:.3},\n  \
+         \"ladder_record_ms_per_cell\": {l_record_ms:.3},\n  \
+         \"ladder_trace_bytes_per_cell\": {l_bytes:.0},\n  \"ladder_speedup\": {l_speedup:.2}\n}}\n",
         apps.len(),
-        record_s * 1e3 / apps.len() as f64
     );
     let path = std::env::var("DISTFRONT_BENCH_REPLAY_JSON")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replay.json").into());

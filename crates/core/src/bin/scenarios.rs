@@ -259,13 +259,21 @@ fn load_traces(dir: &str) -> Result<Arc<TraceStore>, String> {
 }
 
 /// Writes every recorded trace to `dir` as
-/// `<config>__<workload>.dft`.
+/// `<config>__<workload>__<capability>.dft` — the capability id keeps two
+/// point families of the same cell (say, a nominal-only baseline recording
+/// and a DVFS-family one) from clobbering each other on disk, mirroring
+/// the store's keying.
 fn save_traces(dir: &str, store: &TraceStore) -> Result<usize, String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
     let traces = store.traces();
     for trace in &traces {
-        let file =
-            format!("{}__{}.dft", trace.meta.config, trace.meta.workload).replace(['/', '\\'], "-");
+        let file = format!(
+            "{}__{}__{}.dft",
+            trace.meta.config,
+            trace.meta.workload,
+            trace.meta.capability_id()
+        )
+        .replace(['/', '\\'], "-");
         let path = Path::new(dir).join(file);
         std::fs::write(&path, trace.encode())
             .map_err(|e| format!("writing {}: {e}", path.display()))?;

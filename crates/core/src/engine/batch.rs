@@ -42,7 +42,7 @@ use distfront_trace::Workload;
 
 use super::context::EngineCx;
 use super::coupled::finish;
-use super::replay::{apply_power_action, unflatten_for, ReplayPilotStage};
+use super::replay::{apply_power_action, select_point, unflatten_for, ReplayPilotStage};
 use super::stages::WarmStartStage;
 use super::sweep::{CellOutcome, WarmStartCache};
 use super::traits::{DtmAction, Stage};
@@ -177,8 +177,10 @@ fn run_lockstep(lanes: &mut [Lane<'_>]) {
     }
 
     let mut powers = vec![0.0f64; nb * lanes.len()];
-    // Lanes advancing this interval, with their wall-clock dt.
-    let mut advancing: Vec<(usize, f64)> = Vec::with_capacity(lanes.len());
+    // Lanes advancing this interval: column index, wall-clock dt, and the
+    // selected operating point's `done` flag (captured before the DTM
+    // decision overwrites the action that selected it).
+    let mut advancing: Vec<(usize, f64, bool)> = Vec::with_capacity(lanes.len());
     // Column groups per half-step size (throttled lanes stretch apart).
     let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
     let mut k = 0usize;
@@ -189,11 +191,15 @@ fn run_lockstep(lanes: &mut [Lane<'_>]) {
                 continue;
             }
             let rec = &lane.trace.intervals[k];
-            if let Err(e) = apply_power_action(&mut lane.cx, lane.action) {
-                lane.result = Some(Err(e));
-                continue;
-            }
-            let act = match unflatten_for(lane.cx.machine, &rec.counters) {
+            let point = match select_point(&lane.trace.meta, rec, lane.action) {
+                Ok(point) => point,
+                Err(e) => {
+                    lane.result = Some(Err(e));
+                    continue;
+                }
+            };
+            apply_power_action(&mut lane.cx, lane.action);
+            let act = match unflatten_for(lane.cx.machine, &point.counters) {
                 Ok(act) => act,
                 Err(e) => {
                     lane.result = Some(Err(e));
@@ -213,7 +219,7 @@ fn run_lockstep(lanes: &mut [Lane<'_>]) {
             lane.cx.power_time_sum += power.iter().sum::<f64>() * dt;
             lane.cx.time_sum += dt;
             powers[j * nb..(j + 1) * nb].copy_from_slice(&power);
-            advancing.push((j, dt));
+            advancing.push((j, dt, point.done));
         }
         if advancing.is_empty() {
             break;
@@ -222,7 +228,7 @@ fn run_lockstep(lanes: &mut [Lane<'_>]) {
         // Group columns by the exact half-step bits: the common (no-DTM)
         // case is a single group — one mat-mat pair for the whole cohort.
         groups.clear();
-        for &(j, dt) in &advancing {
+        for &(j, dt, _) in &advancing {
             let bits = (dt / 2.0).to_bits();
             match groups.iter_mut().find(|(b, _)| *b == bits) {
                 Some((_, cols)) => cols.push(j),
@@ -233,19 +239,18 @@ fn run_lockstep(lanes: &mut [Lane<'_>]) {
             for (bits, cols) in &groups {
                 batch.advance_columns(&powers, f64::from_bits(*bits), cols);
             }
-            for &(j, dt) in &advancing {
+            for &(j, dt, _) in &advancing {
                 lanes[j].cx.tracker.record(batch.block_column(j), dt / 2.0);
             }
         }
 
-        for &(j, _) in &advancing {
+        for &(j, _, done) in &advancing {
             let lane = &mut lanes[j];
             lane.cx.tracker.end_interval();
             if let Some(ctrl) = &mut lane.cx.dtm {
                 lane.action = ctrl.decide(batch.block_column(j));
             }
-            let rec = &lane.trace.intervals[k];
-            if rec.done || k + 1 == lane.trace.intervals.len() {
+            if done || k + 1 == lane.trace.intervals.len() {
                 lane.cx
                     .thermal
                     .set_node_temperatures(batch.column(j).to_vec());
@@ -283,9 +288,11 @@ fn cell_outcome(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dtm::DvfsPolicy;
     use crate::emergency::EmergencyPolicy;
     use crate::engine::{SweepReport, SweepRunner, TraceMode, TraceStore};
     use crate::experiment::DtmSpec;
+    use distfront_trace::record::PointKey;
     use distfront_trace::AppProfile;
 
     fn apps() -> Vec<AppProfile> {
@@ -322,19 +329,26 @@ mod tests {
     #[test]
     fn batched_replay_is_bit_identical_to_serial_replay_at_any_worker_count() {
         let apps = apps();
+        let dvfs = ExperimentConfig::baseline()
+            .with_uops(60_000)
+            .with_dtm(DtmSpec::GlobalDvfs(DvfsPolicy::with_trip(50.0)));
         let record_cfgs = vec![
             ExperimentConfig::baseline().with_uops(60_000),
+            dvfs.clone(),
             ExperimentConfig::bank_hopping().with_uops(60_000),
         ];
         let store = record(&record_cfgs, &apps);
         // The replay grid adds a throttling DTM variant sharing the
         // baseline's name (the record-once / replay-many convention), so
-        // one cohort mixes throttle-stretched and nominal step sizes.
+        // one cohort mixes throttle-stretched, DVFS-stretched and nominal
+        // step sizes — and lanes replaying from traces with *different*
+        // point families (nominal-only vs the DVFS pair).
         let replay_cfgs = vec![
             ExperimentConfig::baseline().with_uops(60_000),
             ExperimentConfig::baseline()
                 .with_uops(60_000)
                 .with_dtm(DtmSpec::Emergency(EmergencyPolicy::with_threshold(50.0))),
+            dvfs,
             ExperimentConfig::bank_hopping().with_uops(60_000),
         ];
         let serial = replay_report(&replay_cfgs, &apps, &store, 1, false);
@@ -368,9 +382,9 @@ mod tests {
         // unflatten inside the lockstep loop, after the cohort has already
         // advanced together — the harshest point to drop a lane.
         let broken = {
-            let mut t = (*store.get("baseline", "gzip").unwrap()).clone();
+            let mut t = (*store.get("baseline", "gzip", &[PointKey::Nominal]).unwrap()).clone();
             assert!(t.intervals.len() >= 2, "need a mid-run interval to corrupt");
-            t.intervals[1].counters.truncate(3);
+            t.intervals[1].points[0].counters.truncate(3);
             t
         };
         store.insert(broken);

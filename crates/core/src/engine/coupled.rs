@@ -453,7 +453,7 @@ mod tests {
         assert_eq!(result, plain, "recording changed the run");
         assert_eq!(trace.meta.workload, "tiny");
         assert!(!trace.intervals.is_empty());
-        assert!(trace.intervals.last().unwrap().done);
+        assert!(trace.intervals.last().unwrap().points[0].done);
 
         let (replayed, stats) = CoupledEngine::new(&cfg, &app)
             .with_replay(Arc::new(trace))

@@ -24,14 +24,17 @@
 //!   power profile), sharded by key hash with same-key cold solves
 //!   deduplicated,
 //! * [`TraceRecorder`] / [`ReplayBackend`] — record a live run's
-//!   per-interval activity as an
+//!   per-interval activity as a multi-operating-point
 //!   [`ActivityTrace`](distfront_trace::record::ActivityTrace) and replay
 //!   it through the power/thermal/DTM loop without re-simulating the
-//!   core (exact for power-level DTM policies; the engine rejects
-//!   core-perturbing ones with [`EngineError::ReplayIncompatible`]), and
+//!   core. The trace declares which operating points it recorded —
+//!   nominal plus the policy-actionable variants (DVFS, fetch-gate duty,
+//!   migration targets) — and replay is exact for any policy whose
+//!   points the trace covers; a policy needing an unrecorded point is
+//!   rejected with [`EngineError::ReplayIncompatible`] naming it, and
 //! * [`TraceStore`] / [`TraceMode`] — the sweep-level record-once /
-//!   replay-many plumbing, with per-cell fallback to live simulation
-//!   when no compatible trace exists, and
+//!   replay-many plumbing, keyed by capability family, with per-cell
+//!   fallback to live simulation when no covering trace exists, and
 //! * [`BatchScheduler`] — lockstep batched replay: the sweep executor
 //!   groups replay-mode cells sharing a machine shape into cohorts
 //!   ([`SweepRunner::with_batch`]) and advances each cohort's
@@ -96,11 +99,10 @@ pub enum EngineError {
     /// no measurement intervals), so the report metrics are undefined.
     NoData(&'static str),
     /// A recorded trace cannot stand in for this run: the core-side
-    /// configuration differs from the recording's, or the DTM policy (or
-    /// one of its actions) perturbs the core pipeline, which a replay
-    /// cannot honor. The message names the offending field, policy or
-    /// action; callers that can (the replaying sweep executor) fall back
-    /// to live simulation.
+    /// configuration differs from the recording's, or the DTM policy
+    /// needs an operating point the trace never recorded. The message
+    /// names the offending field, policy or missing point; callers that
+    /// can (the replaying sweep executor) fall back to live simulation.
     ReplayIncompatible(String),
 }
 

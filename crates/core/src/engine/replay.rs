@@ -5,9 +5,13 @@
 //! * [`TraceRecorder`] is the tap the default stages write into when
 //!   [`CoupledEngine::run_recorded`](super::CoupledEngine::run_recorded)
 //!   installs it: the pilot's merged activity, one record per evaluation
-//!   interval (flattened counters + the gated trace-cache bank), and the
-//!   run's final core statistics. Recording only observes — a recorded
-//!   run's [`AppResult`](crate::runner::AppResult) is bit-identical to an
+//!   interval — a **family of operating points** (DFAT v2), each a
+//!   flattened counter row plus done flag — and the run's final core
+//!   statistics. The live stream lands on the family point matching the
+//!   interval's live DTM action; every other family point is captured by
+//!   [`Simulator::probe_interval`](distfront_uarch::Simulator::probe_interval)
+//!   on a throwaway fork, so recording only observes — a recorded run's
+//!   [`AppResult`](crate::runner::AppResult) is bit-identical to an
 //!   unrecorded one.
 //! * [`ReplayBackend`] is the uarch-free stage pipeline that consumes a
 //!   recorded [`ActivityTrace`]: a replay pilot re-derives the nominal
@@ -15,34 +19,48 @@
 //!   and the shared [`WarmStartCache`] keys — are identical to live), the
 //!   regular [`WarmStartStage`] runs unchanged, and the replay loop feeds
 //!   each recorded interval through the same power/thermal/DTM arithmetic
-//!   as the live interval loop.
+//!   as the live interval loop, selecting the recorded operating point
+//!   that matches the policy's [`DtmAction`] for that interval.
+//!
+//! # The capability model
+//!
+//! A trace *declares* what it can faithfully replay: its recorded point
+//! family (see [`TraceMeta::points`]) is its capability set. Validation
+//! derives the points the target configuration's DTM policy can demand
+//! ([`ExperimentConfig::replay_points`]) and requires the family to cover
+//! them, naming the missing capability — there is no blanket per-policy
+//! rejection. A legacy v1 trace decodes with a `[Nominal]` family, so it
+//! still replays power-level DTM (none / emergency throttle) and is
+//! rejected, with the reason, for anything core-perturbing.
 //!
 //! # When replay is exact
 //!
-//! Replay is **byte-identical** to the live run whenever the core
-//! pipeline would have behaved identically: same configuration core side
-//! (seed, run length, interval, machine shape, hopping) and a DTM policy
-//! that acts purely at the power level ([`DtmAction::Nominal`] /
-//! [`DtmAction::Throttle`], i.e. no policy or the emergency throttle).
-//! Policies that perturb the core — DVFS's clock rescaling, fetch gating,
-//! migration — change the activity stream itself; the engine rejects them
-//! at build time with [`EngineError::ReplayIncompatible`] naming the
-//! offending policy (and the sweep executor falls back to live
-//! simulation). One deliberate approximation remains: a thermally-biased
-//! bank mapping reacts to the replayed temperature trajectory, whose
-//! bank-mapping decisions are baked into the recording — replaying such a
-//! trace under a *different* power-side configuration is an approximation
-//! rather than exact, while replaying under the recording configuration
-//! is always exact.
+//! Replay is **byte-identical** to the live run whenever every interval's
+//! replayed decision selects the point the live run actually took — in
+//! particular, always, when replaying the recording configuration itself:
+//! the replayed activity equals the live activity interval by interval, so
+//! power, temperatures and the (deterministic) controller's decisions
+//! reproduce by induction, and each decision selects the live point again.
+//! This is the CI-verified path for the whole DTM ladder, DVFS, fetch
+//! gating and migration included. When a replay *diverges* (a different
+//! trip point, say, engages DVFS on an interval the recording ran
+//! nominal), the selected variant point is the core's exact one-interval
+//! response from the recorded trajectory's pipeline state; over the
+//! remaining run it is a first-order approximation, because the recording
+//! resumes from its own history rather than the divergent one. One further
+//! deliberate approximation remains as in v1: a thermally-biased bank
+//! mapping reacts to the replayed temperature trajectory, whose
+//! bank-mapping decisions are baked into the recording.
 
 use std::sync::Arc;
 
 use distfront_power::{BlockId, Machine, OperatingPoint};
 use distfront_trace::record::{
-    ActivityTrace, FinalStats, IntervalRecord, TraceMeta, TraceShape, TRACE_FORMAT_VERSION,
+    ActivityTrace, FinalStats, IntervalRecord, PointKey, PointRecord, TraceMeta, TraceShape,
+    TRACE_FORMAT_V1, TRACE_FORMAT_VERSION,
 };
 use distfront_trace::Workload;
-use distfront_uarch::{record as tap, ActivityCounters};
+use distfront_uarch::{record as tap, ActivityCounters, IntervalReport};
 
 use super::stages::WarmStartStage;
 use super::sweep::WarmStartCache;
@@ -63,15 +81,23 @@ pub struct TraceRecorder {
 }
 
 impl TraceRecorder {
-    /// A recorder for a run of `workload` under `cfg`.
+    /// A recorder for a run of `workload` under `cfg`. The recorded point
+    /// family is [`ExperimentConfig::replay_points`] — nominal plus
+    /// whatever the configured DTM policy can engage.
     ///
     /// `custom_dtm` flags a DTM policy installed through
     /// [`CoupledEngine::with_dtm`](super::CoupledEngine::with_dtm) rather
     /// than the configuration's [`DtmSpec`](crate::experiment::DtmSpec):
-    /// an arbitrary boxed policy cannot be proven power-level-only, so
-    /// such recordings are conservatively marked not replay-safe.
+    /// an arbitrary boxed policy's actions cannot be derived from the
+    /// configuration, so such recordings capture the live stream only and
+    /// are conservatively marked not replay-safe.
     pub fn new(cfg: &ExperimentConfig, workload: &Workload, custom_dtm: bool) -> Self {
         let pc = &cfg.processor;
+        let points = if custom_dtm {
+            vec![PointKey::Nominal]
+        } else {
+            cfg.replay_points()
+        };
         TraceRecorder {
             meta: TraceMeta {
                 version: TRACE_FORMAT_VERSION,
@@ -87,16 +113,22 @@ impl TraceRecorder {
                     tc_banks: pc.trace_cache.physical_banks() as u32,
                 },
                 hop: cfg.hop,
-                replay_safe: !custom_dtm && cfg.dtm.as_ref().is_none_or(|d| d.replay_compatible()),
+                replay_safe: !custom_dtm,
                 dtm: cfg
                     .dtm
                     .as_ref()
                     .map(|d| d.name().to_string())
                     .or_else(|| custom_dtm.then(|| "custom".to_string())),
+                points,
             },
             pilot: Vec::new(),
             intervals: Vec::new(),
         }
+    }
+
+    /// The operating-point family this recorder captures per interval.
+    pub fn family(&self) -> &[PointKey] {
+        &self.meta.points
     }
 
     /// Records the pilot phase's merged activity.
@@ -104,12 +136,24 @@ impl TraceRecorder {
         self.pilot = tap::flatten(act);
     }
 
-    /// Records one evaluation interval.
-    pub fn record_interval(&mut self, act: &ActivityCounters, gated_bank: Option<u8>, done: bool) {
+    /// Records one evaluation interval from one report per family point,
+    /// in [`family`](Self::family) order (the live step's report at the
+    /// live action's point, fork probes elsewhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) when the report count mismatches the family.
+    pub fn record_interval(&mut self, points: &[&IntervalReport], gated_bank: Option<u8>) {
+        debug_assert_eq!(points.len(), self.meta.points.len());
         self.intervals.push(IntervalRecord {
-            counters: tap::flatten(act),
+            points: points
+                .iter()
+                .map(|r| PointRecord {
+                    counters: tap::flatten(&r.activity),
+                    done: r.done,
+                })
+                .collect(),
             gated_bank,
-            done,
         });
     }
 
@@ -134,14 +178,15 @@ impl TraceRecorder {
 pub struct ReplayBackend;
 
 impl ReplayBackend {
-    /// Checks that replaying `trace` for (`cfg`, `workload`) is exact.
+    /// Checks that replaying `trace` for (`cfg`, `workload`) is faithful.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::ReplayIncompatible`] naming the first
     /// mismatch: an unsupported trace version, a core-side configuration
     /// difference (workload, seed, run length, interval, machine shape,
-    /// hopping), a core-perturbing DTM policy on either side, or an empty
+    /// hopping), a tainted (custom-DTM) recording, a required operating
+    /// point the trace's capability set does not cover, or an empty
     /// recording.
     pub fn validate(
         cfg: &ExperimentConfig,
@@ -150,9 +195,10 @@ impl ReplayBackend {
     ) -> Result<(), EngineError> {
         let m = &trace.meta;
         let fail = |msg: String| Err(EngineError::ReplayIncompatible(msg));
-        if m.version != TRACE_FORMAT_VERSION {
+        if m.version != TRACE_FORMAT_VERSION && m.version != TRACE_FORMAT_V1 {
             return fail(format!(
-                "trace format version {} (this build replays {TRACE_FORMAT_VERSION})",
+                "trace format version {} (this build replays {TRACE_FORMAT_V1} and \
+                 {TRACE_FORMAT_VERSION})",
                 m.version
             ));
         }
@@ -207,17 +253,26 @@ impl ReplayBackend {
         }
         if !m.replay_safe {
             return fail(format!(
-                "trace was recorded under the core-perturbing DTM policy {}",
+                "trace was recorded under the unverifiable custom DTM policy {} and \
+                 cannot prove any operating point",
                 m.dtm.as_deref().unwrap_or("<unknown>")
             ));
         }
-        if let Some(spec) = &cfg.dtm {
-            if !spec.replay_compatible() {
-                return fail(format!(
-                    "DTM policy {} perturbs the core pipeline and cannot run on a replay",
-                    spec.name()
-                ));
-            }
+        // Capability coverage: every point the target policy can demand
+        // must have been recorded. The error names the missing capability
+        // (and what the trace does have) so the fix — re-record under the
+        // target policy — is obvious.
+        let required = cfg.replay_points();
+        if let Some(missing) = required.iter().find(|k| m.point_index(**k).is_none()) {
+            let policy = cfg.dtm.as_ref().map_or("none", |d| d.name());
+            return fail(format!(
+                "DTM policy {policy} needs the {} operating point, but the trace \
+                 only records [{}] (version {}); re-record under the target policy \
+                 to capture it",
+                missing.label(),
+                m.capability_id(),
+                m.version
+            ));
         }
         if trace.intervals.is_empty() {
             return fail("trace records no evaluation intervals".to_string());
@@ -285,7 +340,9 @@ impl Stage for ReplayPilotStage {
 /// Feeds recorded per-interval activity through the same power → thermal
 /// → DTM arithmetic as the live
 /// [`IntervalLoopStage`](super::IntervalLoopStage), skipping the core
-/// simulator entirely.
+/// simulator entirely. Each interval replays the recorded operating point
+/// selected by the policy's action for that interval (power-level actions
+/// ride the nominal point).
 #[derive(Debug)]
 pub struct ReplayLoopStage {
     trace: Arc<ActivityTrace>,
@@ -300,8 +357,9 @@ impl Stage for ReplayLoopStage {
         let trace = Arc::clone(&self.trace);
         let mut action = DtmAction::Nominal;
         for rec in &trace.intervals {
-            apply_power_action(cx, action)?;
-            let act = unflatten_for(cx.machine, &rec.counters)?;
+            let point = select_point(&trace.meta, rec, action)?;
+            apply_power_action(cx, action);
+            let act = unflatten_for(cx.machine, &point.counters)?;
             let gated: Vec<BlockId> = rec.gated_bank.map(BlockId::TcBank).into_iter().collect();
             let temps_now = cx.thermal.block_temperatures().to_vec();
             let mut power = cx.model.total_power(&act, &temps_now, &gated);
@@ -312,9 +370,9 @@ impl Stage for ReplayLoopStage {
                 power[cx.machine.index_of(*g)] = 0.0;
             }
             // Same wall-time accounting as the live loop: dt derives from
-            // the recorded cycle count at the model's effective frequency,
-            // so power-level throttling stretches replayed intervals
-            // exactly as it stretches live ones.
+            // the selected point's cycle count at the model's effective
+            // frequency, so power-level throttling and DVFS stretch
+            // replayed intervals exactly as they stretch live ones.
             let dt = act.cycles as f64 / cx.model.effective_frequency_hz();
             cx.power_time_sum += power.iter().sum::<f64>() * dt;
             cx.time_sum += dt;
@@ -331,7 +389,7 @@ impl Stage for ReplayLoopStage {
             if let Some(ctrl) = &mut cx.dtm {
                 action = ctrl.decide(cx.thermal.block_temperatures());
             }
-            if rec.done {
+            if point.done {
                 break;
             }
         }
@@ -364,26 +422,56 @@ pub(super) fn unflatten_for(
         .map_err(EngineError::ReplayIncompatible)
 }
 
-/// Applies a power-level action, releasing whatever the previous interval
-/// engaged (the power half of the live loop's action translation):
-/// core-perturbing actions cannot be honored without the simulator and
-/// abort the replay.
-pub(super) fn apply_power_action(
-    cx: &mut EngineCx<'_>,
-    action: DtmAction,
-) -> Result<(), EngineError> {
-    cx.model.set_operating_point(OperatingPoint::nominal());
+/// The operating point a DTM action runs the core at. Power-level actions
+/// (nominal, emergency throttle) leave the pipeline on the nominal stream;
+/// the core-perturbing actions map to their recorded variant points.
+pub(super) fn point_key_of(action: DtmAction) -> PointKey {
     match action {
-        DtmAction::Nominal => Ok(()),
-        DtmAction::Throttle(factor) => {
-            cx.model
-                .set_operating_point(OperatingPoint::scaled(factor, 1.0));
-            Ok(())
-        }
-        DtmAction::Dvfs { .. } | DtmAction::FetchGate { .. } | DtmAction::MigrateTo(_) => {
-            Err(EngineError::ReplayIncompatible(format!(
-                "DTM action {action:?} perturbs the core pipeline and cannot run on a replay"
-            )))
-        }
+        DtmAction::Nominal | DtmAction::Throttle(_) => PointKey::Nominal,
+        DtmAction::Dvfs { f_scale, v_scale } => PointKey::dvfs(f_scale, v_scale),
+        DtmAction::FetchGate { open, period } => PointKey::FetchGate { open, period },
+        DtmAction::MigrateTo(p) => PointKey::MigrateTo(p as u32),
     }
+}
+
+/// Selects the recorded point `action` demands from `rec` — the runtime
+/// backstop behind [`ReplayBackend::validate`]'s coverage check (a
+/// divergent policy can only demand points validation already proved
+/// recorded, so a failure here means the trace and policy disagree about
+/// the policy's action set).
+///
+/// # Errors
+///
+/// Returns [`EngineError::ReplayIncompatible`] naming the unrecorded
+/// point.
+pub(super) fn select_point<'t>(
+    meta: &TraceMeta,
+    rec: &'t IntervalRecord,
+    action: DtmAction,
+) -> Result<&'t PointRecord, EngineError> {
+    let key = point_key_of(action);
+    match meta.point_index(key) {
+        Some(idx) => Ok(&rec.points[idx]),
+        None => Err(EngineError::ReplayIncompatible(format!(
+            "DTM action {action:?} demands the unrecorded operating point {} \
+             (trace records [{}])",
+            key.label(),
+            meta.capability_id()
+        ))),
+    }
+}
+
+/// Applies the power-model half of a DTM action for the coming replayed
+/// interval, releasing whatever the previous interval engaged — exactly
+/// the live loop's operating-point translation. The core half of the
+/// action is honored by [`select_point`] choosing the matching recorded
+/// activity, so no simulator is needed.
+pub(super) fn apply_power_action(cx: &mut EngineCx<'_>, action: DtmAction) {
+    cx.model.set_operating_point(match action {
+        DtmAction::Nominal | DtmAction::FetchGate { .. } | DtmAction::MigrateTo(_) => {
+            OperatingPoint::nominal()
+        }
+        DtmAction::Throttle(factor) => OperatingPoint::scaled(factor, 1.0),
+        DtmAction::Dvfs { f_scale, v_scale } => OperatingPoint::scaled(f_scale, v_scale),
+    });
 }

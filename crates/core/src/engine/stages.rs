@@ -5,8 +5,10 @@
 use std::sync::Arc;
 
 use distfront_power::{BlockId, OperatingPoint};
-use distfront_uarch::{ActivityCounters, FetchGate};
+use distfront_trace::record::PointKey;
+use distfront_uarch::{ActivityCounters, FetchGate, IntervalReport, Simulator};
 
+use super::replay::point_key_of;
 use super::sweep::WarmStartCache;
 use super::traits::{DtmAction, Stage};
 use super::{EngineCx, EngineError};
@@ -175,14 +177,51 @@ impl Stage for IntervalLoopStage {
         let cfg = cx.cfg;
         let pc = &cfg.processor;
         cx.sim.reset_workload(cx.workload, cfg.seed);
+        // The recording family (empty when not recording): per interval the
+        // live step covers the point matching the live action, and every
+        // other family point is probed on a throwaway simulator fork from
+        // the identical pipeline state.
+        let family: Vec<PointKey> = cx
+            .recorder
+            .as_ref()
+            .map(|rec| rec.family().to_vec())
+            .unwrap_or_default();
         let mut action = DtmAction::Nominal;
         loop {
             apply_action(cx, action);
             let target = cx.sim.current_cycle() + cfg.interval_cycles;
+            let live_key = point_key_of(action);
+            // A single-point family needs no forks: the live stream *is*
+            // the nominal point (power-level actions never perturb it, and
+            // a tainted custom-DTM recording keeps the raw live stream).
+            let probes: Vec<Option<IntervalReport>> = if family.len() > 1 {
+                family
+                    .iter()
+                    .map(|&key| {
+                        (key != live_key).then(|| {
+                            cx.sim.probe_interval(
+                                |fork| apply_sim_point(fork, key),
+                                target,
+                                cfg.uops_per_app,
+                            )
+                        })
+                    })
+                    .collect()
+            } else {
+                vec![None; family.len()]
+            };
             let r = cx.sim.step(target, cfg.uops_per_app);
             let gated_bank = cx.sim.trace_cache().gated_bank().map(|b| b as u8);
             if let Some(rec) = &mut cx.recorder {
-                rec.record_interval(&r.activity, gated_bank, r.done);
+                let reports: Vec<&IntervalReport> = family
+                    .iter()
+                    .zip(&probes)
+                    .map(|(&key, probe)| match probe {
+                        Some(p) if key != live_key => p,
+                        _ => &r,
+                    })
+                    .collect();
+                rec.record_interval(&reports, gated_bank);
             }
             let gated: Vec<BlockId> = gated_bank.map(BlockId::TcBank).into_iter().collect();
             let temps_now = cx.thermal.block_temperatures().to_vec();
@@ -236,6 +275,24 @@ impl Stage for IntervalLoopStage {
 /// interval engaged. Every hook's nominal setting is exactly the state an
 /// engine starts in, so a run without a DTM policy (or with one that stays
 /// [`DtmAction::Nominal`]) is bit-identical to the pre-DTM engine.
+/// Configures a probe fork's simulator hooks to an operating point: the
+/// core half of [`apply_action`], keyed by the recorded [`PointKey`]
+/// instead of a live [`DtmAction`]. Resets every hook first so the fork's
+/// variant state is absolute, not relative to the live action's.
+fn apply_sim_point(sim: &mut Simulator, key: PointKey) {
+    sim.set_clock_scale(1.0);
+    sim.set_fetch_gate(None);
+    sim.set_partition_bias(None);
+    match key {
+        PointKey::Nominal => {}
+        PointKey::Dvfs { f_bits, .. } => sim.set_clock_scale(f64::from_bits(f_bits)),
+        PointKey::FetchGate { open, period } => {
+            sim.set_fetch_gate(Some(FetchGate { open, period }))
+        }
+        PointKey::MigrateTo(p) => sim.set_partition_bias(Some(p as usize)),
+    }
+}
+
 fn apply_action(cx: &mut EngineCx<'_>, action: DtmAction) {
     cx.model.set_operating_point(OperatingPoint::nominal());
     cx.sim.set_clock_scale(1.0);

@@ -19,7 +19,7 @@ use std::time::Instant;
 
 use distfront_power::{LeakageModel, Machine};
 use distfront_thermal::Integrator;
-use distfront_trace::record::ActivityTrace;
+use distfront_trace::record::{ActivityTrace, PointKey};
 use distfront_trace::{AppProfile, Workload};
 
 use super::batch::BatchScheduler;
@@ -287,13 +287,22 @@ impl WarmStartCache {
 
 /// Shares recorded [`ActivityTrace`]s between sweep runs: a recording
 /// sweep inserts one trace per successful cell, a replaying sweep looks
-/// cells up by `(configuration name, workload name)` — the recording key,
-/// under the convention that a configuration's name identifies its core
-/// (uarch) side, which is exactly what two configurations sweeping only
-/// the power/thermal/DTM side share.
+/// cells up by `(configuration name, workload name)` plus the
+/// **capability set** the replay requires — under the convention that a
+/// configuration's name identifies its core (uarch) side, which is
+/// exactly what two configurations sweeping only the power/thermal/DTM
+/// side share.
+///
+/// Keys include [`TraceMeta::capability_id`], so a nominal-only recording
+/// and a DVFS-family recording of the same cell coexist instead of
+/// clobbering each other, and a lookup that *needs* core-perturbing
+/// points can never be satisfied by a power-only trace: [`get`](Self::get)
+/// returns only traces whose recorded point family covers the request.
+///
+/// [`TraceMeta::capability_id`]: distfront_trace::record::TraceMeta::capability_id
 #[derive(Debug, Default)]
 pub struct TraceStore {
-    map: Mutex<HashMap<(String, String), Arc<ActivityTrace>>>,
+    map: Mutex<HashMap<(String, String, String), Arc<ActivityTrace>>>,
 }
 
 impl TraceStore {
@@ -302,23 +311,37 @@ impl TraceStore {
         Self::default()
     }
 
-    /// Inserts a trace under its recorded `(config, workload)` key,
-    /// replacing any previous recording of the same cell.
+    /// Inserts a trace under its recorded `(config, workload, capability)`
+    /// key, replacing any previous recording of the same cell *with the
+    /// same capability set* (recordings with different families coexist).
     pub fn insert(&self, trace: ActivityTrace) {
-        let key = (trace.meta.config.clone(), trace.meta.workload.clone());
+        let key = (
+            trace.meta.config.clone(),
+            trace.meta.workload.clone(),
+            trace.meta.capability_id(),
+        );
         self.map
             .lock()
             .expect("trace store poisoned")
             .insert(key, Arc::new(trace));
     }
 
-    /// Looks up the trace recorded for a configuration × workload cell.
-    pub fn get(&self, config: &str, workload: &str) -> Option<Arc<ActivityTrace>> {
-        self.map
-            .lock()
-            .expect("trace store poisoned")
-            .get(&(config.to_string(), workload.to_string()))
-            .cloned()
+    /// Looks up a trace recorded for a configuration × workload cell whose
+    /// point family covers every key in `required` (tainted recordings
+    /// never match). When several qualify, the smallest covering family
+    /// wins (ties broken by capability id) — a deterministic pick, so
+    /// sweep results never depend on insertion order.
+    pub fn get(
+        &self,
+        config: &str,
+        workload: &str,
+        required: &[PointKey],
+    ) -> Option<Arc<ActivityTrace>> {
+        let map = self.map.lock().expect("trace store poisoned");
+        map.iter()
+            .filter(|((c, w, _), t)| c == config && w == workload && t.meta.covers(required))
+            .min_by_key(|((_, _, cap), t)| (t.meta.points.len(), cap.clone()))
+            .map(|(_, t)| Arc::clone(t))
     }
 
     /// Number of stored traces.
@@ -832,7 +855,7 @@ impl SweepRunner {
             let cfg = &configs[i / workloads.len()];
             let workload = &workloads[i % workloads.len()];
             let trace = store
-                .get(cfg.name, workload.name())
+                .get(cfg.name, workload.name(), &cfg.replay_points())
                 .filter(|t| ReplayBackend::validate(cfg, workload, t).is_ok());
             match trace {
                 // Only the matrix-exponential path has a batched kernel;
@@ -902,11 +925,12 @@ impl SweepRunner {
             TraceMode::Record(store) => {
                 let (recorded, stats) = engine().run_recorded();
                 let result = recorded.map(|(result, trace)| {
-                    // A trace recorded under a core-perturbing DTM policy
-                    // can never pass replay validation; storing it would
-                    // only clobber a replay-safe recording of the same
-                    // (config, workload) key made by another scenario
-                    // sharing the uarch side.
+                    // Only tainted recordings — made under an unverifiable
+                    // custom DTM closure — are skipped: they cannot prove
+                    // any operating point. Core-perturbing spec policies
+                    // record their full point family and store fine; the
+                    // capability-aware key keeps families from clobbering
+                    // each other.
                     if trace.meta.replay_safe {
                         store.insert(trace);
                     }
@@ -915,11 +939,11 @@ impl SweepRunner {
                 (result, stats)
             }
             TraceMode::Replay(store) => {
-                // Replay when a compatible trace exists; anything else —
-                // no recording, a core-side mismatch, a core-perturbing
-                // DTM policy — falls back to live simulation so a
-                // replaying sweep always completes.
-                match store.get(cfg.name, workload.name()) {
+                // Replay when a covering trace exists; anything else —
+                // no recording, a core-side mismatch, a missing operating
+                // point — falls back to live simulation so a replaying
+                // sweep always completes.
+                match store.get(cfg.name, workload.name(), &cfg.replay_points()) {
                     Some(trace) if ReplayBackend::validate(cfg, workload, &trace).is_ok() => {
                         engine().with_replay(trace).run_with_stats()
                     }

@@ -6,6 +6,7 @@ use crate::emergency::EmergencyPolicy;
 use distfront_cache::trace_cache::TraceCacheConfig;
 use distfront_power::LeakageModel;
 use distfront_thermal::Integrator;
+use distfront_trace::record::PointKey;
 use distfront_uarch::{FrontendMode, ProcessorConfig};
 
 /// Which dynamic-thermal-management policy a configuration runs with.
@@ -74,18 +75,47 @@ impl DtmSpec {
     }
 
     /// Whether the policy acts purely at the power level, leaving the core
-    /// pipeline untouched — the precondition for trace replay being exact.
+    /// pipeline untouched.
     ///
     /// The emergency throttle only stretches wall-clock time through the
     /// power model's operating point, so recorded activity is unaffected
-    /// and replay is exact. Global DVFS rescales the core clock (uncore
+    /// and any replay-safe trace — including a legacy v1 nominal-only one
+    /// — replays it exactly. Global DVFS rescales the core clock (uncore
     /// latencies get relatively closer), and fetch gating / migration
     /// steer the pipeline directly: all three change the activity stream
-    /// itself, so a trace recorded without them cannot stand in for a live
-    /// run with them (see
+    /// itself, so replaying them needs a trace whose recorded
+    /// operating-point family covers the policy's
+    /// [`actionable_points`](Self::actionable_points) (see
     /// [`ReplayBackend`](crate::engine::ReplayBackend)).
     pub fn replay_compatible(&self) -> bool {
         matches!(self, DtmSpec::Emergency(_))
+    }
+
+    /// The core-perturbing operating points this policy can put the
+    /// pipeline into — the capabilities a trace must have recorded for a
+    /// replay under this policy to be faithful. Power-level policies (the
+    /// emergency throttle) need nothing beyond the nominal stream;
+    /// migration is inert on a machine with fewer than two frontend
+    /// partitions (its controller never fires), so it too needs nothing
+    /// there.
+    pub fn actionable_points(&self, partitions: usize) -> Vec<PointKey> {
+        match self {
+            DtmSpec::Emergency(_) => Vec::new(),
+            DtmSpec::GlobalDvfs(p) => vec![PointKey::dvfs(p.f_scale, p.v_scale)],
+            DtmSpec::FetchGate(p) => vec![PointKey::FetchGate {
+                open: p.open,
+                period: p.period,
+            }],
+            DtmSpec::Migration(_) => {
+                if partitions >= 2 {
+                    (0..partitions)
+                        .map(|p| PointKey::MigrateTo(p as u32))
+                        .collect()
+                } else {
+                    Vec::new()
+                }
+            }
+        }
     }
 }
 
@@ -280,6 +310,19 @@ impl ExperimentConfig {
         ((self.uops_per_app as f64 * self.pilot_fraction) as u64).max(10_000)
     }
 
+    /// The operating-point family a recording of this configuration
+    /// captures per interval — equivalently, the capability set a trace
+    /// must cover to replay this configuration faithfully. Always opens
+    /// with [`PointKey::Nominal`]; the configured DTM policy contributes
+    /// its [`DtmSpec::actionable_points`].
+    pub fn replay_points(&self) -> Vec<PointKey> {
+        let mut points = vec![PointKey::Nominal];
+        if let Some(spec) = &self.dtm {
+            points.extend(spec.actionable_points(self.processor.frontend_mode.partitions()));
+        }
+        points
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -391,6 +434,61 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn replay_points_mirror_the_policy_ladder() {
+        use crate::dtm::{DvfsPolicy, FetchGatePolicy, MigrationPolicy};
+        use crate::emergency::EmergencyPolicy;
+        let base = ExperimentConfig::baseline();
+        assert_eq!(base.replay_points(), vec![PointKey::Nominal]);
+        assert_eq!(
+            base.clone()
+                .with_emergency(EmergencyPolicy::paper_limit())
+                .replay_points(),
+            vec![PointKey::Nominal],
+            "power-level throttling needs only the nominal stream"
+        );
+        let dvfs = DvfsPolicy::paper_limit();
+        assert_eq!(
+            base.clone()
+                .with_dtm(DtmSpec::GlobalDvfs(dvfs))
+                .replay_points(),
+            vec![
+                PointKey::Nominal,
+                PointKey::dvfs(dvfs.f_scale, dvfs.v_scale)
+            ]
+        );
+        let gate = FetchGatePolicy::paper_limit();
+        assert_eq!(
+            base.clone()
+                .with_dtm(DtmSpec::FetchGate(gate))
+                .replay_points(),
+            vec![
+                PointKey::Nominal,
+                PointKey::FetchGate {
+                    open: gate.open,
+                    period: gate.period
+                }
+            ]
+        );
+        // Migration is inert on a centralized frontend…
+        assert_eq!(
+            base.with_dtm(DtmSpec::Migration(MigrationPolicy::paper_limit()))
+                .replay_points(),
+            vec![PointKey::Nominal]
+        );
+        // …and contributes one dispatch-bias point per partition otherwise.
+        assert_eq!(
+            ExperimentConfig::distributed_rename_commit()
+                .with_dtm(DtmSpec::Migration(MigrationPolicy::paper_limit()))
+                .replay_points(),
+            vec![
+                PointKey::Nominal,
+                PointKey::MigrateTo(0),
+                PointKey::MigrateTo(1)
+            ]
+        );
     }
 
     #[test]

@@ -49,6 +49,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use distfront_thermal::Integrator;
+use distfront_trace::record::points_id;
 use distfront_trace::{AppProfile, Fingerprint, Workload};
 
 use crate::engine::{CellOutcome, SweepReport, SweepRunner, TraceMode, TraceStore, WarmStartCache};
@@ -657,7 +658,9 @@ impl JobSpec {
     /// Covered: the wire version, target kind and names, smoke flag, run
     /// length, integrator, and for every resolved configuration its name,
     /// machine shape, interval, seed, pilot fraction, idle density, hop
-    /// flag, DTM policy name and the **exact bits of its leakage model**
+    /// flag, DTM policy name, replay capability set (the operating-point
+    /// family its traces record, numeric parameters included) and the
+    /// **exact bits of its leakage model**
     /// — plus the `DFAT` trace-format version through the seeded
     /// [`Fingerprint`] hasher, so a format bump invalidates every cached
     /// result. Excluded: `workers`, `batch`, `class` and `trace`, which
@@ -769,6 +772,11 @@ fn config_fingerprint(fp: Fingerprint, cfg: &ExperimentConfig) -> Fingerprint {
         .with_f64(cfg.idle_density_w_mm2)
         .with_u32(u32::from(cfg.hop))
         .with_str(cfg.dtm.as_ref().map_or("none", |d| d.name()))
+        // The replay capability set — nominal plus the DTM policy's
+        // actionable operating points, numeric parameters included. The
+        // policy *name* above cannot distinguish two DVFS policies with
+        // different scale pairs; the point labels can.
+        .with_str(&points_id(&cfg.replay_points()))
         // The warm-start key lesson (PR 4): two jobs identical in shape
         // and workload but differing in silicon must never share a
         // result. Exact bits, like the cache key itself.

@@ -439,6 +439,30 @@ pub fn registry() -> Vec<Scenario> {
             },
         ),
         s(
+            "technique-ladder-dvfs",
+            "full distributed frontend + global DVFS: the combined-technique ladder rung",
+            || {
+                ExperimentConfig::combined()
+                    .with_dtm(DtmSpec::GlobalDvfs(DvfsPolicy::with_trip(STUDY_TRIP_C)))
+            },
+        ),
+        s(
+            "technique-ladder-fetch-gate",
+            "full distributed frontend + half-duty fetch gating when hot",
+            || {
+                ExperimentConfig::combined()
+                    .with_dtm(DtmSpec::FetchGate(FetchGatePolicy::with_trip(STUDY_TRIP_C)))
+            },
+        ),
+        s(
+            "technique-ladder-migration",
+            "full distributed frontend + activity migration toward the cooler partition",
+            || {
+                ExperimentConfig::combined()
+                    .with_dtm(DtmSpec::Migration(MigrationPolicy::with_trip(STUDY_TRIP_C)))
+            },
+        ),
+        s(
             "phased-hot-cold",
             "baseline over alternating hot-compute / cool-memory phase pairs",
             ExperimentConfig::baseline,

@@ -2,20 +2,41 @@
 //!
 //! An [`ActivityTrace`] captures everything the power/thermal/DTM side of
 //! an experiment consumes from the cycle simulator: the pilot's merged
-//! activity, one [`IntervalRecord`] per evaluation interval (flattened
-//! per-unit activity counters plus the Vdd-gated trace-cache bank in
-//! force), and the run's final cycle/micro-op statistics. Replaying the
-//! trace through the engine's `ReplayBackend` reproduces a live run
-//! bit-for-bit without re-simulating the core — which is what makes pure
-//! thermal/DTM sweeps several times cheaper per cell.
+//! activity, one [`IntervalRecord`] per evaluation interval, and the run's
+//! final cycle/micro-op statistics. Replaying the trace through the
+//! engine's `ReplayBackend` reproduces a live run bit-for-bit without
+//! re-simulating the core — which is what makes pure thermal/DTM sweeps
+//! several times cheaper per cell.
+//!
+//! # The v2 multi-point layout
+//!
+//! Version 2 records, per interval, a small **family of operating
+//! points** instead of a single flattened counter row. The family is
+//! declared once in the header as a list of [`PointKey`]s — always
+//! [`PointKey::Nominal`] first, then the policy-actionable variants the
+//! recording configuration's DTM policy could engage (a clock-scaled DVFS
+//! point, a fetch-gated duty point, one dispatch-bias point per frontend
+//! partition). Every [`IntervalRecord`] then carries one [`PointRecord`]
+//! (flattened counters + done flag) per family entry, in family order,
+//! plus the Vdd-gated trace-cache bank in force (interval-boundary state,
+//! shared by all points of the interval).
+//!
+//! The family doubles as the trace's **replay capability set**: a replay
+//! whose DTM policy can only ever emit actions covered by the family can
+//! select the matching recorded point each interval, so the paper's
+//! core-perturbing DTM ladder (DVFS, fetch toggling, migration) replays
+//! from a v2 trace recorded under the same policy. [`TraceMeta::capability_id`]
+//! renders the set as a stable string used for store keys, file names and
+//! job fingerprints.
 //!
 //! # Format and version policy
 //!
 //! Traces serialize through a small self-contained binary codec (no
 //! external dependencies): the magic bytes `DFAT`, a little-endian `u32`
-//! format version, then the metadata, pilot, interval and final-stats
-//! sections, with every integer little-endian, every float stored as its
-//! exact IEEE-754 bits, and every string length-prefixed UTF-8.
+//! format version, then the metadata, point-family, pilot, interval and
+//! final-stats sections, with every integer little-endian, every float
+//! stored as its exact IEEE-754 bits, and every string length-prefixed
+//! UTF-8.
 //!
 //! The version number is the compatibility contract:
 //!
@@ -27,12 +48,18 @@
 //! * Decoding rejects unknown versions outright
 //!   ([`TraceCodecError::UnsupportedVersion`]) rather than guessing:
 //!   a replayed trace feeds physical models, so a misread field would
-//!   silently produce plausible-but-wrong science. Old traces are cheap
-//!   to regenerate (`distfront-scenarios --record`); there is no
-//!   cross-version migration path by design.
+//!   silently produce plausible-but-wrong science.
+//! * The **v1 decode path is retained**: a v1 stream (single counter row
+//!   per interval) decodes into the v2 in-memory model as a trace whose
+//!   family is `[Nominal]` — exactly the power-level capability v1 could
+//!   express. [`ActivityTrace::encode`] always writes the current format,
+//!   so re-encoding a v1-decoded trace upgrades its container (the
+//!   content is unchanged). There is no other cross-version migration
+//!   path by design.
 //! * Within one version, decoding validates structure (magic, counter
-//!   lengths against the declared [`TraceShape`], no trailing bytes), so
-//!   `decode(encode(t)) == t` and truncated or corrupt files fail loudly.
+//!   lengths against the declared [`TraceShape`], family invariants, no
+//!   trailing bytes), so `decode(encode(t)) == t` and truncated or
+//!   corrupt files fail loudly.
 //!
 //! # Examples
 //!
@@ -53,21 +80,25 @@
 //!         hop: false,
 //!         replay_safe: true,
 //!         dtm: None,
+//!         points: vec![PointKey::Nominal],
 //!     },
 //!     pilot: vec![0; shape.flat_len()],
 //!     intervals: vec![IntervalRecord {
-//!         counters: vec![1; shape.flat_len()],
+//!         points: vec![PointRecord { counters: vec![1; shape.flat_len()], done: true }],
 //!         gated_bank: Some(1),
-//!         done: true,
 //!     }],
 //!     finals: FinalStats { cycles: 500, uops: 1000, tc_hit_rate: 0.9, mispredict_rate: 0.05 },
 //! };
 //! let bytes = trace.encode();
 //! assert_eq!(ActivityTrace::decode(&bytes).unwrap(), trace);
+//! assert_eq!(trace.meta.capability_id(), "nominal");
 //! ```
 
 /// Current serialization version; see the module docs for the policy.
-pub const TRACE_FORMAT_VERSION: u32 = 1;
+pub const TRACE_FORMAT_VERSION: u32 = 2;
+
+/// The legacy single-point layout, still decodable (read-only).
+pub const TRACE_FORMAT_V1: u32 = 1;
 
 /// Magic bytes opening every serialized trace.
 pub const TRACE_MAGIC: [u8; 4] = *b"DFAT";
@@ -177,14 +208,119 @@ impl TraceShape {
     }
 }
 
+/// One operating point of a recorded interval family: the DTM actuator
+/// state the core was (or was hypothetically) running under while the
+/// point's counters accumulated.
+///
+/// Keys identify points exactly: DVFS scale factors are carried as raw
+/// IEEE-754 bits so key equality is bit equality, matching the policy's
+/// own parameters with no float rounding in between. The derived `Ord`
+/// gives families and capability IDs a canonical order-free identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PointKey {
+    /// No core-side actuator engaged (also covers power-level throttling,
+    /// which never perturbs the activity stream).
+    Nominal,
+    /// Global DVFS at `f_scale`/`v_scale` (stored as exact f64 bits).
+    Dvfs {
+        /// `f_scale.to_bits()`.
+        f_bits: u64,
+        /// `v_scale.to_bits()`.
+        v_bits: u64,
+    },
+    /// Fetch toggling at an `open`-of-`period` duty cycle.
+    FetchGate {
+        /// Cycles per period the fetch unit is enabled.
+        open: u32,
+        /// Period of the gating pattern in cycles.
+        period: u32,
+    },
+    /// Dispatch biased toward frontend partition `0`'s…`n`'s backends.
+    MigrateTo(u32),
+}
+
+impl PointKey {
+    /// A DVFS point from scale factors (exact-bit key).
+    pub fn dvfs(f_scale: f64, v_scale: f64) -> Self {
+        PointKey::Dvfs {
+            f_bits: f_scale.to_bits(),
+            v_bits: v_scale.to_bits(),
+        }
+    }
+
+    /// The DVFS scale factors, if this is a DVFS point.
+    pub fn dvfs_scales(&self) -> Option<(f64, f64)> {
+        match self {
+            PointKey::Dvfs { f_bits, v_bits } => {
+                Some((f64::from_bits(*f_bits), f64::from_bits(*v_bits)))
+            }
+            _ => None,
+        }
+    }
+
+    /// A short, stable, filesystem-safe label (`nominal`,
+    /// `dvfs(0.7x0.85)`, `gate(1of2)`, `migrate(1)`), used to build
+    /// [`TraceMeta::capability_id`].
+    pub fn label(&self) -> String {
+        match self {
+            PointKey::Nominal => "nominal".to_string(),
+            PointKey::Dvfs { f_bits, v_bits } => format!(
+                "dvfs({}x{})",
+                f64::from_bits(*f_bits),
+                f64::from_bits(*v_bits)
+            ),
+            PointKey::FetchGate { open, period } => format!("gate({open}of{period})"),
+            PointKey::MigrateTo(p) => format!("migrate({p})"),
+        }
+    }
+
+    /// Structural validity against a machine shape.
+    fn validate(&self, shape: &TraceShape) -> Result<(), TraceCodecError> {
+        match self {
+            PointKey::Nominal => Ok(()),
+            PointKey::Dvfs { f_bits, v_bits } => {
+                let (f, v) = (f64::from_bits(*f_bits), f64::from_bits(*v_bits));
+                if !(f.is_finite() && v.is_finite() && 0.0 < f && f <= 1.0 && 0.0 < v && v <= 1.0) {
+                    return Err(TraceCodecError::Corrupt("DVFS point outside (0, 1]"));
+                }
+                Ok(())
+            }
+            PointKey::FetchGate { open, period } => {
+                if *open == 0 || *period == 0 || open > period {
+                    return Err(TraceCodecError::Corrupt("fetch-gate point invalid duty"));
+                }
+                Ok(())
+            }
+            PointKey::MigrateTo(p) => {
+                if *p >= shape.partitions {
+                    return Err(TraceCodecError::Corrupt("migration point outside shape"));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Renders a point family as the canonical capability string
+/// (`nominal+dvfs(0.7x0.85)` …); see [`TraceMeta::capability_id`].
+pub fn points_id(points: &[PointKey]) -> String {
+    points
+        .iter()
+        .map(PointKey::label)
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
 /// Run-identifying metadata stored in the trace header. Replay validates
 /// these against the target configuration: the core-side fields (seed,
 /// run length, interval, shape, hop) must match exactly, while the
 /// power/thermal/DTM side is free to differ — that is the whole point of
-/// replaying.
+/// replaying — as long as the target policy's possible actions are
+/// covered by the recorded point family.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceMeta {
-    /// Format version the trace was written with.
+    /// Format version the trace was **read from** (informational:
+    /// [`ActivityTrace::encode`] always writes the current version).
     pub version: u32,
     /// Workload name (an `AppProfile` or `PhasedProfile` name).
     pub workload: String,
@@ -208,27 +344,81 @@ pub struct TraceMeta {
     pub shape: TraceShape,
     /// Whether trace-cache bank hopping was enabled.
     pub hop: bool,
-    /// `true` when the record-time DTM policy (if any) acted purely at the
-    /// power level, leaving the core pipeline untouched — the precondition
-    /// for the recorded activity being replayable at all.
+    /// `false` when the run was driven by an arbitrary boxed DTM policy
+    /// the recorder cannot prove equivalent to any operating point — such
+    /// a recording carries the live stream but can never replay.
     pub replay_safe: bool,
     /// Name of the record-time DTM policy, if one was configured.
     pub dtm: Option<String>,
+    /// The recorded operating-point family, [`PointKey::Nominal`] first —
+    /// the trace's replay capability set (see the module docs). Every
+    /// interval carries one [`PointRecord`] per entry, in this order.
+    pub points: Vec<PointKey>,
 }
 
-/// One evaluation interval: the flattened activity counters (layout per
-/// [`TraceShape::flat_len`]) plus the simulator-side state the interval
-/// loop reads.
+impl TraceMeta {
+    /// The canonical capability identity of this trace: `"tainted"` for
+    /// recordings that can never replay, else the `+`-joined point labels
+    /// (`"nominal"`, `"nominal+gate(1of2)"`, …). Stable across runs and
+    /// toolchains; used as the [`TraceStore`] key component, the trace
+    /// file-name suffix and a job-fingerprint input.
+    ///
+    /// [`TraceStore`]: ../../distfront/engine/struct.TraceStore.html
+    pub fn capability_id(&self) -> String {
+        if !self.replay_safe {
+            return "tainted".to_string();
+        }
+        points_id(&self.points)
+    }
+
+    /// Position of `key` in the recorded point family.
+    pub fn point_index(&self, key: PointKey) -> Option<usize> {
+        self.points.iter().position(|p| *p == key)
+    }
+
+    /// Whether the family covers every key in `required` (and the trace
+    /// is untainted) — the capability test replay validation applies.
+    pub fn covers(&self, required: &[PointKey]) -> bool {
+        self.replay_safe && required.iter().all(|k| self.points.contains(k))
+    }
+}
+
+/// The counters one operating point of one interval accumulated.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct IntervalRecord {
+pub struct PointRecord {
     /// Flattened activity-counter words (`distfront_uarch`'s
     /// `ActivityCounters` in canonical order); length is exactly
     /// [`TraceShape::flat_len`].
     pub counters: Vec<u64>,
-    /// The Vdd-gated trace-cache bank during this interval, if any.
-    pub gated_bank: Option<u8>,
-    /// Whether the run's micro-op budget was reached in this interval.
+    /// Whether the run's micro-op budget was reached in this interval at
+    /// this operating point (a gated/scaled variant can lag the nominal
+    /// stream, so the flag is per point).
     pub done: bool,
+}
+
+/// One evaluation interval: one [`PointRecord`] per family entry (in
+/// [`TraceMeta::points`] order) plus the simulator-side state the
+/// interval loop reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalRecord {
+    /// The interval's operating-point records, parallel to the header's
+    /// point family.
+    pub points: Vec<PointRecord>,
+    /// The Vdd-gated trace-cache bank during this interval, if any
+    /// (interval-boundary control state, shared by every point).
+    pub gated_bank: Option<u8>,
+}
+
+impl IntervalRecord {
+    /// The nominal point's record (family position 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a structurally empty interval (decode never produces
+    /// one).
+    pub fn nominal(&self) -> &PointRecord {
+        &self.points[0]
+    }
 }
 
 /// End-of-run statistics the report surface needs but the replayed
@@ -268,7 +458,8 @@ pub struct ActivityTrace {
 pub enum TraceCodecError {
     /// The stream does not start with [`TRACE_MAGIC`].
     BadMagic,
-    /// The stream's version is not [`TRACE_FORMAT_VERSION`].
+    /// The stream's version is neither [`TRACE_FORMAT_VERSION`] nor
+    /// [`TRACE_FORMAT_V1`].
     UnsupportedVersion(u32),
     /// The stream ended inside the named section.
     Truncated(&'static str),
@@ -284,7 +475,8 @@ impl std::fmt::Display for TraceCodecError {
             TraceCodecError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported trace format version {v} (this build reads {TRACE_FORMAT_VERSION})"
+                    "unsupported trace format version {v} (this build reads \
+                     {TRACE_FORMAT_V1} and {TRACE_FORMAT_VERSION})"
                 )
             }
             TraceCodecError::Truncated(what) => write!(f, "trace truncated in {what}"),
@@ -298,6 +490,12 @@ impl std::error::Error for TraceCodecError {}
 /// Sentinel encoding `gated_bank: None` (a machine never has 2^16−1
 /// physical banks).
 const NO_GATED_BANK: u16 = u16::MAX;
+
+/// [`PointKey`] wire tags (v2).
+const POINT_NOMINAL: u8 = 0;
+const POINT_DVFS: u8 = 1;
+const POINT_FETCH_GATE: u8 = 2;
+const POINT_MIGRATE: u8 = 3;
 
 struct Writer(Vec<u8>);
 
@@ -325,6 +523,25 @@ impl Writer {
         self.u32(words.len() as u32);
         for &w in words {
             self.u64(w);
+        }
+    }
+    fn point_key(&mut self, key: &PointKey) {
+        match key {
+            PointKey::Nominal => self.u8(POINT_NOMINAL),
+            PointKey::Dvfs { f_bits, v_bits } => {
+                self.u8(POINT_DVFS);
+                self.u64(*f_bits);
+                self.u64(*v_bits);
+            }
+            PointKey::FetchGate { open, period } => {
+                self.u8(POINT_FETCH_GATE);
+                self.u32(*open);
+                self.u32(*period);
+            }
+            PointKey::MigrateTo(p) => {
+                self.u8(POINT_MIGRATE);
+                self.u32(*p);
+            }
         }
     }
 }
@@ -382,16 +599,45 @@ impl<'a> Reader<'a> {
             _ => Err(TraceCodecError::Corrupt("flag byte not 0/1")),
         }
     }
+    fn point_key(&mut self, what: &'static str) -> Result<PointKey, TraceCodecError> {
+        match self.u8(what)? {
+            POINT_NOMINAL => Ok(PointKey::Nominal),
+            POINT_DVFS => Ok(PointKey::Dvfs {
+                f_bits: self.u64(what)?,
+                v_bits: self.u64(what)?,
+            }),
+            POINT_FETCH_GATE => Ok(PointKey::FetchGate {
+                open: self.u32(what)?,
+                period: self.u32(what)?,
+            }),
+            POINT_MIGRATE => Ok(PointKey::MigrateTo(self.u32(what)?)),
+            _ => Err(TraceCodecError::Corrupt("unknown operating-point tag")),
+        }
+    }
+    fn gated_bank(&mut self, shape: &TraceShape) -> Result<Option<u8>, TraceCodecError> {
+        let gated = self.u16("gated bank")?;
+        if gated == NO_GATED_BANK {
+            Ok(None)
+        } else if gated <= u16::from(u8::MAX) && (u32::from(gated)) < shape.tc_banks {
+            Ok(Some(gated as u8))
+        } else {
+            Err(TraceCodecError::Corrupt("gated bank outside shape"))
+        }
+    }
 }
 
 impl ActivityTrace {
-    /// Serializes the trace to the versioned binary format.
+    /// Serializes the trace to the versioned binary format. Always writes
+    /// [`TRACE_FORMAT_VERSION`] — re-encoding a v1-decoded trace upgrades
+    /// its container to v2 (same content, current layout).
     pub fn encode(&self) -> Vec<u8> {
+        let flat = self.pilot.len();
+        let per_interval = self.meta.points.len().max(1) * (flat + 2);
         let mut w = Writer(Vec::with_capacity(
-            64 + 8 * (self.pilot.len() + self.intervals.len() * (self.pilot.len() + 2)),
+            96 + 8 * (flat + self.intervals.len() * per_interval),
         ));
         w.0.extend_from_slice(&TRACE_MAGIC);
-        w.u32(self.meta.version);
+        w.u32(TRACE_FORMAT_VERSION);
         w.str(&self.meta.workload);
         w.str(&self.meta.config);
         w.u64(self.meta.processor_fingerprint);
@@ -410,12 +656,18 @@ impl ActivityTrace {
                 w.str(name);
             }
         }
+        w.u32(self.meta.points.len() as u32);
+        for key in &self.meta.points {
+            w.point_key(key);
+        }
         w.words(&self.pilot);
         w.u32(self.intervals.len() as u32);
         for rec in &self.intervals {
             w.u16(rec.gated_bank.map_or(NO_GATED_BANK, u16::from));
-            w.u8(u8::from(rec.done));
-            w.words(&rec.counters);
+            for point in &rec.points {
+                w.u8(u8::from(point.done));
+                w.words(&point.counters);
+            }
         }
         w.u64(self.finals.cycles);
         w.u64(self.finals.uops);
@@ -424,8 +676,10 @@ impl ActivityTrace {
         w.0
     }
 
-    /// Deserializes a trace, validating structure as described in the
-    /// module docs.
+    /// Deserializes a trace (current format or the legacy v1 layout),
+    /// validating structure as described in the module docs. A v1 stream
+    /// yields a trace whose point family is `[Nominal]` with
+    /// `meta.version == 1`.
     ///
     /// # Errors
     ///
@@ -436,9 +690,32 @@ impl ActivityTrace {
             return Err(TraceCodecError::BadMagic);
         }
         let version = r.u32("version")?;
-        if version != TRACE_FORMAT_VERSION {
-            return Err(TraceCodecError::UnsupportedVersion(version));
+        match version {
+            TRACE_FORMAT_V1 => Self::decode_v1(r, bytes.len()),
+            TRACE_FORMAT_VERSION => Self::decode_v2(r, bytes.len()),
+            other => Err(TraceCodecError::UnsupportedVersion(other)),
         }
+    }
+
+    /// Shared header fields up to the dtm name (identical in v1 and v2).
+    #[allow(clippy::type_complexity)]
+    fn decode_common(
+        r: &mut Reader<'_>,
+    ) -> Result<
+        (
+            String,
+            String,
+            u64,
+            u64,
+            u64,
+            u64,
+            TraceShape,
+            bool,
+            bool,
+            Option<String>,
+        ),
+        TraceCodecError,
+    > {
         let workload = r.str("workload name")?;
         let config = r.str("config name")?;
         let processor_fingerprint = r.u64("processor fingerprint")?;
@@ -460,6 +737,64 @@ impl ActivityTrace {
             1 => Some(r.str("dtm name")?),
             _ => return Err(TraceCodecError::Corrupt("dtm flag byte not 0/1")),
         };
+        Ok((
+            workload,
+            config,
+            processor_fingerprint,
+            seed,
+            uops_per_app,
+            interval_cycles,
+            shape,
+            hop,
+            replay_safe,
+            dtm,
+        ))
+    }
+
+    fn decode_finals(r: &mut Reader<'_>, total: usize) -> Result<FinalStats, TraceCodecError> {
+        let finals = FinalStats {
+            cycles: r.u64("final stats")?,
+            uops: r.u64("final stats")?,
+            tc_hit_rate: r.f64("final stats")?,
+            mispredict_rate: r.f64("final stats")?,
+        };
+        if r.pos != total {
+            return Err(TraceCodecError::Corrupt("trailing bytes"));
+        }
+        Ok(finals)
+    }
+
+    /// The current multi-point layout.
+    fn decode_v2(mut r: Reader<'_>, total: usize) -> Result<ActivityTrace, TraceCodecError> {
+        let (
+            workload,
+            config,
+            processor_fingerprint,
+            seed,
+            uops_per_app,
+            interval_cycles,
+            shape,
+            hop,
+            replay_safe,
+            dtm,
+        ) = Self::decode_common(&mut r)?;
+        let n_points = r.u32("point family")? as usize;
+        let mut points = Vec::with_capacity(n_points.min(1 << 12));
+        for _ in 0..n_points {
+            points.push(r.point_key("point family")?);
+        }
+        if points.is_empty() {
+            return Err(TraceCodecError::Corrupt("empty point family"));
+        }
+        if points[0] != PointKey::Nominal {
+            return Err(TraceCodecError::Corrupt("family must start nominal"));
+        }
+        for (i, key) in points.iter().enumerate() {
+            key.validate(&shape)?;
+            if points[..i].contains(key) {
+                return Err(TraceCodecError::Corrupt("duplicate operating point"));
+            }
+        }
         let flat_len = shape.flat_len();
         let pilot = r.words("pilot counters")?;
         if pilot.len() != flat_len {
@@ -468,37 +803,25 @@ impl ActivityTrace {
         let n = r.u32("interval count")? as usize;
         let mut intervals = Vec::with_capacity(n.min(1 << 20));
         for _ in 0..n {
-            let gated = r.u16("gated bank")?;
-            let gated_bank = if gated == NO_GATED_BANK {
-                None
-            } else if gated <= u16::from(u8::MAX) && (u32::from(gated)) < shape.tc_banks {
-                Some(gated as u8)
-            } else {
-                return Err(TraceCodecError::Corrupt("gated bank outside shape"));
-            };
-            let done = r.flag("done flag")?;
-            let counters = r.words("interval counters")?;
-            if counters.len() != flat_len {
-                return Err(TraceCodecError::Corrupt("interval length mismatches shape"));
+            let gated_bank = r.gated_bank(&shape)?;
+            let mut recs = Vec::with_capacity(points.len());
+            for _ in 0..points.len() {
+                let done = r.flag("done flag")?;
+                let counters = r.words("interval counters")?;
+                if counters.len() != flat_len {
+                    return Err(TraceCodecError::Corrupt("interval length mismatches shape"));
+                }
+                recs.push(PointRecord { counters, done });
             }
             intervals.push(IntervalRecord {
-                counters,
+                points: recs,
                 gated_bank,
-                done,
             });
         }
-        let finals = FinalStats {
-            cycles: r.u64("final stats")?,
-            uops: r.u64("final stats")?,
-            tc_hit_rate: r.f64("final stats")?,
-            mispredict_rate: r.f64("final stats")?,
-        };
-        if r.pos != bytes.len() {
-            return Err(TraceCodecError::Corrupt("trailing bytes"));
-        }
+        let finals = Self::decode_finals(&mut r, total)?;
         Ok(ActivityTrace {
             meta: TraceMeta {
-                version,
+                version: TRACE_FORMAT_VERSION,
                 workload,
                 config,
                 processor_fingerprint,
@@ -509,6 +832,64 @@ impl ActivityTrace {
                 hop,
                 replay_safe,
                 dtm,
+                points,
+            },
+            pilot,
+            intervals,
+            finals,
+        })
+    }
+
+    /// The legacy single-point layout: one counter row per interval, no
+    /// point-family section. Decodes into the v2 model with a `[Nominal]`
+    /// family — exactly the power-level capability v1 could express.
+    fn decode_v1(mut r: Reader<'_>, total: usize) -> Result<ActivityTrace, TraceCodecError> {
+        let (
+            workload,
+            config,
+            processor_fingerprint,
+            seed,
+            uops_per_app,
+            interval_cycles,
+            shape,
+            hop,
+            replay_safe,
+            dtm,
+        ) = Self::decode_common(&mut r)?;
+        let flat_len = shape.flat_len();
+        let pilot = r.words("pilot counters")?;
+        if pilot.len() != flat_len {
+            return Err(TraceCodecError::Corrupt("pilot length mismatches shape"));
+        }
+        let n = r.u32("interval count")? as usize;
+        let mut intervals = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let gated_bank = r.gated_bank(&shape)?;
+            let done = r.flag("done flag")?;
+            let counters = r.words("interval counters")?;
+            if counters.len() != flat_len {
+                return Err(TraceCodecError::Corrupt("interval length mismatches shape"));
+            }
+            intervals.push(IntervalRecord {
+                points: vec![PointRecord { counters, done }],
+                gated_bank,
+            });
+        }
+        let finals = Self::decode_finals(&mut r, total)?;
+        Ok(ActivityTrace {
+            meta: TraceMeta {
+                version: TRACE_FORMAT_V1,
+                workload,
+                config,
+                processor_fingerprint,
+                seed,
+                uops_per_app,
+                interval_cycles,
+                shape,
+                hop,
+                replay_safe,
+                dtm,
+                points: vec![PointKey::Nominal],
             },
             pilot,
             intervals,
@@ -523,6 +904,22 @@ mod tests {
     use crate::rng::SplitMix64;
     use proptest::prelude::*;
 
+    fn sample_points(rng: &mut SplitMix64, shape: &TraceShape) -> Vec<PointKey> {
+        let mut points = vec![PointKey::Nominal];
+        if rng.chance(0.4) {
+            points.push(PointKey::dvfs(0.7, 0.85));
+        }
+        if rng.chance(0.4) {
+            points.push(PointKey::FetchGate { open: 1, period: 2 });
+        }
+        if rng.chance(0.4) {
+            for p in 0..shape.partitions {
+                points.push(PointKey::MigrateTo(p));
+            }
+        }
+        points
+    }
+
     fn sample_trace(seed: u64) -> ActivityTrace {
         let mut rng = SplitMix64::new(seed);
         let shape = TraceShape {
@@ -531,6 +928,7 @@ mod tests {
             tc_banks: 1 + (rng.next_below(4) as u32),
         };
         let flat = shape.flat_len();
+        let points = sample_points(&mut rng, &shape);
         let mut words = |n: usize| (0..n).map(|_| rng.next_u64()).collect::<Vec<u64>>();
         let pilot = words(flat);
         let n_intervals = 1 + rng.next_below(6) as usize;
@@ -542,9 +940,14 @@ mod tests {
                 None
             };
             intervals.push(IntervalRecord {
-                counters: (0..flat).map(|_| rng.next_u64()).collect(),
+                points: points
+                    .iter()
+                    .map(|_| PointRecord {
+                        counters: (0..flat).map(|_| rng.next_u64()).collect(),
+                        done: i + 1 == n_intervals && rng.chance(0.8),
+                    })
+                    .collect(),
                 gated_bank: gated,
-                done: i + 1 == n_intervals,
             });
         }
         let name_pool = ["tiny", "gzip-mcf", "mix3", "baseline", "drc+bh+ab"];
@@ -559,8 +962,9 @@ mod tests {
                 interval_cycles: rng.next_u64(),
                 shape,
                 hop: rng.chance(0.5),
-                replay_safe: rng.chance(0.5),
+                replay_safe: rng.chance(0.9),
                 dtm: rng.chance(0.5).then(|| "emergency-throttle".to_string()),
+                points,
             },
             pilot,
             intervals,
@@ -571,6 +975,45 @@ mod tests {
                 mispredict_rate: rng.next_f64(),
             },
         }
+    }
+
+    /// Encodes `trace` in the legacy v1 layout (nominal point only) — the
+    /// committed-fixture generator and the backward-compat tests share
+    /// this writer.
+    fn encode_v1(trace: &ActivityTrace) -> Vec<u8> {
+        let mut w = Writer(Vec::new());
+        w.0.extend_from_slice(&TRACE_MAGIC);
+        w.u32(TRACE_FORMAT_V1);
+        w.str(&trace.meta.workload);
+        w.str(&trace.meta.config);
+        w.u64(trace.meta.processor_fingerprint);
+        w.u64(trace.meta.seed);
+        w.u64(trace.meta.uops_per_app);
+        w.u64(trace.meta.interval_cycles);
+        w.u32(trace.meta.shape.partitions);
+        w.u32(trace.meta.shape.backends);
+        w.u32(trace.meta.shape.tc_banks);
+        w.u8(u8::from(trace.meta.hop));
+        w.u8(u8::from(trace.meta.replay_safe));
+        match &trace.meta.dtm {
+            None => w.u8(0),
+            Some(name) => {
+                w.u8(1);
+                w.str(name);
+            }
+        }
+        w.words(&trace.pilot);
+        w.u32(trace.intervals.len() as u32);
+        for rec in &trace.intervals {
+            w.u16(rec.gated_bank.map_or(NO_GATED_BANK, u16::from));
+            w.u8(u8::from(rec.nominal().done));
+            w.words(&rec.nominal().counters);
+        }
+        w.u64(trace.finals.cycles);
+        w.u64(trace.finals.uops);
+        w.f64(trace.finals.tc_hit_rate);
+        w.f64(trace.finals.mispredict_rate);
+        w.0
     }
 
     proptest! {
@@ -588,6 +1031,29 @@ mod tests {
         #[test]
         fn truncation_is_detected(seed in 0u64..1_000_000, frac in 0.0f64..1.0) {
             let bytes = sample_trace(seed).encode();
+            let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+            prop_assert!(ActivityTrace::decode(&bytes[..cut]).is_err());
+        }
+
+        /// A v1 stream decodes into the v2 model: nominal-only family,
+        /// same counters, `meta.version == 1`; and truncating it anywhere
+        /// still fails loudly.
+        #[test]
+        fn v1_decodes_as_nominal_family(seed in 0u64..1_000_000, frac in 0.0f64..1.0) {
+            let mut trace = sample_trace(seed);
+            // A v1 writer can only express the nominal point.
+            trace.meta.points = vec![PointKey::Nominal];
+            for rec in &mut trace.intervals {
+                rec.points.truncate(1);
+            }
+            let bytes = encode_v1(&trace);
+            let back = ActivityTrace::decode(&bytes).unwrap();
+            trace.meta.version = TRACE_FORMAT_V1;
+            prop_assert_eq!(&back, &trace);
+            // Re-encoding upgrades the container to v2 losslessly.
+            let upgraded = ActivityTrace::decode(&back.encode()).unwrap();
+            trace.meta.version = TRACE_FORMAT_VERSION;
+            prop_assert_eq!(upgraded, trace);
             let cut = ((bytes.len() - 1) as f64 * frac) as usize;
             prop_assert!(ActivityTrace::decode(&bytes[..cut]).is_err());
         }
@@ -636,7 +1102,9 @@ mod tests {
         let flat = trace.meta.shape.flat_len();
         trace.pilot = vec![1; flat];
         for rec in &mut trace.intervals {
-            rec.counters = vec![2; flat];
+            for point in &mut rec.points {
+                point.counters = vec![2; flat];
+            }
             rec.gated_bank = Some(255);
         }
         let back = ActivityTrace::decode(&trace.encode()).unwrap();
@@ -652,6 +1120,87 @@ mod tests {
             ActivityTrace::decode(&bytes),
             Err(TraceCodecError::Corrupt("gated bank outside shape"))
         );
+    }
+
+    #[test]
+    fn family_invariants_are_enforced() {
+        // Family must open with the nominal point…
+        let mut trace = sample_trace(4);
+        trace.meta.points = vec![PointKey::dvfs(0.7, 0.85)];
+        for rec in &mut trace.intervals {
+            rec.points.truncate(1);
+        }
+        assert_eq!(
+            ActivityTrace::decode(&trace.encode()),
+            Err(TraceCodecError::Corrupt("family must start nominal"))
+        );
+        // …must not repeat a point…
+        let mut trace = sample_trace(4);
+        trace.meta.points = vec![PointKey::Nominal, PointKey::Nominal];
+        for rec in &mut trace.intervals {
+            let nom = rec.points[0].clone();
+            rec.points = vec![nom.clone(), nom];
+        }
+        assert_eq!(
+            ActivityTrace::decode(&trace.encode()),
+            Err(TraceCodecError::Corrupt("duplicate operating point"))
+        );
+        // …and a migration point must land inside the machine shape.
+        let mut trace = sample_trace(4);
+        trace.meta.points = vec![
+            PointKey::Nominal,
+            PointKey::MigrateTo(trace.meta.shape.partitions),
+        ];
+        for rec in &mut trace.intervals {
+            let nom = rec.points[0].clone();
+            rec.points = vec![nom.clone(), nom];
+        }
+        assert_eq!(
+            ActivityTrace::decode(&trace.encode()),
+            Err(TraceCodecError::Corrupt("migration point outside shape"))
+        );
+    }
+
+    #[test]
+    fn capability_id_is_stable_and_tainted_recordings_say_so() {
+        let mut trace = sample_trace(6);
+        trace.meta.replay_safe = true;
+        trace.meta.points = vec![
+            PointKey::Nominal,
+            PointKey::dvfs(0.7, 0.85),
+            PointKey::FetchGate { open: 1, period: 2 },
+            PointKey::MigrateTo(1),
+        ];
+        assert_eq!(
+            trace.meta.capability_id(),
+            "nominal+dvfs(0.7x0.85)+gate(1of2)+migrate(1)"
+        );
+        trace.meta.replay_safe = false;
+        assert_eq!(trace.meta.capability_id(), "tainted");
+    }
+
+    #[test]
+    fn point_index_and_covers() {
+        let meta = sample_trace(7).meta;
+        let mut meta = TraceMeta {
+            points: vec![
+                PointKey::Nominal,
+                PointKey::FetchGate { open: 1, period: 2 },
+            ],
+            replay_safe: true,
+            ..meta
+        };
+        assert_eq!(meta.point_index(PointKey::Nominal), Some(0));
+        assert_eq!(
+            meta.point_index(PointKey::FetchGate { open: 1, period: 2 }),
+            Some(1)
+        );
+        assert_eq!(meta.point_index(PointKey::MigrateTo(0)), None);
+        assert!(meta.covers(&[PointKey::Nominal]));
+        assert!(!meta.covers(&[PointKey::Nominal, PointKey::dvfs(0.7, 0.85)]));
+        // A tainted trace covers nothing, not even the nominal point.
+        meta.replay_safe = false;
+        assert!(!meta.covers(&[PointKey::Nominal]));
     }
 
     #[test]

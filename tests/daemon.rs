@@ -201,7 +201,7 @@ fn golden_fingerprint_is_pinned() {
         .with_uops(40_000);
     assert_eq!(
         format!("{:016x}", spec.fingerprint().unwrap()),
-        "989b0a8ff8911514",
+        "b22269d6f9c79dd0",
         "the content-address fingerprint for the pinned baseline smoke \
          job changed; if this is intentional (trace-format bump, jobspec \
          version bump, baseline config change), update the golden value \

@@ -1,9 +1,12 @@
-//! Golden-scenario regression tests: canonical CSV outputs for three
+//! Golden-scenario regression tests: canonical CSV outputs for several
 //! smoke scenarios are committed under `tests/golden/` and diffed
 //! byte-for-byte against the current engine. Any behavioural change —
 //! simulator timing, power arithmetic, thermal integration, CSV
 //! formatting — shows up here as a precise diff instead of a silent
-//! drift.
+//! drift. The technique-ladder goldens run in **replay mode**: each is
+//! recorded live, replayed from its own multi-point trace, and the
+//! *replayed* bytes are diffed — pinning the DFAT v2 record→replay path
+//! itself, not just the live engine.
 //!
 //! To re-bless after an *intentional* change:
 //!
@@ -14,8 +17,10 @@
 //! then review the golden diffs like any other code change.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
-use distfront::scenarios::{self, RunOptions};
+use distfront::engine::{TraceMode, TraceStore};
+use distfront::scenarios::{self, RunOptions, ScenarioReport};
 
 /// The pinned run shape: small enough for CI, large enough that every
 /// scenario closes several intervals and the phased scenario genuinely
@@ -34,13 +39,44 @@ fn golden_dir() -> PathBuf {
 fn check(scenario: &str) {
     let s = scenarios::by_name(scenario).unwrap_or_else(|| panic!("unknown scenario {scenario}"));
     let report = s.run(&golden_opts());
+    compare(scenario, &report, format!("{scenario}.csv"));
+}
+
+/// Records `scenario` live, replays it from its own multi-point trace,
+/// and diffs the **replayed** CSV against the committed golden — every
+/// cell must actually replay, so a capability regression (the trace no
+/// longer covering its own policy's operating points) fails here before
+/// any byte is compared.
+fn check_replayed(scenario: &str) {
+    let s = scenarios::by_name(scenario).unwrap_or_else(|| panic!("unknown scenario {scenario}"));
+    let store = Arc::new(TraceStore::new());
+    let recorded = s.run_traced(
+        &golden_opts(),
+        TraceMode::Record(Arc::clone(&store)),
+        |_| {},
+    );
+    assert!(
+        recorded.is_complete(),
+        "{scenario}: {} cells failed while recording",
+        recorded.failed()
+    );
+    let report = s.run_traced(&golden_opts(), TraceMode::Replay(store), |_| {});
+    assert_eq!(
+        report.report.replayed(),
+        report.outcomes().len(),
+        "{scenario}: not every cell replayed from its own recording"
+    );
+    compare(scenario, &report, format!("{scenario}.replay.csv"));
+}
+
+fn compare(scenario: &str, report: &ScenarioReport, file: String) {
     assert!(
         report.is_complete(),
         "{scenario}: {} cells failed",
         report.failed()
     );
-    let csv = scenarios::to_csv(std::slice::from_ref(&report));
-    let path = golden_dir().join(format!("{scenario}.csv"));
+    let csv = scenarios::to_csv(std::slice::from_ref(report));
+    let path = golden_dir().join(file);
     if std::env::var_os("BLESS").is_some() {
         std::fs::create_dir_all(golden_dir()).unwrap();
         std::fs::write(&path, &csv).unwrap();
@@ -91,4 +127,14 @@ fn golden_dtm_emergency() {
 #[test]
 fn golden_phased_hot_cold() {
     check("phased-hot-cold");
+}
+
+#[test]
+fn golden_technique_ladder_dvfs_replayed() {
+    check_replayed("technique-ladder-dvfs");
+}
+
+#[test]
+fn golden_technique_ladder_migration_replayed() {
+    check_replayed("technique-ladder-migration");
 }

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use distfront::engine::{CoupledEngine, EngineError, SweepRunner, TraceMode, TraceStore};
 use distfront::scenarios::{self, RunOptions};
 use distfront::ExperimentConfig;
+use distfront_trace::record::PointKey;
 use distfront_trace::{ActivityTrace, AppProfile, Workload};
 
 fn opts(workers: usize) -> RunOptions {
@@ -71,15 +72,16 @@ fn replay_falls_back_to_live_when_traces_are_missing() {
     assert!(empty.is_empty(), "fallback must not record");
 }
 
-/// A replaying sweep whose configuration carries a core-perturbing DTM
-/// policy falls back to live simulation — and the direct engine API
-/// reports `ReplayIncompatible` naming the policy instead.
+/// A replaying sweep whose configuration needs an operating point the
+/// trace never recorded falls back to live simulation — and the direct
+/// engine API reports `ReplayIncompatible` naming both the policy and the
+/// missing point instead.
 #[test]
-fn core_perturbing_dtm_policies_fall_back_and_name_themselves() {
+fn uncovered_dtm_policies_fall_back_and_name_the_missing_point() {
     use distfront::dtm::DvfsPolicy;
     use distfront::DtmSpec;
 
-    // Record the plain baseline.
+    // Record the plain baseline: a nominal-only point family.
     let store = Arc::new(TraceStore::new());
     let cfg = ExperimentConfig::baseline().with_uops(20_000);
     let apps = [AppProfile::test_tiny()];
@@ -89,7 +91,8 @@ fn core_perturbing_dtm_policies_fall_back_and_name_themselves() {
     assert!(recording.is_complete());
 
     // The DVFS study shares the uarch side ("baseline" config name) but
-    // rescales the core clock: its cells must run live.
+    // needs the clock-scaled operating point, which a nominal-only trace
+    // never captured: its cells must run live.
     let dvfs = ExperimentConfig::baseline()
         .with_uops(20_000)
         .with_dtm(DtmSpec::GlobalDvfs(DvfsPolicy::paper_limit()));
@@ -104,14 +107,18 @@ fn core_perturbing_dtm_policies_fall_back_and_name_themselves() {
     );
 
     // Direct replay of the same pairing is an explicit, named error.
-    let trace = store.get("baseline", "tiny").unwrap();
+    let trace = store.get("baseline", "tiny", &[PointKey::Nominal]).unwrap();
     let err = CoupledEngine::new(&dvfs, &AppProfile::test_tiny())
         .with_replay(trace)
         .run()
         .unwrap_err();
     match err {
         EngineError::ReplayIncompatible(msg) => {
-            assert!(msg.contains("global-dvfs"), "unhelpful message: {msg}")
+            assert!(msg.contains("global-dvfs"), "unhelpful message: {msg}");
+            assert!(
+                msg.contains("dvfs(0.7x0.85)"),
+                "missing point not named: {msg}"
+            );
         }
         other => panic!("expected ReplayIncompatible, got {other:?}"),
     }
@@ -153,6 +160,73 @@ fn power_level_dtm_sweeps_replay_from_a_nominal_recording() {
     assert_eq!(replayed, live);
     let r = replayed.cells()[0].result.as_ref().unwrap();
     assert!(r.throttled_intervals >= 1, "the throttle never engaged");
+}
+
+/// The full core-perturbing DTM ladder replays bit-identically from its
+/// own multi-point recordings: DVFS, fetch-gate and migration sweeps
+/// record a per-interval operating-point family and replay to the exact
+/// live result — the v2 acceptance contract.
+#[test]
+fn core_perturbing_dtm_ladder_replays_bit_identically() {
+    use distfront::dtm::{DvfsPolicy, FetchGatePolicy, MigrationPolicy};
+    use distfront::DtmSpec;
+
+    // Trips low enough that every policy actually engages, so the replay
+    // exercises the variant points, not just Nominal.
+    let ladder: Vec<(&str, ExperimentConfig)> = vec![
+        (
+            "dvfs",
+            ExperimentConfig::baseline()
+                .with_uops(30_000)
+                .with_dtm(DtmSpec::GlobalDvfs(DvfsPolicy::with_trip(50.0))),
+        ),
+        (
+            "fetch-gate",
+            ExperimentConfig::baseline()
+                .with_uops(30_000)
+                .with_dtm(DtmSpec::FetchGate(FetchGatePolicy::with_trip(50.0))),
+        ),
+        (
+            "migration",
+            ExperimentConfig::distributed_rename_commit()
+                .with_uops(30_000)
+                .with_dtm(DtmSpec::Migration(MigrationPolicy::with_trip(50.0))),
+        ),
+    ];
+    let apps = [
+        AppProfile::test_tiny(),
+        *AppProfile::by_name("gzip").unwrap(),
+    ];
+    for (name, cfg) in &ladder {
+        let store = Arc::new(TraceStore::new());
+        let live = SweepRunner::serial().try_suite(cfg, &apps);
+        let recorded = SweepRunner::serial()
+            .with_trace_mode(TraceMode::Record(Arc::clone(&store)))
+            .try_suite(cfg, &apps);
+        assert_eq!(recorded, live, "{name}: recording perturbed the run");
+        assert_eq!(store.len(), apps.len(), "{name}: traces not stored");
+        // The policy must have engaged, or this test proves nothing.
+        assert!(
+            live.cells()
+                .iter()
+                .any(|c| c.result.as_ref().unwrap().throttled_intervals > 0),
+            "{name}: the DTM policy never engaged; lower the trip"
+        );
+        for workers in [1, 2] {
+            let replayed = SweepRunner::with_threads(workers)
+                .with_trace_mode(TraceMode::Replay(Arc::clone(&store)))
+                .try_suite(cfg, &apps);
+            assert_eq!(
+                replayed.replayed(),
+                apps.len(),
+                "{name}: not every cell replayed at {workers} workers"
+            );
+            assert_eq!(
+                replayed, live,
+                "{name}: replay diverged at {workers} workers"
+            );
+        }
+    }
 }
 
 /// Core-side differences invisible to the shape check are still caught:
@@ -208,13 +282,12 @@ fn custom_with_dtm_policies_taint_recordings() {
     assert!(matches!(err, EngineError::ReplayIncompatible(_)), "{err:?}");
 }
 
-/// A recording sweep under a core-perturbing DTM spec runs live but does
-/// not store its (unreplayable) traces — so it can never clobber a
-/// replay-safe recording of the same (config, workload) key made by a
-/// scenario sharing the uarch side (the DTM studies all keep the
-/// `baseline` config name).
+/// Recording sweeps under different DTM specs sharing one config name
+/// store *separate* capability families instead of clobbering each other:
+/// the nominal-only baseline recording and the fetch-gate recording of the
+/// same (config, workload) cell coexist, and lookups pick by coverage.
 #[test]
-fn record_mode_never_stores_unreplayable_traces() {
+fn record_mode_keys_traces_by_capability_family() {
     use distfront::dtm::FetchGatePolicy;
     use distfront::DtmSpec;
     let store = Arc::new(TraceStore::new());
@@ -224,23 +297,39 @@ fn record_mode_never_stores_unreplayable_traces() {
     SweepRunner::serial()
         .with_trace_mode(TraceMode::Record(Arc::clone(&store)))
         .try_suite(&base, &apps);
-    let safe = store.get("baseline", "tiny").expect("baseline recorded");
+    let safe = store
+        .get("baseline", "tiny", &[PointKey::Nominal])
+        .expect("baseline recorded");
 
-    // The fetch-gate study shares the "baseline" config name; recording
-    // it must not replace the replay-safe baseline trace.
+    // The fetch-gate study shares the "baseline" config name; recording it
+    // adds a second, gate-capable trace under its own capability key.
     let gated = ExperimentConfig::baseline()
         .with_uops(20_000)
         .with_dtm(DtmSpec::FetchGate(FetchGatePolicy::paper_limit()));
     let report = SweepRunner::serial()
         .with_trace_mode(TraceMode::Record(Arc::clone(&store)))
         .try_suite(&gated, &apps);
-    assert!(report.is_complete(), "recording still runs the cell live");
-    assert_eq!(store.len(), 1, "unsafe trace must not be stored");
-    let still = store.get("baseline", "tiny").unwrap();
+    assert!(report.is_complete());
+    assert_eq!(store.len(), 2, "both capability families must be stored");
+
+    // A nominal-only request still gets the original baseline recording
+    // (the smallest covering family wins deterministically)...
+    let still = store.get("baseline", "tiny", &[PointKey::Nominal]).unwrap();
     assert!(
         Arc::ptr_eq(&safe, &still),
-        "replay-safe trace was clobbered"
+        "nominal recording was clobbered or outranked"
     );
+    // ...while a request that needs the gate point can only be served by
+    // the fetch-gate recording.
+    let gate_points = gated.replay_points();
+    assert!(gate_points.len() > 1, "fetch-gate must be actionable");
+    let capable = store.get("baseline", "tiny", &gate_points).unwrap();
+    assert!(!Arc::ptr_eq(&safe, &capable), "wrong family served");
+    assert!(capable.meta.covers(&gate_points));
+    // A point nobody recorded is never served.
+    assert!(store
+        .get("baseline", "tiny", &[PointKey::MigrateTo(0)])
+        .is_none());
 }
 
 /// Traces survive the disk round trip bit-for-bit, and the decoded file

@@ -1,0 +1,141 @@
+//! Backward compatibility with DFAT v1: a committed v1 `.dft` fixture
+//! must keep decoding under the v2 reader — as a nominal-only point
+//! family — and replaying byte-identically to its pinned CSV row.
+//!
+//! The fixture pair under `tests/golden/` (`baseline-v1.dft` plus
+//! `baseline-v1.csv`) is generated from a live baseline recording,
+//! down-encoded through a local copy of the v1 writer (the production
+//! encoder always writes v2 — that is the version policy). To regenerate
+//! after an *intentional* core-side change (the replay validation
+//! fingerprint will say so):
+//!
+//! ```sh
+//! BLESS=1 cargo test -p distfront --test trace_v1_compat
+//! ```
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use distfront::engine::CoupledEngine;
+use distfront::scenarios::csv_row;
+use distfront::ExperimentConfig;
+use distfront_trace::record::{ActivityTrace, PointKey, TRACE_MAGIC};
+use distfront_trace::AppProfile;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden"))
+}
+
+/// The recording cell the fixture pins: the baseline configuration over
+/// gzip at a fixed run length.
+fn fixture_cfg() -> ExperimentConfig {
+    ExperimentConfig::baseline().with_uops(30_000)
+}
+
+fn fixture_app() -> AppProfile {
+    *AppProfile::by_name("gzip").unwrap()
+}
+
+/// A from-scratch v1 encoder, byte-for-byte the historical layout: the
+/// production `encode()` deliberately cannot write v1 anymore, so the
+/// fixture generator keeps its own copy. v1 knew no point families — one
+/// counter row and one done flag per interval, no capability section.
+fn encode_v1(trace: &ActivityTrace) -> Vec<u8> {
+    let mut out = Vec::new();
+    let u8b = |out: &mut Vec<u8>, v: u8| out.push(v);
+    let u16b = |out: &mut Vec<u8>, v: u16| out.extend_from_slice(&v.to_le_bytes());
+    let u32b = |out: &mut Vec<u8>, v: u32| out.extend_from_slice(&v.to_le_bytes());
+    let u64b = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
+    let strb = |out: &mut Vec<u8>, s: &str| {
+        u32b(out, s.len() as u32);
+        out.extend_from_slice(s.as_bytes());
+    };
+    let words = |out: &mut Vec<u8>, ws: &[u64]| {
+        u32b(out, ws.len() as u32);
+        for &w in ws {
+            u64b(out, w);
+        }
+    };
+    out.extend_from_slice(&TRACE_MAGIC);
+    u32b(&mut out, 1); // TRACE_FORMAT_V1
+    strb(&mut out, &trace.meta.workload);
+    strb(&mut out, &trace.meta.config);
+    u64b(&mut out, trace.meta.processor_fingerprint);
+    u64b(&mut out, trace.meta.seed);
+    u64b(&mut out, trace.meta.uops_per_app);
+    u64b(&mut out, trace.meta.interval_cycles);
+    u32b(&mut out, trace.meta.shape.partitions);
+    u32b(&mut out, trace.meta.shape.backends);
+    u32b(&mut out, trace.meta.shape.tc_banks);
+    u8b(&mut out, u8::from(trace.meta.hop));
+    u8b(&mut out, u8::from(trace.meta.replay_safe));
+    match &trace.meta.dtm {
+        None => u8b(&mut out, 0),
+        Some(name) => {
+            u8b(&mut out, 1);
+            strb(&mut out, name);
+        }
+    }
+    words(&mut out, &trace.pilot);
+    u32b(&mut out, trace.intervals.len() as u32);
+    for rec in &trace.intervals {
+        u16b(&mut out, rec.gated_bank.map_or(u16::MAX, u16::from));
+        u8b(&mut out, u8::from(rec.nominal().done));
+        words(&mut out, &rec.nominal().counters);
+    }
+    u64b(&mut out, trace.finals.cycles);
+    u64b(&mut out, trace.finals.uops);
+    u64b(&mut out, trace.finals.tc_hit_rate.to_bits());
+    u64b(&mut out, trace.finals.mispredict_rate.to_bits());
+    out
+}
+
+#[test]
+fn committed_v1_fixture_decodes_and_replays_byte_identically() {
+    let cfg = fixture_cfg();
+    let app = fixture_app();
+    let dft_path = fixture_dir().join("baseline-v1.dft");
+    let csv_path = fixture_dir().join("baseline-v1.csv");
+
+    if std::env::var_os("BLESS").is_some() {
+        let (recorded, _) = CoupledEngine::new(&cfg, &app).run_recorded();
+        let (live, trace) = recorded.expect("fixture recording failed");
+        std::fs::write(&dft_path, encode_v1(&trace)).unwrap();
+        let mut row = csv_row("baseline-v1-fixture", &live);
+        row.push('\n');
+        std::fs::write(&csv_path, row).unwrap();
+        eprintln!("blessed {} and its pinned CSV", dft_path.display());
+        return;
+    }
+
+    let bytes = std::fs::read(&dft_path).unwrap_or_else(|e| {
+        panic!(
+            "missing v1 fixture {} ({e}); run with BLESS=1 to create it",
+            dft_path.display()
+        )
+    });
+    let trace = ActivityTrace::decode(&bytes).expect("v1 fixture no longer decodes");
+    // The v2 reader presents a v1 stream as a nominal-only point family.
+    assert_eq!(trace.meta.version, 1);
+    assert_eq!(trace.meta.points, vec![PointKey::Nominal]);
+    assert!(trace.meta.replay_safe);
+    assert_eq!(trace.meta.capability_id(), "nominal");
+    // Re-encoding upgrades: the version policy is "write current, read
+    // back to v1", never "write old formats".
+    let upgraded = ActivityTrace::decode(&trace.encode()).unwrap();
+    assert_eq!(upgraded.meta.version, 2);
+    assert_eq!(upgraded.intervals, trace.intervals);
+
+    // And the decoded fixture still drives a replay to the exact bytes
+    // pinned when it was recorded.
+    let replayed = CoupledEngine::new(&cfg, &app)
+        .with_replay(Arc::new(trace))
+        .run()
+        .expect("v1 fixture no longer replays; if the core changed intentionally, re-bless");
+    let pinned = std::fs::read_to_string(&csv_path).unwrap();
+    assert_eq!(
+        format!("{}\n", csv_row("baseline-v1-fixture", &replayed)),
+        pinned,
+        "v1 fixture replay diverged from its pinned CSV"
+    );
+}
