@@ -29,6 +29,12 @@
 //!                    propagator (default when --replay is given; inert
 //!                    otherwise)
 //!   --no-batch       disable batched replay
+//!   --state-dir DIR  run against DIR's crash-safe segment store (the
+//!                    same layout `distfront-sweepd --state-dir` uses):
+//!                    scenarios whose content fingerprint is already
+//!                    stored are served from disk byte-identically, new
+//!                    ones run and are appended (local-only; excludes
+//!                    --record/--replay/--verify/--json)
 //!
 //! Server-client mode (see `distfront-sweepd`):
 //!   --connect ADDR   submit the selected scenarios as jobs to a running
@@ -58,9 +64,10 @@ use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
 
 use distfront::engine::{CellOutcome, TraceMode, TraceStore};
-use distfront::job::{JobClass, JobSpec, StatusCode};
+use distfront::job::{JobClass, JobEnv, JobSpec, StatusCode};
 use distfront::scenarios::{self, RunOptions, Scenario, ScenarioReport};
-use distfront::server::Client;
+use distfront::server::{protocol, Client};
+use distfront::store::DurableStore;
 use distfront_thermal::Integrator;
 use distfront_trace::ActivityTrace;
 
@@ -80,6 +87,7 @@ struct Args {
     record: Option<String>,
     replay: Option<String>,
     batch: Option<bool>,
+    state_dir: Option<String>,
     connect: Option<String>,
     class: JobClass,
     shutdown: bool,
@@ -89,7 +97,7 @@ fn usage() -> &'static str {
     "usage: distfront-scenarios --list | --all | --run NAME [--run NAME ...]\n\
      options: [--smoke] [--uops N] [--workers N] [--integrator rk4|expm] \
      [--csv PATH] [--json PATH] [--progress] [--verify] [--inject-fail] \
-     [--record DIR | --replay DIR] [--batch | --no-batch]\n\
+     [--record DIR | --replay DIR] [--batch | --no-batch] [--state-dir DIR]\n\
      client:  [--connect ADDR [--class interactive|deferrable] [--shutdown]]"
 }
 
@@ -110,6 +118,7 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         record: None,
         replay: None,
         batch: None,
+        state_dir: None,
         connect: None,
         class: JobClass::Interactive,
         shutdown: false,
@@ -147,6 +156,7 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
             "--replay" => args.replay = Some(value("--replay")?),
             "--batch" => args.batch = Some(true),
             "--no-batch" => args.batch = Some(false),
+            "--state-dir" => args.state_dir = Some(value("--state-dir")?),
             "--connect" => args.connect = Some(value("--connect")?),
             "--class" => {
                 let v = value("--class")?;
@@ -170,6 +180,19 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         && (args.record.is_some() || args.replay.is_some() || args.verify || args.json.is_some())
     {
         return Err("--record/--replay/--verify/--json are local-only (not with --connect)".into());
+    }
+    if args.state_dir.is_some()
+        && (args.record.is_some()
+            || args.replay.is_some()
+            || args.verify
+            || args.json.is_some()
+            || args.connect.is_some())
+    {
+        return Err(
+            "--state-dir excludes --record/--replay/--verify/--json/--connect \
+             (point --connect at a `sweepd --state-dir` instead)"
+                .into(),
+        );
     }
     Ok(args)
 }
@@ -420,6 +443,111 @@ fn client_main(args: &Args, selected: &[Scenario]) -> StatusCode {
     status
 }
 
+/// Runs the selected scenarios against a local [`DurableStore`]: jobs
+/// already persisted are served from disk (byte-identical frames, no
+/// cells solved), novel ones execute and are appended + flushed — the
+/// daemon's cache semantics without the daemon, on the same state-dir
+/// layout `sweepd --state-dir` reads and writes.
+fn state_dir_main(args: &Args, selected: &[Scenario]) -> StatusCode {
+    let dir = args.state_dir.as_deref().expect("checked by caller");
+    let (store, snapshot) = match DurableStore::open(dir) {
+        Ok(opened) => opened,
+        Err(e) => {
+            eprintln!("error: opening state dir {dir}: {e}");
+            return StatusCode::Io;
+        }
+    };
+    let store = Arc::new(store);
+    // Append order makes this map last-wins, matching the daemon's load.
+    let results: std::collections::HashMap<u64, Vec<String>> =
+        snapshot.results.into_iter().collect();
+    println!(
+        "state dir {dir}: {} result(s), {} trace(s) loaded ({} records skipped)",
+        results.len(),
+        snapshot.traces.len(),
+        snapshot.skipped
+    );
+    let env = JobEnv {
+        traces: Arc::new(TraceStore::persistent(Arc::clone(&store), snapshot.traces)),
+        ..JobEnv::default()
+    };
+
+    let mut status = StatusCode::Ok;
+    let mut rows: Vec<String> = Vec::new();
+    for s in selected {
+        let spec = spec_for(args, s.name);
+        let fingerprint = match spec.fingerprint() {
+            Ok(fingerprint) => fingerprint,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return StatusCode::Usage;
+            }
+        };
+        let frames = if let Some(frames) = results.get(&fingerprint) {
+            println!(
+                "  {}: served from state dir (fp={fingerprint:016x})",
+                s.name
+            );
+            frames.clone()
+        } else {
+            println!("running {:<16} (fp={fingerprint:016x})", s.name);
+            let stream = CellStream {
+                scenario: s.name,
+                progress: args.progress,
+                csv: None,
+            };
+            let report = match spec.execute(&env, move |cell| stream.observe(cell)) {
+                Ok(report) => report,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return StatusCode::Usage;
+                }
+            };
+            let frames = protocol::result_frames(&report);
+            // The daemon's insert-batch boundary: durable before the
+            // result is reported anywhere.
+            if let Err(e) = store
+                .append_result(fingerprint, &frames)
+                .and_then(|()| store.flush())
+            {
+                eprintln!("warning: persisting {}: {e}", s.name);
+            }
+            frames
+        };
+        for line in &frames {
+            if let Some(row) = line.strip_prefix("CELL ") {
+                rows.push(row.to_string());
+            } else if let Some(err) = line.strip_prefix("ERRCELL ") {
+                eprintln!("error: cell {err}");
+            } else if let Some(rest) = line.strip_prefix("DONE ") {
+                for token in rest.split_ascii_whitespace() {
+                    if let Some(code) = token
+                        .strip_prefix("status=")
+                        .and_then(|v| v.parse().ok())
+                        .and_then(StatusCode::from_code)
+                    {
+                        status = status.worst(code);
+                    }
+                }
+            }
+        }
+    }
+    if let Some(path) = &args.csv {
+        let mut csv = String::from(scenarios::CSV_HEADER);
+        csv.push('\n');
+        for row in &rows {
+            csv.push_str(row);
+            csv.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, csv) {
+            eprintln!("error: writing {path}: {e}");
+            return status.worst(StatusCode::Io);
+        }
+        println!("wrote {path}");
+    }
+    status
+}
+
 fn main() -> ExitCode {
     let args = match parse(std::env::args()) {
         Ok(a) => a,
@@ -456,6 +584,9 @@ fn main() -> ExitCode {
 
     if args.connect.is_some() {
         return client_main(&args, &selected).into();
+    }
+    if args.state_dir.is_some() {
+        return state_dir_main(&args, &selected).into();
     }
 
     let opts = options(&args);

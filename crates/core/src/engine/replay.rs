@@ -195,10 +195,10 @@ impl ReplayBackend {
     ) -> Result<(), EngineError> {
         let m = &trace.meta;
         let fail = |msg: String| Err(EngineError::ReplayIncompatible(msg));
-        if m.version != TRACE_FORMAT_VERSION && m.version != TRACE_FORMAT_V1 {
+        if m.version < TRACE_FORMAT_V1 || m.version > TRACE_FORMAT_VERSION {
             return fail(format!(
-                "trace format version {} (this build replays {TRACE_FORMAT_V1} and \
-                 {TRACE_FORMAT_VERSION})",
+                "trace format version {} (this build replays {TRACE_FORMAT_V1} \
+                 through {TRACE_FORMAT_VERSION})",
                 m.version
             ));
         }

@@ -28,6 +28,7 @@ use super::replay::ReplayBackend;
 use super::EngineError;
 use crate::experiment::ExperimentConfig;
 use crate::runner::AppResult;
+use crate::store::DurableStore;
 
 /// Packs a cache key — the machine shape, the exact bits of the leakage
 /// model, and the exact bits of the nominal power profile — into one
@@ -299,10 +300,20 @@ impl WarmStartCache {
 /// points can never be satisfied by a power-only trace: [`get`](Self::get)
 /// returns only traces whose recorded point family covers the request.
 ///
+/// A store built with [`persistent`](Self::persistent) is additionally
+/// disk-backed: it starts pre-seeded from a [`DurableStore`] and appends
+/// each *novel* recording (new key, or changed bytes under an existing
+/// key) back to it as `.dft` payloads — behind the exact same
+/// `insert`/`get`/coverage contract, so record/replay never knows
+/// whether a trace survived a restart. Appends become durable at the
+/// owner's [`DurableStore::flush`] boundary; an append failure is logged
+/// and degrades that trace to in-memory life.
+///
 /// [`TraceMeta::capability_id`]: distfront_trace::record::TraceMeta::capability_id
 #[derive(Debug, Default)]
 pub struct TraceStore {
     map: Mutex<HashMap<(String, String, String), Arc<ActivityTrace>>>,
+    store: Option<Arc<DurableStore>>,
 }
 
 impl TraceStore {
@@ -311,19 +322,46 @@ impl TraceStore {
         Self::default()
     }
 
+    /// A disk-backed store seeded with `loaded` traces recovered from
+    /// `store` (append order, so the newest recording of a key wins).
+    pub fn persistent(store: Arc<DurableStore>, loaded: Vec<ActivityTrace>) -> Self {
+        let traces = TraceStore {
+            map: Mutex::new(HashMap::new()),
+            store: None,
+        };
+        for trace in loaded {
+            traces.insert(trace);
+        }
+        TraceStore {
+            store: Some(store),
+            ..traces
+        }
+    }
+
     /// Inserts a trace under its recorded `(config, workload, capability)`
     /// key, replacing any previous recording of the same cell *with the
     /// same capability set* (recordings with different families coexist).
+    /// Disk-backed stores append the trace unless an identical recording
+    /// already sits under the key.
     pub fn insert(&self, trace: ActivityTrace) {
         let key = (
             trace.meta.config.clone(),
             trace.meta.workload.clone(),
             trace.meta.capability_id(),
         );
-        self.map
-            .lock()
-            .expect("trace store poisoned")
-            .insert(key, Arc::new(trace));
+        let mut map = self.map.lock().expect("trace store poisoned");
+        let novel = map.get(&key).is_none_or(|prev| **prev != trace);
+        if novel {
+            if let Some(store) = &self.store {
+                if let Err(e) = store.append_trace(&trace) {
+                    eprintln!(
+                        "[sweepd] trace persist failed {}/{}/{}: {e}",
+                        key.0, key.1, key.2
+                    );
+                }
+            }
+        }
+        map.insert(key, Arc::new(trace));
     }
 
     /// Looks up a trace recorded for a configuration × workload cell whose

@@ -50,6 +50,7 @@ pub mod report;
 pub mod runner;
 pub mod scenarios;
 pub mod server;
+pub mod store;
 
 pub use distfront_thermal::Integrator;
 pub use dtm::{
@@ -72,3 +73,4 @@ pub use runner::{
     TempReport,
 };
 pub use scenarios::{RunOptions, Scenario, ScenarioReport};
+pub use store::{DurableStore, StoreSnapshot};

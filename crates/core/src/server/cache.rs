@@ -15,30 +15,67 @@
 //! the same per-cell errors and `DONE status=2`. Only jobs that never
 //! ran (`ERR` frames: unresolvable spec, unknown name) bypass the cache,
 //! since there is no result to address.
+//!
+//! # Persistence
+//!
+//! A cache opened through [`ResultCache::persistent`] is backed by a
+//! [`DurableStore`]: it starts pre-seeded with every result a previous
+//! daemon life persisted (so a restart serves the same bytes), and
+//! every [`insert`](ResultCache::insert) of a *new* fingerprint appends
+//! the frames to the store. Appends become durable at the daemon's
+//! batch boundary ([`DurableStore::flush`] before the terminal frame is
+//! sent), not here — the cache only writes. A store I/O failure is
+//! logged and degrades the daemon to in-memory service for that entry;
+//! it never fails the job.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+use crate::store::DurableStore;
 
 /// Fingerprint-keyed store of serialized result frames.
 ///
 /// Concurrency note: lookup and insert are separate operations, so two
 /// *concurrent* identical submissions may both execute and both insert —
 /// benign, because the engine's bit-identity contract makes their frames
-/// equal and the second insert overwrites with identical bytes. The
-/// cache guarantee the daemon advertises is for resubmission: a job
-/// whose twin has *completed* is always served stored frames.
+/// equal and the second insert overwrites with identical bytes (and is
+/// not re-appended to a backing store). The cache guarantee the daemon
+/// advertises is for resubmission: a job whose twin has *completed* is
+/// always served stored frames.
 #[derive(Debug, Default)]
 pub struct ResultCache {
     map: Mutex<HashMap<u64, Arc<Vec<String>>>>,
+    /// Fingerprints restored from a previous life's store — what lets
+    /// the daemon log a *disk* cache hit distinctly.
+    disk: Mutex<HashSet<u64>>,
+    store: Option<Arc<DurableStore>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl ResultCache {
-    /// An empty cache.
+    /// An empty, in-memory-only cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A cache backed by `store`, pre-seeded with `loaded` entries from
+    /// it (append order; the newest record for a fingerprint wins).
+    pub fn persistent(store: Arc<DurableStore>, loaded: Vec<(u64, Vec<String>)>) -> Self {
+        let mut map = HashMap::new();
+        let mut disk = HashSet::new();
+        for (fingerprint, frames) in loaded {
+            map.insert(fingerprint, Arc::new(frames));
+            disk.insert(fingerprint);
+        }
+        ResultCache {
+            map: Mutex::new(map),
+            disk: Mutex::new(disk),
+            store: Some(store),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 
     /// The stored frames for a fingerprint, counting a hit or miss.
@@ -61,12 +98,31 @@ impl ResultCache {
         }
     }
 
-    /// Stores a completed job's frames under its fingerprint.
-    pub fn insert(&self, fingerprint: u64, frames: Vec<String>) {
-        self.map
+    /// Whether this fingerprint's entry was restored from disk rather
+    /// than computed in this daemon life.
+    pub fn from_disk(&self, fingerprint: u64) -> bool {
+        self.disk
             .lock()
             .expect("result cache poisoned")
-            .insert(fingerprint, Arc::new(frames));
+            .contains(&fingerprint)
+    }
+
+    /// Stores a completed job's frames under its fingerprint, appending
+    /// them to the backing store (if any) when the fingerprint is new.
+    pub fn insert(&self, fingerprint: u64, frames: Vec<String>) {
+        let fresh = self
+            .map
+            .lock()
+            .expect("result cache poisoned")
+            .insert(fingerprint, Arc::new(frames.clone()))
+            .is_none();
+        if fresh {
+            if let Some(store) = &self.store {
+                if let Err(e) = store.append_result(fingerprint, &frames) {
+                    eprintln!("[sweepd] result persist failed fp={fingerprint:016x}: {e}");
+                }
+            }
+        }
     }
 
     /// Distinct results stored.
@@ -105,5 +161,29 @@ mod tests {
         assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
         assert!(cache.lookup(8).is_none());
         assert_eq!(cache.misses(), 2);
+        assert!(!cache.from_disk(7));
+    }
+
+    #[test]
+    fn persistent_cache_round_trips_through_the_store() {
+        let dir =
+            std::env::temp_dir().join(format!("distfront-result-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let (store, snapshot) = DurableStore::open(&dir).unwrap();
+        let cache = ResultCache::persistent(Arc::new(store), snapshot.results);
+        assert!(cache.is_empty());
+        let frames = vec!["CELL a,b".to_string(), "DONE status=0".to_string()];
+        cache.insert(42, frames.clone());
+        // A re-insert of the same fingerprint must not append again.
+        cache.insert(42, frames.clone());
+        drop(cache);
+
+        let (store, snapshot) = DurableStore::open(&dir).unwrap();
+        assert_eq!(store.persisted_results(), 1);
+        let cache = ResultCache::persistent(Arc::new(store), snapshot.results);
+        assert_eq!(cache.lookup(42).expect("restored").as_slice(), frames);
+        assert!(cache.from_disk(42));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! Every one-shot CLI invocation pays twice for state that could outlive
 //! it: the [`WarmStartCache`](crate::engine::WarmStartCache) and
-//! [`TraceStore`](crate::engine::TraceStore) die with the process, so a
+//! [`TraceStore`] die with the process, so a
 //! second run of the same grid re-solves every warm start and re-records
 //! every trace. This module keeps them alive: a [`SweepDaemon`] is a
 //! long-running TCP service holding one process-wide [`JobEnv`] plus a
@@ -31,13 +31,33 @@
 //! latency-sensitive probe), the *deferrable* executor drains bulk jobs
 //! in submission order. Both executors share the daemon's [`JobEnv`],
 //! which is the whole point: it is the state worth keeping alive.
+//! Connections are **pipelined**: a thread queues a `JOB` and goes back
+//! to reading, so any number of jobs from one connection can be in
+//! flight; every job-scoped frame carries a `job=<n>` sequence id (see
+//! [`protocol`]) so responses demultiplex.
+//!
+//! # Persistence
+//!
+//! [`SweepDaemon::bind_persistent`] adds a [`DurableStore`] under a
+//! state directory: the [`ResultCache`] and the env's
+//! [`TraceStore`] load from it on startup and
+//! append each novel result/recording back to it. An executor makes the
+//! batch durable (`fsync`) **before** the job's terminal frame is sent —
+//! the insert-batch boundary — so any result a client has seen
+//! acknowledged survives a kill at any instant. A daemon restarted on
+//! the same `--state-dir` therefore serves a resubmitted job from disk,
+//! byte-identical to its previous life's response. (Warm starts stay
+//! in-memory: they are bit-reproducible accelerators, cheap to rebuild
+//! and huge to store.)
 //!
 //! The daemon follows the CLI's no-registry discipline: plain std TCP on
 //! a loopback address, newline-delimited text frames, debuggable with
 //! `nc`. Shutdown is a protocol command (`SHUTDOWN`), not a signal —
 //! std-only Rust cannot trap SIGTERM, so the contract is: `SHUTDOWN`
-//! drains the executors and exits 0; SIGTERM just kills the process
-//! (safe, since the caches are in-memory and rebuilt on demand).
+//! drains the executors, flushes the store and exits 0; SIGTERM just
+//! kills the process, which is *still* safe with a state dir, because
+//! durability rides the insert-batch boundary above, not the exit path —
+//! at worst the store misses results whose `DONE` no client ever saw.
 //!
 //! # Examples
 //!
@@ -65,23 +85,26 @@ pub use protocol::Command;
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 
+use crate::engine::TraceStore;
 use crate::job::{JobClass, JobEnv, JobSpec, StatusCode};
+use crate::store::DurableStore;
 
 /// One job waiting on an executor.
 struct QueuedJob {
     spec: JobSpec,
     fingerprint: u64,
     class: JobClass,
+    /// The submitting connection's sequence id for this job — stamped
+    /// onto every frame the executor sends for it.
+    job_id: u64,
     /// Writer half of the submitting connection (reads happen on a
     /// separate clone); the executor streams frames through it.
     writer: Arc<Mutex<TcpStream>>,
-    /// Signalled when the job's terminal frame has been sent and its
-    /// result cached, so the connection thread can resume reading.
-    done: Arc<(Mutex<bool>, Condvar)>,
 }
 
 /// A class's submission queue. The mutex also arbitrates shutdown:
@@ -137,6 +160,10 @@ struct DaemonState {
     addr: SocketAddr,
     env: JobEnv,
     results: ResultCache,
+    /// The persistence layer behind `results` and the env's trace store,
+    /// when the daemon was bound with a state dir — the daemon holds it
+    /// for the flush boundaries and the `STATS` persisted counts.
+    store: Option<Arc<DurableStore>>,
     /// Indexed by [`class_index`].
     queues: [WorkQueue; 2],
     shutdown: AtomicBool,
@@ -174,11 +201,53 @@ impl SweepDaemon {
     ///
     /// Propagates the bind failure.
     pub fn bind(addr: impl ToSocketAddrs) -> io::Result<SweepDaemon> {
+        Self::build(addr, JobEnv::default(), ResultCache::new(), None)
+    }
+
+    /// [`bind`](Self::bind) plus a [`DurableStore`] under `state_dir`:
+    /// the result cache and trace store load whatever a previous daemon
+    /// life persisted there (repairing damaged segment tails, never
+    /// failing on them) and append every novel result and recording
+    /// back, so a restart serves byte-identical disk cache hits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure and genuine store I/O errors
+    /// (permissions, disk full) — but not store *corruption*, which is
+    /// repaired and logged instead.
+    pub fn bind_persistent(
+        addr: impl ToSocketAddrs,
+        state_dir: impl AsRef<Path>,
+    ) -> io::Result<SweepDaemon> {
+        let (store, snapshot) = DurableStore::open(state_dir)?;
+        let store = Arc::new(store);
+        println!(
+            "[sweepd] state dir {}: loaded {} results, {} traces ({} records skipped)",
+            store.dir().display(),
+            snapshot.results.len(),
+            snapshot.traces.len(),
+            snapshot.skipped,
+        );
+        let results = ResultCache::persistent(Arc::clone(&store), snapshot.results);
+        let env = JobEnv {
+            traces: Arc::new(TraceStore::persistent(Arc::clone(&store), snapshot.traces)),
+            ..JobEnv::default()
+        };
+        Self::build(addr, env, results, Some(store))
+    }
+
+    fn build(
+        addr: impl ToSocketAddrs,
+        env: JobEnv,
+        results: ResultCache,
+        store: Option<Arc<DurableStore>>,
+    ) -> io::Result<SweepDaemon> {
         let listener = TcpListener::bind(addr)?;
         let state = Arc::new(DaemonState {
             addr: listener.local_addr()?,
-            env: JobEnv::default(),
-            results: ResultCache::new(),
+            env,
+            results,
+            store,
             queues: [WorkQueue::new(), WorkQueue::new()],
             shutdown: AtomicBool::new(false),
             jobs: AtomicU64::new(0),
@@ -230,6 +299,17 @@ impl SweepDaemon {
         for executor in executors {
             let _ = executor.join();
         }
+        // Belt-and-braces: every executor already flushed at its last
+        // batch boundary, but `SHUTDOWN` promises a settled store.
+        if let Some(store) = &self.state.store {
+            store.flush()?;
+            println!(
+                "[sweepd] state dir {}: {} results, {} traces persisted",
+                store.dir().display(),
+                store.persisted_results(),
+                store.persisted_traces(),
+            );
+        }
         println!(
             "[sweepd] shutdown: {} jobs, {} executed, {} cache hits",
             self.state.jobs.load(Ordering::Relaxed),
@@ -276,25 +356,33 @@ impl DaemonHandle {
     }
 }
 
-/// The executor loop for one job class: pop, execute, stream, cache,
-/// signal — until shutdown *and* drained.
+/// The executor loop for one job class: pop, execute, cache, persist,
+/// stream — until shutdown *and* drained.
 fn executor_loop(state: &DaemonState, class: JobClass) {
     let queue = &state.queues[class_index(class)];
     while let Some(job) = queue.pop() {
         state.executed.fetch_add(1, Ordering::Relaxed);
         let progress_writer = Arc::clone(&job.writer);
+        let job_id = job.job_id;
         let outcome = job.spec.execute(&state.env, move |cell| {
             // Advisory, completion-order; a lost client must not kill
             // the solve (its result is still worth caching).
-            let _ = write_line(&progress_writer, &protocol::progress_frame(cell));
+            let _ = write_line(&progress_writer, &protocol::progress_frame(job_id, cell));
         });
         match outcome {
             Ok(report) => {
                 let frames = protocol::result_frames(&report);
-                send_result_frames(&job.writer, &frames, false);
-                // Insert before signalling: once the submitter has seen
-                // DONE, a resubmission is guaranteed a cache hit.
-                state.results.insert(job.fingerprint, frames);
+                // Insert *and make durable* before streaming: this is
+                // the insert-batch boundary — once the submitter has
+                // seen DONE, a resubmission is guaranteed a cache hit,
+                // in the next daemon life as much as in this one.
+                state.results.insert(job.fingerprint, frames.clone());
+                if let Some(store) = &state.store {
+                    if let Err(e) = store.flush() {
+                        eprintln!("[sweepd] store flush failed: {e}");
+                    }
+                }
+                send_result_frames(&job.writer, job.job_id, &frames, false);
             }
             Err(e) => {
                 // Unreachable in practice — the connection thread
@@ -302,13 +390,10 @@ fn executor_loop(state: &DaemonState, class: JobClass) {
                 // enqueueing — but a protocol error beats a panic.
                 let _ = write_line(
                     &job.writer,
-                    &protocol::err_frame(StatusCode::Usage, &e.to_string()),
+                    &protocol::job_err_frame(job.job_id, StatusCode::Usage, &e.to_string()),
                 );
             }
         }
-        let (lock, cv) = &*job.done;
-        *lock.lock().expect("done signal poisoned") = true;
-        cv.notify_all();
     }
 }
 
@@ -319,17 +404,27 @@ fn write_line(writer: &Arc<Mutex<TcpStream>>, line: &str) -> io::Result<()> {
     stream.write_all(b"\n")
 }
 
-/// Streams a job's stored result frames, appending the `cached=` token
-/// to the terminal `DONE` line (the only byte that may differ between a
-/// fresh run and a replay).
-fn send_result_frames(writer: &Arc<Mutex<TcpStream>>, frames: &[String], cached: bool) {
+/// Streams a job's stored result frames: each line picks up the
+/// connection's `job=` tag, and the terminal `DONE` additionally the
+/// `cached=` token (the only bytes that may differ between a fresh run
+/// and a replay — the stored frames themselves are connection-free).
+/// The whole batch goes out under one writer lock, so concurrent
+/// executors can never interleave two jobs' result batches on a
+/// pipelined connection.
+fn send_result_frames(writer: &Arc<Mutex<TcpStream>>, job: u64, frames: &[String], cached: bool) {
+    let mut stream = writer.lock().expect("writer poisoned");
     for frame in frames {
         let line = if frame.starts_with("DONE ") {
             format!("{frame} cached={}", u8::from(cached))
         } else {
             frame.clone()
         };
-        if write_line(writer, &line).is_err() {
+        let tagged = protocol::tag_frame(job, &line);
+        if stream
+            .write_all(tagged.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .is_err()
+        {
             return;
         }
     }
@@ -345,6 +440,9 @@ fn handle_connection(state: &DaemonState, stream: TcpStream) {
         }
     };
     let writer = Arc::new(Mutex::new(stream));
+    // The connection's job sequence: monotonic from 0 in JOB order —
+    // the ids that tag every job-scoped frame (see the protocol docs).
+    let mut next_job: u64 = 0;
     for line in reader.lines() {
         let line = match line {
             Ok(line) => line,
@@ -379,7 +477,9 @@ fn handle_connection(state: &DaemonState, stream: TcpStream) {
                 return;
             }
             Command::Job(spec) => {
-                if !handle_job(state, &writer, spec) {
+                let job_id = next_job;
+                next_job += 1;
+                if !handle_job(state, &writer, spec, job_id) {
                     return;
                 }
             }
@@ -387,38 +487,54 @@ fn handle_connection(state: &DaemonState, stream: TcpStream) {
     }
 }
 
-/// Handles one `JOB` submission; returns `false` when the connection is
-/// dead and its thread should exit.
-fn handle_job(state: &DaemonState, writer: &Arc<Mutex<TcpStream>>, spec: JobSpec) -> bool {
+/// Handles one `JOB` submission: acknowledge, serve from cache or
+/// enqueue — never blocking on execution, so the connection thread goes
+/// straight back to reading and the connection pipelines. Returns
+/// `false` when the connection is dead and its thread should exit.
+fn handle_job(
+    state: &DaemonState,
+    writer: &Arc<Mutex<TcpStream>>,
+    spec: JobSpec,
+    job_id: u64,
+) -> bool {
     state.jobs.fetch_add(1, Ordering::Relaxed);
     let fingerprint = match spec.fingerprint() {
         Ok(fingerprint) => fingerprint,
         Err(e) => {
             return write_line(
                 writer,
-                &protocol::err_frame(StatusCode::Usage, &e.to_string()),
+                &protocol::job_err_frame(job_id, StatusCode::Usage, &e.to_string()),
             )
             .is_ok();
         }
     };
-    if write_line(writer, &protocol::queued_frame(fingerprint, spec.class)).is_err() {
+    if write_line(
+        writer,
+        &protocol::queued_frame(job_id, fingerprint, spec.class),
+    )
+    .is_err()
+    {
         return false;
     }
     if let Some(frames) = state.results.lookup(fingerprint) {
+        let source = if state.results.from_disk(fingerprint) {
+            "disk cache hit"
+        } else {
+            "cache hit"
+        };
         println!(
-            "[sweepd] cache hit fp={fingerprint:016x} class={} ({} frames replayed)",
+            "[sweepd] {source} fp={fingerprint:016x} class={} ({} frames replayed)",
             spec.class,
             frames.len()
         );
-        send_result_frames(writer, &frames, true);
+        send_result_frames(writer, job_id, &frames, true);
         return true;
     }
     println!("[sweepd] job fp={fingerprint:016x} class={}", spec.class);
-    let done = Arc::new((Mutex::new(false), Condvar::new()));
     let job = QueuedJob {
         fingerprint,
         writer: Arc::clone(writer),
-        done: Arc::clone(&done),
+        job_id,
         class: spec.class,
         spec,
     };
@@ -426,14 +542,9 @@ fn handle_job(state: &DaemonState, writer: &Arc<Mutex<TcpStream>>, spec: JobSpec
     if queue.push(job).is_err() {
         return write_line(
             writer,
-            &protocol::err_frame(StatusCode::Io, "daemon is shutting down"),
+            &protocol::job_err_frame(job_id, StatusCode::Io, "daemon is shutting down"),
         )
         .is_ok();
-    }
-    let (lock, cv) = &*done;
-    let mut finished = lock.lock().expect("done signal poisoned");
-    while !*finished {
-        finished = cv.wait(finished).expect("done signal poisoned");
     }
     true
 }
@@ -448,10 +559,15 @@ fn initiate_shutdown(state: &DaemonState) {
     let _ = TcpStream::connect(state.addr);
 }
 
-/// The `STATS` response frame.
+/// The `STATS` response frame. The persisted counts are 0 for a daemon
+/// without a state dir (nothing is, and nothing will be).
 fn stats_frame(state: &DaemonState) -> String {
+    let (persisted_results, persisted_traces) = state
+        .store
+        .as_ref()
+        .map_or((0, 0), |s| (s.persisted_results(), s.persisted_traces()));
     format!(
-        "STATS jobs={} executed={} result_hits={} result_entries={} warm_hits={} warm_misses={} warm_entries={} traces={}",
+        "STATS jobs={} executed={} result_hits={} result_entries={} warm_hits={} warm_misses={} warm_entries={} traces={} persisted_results={persisted_results} persisted_traces={persisted_traces}",
         state.jobs.load(Ordering::Relaxed),
         state.executed.load(Ordering::Relaxed),
         state.results.hits(),
@@ -482,6 +598,10 @@ pub struct DaemonStats {
     pub warm_entries: u64,
     /// Recorded traces stored.
     pub traces: u64,
+    /// Result records persisted in the state dir (0 without one).
+    pub persisted_results: u64,
+    /// Trace records persisted in the state dir (0 without one).
+    pub persisted_traces: u64,
 }
 
 impl DaemonStats {
@@ -511,6 +631,8 @@ impl DaemonStats {
                 "warm_misses" => stats.warm_misses = value,
                 "warm_entries" => stats.warm_entries = value,
                 "traces" => stats.traces = value,
+                "persisted_results" => stats.persisted_results = value,
+                "persisted_traces" => stats.persisted_traces = value,
                 _ => return Err(bad()),
             }
         }
@@ -541,11 +663,75 @@ pub struct JobResponse {
     pub error: Option<String>,
 }
 
+impl JobResponse {
+    /// The accumulator a job's frames fold into.
+    fn pending() -> JobResponse {
+        JobResponse {
+            status: StatusCode::Io,
+            cached: false,
+            cells: 0,
+            failed: 0,
+            csv_rows: Vec::new(),
+            result_lines: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Folds one already-untagged result frame in; `true` means the
+    /// frame was terminal (`DONE`/`ERR`) and the response is complete.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed and unknown frames.
+    fn apply_frame(&mut self, line: &str) -> io::Result<bool> {
+        let bad = || io::Error::new(io::ErrorKind::InvalidData, format!("bad frame {line:?}"));
+        if let Some(row) = line.strip_prefix("CELL ") {
+            self.csv_rows.push(row.to_string());
+            self.result_lines.push(line.to_string());
+        } else if line.starts_with("ERRCELL ") {
+            self.result_lines.push(line.to_string());
+        } else if let Some(rest) = line.strip_prefix("DONE ") {
+            let mut done_line = String::from("DONE");
+            for token in rest.split_ascii_whitespace() {
+                let (key, value) = token.split_once('=').ok_or_else(bad)?;
+                match key {
+                    "status" => {
+                        let code = value.parse::<u8>().map_err(|_| bad())?;
+                        self.status = StatusCode::from_code(code).ok_or_else(bad)?;
+                    }
+                    "cells" => self.cells = value.parse().map_err(|_| bad())?,
+                    "failed" => self.failed = value.parse().map_err(|_| bad())?,
+                    "cached" => self.cached = value == "1",
+                    _ => return Err(bad()),
+                }
+                if key != "cached" {
+                    done_line.push(' ');
+                    done_line.push_str(token);
+                }
+            }
+            self.result_lines.push(done_line);
+            return Ok(true);
+        } else if let Some(rest) = line.strip_prefix("ERR ") {
+            let (code, msg) = rest.split_once(' ').unwrap_or((rest, ""));
+            let code = code.parse::<u8>().map_err(|_| bad())?;
+            self.status = StatusCode::from_code(code).ok_or_else(bad)?;
+            self.error = Some(msg.to_string());
+            return Ok(true);
+        } else {
+            return Err(bad());
+        }
+        Ok(false)
+    }
+}
+
 /// A client connection to a running daemon — what `--connect` and the
 /// integration tests drive.
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
+    /// Mirror of the daemon's per-connection job sequence counter: the
+    /// id the *next* `JOB` sent on this connection will be tagged with.
+    next_job: u64,
 }
 
 impl Client {
@@ -557,6 +743,7 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         Ok(Client {
             reader: BufReader::new(TcpStream::connect(addr)?),
+            next_job: 0,
         })
     }
 
@@ -604,58 +791,63 @@ impl Client {
         mut on_frame: impl FnMut(&str),
     ) -> io::Result<JobResponse> {
         self.send(&Command::Job(spec.clone()).encode())?;
-        let mut response = JobResponse {
-            status: StatusCode::Io,
-            cached: false,
-            cells: 0,
-            failed: 0,
-            csv_rows: Vec::new(),
-            result_lines: Vec::new(),
-            error: None,
-        };
+        self.next_job += 1;
+        let mut response = JobResponse::pending();
         loop {
-            let line = self.recv()?;
-            let bad = || io::Error::new(io::ErrorKind::InvalidData, format!("bad frame {line:?}"));
+            let raw = self.recv()?;
+            // One job in flight: the tag is informational, strip it.
+            let (_, line) = protocol::split_job_tag(&raw);
             if line.starts_with("QUEUED ") {
                 continue;
             } else if line.starts_with("PROGRESS ") {
                 on_frame(&line);
-            } else if let Some(row) = line.strip_prefix("CELL ") {
-                response.csv_rows.push(row.to_string());
-                response.result_lines.push(line.clone());
-            } else if line.starts_with("ERRCELL ") {
-                response.result_lines.push(line.clone());
-            } else if let Some(rest) = line.strip_prefix("DONE ") {
-                let mut done_line = String::from("DONE");
-                for token in rest.split_ascii_whitespace() {
-                    let (key, value) = token.split_once('=').ok_or_else(bad)?;
-                    match key {
-                        "status" => {
-                            let code = value.parse::<u8>().map_err(|_| bad())?;
-                            response.status = StatusCode::from_code(code).ok_or_else(bad)?;
-                        }
-                        "cells" => response.cells = value.parse().map_err(|_| bad())?,
-                        "failed" => response.failed = value.parse().map_err(|_| bad())?,
-                        "cached" => response.cached = value == "1",
-                        _ => return Err(bad()),
-                    }
-                    if key != "cached" {
-                        done_line.push(' ');
-                        done_line.push_str(token);
-                    }
-                }
-                response.result_lines.push(done_line);
+            } else if response.apply_frame(&line)? {
                 return Ok(response);
-            } else if let Some(rest) = line.strip_prefix("ERR ") {
-                let (code, msg) = rest.split_once(' ').unwrap_or((rest, ""));
-                let code = code.parse::<u8>().map_err(|_| bad())?;
-                response.status = StatusCode::from_code(code).ok_or_else(bad)?;
-                response.error = Some(msg.to_string());
-                return Ok(response);
-            } else {
-                return Err(bad());
             }
         }
+    }
+
+    /// Submits every spec back-to-back on the pipelined connection —
+    /// the daemon starts (or cache-serves) them all without waiting —
+    /// then demultiplexes the interleaved frames by their `job=` tags.
+    /// Responses come back in submission order, each exactly what
+    /// [`submit`](Self::submit) would have returned.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, malformed frames, and any *untagged* `ERR` (a
+    /// connection-level failure that cannot be attributed to one job)
+    /// fail the whole batch.
+    pub fn submit_batch(&mut self, specs: &[JobSpec]) -> io::Result<Vec<JobResponse>> {
+        let base = self.next_job;
+        for spec in specs {
+            self.send(&Command::Job(spec.clone()).encode())?;
+            self.next_job += 1;
+        }
+        let mut responses = vec![JobResponse::pending(); specs.len()];
+        let mut terminal = vec![false; specs.len()];
+        let mut outstanding = specs.len();
+        while outstanding > 0 {
+            let raw = self.recv()?;
+            let (tag, line) = protocol::split_job_tag(&raw);
+            let idx = tag
+                .and_then(|id| id.checked_sub(base))
+                .map(|i| i as usize)
+                .filter(|i| *i < specs.len())
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("frame outside the batch: {raw:?}"),
+                    )
+                })?;
+            if line.starts_with("QUEUED ") || line.starts_with("PROGRESS ") {
+                continue;
+            }
+            if responses[idx].apply_frame(&line)? && !std::mem::replace(&mut terminal[idx], true) {
+                outstanding -= 1;
+            }
+        }
+        Ok(responses)
     }
 
     /// Liveness probe.

@@ -21,12 +21,13 @@
 //!
 //! | line | meaning |
 //! |---|---|
-//! | `QUEUED fp=<hex16> class=<class>` | accepted; content address echoed |
-//! | `PROGRESS <config> <app> <status>` | advisory, **completion order**; `ok`/`failed <msg>` |
-//! | `CELL <csv-row>` | one result row, **canonical grid order** |
-//! | `ERRCELL <config> <app> <msg>` | one failed cell, canonical grid order |
-//! | `DONE status=<code> cells=<n> failed=<n> cached=<0\|1>` | terminal |
-//! | `ERR <status-code> <msg>` | terminal: the job never ran |
+//! | `QUEUED job=<n> fp=<hex16> class=<class>` | accepted; content address echoed |
+//! | `PROGRESS job=<n> <config> <app> <status>` | advisory, **completion order**; `ok`/`failed <msg>` |
+//! | `CELL job=<n> <csv-row>` | one result row, **canonical grid order** |
+//! | `ERRCELL job=<n> <config> <app> <msg>` | one failed cell, canonical grid order |
+//! | `DONE job=<n> status=<code> cells=<n> failed=<n> cached=<0\|1>` | terminal |
+//! | `ERR job=<n> <status-code> <msg>` | terminal: the job never ran |
+//! | `ERR <status-code> <msg>` | connection-level: the line was not a command |
 //!
 //! `PROGRESS` frames stream live as cells complete and are excluded from
 //! the byte-identity contract (their order is scheduling-dependent, and
@@ -36,13 +37,30 @@
 //! hits — a replayed `DONE` differs only in its `cached=` token, which
 //! is why that token exists (and sits last on the line).
 //!
+//! # Pipelining
+//!
+//! A connection may have **multiple jobs in flight**: the daemon reads
+//! the next command as soon as a `JOB` is queued, instead of blocking
+//! the connection until its terminal frame. Every job-scoped frame
+//! (the table above) therefore carries a `job=<n>` token right after
+//! the frame name, where `n` is the connection's job sequence id —
+//! monotonic from 0 in `JOB` submission order, assigned at parse time —
+//! so a client that pipelines can demultiplex interleaved responses.
+//! One job's `CELL …DONE` result batch is written atomically (never
+//! interleaved with another job's batch); only `QUEUED`/`PROGRESS`
+//! frames from other jobs may appear between batches. A client that
+//! submits one job at a time sees exactly the old frame sequence, ids
+//! counting up from 0, and can simply ignore the token. Connection-level
+//! `ERR` frames (a line that never parsed as a command) carry no job id.
+//!
 //! # Version policy
 //!
 //! The frame vocabulary is versioned *through* the embedded jobspec line:
 //! a `JOB` frame carries `v=<n>` and the daemon rejects versions it does
 //! not speak with `ERR 64 …` (see [`JobSpecError::UnsupportedVersion`]).
 //! Frame names themselves are append-only — an existing name never
-//! changes meaning; new capabilities get new names — mirroring the
+//! changes meaning; new capabilities get new tokens appended after the
+//! existing ones (`job=` rode in exactly this way) — mirroring the
 //! `DFAT` trace-format policy in [`distfront_trace::record`].
 //!
 //! [`JobSpecError::UnsupportedVersion`]: crate::job::JobSpecError::UnsupportedVersion
@@ -102,17 +120,51 @@ impl Command {
 }
 
 /// The `QUEUED` acknowledgement frame.
-pub fn queued_frame(fingerprint: u64, class: JobClass) -> String {
-    format!("QUEUED fp={fingerprint:016x} class={class}")
+pub fn queued_frame(job: u64, fingerprint: u64, class: JobClass) -> String {
+    format!("QUEUED job={job} fp={fingerprint:016x} class={class}")
 }
 
 /// One advisory `PROGRESS` frame (completion order, not part of the
 /// byte-identity contract).
-pub fn progress_frame(cell: &CellOutcome) -> String {
+pub fn progress_frame(job: u64, cell: &CellOutcome) -> String {
     match &cell.result {
-        Ok(_) => format!("PROGRESS {} {} ok", cell.config_name, cell.app_name),
-        Err(e) => format!("PROGRESS {} {} failed {e}", cell.config_name, cell.app_name),
+        Ok(_) => format!(
+            "PROGRESS job={job} {} {} ok",
+            cell.config_name, cell.app_name
+        ),
+        Err(e) => format!(
+            "PROGRESS job={job} {} {} failed {e}",
+            cell.config_name, cell.app_name
+        ),
     }
+}
+
+/// Inserts the per-connection `job=<n>` token after a frame's name —
+/// how stored (untagged) result frames pick up their connection-scoped
+/// identity at send time, keeping the cached bytes connection-free.
+pub fn tag_frame(job: u64, frame: &str) -> String {
+    match frame.split_once(' ') {
+        Some((verb, rest)) => format!("{verb} job={job} {rest}"),
+        None => format!("{frame} job={job}"),
+    }
+}
+
+/// Splits a frame's `job=<n>` token (if its second token is one) from
+/// the rest of the line — the client-side inverse of [`tag_frame`].
+pub fn split_job_tag(line: &str) -> (Option<u64>, String) {
+    if let Some((verb, rest)) = line.split_once(' ') {
+        let (token, tail) = match rest.split_once(' ') {
+            Some((t, tail)) => (t, Some(tail)),
+            None => (rest, None),
+        };
+        if let Some(id) = token.strip_prefix("job=").and_then(|v| v.parse().ok()) {
+            return match tail {
+                Some(tail) => (Some(id), format!("{verb} {tail}")),
+                None => (Some(id), verb.to_string()),
+            };
+        }
+    }
+    (None, line.to_string())
 }
 
 /// The result frames a completed job serializes to: `CELL`/`ERRCELL`
@@ -148,9 +200,16 @@ pub fn result_frames(report: &JobReport) -> Vec<String> {
     frames
 }
 
-/// The terminal `ERR` frame for a job that never ran.
+/// The connection-level `ERR` frame (a line that never became a job
+/// carries no job id).
 pub fn err_frame(status: StatusCode, msg: &str) -> String {
     format!("ERR {} {msg}", status.code())
+}
+
+/// The terminal `ERR` frame for a job that never ran (tagged with the
+/// connection's job sequence id).
+pub fn job_err_frame(job: u64, status: StatusCode, msg: &str) -> String {
+    format!("ERR job={job} {} {msg}", status.code())
 }
 
 #[cfg(test)]
@@ -183,7 +242,28 @@ mod tests {
 
     #[test]
     fn queued_frame_is_fixed_width_hex() {
-        let frame = queued_frame(0xAB, JobClass::Deferrable);
-        assert_eq!(frame, "QUEUED fp=00000000000000ab class=deferrable");
+        let frame = queued_frame(3, 0xAB, JobClass::Deferrable);
+        assert_eq!(frame, "QUEUED job=3 fp=00000000000000ab class=deferrable");
+    }
+
+    #[test]
+    fn job_tags_round_trip() {
+        assert_eq!(tag_frame(7, "CELL a,b,c"), "CELL job=7 a,b,c");
+        assert_eq!(
+            split_job_tag("CELL job=7 a,b,c"),
+            (Some(7), "CELL a,b,c".to_string())
+        );
+        assert_eq!(
+            tag_frame(0, "DONE status=0 cells=1 failed=0"),
+            "DONE job=0 status=0 cells=1 failed=0"
+        );
+        // Untagged (connection-level) frames pass through unchanged.
+        assert_eq!(split_job_tag("ERR 64 nope"), (None, "ERR 64 nope".into()));
+        assert_eq!(split_job_tag("PONG"), (None, "PONG".into()));
+        // A job= mid-line is not a tag.
+        assert_eq!(
+            split_job_tag("ERR 64 bad key job=x"),
+            (None, "ERR 64 bad key job=x".into())
+        );
     }
 }

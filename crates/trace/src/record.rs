@@ -8,58 +8,77 @@
 //! re-simulating the core — which is what makes pure thermal/DTM sweeps
 //! several times cheaper per cell.
 //!
-//! # The v2 multi-point layout
+//! # The multi-point model (v2+)
 //!
-//! Version 2 records, per interval, a small **family of operating
-//! points** instead of a single flattened counter row. The family is
-//! declared once in the header as a list of [`PointKey`]s — always
-//! [`PointKey::Nominal`] first, then the policy-actionable variants the
-//! recording configuration's DTM policy could engage (a clock-scaled DVFS
-//! point, a fetch-gated duty point, one dispatch-bias point per frontend
-//! partition). Every [`IntervalRecord`] then carries one [`PointRecord`]
-//! (flattened counters + done flag) per family entry, in family order,
-//! plus the Vdd-gated trace-cache bank in force (interval-boundary state,
-//! shared by all points of the interval).
+//! Since version 2 a trace records, per interval, a small **family of
+//! operating points** instead of a single flattened counter row. The
+//! family is declared once in the header as a list of [`PointKey`]s —
+//! always [`PointKey::Nominal`] first, then the policy-actionable
+//! variants the recording configuration's DTM policy could engage (a
+//! clock-scaled DVFS point, a fetch-gated duty point, one dispatch-bias
+//! point per frontend partition). Every [`IntervalRecord`] then carries
+//! one [`PointRecord`] (flattened counters + done flag) per family entry,
+//! in family order, plus the Vdd-gated trace-cache bank in force
+//! (interval-boundary state, shared by all points of the interval).
 //!
 //! The family doubles as the trace's **replay capability set**: a replay
 //! whose DTM policy can only ever emit actions covered by the family can
 //! select the matching recorded point each interval, so the paper's
 //! core-perturbing DTM ladder (DVFS, fetch toggling, migration) replays
-//! from a v2 trace recorded under the same policy. [`TraceMeta::capability_id`]
+//! from a trace recorded under the same policy. [`TraceMeta::capability_id`]
 //! renders the set as a stable string used for store keys, file names and
 //! job fingerprints.
 //!
+//! # The v3 delta layout
+//!
+//! Version 3 keeps the v2 structure but changes how non-nominal point
+//! rows hit the wire. A variant row differs from the interval's nominal
+//! row in a handful of counters (a gated fetch stream commits less, a
+//! scaled clock shifts a few occupancy numbers — most words are equal),
+//! so storing every row raw repeats almost-identical 8-byte words per
+//! point. v3 therefore writes, for each non-nominal [`PointRecord`],
+//! the per-counter difference from the interval's **nominal** row as a
+//! zig-zag LEB128 varint ([`crate::codec`]): `delta[i] =
+//! counters[i].wrapping_sub(nominal[i])` as a signed value. A zero delta
+//! is one byte instead of eight, and decode reconstructs exactly via
+//! `nominal[i].wrapping_add(delta[i])` — wrapping two's-complement
+//! arithmetic, so the mapping is a bijection and round-trips **any**
+//! `u64` counter value bit-exactly. The row carries no count prefix: its
+//! length is pinned by [`TraceShape::flat_len`], which decode validates.
+//! The nominal row and the pilot stay raw count-prefixed words.
+//!
 //! # Format and version policy
 //!
-//! Traces serialize through a small self-contained binary codec (no
-//! external dependencies): the magic bytes `DFAT`, a little-endian `u32`
-//! format version, then the metadata, point-family, pilot, interval and
-//! final-stats sections, with every integer little-endian, every float
-//! stored as its exact IEEE-754 bits, and every string length-prefixed
-//! UTF-8.
+//! Traces serialize through the workspace's shared binary codec
+//! ([`crate::codec`], no external dependencies): the magic bytes `DFAT`,
+//! a little-endian `u32` format version, then the metadata, point-family,
+//! pilot, interval and final-stats sections, with every integer
+//! little-endian, every float stored as its exact IEEE-754 bits, every
+//! string length-prefixed UTF-8, and v3 delta rows as zig-zag varints.
 //!
 //! The version number is the compatibility contract:
 //!
 //! * [`TRACE_FORMAT_VERSION`] is bumped on **any** layout change — field
-//!   reordering, widening, new sections, and in particular any change to
-//!   the flattened-counter layout implied by [`TraceShape::flat_len`]
-//!   (the flattening itself lives in `distfront_uarch`, next to the
-//!   counters it serializes).
+//!   reordering, widening, new sections, a new row encoding (v2 → v3),
+//!   and in particular any change to the flattened-counter layout implied
+//!   by [`TraceShape::flat_len`] (the flattening itself lives in
+//!   `distfront_uarch`, next to the counters it serializes).
 //! * Decoding rejects unknown versions outright
 //!   ([`TraceCodecError::UnsupportedVersion`]) rather than guessing:
 //!   a replayed trace feeds physical models, so a misread field would
 //!   silently produce plausible-but-wrong science.
-//! * The **v1 decode path is retained**: a v1 stream (single counter row
-//!   per interval) decodes into the v2 in-memory model as a trace whose
-//!   family is `[Nominal]` — exactly the power-level capability v1 could
-//!   express. [`ActivityTrace::encode`] always writes the current format,
-//!   so re-encoding a v1-decoded trace upgrades its container (the
-//!   content is unchanged). There is no other cross-version migration
-//!   path by design.
+//! * **Older versions stay readable, current-only on write.** The v1
+//!   path decodes the legacy single-row layout into the multi-point
+//!   model as a `[Nominal]` family; the v2 path decodes raw (non-delta)
+//!   point rows. [`ActivityTrace::encode`] always writes
+//!   [`TRACE_FORMAT_VERSION`], so re-encoding an older-version trace
+//!   upgrades its container losslessly (the content is unchanged — only
+//!   the wire layout). There is no other cross-version migration path by
+//!   design, and [`TraceMeta::version`] records what was actually read.
 //! * Within one version, decoding validates structure (magic, counter
-//!   lengths against the declared [`TraceShape`], family invariants, no
-//!   trailing bytes), so `decode(encode(t)) == t` and truncated or
-//!   corrupt files fail loudly.
+//!   lengths against the declared [`TraceShape`], family invariants,
+//!   varint bounds, no trailing bytes), so `decode(encode(t)) == t` and
+//!   truncated or corrupt files fail loudly.
 //!
 //! # Examples
 //!
@@ -94,8 +113,14 @@
 //! assert_eq!(trace.meta.capability_id(), "nominal");
 //! ```
 
+use crate::codec::{CodecError, Reader, Writer};
+
 /// Current serialization version; see the module docs for the policy.
-pub const TRACE_FORMAT_VERSION: u32 = 2;
+pub const TRACE_FORMAT_VERSION: u32 = 3;
+
+/// The raw-row multi-point layout (read-only; superseded by the v3
+/// delta rows).
+pub const TRACE_FORMAT_V2: u32 = 2;
 
 /// The legacy single-point layout, still decodable (read-only).
 pub const TRACE_FORMAT_V1: u32 = 1;
@@ -113,7 +138,7 @@ pub const TRACE_MAGIC: [u8; 4] = *b"DFAT";
 /// reordered. Every hasher is seeded with [`TRACE_MAGIC`] and
 /// [`TRACE_FORMAT_VERSION`], so **any** trace-format bump changes every
 /// fingerprint derived through this type: a result cached against format
-/// v1 can never be served to a client speaking v2 (the same lesson as the
+/// v2 can never be served to a client speaking v3 (the same lesson as the
 /// warm-start key's leakage bits — identity must cover every input the
 /// bytes depend on).
 ///
@@ -458,14 +483,24 @@ pub struct ActivityTrace {
 pub enum TraceCodecError {
     /// The stream does not start with [`TRACE_MAGIC`].
     BadMagic,
-    /// The stream's version is neither [`TRACE_FORMAT_VERSION`] nor
-    /// [`TRACE_FORMAT_V1`].
+    /// The stream's version is not one this build reads
+    /// ([`TRACE_FORMAT_V1`], [`TRACE_FORMAT_V2`] or
+    /// [`TRACE_FORMAT_VERSION`]).
     UnsupportedVersion(u32),
     /// The stream ended inside the named section.
     Truncated(&'static str),
     /// A structural invariant failed (bad lengths, invalid UTF-8,
     /// trailing bytes).
     Corrupt(&'static str),
+}
+
+impl From<CodecError> for TraceCodecError {
+    fn from(e: CodecError) -> Self {
+        match e {
+            CodecError::Truncated(what) => TraceCodecError::Truncated(what),
+            CodecError::Corrupt(what) => TraceCodecError::Corrupt(what),
+        }
+    }
 }
 
 impl std::fmt::Display for TraceCodecError {
@@ -476,7 +511,7 @@ impl std::fmt::Display for TraceCodecError {
                 write!(
                     f,
                     "unsupported trace format version {v} (this build reads \
-                     {TRACE_FORMAT_V1} and {TRACE_FORMAT_VERSION})"
+                     {TRACE_FORMAT_V1}, {TRACE_FORMAT_V2} and {TRACE_FORMAT_VERSION})"
                 )
             }
             TraceCodecError::Truncated(what) => write!(f, "trace truncated in {what}"),
@@ -491,153 +526,75 @@ impl std::error::Error for TraceCodecError {}
 /// physical banks).
 const NO_GATED_BANK: u16 = u16::MAX;
 
-/// [`PointKey`] wire tags (v2).
+/// [`PointKey`] wire tags (v2+).
 const POINT_NOMINAL: u8 = 0;
 const POINT_DVFS: u8 = 1;
 const POINT_FETCH_GATE: u8 = 2;
 const POINT_MIGRATE: u8 = 3;
 
-struct Writer(Vec<u8>);
-
-impl Writer {
-    fn u8(&mut self, v: u8) {
-        self.0.push(v);
-    }
-    fn u16(&mut self, v: u16) {
-        self.0.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u32(&mut self, v: u32) {
-        self.0.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u64(&mut self, v: u64) {
-        self.0.extend_from_slice(&v.to_le_bytes());
-    }
-    fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
-    }
-    fn str(&mut self, s: &str) {
-        self.u32(s.len() as u32);
-        self.0.extend_from_slice(s.as_bytes());
-    }
-    fn words(&mut self, words: &[u64]) {
-        self.u32(words.len() as u32);
-        for &w in words {
-            self.u64(w);
+/// Appends a [`PointKey`] in the v2+ tagged wire layout.
+fn write_point_key(w: &mut Writer, key: &PointKey) {
+    match key {
+        PointKey::Nominal => w.u8(POINT_NOMINAL),
+        PointKey::Dvfs { f_bits, v_bits } => {
+            w.u8(POINT_DVFS);
+            w.u64(*f_bits);
+            w.u64(*v_bits);
         }
-    }
-    fn point_key(&mut self, key: &PointKey) {
-        match key {
-            PointKey::Nominal => self.u8(POINT_NOMINAL),
-            PointKey::Dvfs { f_bits, v_bits } => {
-                self.u8(POINT_DVFS);
-                self.u64(*f_bits);
-                self.u64(*v_bits);
-            }
-            PointKey::FetchGate { open, period } => {
-                self.u8(POINT_FETCH_GATE);
-                self.u32(*open);
-                self.u32(*period);
-            }
-            PointKey::MigrateTo(p) => {
-                self.u8(POINT_MIGRATE);
-                self.u32(*p);
-            }
+        PointKey::FetchGate { open, period } => {
+            w.u8(POINT_FETCH_GATE);
+            w.u32(*open);
+            w.u32(*period);
+        }
+        PointKey::MigrateTo(p) => {
+            w.u8(POINT_MIGRATE);
+            w.u32(*p);
         }
     }
 }
 
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
+/// Reads a [`PointKey`] in the v2+ tagged wire layout.
+fn read_point_key(r: &mut Reader<'_>, what: &'static str) -> Result<PointKey, TraceCodecError> {
+    match r.u8(what)? {
+        POINT_NOMINAL => Ok(PointKey::Nominal),
+        POINT_DVFS => Ok(PointKey::Dvfs {
+            f_bits: r.u64(what)?,
+            v_bits: r.u64(what)?,
+        }),
+        POINT_FETCH_GATE => Ok(PointKey::FetchGate {
+            open: r.u32(what)?,
+            period: r.u32(what)?,
+        }),
+        POINT_MIGRATE => Ok(PointKey::MigrateTo(r.u32(what)?)),
+        _ => Err(TraceCodecError::Corrupt("unknown operating-point tag")),
+    }
 }
 
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], TraceCodecError> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .ok_or(TraceCodecError::Corrupt("length overflow"))?;
-        if end > self.buf.len() {
-            return Err(TraceCodecError::Truncated(what));
-        }
-        let s = &self.buf[self.pos..end];
-        self.pos = end;
-        Ok(s)
-    }
-    fn u8(&mut self, what: &'static str) -> Result<u8, TraceCodecError> {
-        Ok(self.take(1, what)?[0])
-    }
-    fn u16(&mut self, what: &'static str) -> Result<u16, TraceCodecError> {
-        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
-    }
-    fn u32(&mut self, what: &'static str) -> Result<u32, TraceCodecError> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
-    }
-    fn u64(&mut self, what: &'static str) -> Result<u64, TraceCodecError> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
-    }
-    fn f64(&mut self, what: &'static str) -> Result<f64, TraceCodecError> {
-        Ok(f64::from_bits(self.u64(what)?))
-    }
-    fn str(&mut self, what: &'static str) -> Result<String, TraceCodecError> {
-        let len = self.u32(what)? as usize;
-        let bytes = self.take(len, what)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| TraceCodecError::Corrupt("invalid UTF-8"))
-    }
-    fn words(&mut self, what: &'static str) -> Result<Vec<u64>, TraceCodecError> {
-        let len = self.u32(what)? as usize;
-        let mut out = Vec::with_capacity(len.min(1 << 20));
-        for _ in 0..len {
-            out.push(self.u64(what)?);
-        }
-        Ok(out)
-    }
-    fn flag(&mut self, what: &'static str) -> Result<bool, TraceCodecError> {
-        match self.u8(what)? {
-            0 => Ok(false),
-            1 => Ok(true),
-            _ => Err(TraceCodecError::Corrupt("flag byte not 0/1")),
-        }
-    }
-    fn point_key(&mut self, what: &'static str) -> Result<PointKey, TraceCodecError> {
-        match self.u8(what)? {
-            POINT_NOMINAL => Ok(PointKey::Nominal),
-            POINT_DVFS => Ok(PointKey::Dvfs {
-                f_bits: self.u64(what)?,
-                v_bits: self.u64(what)?,
-            }),
-            POINT_FETCH_GATE => Ok(PointKey::FetchGate {
-                open: self.u32(what)?,
-                period: self.u32(what)?,
-            }),
-            POINT_MIGRATE => Ok(PointKey::MigrateTo(self.u32(what)?)),
-            _ => Err(TraceCodecError::Corrupt("unknown operating-point tag")),
-        }
-    }
-    fn gated_bank(&mut self, shape: &TraceShape) -> Result<Option<u8>, TraceCodecError> {
-        let gated = self.u16("gated bank")?;
-        if gated == NO_GATED_BANK {
-            Ok(None)
-        } else if gated <= u16::from(u8::MAX) && (u32::from(gated)) < shape.tc_banks {
-            Ok(Some(gated as u8))
-        } else {
-            Err(TraceCodecError::Corrupt("gated bank outside shape"))
-        }
+/// Reads the gated-bank `u16` (sentinel [`NO_GATED_BANK`] = none) and
+/// validates it against the machine shape.
+fn read_gated_bank(r: &mut Reader<'_>, shape: &TraceShape) -> Result<Option<u8>, TraceCodecError> {
+    let gated = r.u16("gated bank")?;
+    if gated == NO_GATED_BANK {
+        Ok(None)
+    } else if gated <= u16::from(u8::MAX) && (u32::from(gated)) < shape.tc_banks {
+        Ok(Some(gated as u8))
+    } else {
+        Err(TraceCodecError::Corrupt("gated bank outside shape"))
     }
 }
 
 impl ActivityTrace {
     /// Serializes the trace to the versioned binary format. Always writes
-    /// [`TRACE_FORMAT_VERSION`] — re-encoding a v1-decoded trace upgrades
-    /// its container to v2 (same content, current layout).
+    /// [`TRACE_FORMAT_VERSION`] — re-encoding a v1- or v2-decoded trace
+    /// upgrades its container to v3 (same content, current layout).
     pub fn encode(&self) -> Vec<u8> {
         let flat = self.pilot.len();
-        let per_interval = self.meta.points.len().max(1) * (flat + 2);
-        let mut w = Writer(Vec::with_capacity(
-            96 + 8 * (flat + self.intervals.len() * per_interval),
-        ));
-        w.0.extend_from_slice(&TRACE_MAGIC);
-        w.u32(TRACE_FORMAT_VERSION);
+        // Nominal rows are raw 8-byte words; variant rows are mostly
+        // 1-byte deltas, so size them at ~2 bytes per counter.
+        let per_interval =
+            8 * (flat + 2) + self.meta.points.len().saturating_sub(1) * (2 * flat + 1);
+        let mut w = Writer::with_capacity(96 + 8 * flat + self.intervals.len() * per_interval);
+        w.header(&TRACE_MAGIC, TRACE_FORMAT_VERSION);
         w.str(&self.meta.workload);
         w.str(&self.meta.config);
         w.u64(self.meta.processor_fingerprint);
@@ -658,46 +615,54 @@ impl ActivityTrace {
         }
         w.u32(self.meta.points.len() as u32);
         for key in &self.meta.points {
-            w.point_key(key);
+            write_point_key(&mut w, key);
         }
         w.words(&self.pilot);
         w.u32(self.intervals.len() as u32);
         for rec in &self.intervals {
             w.u16(rec.gated_bank.map_or(NO_GATED_BANK, u16::from));
-            for point in &rec.points {
+            for (idx, point) in rec.points.iter().enumerate() {
                 w.u8(u8::from(point.done));
-                w.words(&point.counters);
+                if idx == 0 {
+                    w.words(&point.counters);
+                } else {
+                    debug_assert_eq!(point.counters.len(), rec.points[0].counters.len());
+                    for (c, n) in point.counters.iter().zip(&rec.points[0].counters) {
+                        w.zigzag(c.wrapping_sub(*n) as i64);
+                    }
+                }
             }
         }
         w.u64(self.finals.cycles);
         w.u64(self.finals.uops);
         w.f64(self.finals.tc_hit_rate);
         w.f64(self.finals.mispredict_rate);
-        w.0
+        w.into_vec()
     }
 
-    /// Deserializes a trace (current format or the legacy v1 layout),
-    /// validating structure as described in the module docs. A v1 stream
-    /// yields a trace whose point family is `[Nominal]` with
-    /// `meta.version == 1`.
+    /// Deserializes a trace (current format or the legacy v1/v2
+    /// layouts), validating structure as described in the module docs.
+    /// A v1 stream yields a trace whose point family is `[Nominal]`;
+    /// [`TraceMeta::version`] records the version actually read.
     ///
     /// # Errors
     ///
     /// Returns a [`TraceCodecError`] naming the first violated invariant.
     pub fn decode(bytes: &[u8]) -> Result<ActivityTrace, TraceCodecError> {
-        let mut r = Reader { buf: bytes, pos: 0 };
+        let mut r = Reader::new(bytes);
         if r.take(4, "magic")? != TRACE_MAGIC {
             return Err(TraceCodecError::BadMagic);
         }
         let version = r.u32("version")?;
         match version {
-            TRACE_FORMAT_V1 => Self::decode_v1(r, bytes.len()),
-            TRACE_FORMAT_VERSION => Self::decode_v2(r, bytes.len()),
+            TRACE_FORMAT_V1 => Self::decode_v1(r),
+            TRACE_FORMAT_V2 | TRACE_FORMAT_VERSION => Self::decode_multipoint(r, version),
             other => Err(TraceCodecError::UnsupportedVersion(other)),
         }
     }
 
-    /// Shared header fields up to the dtm name (identical in v1 and v2).
+    /// Shared header fields up to the dtm name (identical in every
+    /// version).
     #[allow(clippy::type_complexity)]
     fn decode_common(
         r: &mut Reader<'_>,
@@ -751,21 +716,24 @@ impl ActivityTrace {
         ))
     }
 
-    fn decode_finals(r: &mut Reader<'_>, total: usize) -> Result<FinalStats, TraceCodecError> {
+    fn decode_finals(r: &mut Reader<'_>) -> Result<FinalStats, TraceCodecError> {
         let finals = FinalStats {
             cycles: r.u64("final stats")?,
             uops: r.u64("final stats")?,
             tc_hit_rate: r.f64("final stats")?,
             mispredict_rate: r.f64("final stats")?,
         };
-        if r.pos != total {
-            return Err(TraceCodecError::Corrupt("trailing bytes"));
-        }
+        r.expect_end()?;
         Ok(finals)
     }
 
-    /// The current multi-point layout.
-    fn decode_v2(mut r: Reader<'_>, total: usize) -> Result<ActivityTrace, TraceCodecError> {
+    /// The multi-point layouts: v2 (raw variant rows) and v3 (zig-zag
+    /// varint delta rows against the interval's nominal row). Everything
+    /// else is shared.
+    fn decode_multipoint(
+        mut r: Reader<'_>,
+        version: u32,
+    ) -> Result<ActivityTrace, TraceCodecError> {
         let (
             workload,
             config,
@@ -781,7 +749,7 @@ impl ActivityTrace {
         let n_points = r.u32("point family")? as usize;
         let mut points = Vec::with_capacity(n_points.min(1 << 12));
         for _ in 0..n_points {
-            points.push(r.point_key("point family")?);
+            points.push(read_point_key(&mut r, "point family")?);
         }
         if points.is_empty() {
             return Err(TraceCodecError::Corrupt("empty point family"));
@@ -803,14 +771,25 @@ impl ActivityTrace {
         let n = r.u32("interval count")? as usize;
         let mut intervals = Vec::with_capacity(n.min(1 << 20));
         for _ in 0..n {
-            let gated_bank = r.gated_bank(&shape)?;
-            let mut recs = Vec::with_capacity(points.len());
-            for _ in 0..points.len() {
+            let gated_bank = read_gated_bank(&mut r, &shape)?;
+            let mut recs: Vec<PointRecord> = Vec::with_capacity(points.len());
+            for idx in 0..points.len() {
                 let done = r.flag("done flag")?;
-                let counters = r.words("interval counters")?;
-                if counters.len() != flat_len {
-                    return Err(TraceCodecError::Corrupt("interval length mismatches shape"));
-                }
+                let counters = if idx == 0 || version == TRACE_FORMAT_V2 {
+                    let counters = r.words("interval counters")?;
+                    if counters.len() != flat_len {
+                        return Err(TraceCodecError::Corrupt("interval length mismatches shape"));
+                    }
+                    counters
+                } else {
+                    let nominal = &recs[0].counters;
+                    let mut counters = Vec::with_capacity(flat_len);
+                    for &base in nominal.iter() {
+                        let delta = r.zigzag("interval point deltas")?;
+                        counters.push(base.wrapping_add(delta as u64));
+                    }
+                    counters
+                };
                 recs.push(PointRecord { counters, done });
             }
             intervals.push(IntervalRecord {
@@ -818,10 +797,10 @@ impl ActivityTrace {
                 gated_bank,
             });
         }
-        let finals = Self::decode_finals(&mut r, total)?;
+        let finals = Self::decode_finals(&mut r)?;
         Ok(ActivityTrace {
             meta: TraceMeta {
-                version: TRACE_FORMAT_VERSION,
+                version,
                 workload,
                 config,
                 processor_fingerprint,
@@ -841,9 +820,10 @@ impl ActivityTrace {
     }
 
     /// The legacy single-point layout: one counter row per interval, no
-    /// point-family section. Decodes into the v2 model with a `[Nominal]`
-    /// family — exactly the power-level capability v1 could express.
-    fn decode_v1(mut r: Reader<'_>, total: usize) -> Result<ActivityTrace, TraceCodecError> {
+    /// point-family section. Decodes into the multi-point model with a
+    /// `[Nominal]` family — exactly the power-level capability v1 could
+    /// express.
+    fn decode_v1(mut r: Reader<'_>) -> Result<ActivityTrace, TraceCodecError> {
         let (
             workload,
             config,
@@ -864,7 +844,7 @@ impl ActivityTrace {
         let n = r.u32("interval count")? as usize;
         let mut intervals = Vec::with_capacity(n.min(1 << 20));
         for _ in 0..n {
-            let gated_bank = r.gated_bank(&shape)?;
+            let gated_bank = read_gated_bank(&mut r, &shape)?;
             let done = r.flag("done flag")?;
             let counters = r.words("interval counters")?;
             if counters.len() != flat_len {
@@ -875,7 +855,7 @@ impl ActivityTrace {
                 gated_bank,
             });
         }
-        let finals = Self::decode_finals(&mut r, total)?;
+        let finals = Self::decode_finals(&mut r)?;
         Ok(ActivityTrace {
             meta: TraceMeta {
                 version: TRACE_FORMAT_V1,
@@ -981,9 +961,8 @@ mod tests {
     /// committed-fixture generator and the backward-compat tests share
     /// this writer.
     fn encode_v1(trace: &ActivityTrace) -> Vec<u8> {
-        let mut w = Writer(Vec::new());
-        w.0.extend_from_slice(&TRACE_MAGIC);
-        w.u32(TRACE_FORMAT_V1);
+        let mut w = Writer::new();
+        w.header(&TRACE_MAGIC, TRACE_FORMAT_V1);
         w.str(&trace.meta.workload);
         w.str(&trace.meta.config);
         w.u64(trace.meta.processor_fingerprint);
@@ -1013,11 +992,57 @@ mod tests {
         w.u64(trace.finals.uops);
         w.f64(trace.finals.tc_hit_rate);
         w.f64(trace.finals.mispredict_rate);
-        w.0
+        w.into_vec()
+    }
+
+    /// Encodes `trace` in the superseded v2 layout (raw variant rows) —
+    /// the committed-fixture generator and the backward-compat tests
+    /// share this writer.
+    fn encode_v2(trace: &ActivityTrace) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.header(&TRACE_MAGIC, TRACE_FORMAT_V2);
+        w.str(&trace.meta.workload);
+        w.str(&trace.meta.config);
+        w.u64(trace.meta.processor_fingerprint);
+        w.u64(trace.meta.seed);
+        w.u64(trace.meta.uops_per_app);
+        w.u64(trace.meta.interval_cycles);
+        w.u32(trace.meta.shape.partitions);
+        w.u32(trace.meta.shape.backends);
+        w.u32(trace.meta.shape.tc_banks);
+        w.u8(u8::from(trace.meta.hop));
+        w.u8(u8::from(trace.meta.replay_safe));
+        match &trace.meta.dtm {
+            None => w.u8(0),
+            Some(name) => {
+                w.u8(1);
+                w.str(name);
+            }
+        }
+        w.u32(trace.meta.points.len() as u32);
+        for key in &trace.meta.points {
+            write_point_key(&mut w, key);
+        }
+        w.words(&trace.pilot);
+        w.u32(trace.intervals.len() as u32);
+        for rec in &trace.intervals {
+            w.u16(rec.gated_bank.map_or(NO_GATED_BANK, u16::from));
+            for point in &rec.points {
+                w.u8(u8::from(point.done));
+                w.words(&point.counters);
+            }
+        }
+        w.u64(trace.finals.cycles);
+        w.u64(trace.finals.uops);
+        w.f64(trace.finals.tc_hit_rate);
+        w.f64(trace.finals.mispredict_rate);
+        w.into_vec()
     }
 
     proptest! {
-        /// encode → decode is the identity for arbitrary traces.
+        /// encode → decode is the identity for arbitrary traces — with
+        /// fully random (worst-case wrapping) counters, so the v3 delta
+        /// bijection is exercised across the whole u64 range.
         #[test]
         fn encode_decode_roundtrip(seed in 0u64..1_000_000_000) {
             let trace = sample_trace(seed);
@@ -1027,7 +1052,8 @@ mod tests {
         }
 
         /// Truncating an encoded trace anywhere fails loudly, never
-        /// panics, and never yields a successful decode.
+        /// panics, and never yields a successful decode — including cuts
+        /// landing mid-varint inside a v3 delta row.
         #[test]
         fn truncation_is_detected(seed in 0u64..1_000_000, frac in 0.0f64..1.0) {
             let bytes = sample_trace(seed).encode();
@@ -1035,9 +1061,9 @@ mod tests {
             prop_assert!(ActivityTrace::decode(&bytes[..cut]).is_err());
         }
 
-        /// A v1 stream decodes into the v2 model: nominal-only family,
-        /// same counters, `meta.version == 1`; and truncating it anywhere
-        /// still fails loudly.
+        /// A v1 stream decodes into the multi-point model: nominal-only
+        /// family, same counters, `meta.version == 1`; and truncating it
+        /// anywhere still fails loudly.
         #[test]
         fn v1_decodes_as_nominal_family(seed in 0u64..1_000_000, frac in 0.0f64..1.0) {
             let mut trace = sample_trace(seed);
@@ -1050,7 +1076,25 @@ mod tests {
             let back = ActivityTrace::decode(&bytes).unwrap();
             trace.meta.version = TRACE_FORMAT_V1;
             prop_assert_eq!(&back, &trace);
-            // Re-encoding upgrades the container to v2 losslessly.
+            // Re-encoding upgrades the container to the current version
+            // losslessly.
+            let upgraded = ActivityTrace::decode(&back.encode()).unwrap();
+            trace.meta.version = TRACE_FORMAT_VERSION;
+            prop_assert_eq!(upgraded, trace);
+            let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+            prop_assert!(ActivityTrace::decode(&bytes[..cut]).is_err());
+        }
+
+        /// A v2 stream (raw variant rows) decodes to the same in-memory
+        /// trace its v3 re-encoding round-trips to, with `meta.version`
+        /// recording 2; truncation anywhere fails loudly.
+        #[test]
+        fn v2_decodes_and_upgrades_to_v3(seed in 0u64..1_000_000, frac in 0.0f64..1.0) {
+            let mut trace = sample_trace(seed);
+            let bytes = encode_v2(&trace);
+            let back = ActivityTrace::decode(&bytes).unwrap();
+            trace.meta.version = TRACE_FORMAT_V2;
+            prop_assert_eq!(&back, &trace);
             let upgraded = ActivityTrace::decode(&back.encode()).unwrap();
             trace.meta.version = TRACE_FORMAT_VERSION;
             prop_assert_eq!(upgraded, trace);
@@ -1090,6 +1134,75 @@ mod tests {
         assert_eq!(
             ActivityTrace::decode(&bytes),
             Err(TraceCodecError::Corrupt("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn v3_delta_rows_shrink_similar_variants() {
+        // A ladder-like trace: variant rows differing from nominal in a
+        // few counters by small magnitudes — the case v3 optimizes.
+        let mut trace = sample_trace(5);
+        trace.meta.points = vec![PointKey::Nominal, PointKey::dvfs(0.7, 0.85)];
+        let flat = trace.meta.shape.flat_len();
+        for rec in &mut trace.intervals {
+            let nominal: Vec<u64> = (0..flat).map(|i| 1000 + i as u64).collect();
+            let mut variant = nominal.clone();
+            variant[0] -= 37;
+            variant[flat / 2] += 5;
+            rec.points = vec![
+                PointRecord {
+                    counters: nominal,
+                    done: false,
+                },
+                PointRecord {
+                    counters: variant,
+                    done: false,
+                },
+            ];
+        }
+        let v3 = trace.encode();
+        let v2 = encode_v2(&trace);
+        // v2 spends 4 + 8*flat bytes per variant row; v3 spends ~flat.
+        let saved = trace.intervals.len() * (4 + 8 * flat - (flat + 2));
+        assert!(
+            v3.len() <= v2.len() - saved,
+            "v3 ({}) must undercut v2 ({}) by at least {saved} bytes",
+            v3.len(),
+            v2.len()
+        );
+        assert_eq!(
+            ActivityTrace::decode(&v3).unwrap().intervals,
+            trace.intervals
+        );
+    }
+
+    #[test]
+    fn truncation_mid_delta_varint_names_the_section() {
+        // Force a multi-byte varint at the very end of the last delta
+        // row, then cut inside it: the finals are 32 bytes, so a cut 3
+        // bytes shy of them lands mid-varint.
+        let mut trace = sample_trace(9);
+        trace.meta.points = vec![PointKey::Nominal, PointKey::dvfs(0.7, 0.85)];
+        let flat = trace.meta.shape.flat_len();
+        for rec in &mut trace.intervals {
+            let nominal = vec![0u64; flat];
+            let variant = vec![1u64 << 40; flat];
+            rec.points = vec![
+                PointRecord {
+                    counters: nominal,
+                    done: false,
+                },
+                PointRecord {
+                    counters: variant,
+                    done: false,
+                },
+            ];
+        }
+        let bytes = trace.encode();
+        let cut = bytes.len() - 32 - 3;
+        assert_eq!(
+            ActivityTrace::decode(&bytes[..cut]),
+            Err(TraceCodecError::Truncated("interval point deltas"))
         );
     }
 
@@ -1177,6 +1290,37 @@ mod tests {
         );
         trace.meta.replay_safe = false;
         assert_eq!(trace.meta.capability_id(), "tainted");
+    }
+
+    #[test]
+    fn v2_to_v3_reencode_keeps_the_capability_identity() {
+        // The version bump re-seeds every Fingerprint, but the
+        // capability-set fold itself (points_id over the family) is
+        // layout-independent: a v2 stream and its v3 re-encoding carry
+        // the same capability_id, so store keys and the fingerprint's
+        // points_id input are unchanged by the upgrade.
+        let mut trace = sample_trace(11);
+        trace.meta.replay_safe = true;
+        trace.meta.points = vec![
+            PointKey::Nominal,
+            PointKey::dvfs(0.7, 0.85),
+            PointKey::FetchGate { open: 1, period: 2 },
+        ];
+        for rec in &mut trace.intervals {
+            let nom = rec.points[0].clone();
+            rec.points = vec![nom.clone(), nom.clone(), nom];
+        }
+        let from_v2 = ActivityTrace::decode(&encode_v2(&trace)).unwrap();
+        let from_v3 = ActivityTrace::decode(&from_v2.encode()).unwrap();
+        assert_eq!(from_v2.meta.capability_id(), from_v3.meta.capability_id());
+        assert_eq!(
+            Fingerprint::new()
+                .with_str(&from_v2.meta.capability_id())
+                .finish(),
+            Fingerprint::new()
+                .with_str(&from_v3.meta.capability_id())
+                .finish()
+        );
     }
 
     #[test]

@@ -187,6 +187,94 @@ fn malformed_and_unresolvable_jobs_answer_err_frames() {
     handle.join().expect("daemon exit");
 }
 
+/// The persistence round trip: a daemon started on a state dir persists
+/// its solved results and recorded traces at the insert-batch boundary,
+/// and a *new* daemon on the same directory serves a resubmission as a
+/// disk cache hit — without re-executing, byte-identical to the first
+/// life's response. (The CI `sweepd-restart` gate replays this across a
+/// real SIGTERM; here the first life exits cleanly.)
+#[test]
+fn restarted_daemon_serves_disk_cache_hits_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("distfront-daemon-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = small_spec().with_trace(TraceSpec::Record);
+
+    // First life: execute, persist, exit.
+    let handle = SweepDaemon::bind_persistent("127.0.0.1:0", &dir)
+        .expect("bind")
+        .spawn();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let first = client.submit(&spec).expect("first life");
+    assert_eq!(first.status, StatusCode::Ok);
+    assert!(!first.cached, "fresh state dir must execute");
+    let stats = client.stats().expect("stats");
+    assert!(stats.persisted_results >= 1, "result not persisted");
+    assert!(stats.persisted_traces >= 1, "recorded traces not persisted");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exit");
+
+    // Second life, same directory: the resubmission never executes — it
+    // is served from the loaded store with the first life's bytes.
+    let handle = SweepDaemon::bind_persistent("127.0.0.1:0", &dir)
+        .expect("rebind")
+        .spawn();
+    let mut client = Client::connect(handle.addr()).expect("reconnect");
+    let second = client.submit(&spec).expect("second life");
+    assert!(second.cached, "restart must serve the stored result");
+    assert_eq!(first.result_lines, second.result_lines);
+    assert_eq!(first.csv_rows, second.csv_rows);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.executed, 0, "disk cache hit must not re-execute");
+    assert!(
+        stats.persisted_results >= 1,
+        "loaded results count as persisted"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exit");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Connection pipelining: several `JOB` frames in flight on one
+/// connection, demuxed by the per-connection `job=<n>` tag. Submitted
+/// against a cold daemon so the two distinct jobs genuinely execute
+/// concurrently (interactive + deferrable executors interleave their
+/// frames); each demuxed response must be byte-identical to a
+/// sequential submission of the same spec.
+#[test]
+fn pipelined_jobs_on_one_connection_demux_byte_identically() {
+    let handle = SweepDaemon::bind("127.0.0.1:0").expect("bind").spawn();
+    let addr = handle.addr();
+
+    let specs = [
+        small_spec(),
+        small_spec()
+            .with_uops(24_000)
+            .with_class(JobClass::Deferrable),
+        // A duplicate of the first: its response rides the same
+        // connection and must carry the same bytes.
+        small_spec(),
+    ];
+
+    let mut piped = Client::connect(addr).expect("connect");
+    let responses = piped.submit_batch(&specs).expect("batch");
+    assert_eq!(responses.len(), specs.len());
+
+    // Sequential twins (now warm: all cache hits, i.e. the stored bytes).
+    let mut seq = Client::connect(addr).expect("connect");
+    for (got, spec) in responses.iter().zip(&specs) {
+        let want = seq.submit(spec).expect("sequential twin");
+        assert_eq!(got.status, want.status);
+        assert_eq!(got.result_lines, want.result_lines);
+        assert_eq!(got.csv_rows, want.csv_rows);
+    }
+    assert_eq!(responses[0].result_lines, responses[2].result_lines);
+
+    drop(piped);
+    seq.shutdown().expect("shutdown");
+    handle.join().expect("daemon exit");
+}
+
 /// The golden fingerprint pin (ISSUE 7 satellite): the content address
 /// of a pinned scenario must never change silently. It may only change
 /// when a result-affecting input *consciously* changes — a
@@ -201,7 +289,7 @@ fn golden_fingerprint_is_pinned() {
         .with_uops(40_000);
     assert_eq!(
         format!("{:016x}", spec.fingerprint().unwrap()),
-        "b22269d6f9c79dd0",
+        "806ec3e355931b6d",
         "the content-address fingerprint for the pinned baseline smoke \
          job changed; if this is intentional (trace-format bump, jobspec \
          version bump, baseline config change), update the golden value \

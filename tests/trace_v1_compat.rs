@@ -1,11 +1,12 @@
 //! Backward compatibility with DFAT v1: a committed v1 `.dft` fixture
-//! must keep decoding under the v2 reader — as a nominal-only point
-//! family — and replaying byte-identically to its pinned CSV row.
+//! must keep decoding under the current reader — as a nominal-only
+//! point family — and replaying byte-identically to its pinned CSV row.
 //!
 //! The fixture pair under `tests/golden/` (`baseline-v1.dft` plus
 //! `baseline-v1.csv`) is generated from a live baseline recording,
 //! down-encoded through a local copy of the v1 writer (the production
-//! encoder always writes v2 — that is the version policy). To regenerate
+//! encoder always writes the current version — that is the version
+//! policy). To regenerate
 //! after an *intentional* core-side change (the replay validation
 //! fingerprint will say so):
 //!
@@ -115,7 +116,8 @@ fn committed_v1_fixture_decodes_and_replays_byte_identically() {
         )
     });
     let trace = ActivityTrace::decode(&bytes).expect("v1 fixture no longer decodes");
-    // The v2 reader presents a v1 stream as a nominal-only point family.
+    // The current reader presents a v1 stream as a nominal-only point
+    // family.
     assert_eq!(trace.meta.version, 1);
     assert_eq!(trace.meta.points, vec![PointKey::Nominal]);
     assert!(trace.meta.replay_safe);
@@ -123,7 +125,7 @@ fn committed_v1_fixture_decodes_and_replays_byte_identically() {
     // Re-encoding upgrades: the version policy is "write current, read
     // back to v1", never "write old formats".
     let upgraded = ActivityTrace::decode(&trace.encode()).unwrap();
-    assert_eq!(upgraded.meta.version, 2);
+    assert_eq!(upgraded.meta.version, 3);
     assert_eq!(upgraded.intervals, trace.intervals);
 
     // And the decoded fixture still drives a replay to the exact bytes

@@ -1,0 +1,179 @@
+//! Backward compatibility with DFAT v2: a committed v2 `.dft` fixture —
+//! a *multi-point* recording, since raw non-nominal rows are exactly
+//! what v3 re-encodes as deltas — must keep decoding under the current
+//! reader and replaying byte-identically to its pinned CSV row.
+//!
+//! The fixture pair under `tests/golden/` (`dvfs-v2.dft` plus
+//! `dvfs-v2.csv`) is generated from a live global-DVFS recording,
+//! down-encoded through a local copy of the v2 writer (the production
+//! encoder always writes the current version — that is the version
+//! policy). To regenerate after an *intentional* core-side change (the
+//! replay validation fingerprint will say so):
+//!
+//! ```sh
+//! BLESS=1 cargo test -p distfront --test trace_v2_compat
+//! ```
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use distfront::dtm::DvfsPolicy;
+use distfront::engine::CoupledEngine;
+use distfront::scenarios::csv_row;
+use distfront::{DtmSpec, ExperimentConfig};
+use distfront_trace::codec::Writer;
+use distfront_trace::record::{ActivityTrace, PointKey, TRACE_FORMAT_V2, TRACE_MAGIC};
+use distfront_trace::AppProfile;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden"))
+}
+
+/// The recording cell the fixture pins: the paper-limit global-DVFS
+/// configuration over gzip at a fixed run length — a two-point family
+/// (nominal + one DVFS point), so every interval carries a non-nominal
+/// row that v2 stored raw and v3 stores as deltas.
+fn fixture_cfg() -> ExperimentConfig {
+    ExperimentConfig::baseline()
+        .with_uops(30_000)
+        .with_dtm(DtmSpec::GlobalDvfs(DvfsPolicy::paper_limit()))
+}
+
+fn fixture_app() -> AppProfile {
+    *AppProfile::by_name("gzip").unwrap()
+}
+
+/// A from-scratch v2 encoder, byte-for-byte the historical layout: the
+/// production `encode()` deliberately cannot write v2 anymore, so the
+/// fixture generator keeps its own copy. v2 introduced the tagged
+/// operating-point section, but still stored every point row as raw
+/// count-prefixed `u64` words.
+fn encode_v2(trace: &ActivityTrace) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.header(&TRACE_MAGIC, TRACE_FORMAT_V2);
+    w.str(&trace.meta.workload);
+    w.str(&trace.meta.config);
+    w.u64(trace.meta.processor_fingerprint);
+    w.u64(trace.meta.seed);
+    w.u64(trace.meta.uops_per_app);
+    w.u64(trace.meta.interval_cycles);
+    w.u32(trace.meta.shape.partitions);
+    w.u32(trace.meta.shape.backends);
+    w.u32(trace.meta.shape.tc_banks);
+    w.u8(u8::from(trace.meta.hop));
+    w.u8(u8::from(trace.meta.replay_safe));
+    match &trace.meta.dtm {
+        None => w.u8(0),
+        Some(name) => {
+            w.u8(1);
+            w.str(name);
+        }
+    }
+    w.u32(trace.meta.points.len() as u32);
+    for key in &trace.meta.points {
+        // The tagged point layout (unchanged in v3).
+        match key {
+            PointKey::Nominal => w.u8(0),
+            PointKey::Dvfs { f_bits, v_bits } => {
+                w.u8(1);
+                w.u64(*f_bits);
+                w.u64(*v_bits);
+            }
+            PointKey::FetchGate { open, period } => {
+                w.u8(2);
+                w.u32(*open);
+                w.u32(*period);
+            }
+            PointKey::MigrateTo(p) => {
+                w.u8(3);
+                w.u32(*p);
+            }
+        }
+    }
+    w.words(&trace.pilot);
+    w.u32(trace.intervals.len() as u32);
+    for rec in &trace.intervals {
+        w.u16(rec.gated_bank.map_or(u16::MAX, u16::from));
+        for point in &rec.points {
+            w.u8(u8::from(point.done));
+            w.words(&point.counters);
+        }
+    }
+    w.u64(trace.finals.cycles);
+    w.u64(trace.finals.uops);
+    w.f64(trace.finals.tc_hit_rate);
+    w.f64(trace.finals.mispredict_rate);
+    w.into_vec()
+}
+
+#[test]
+fn committed_v2_fixture_decodes_and_replays_byte_identically() {
+    let cfg = fixture_cfg();
+    let app = fixture_app();
+    let dft_path = fixture_dir().join("dvfs-v2.dft");
+    let csv_path = fixture_dir().join("dvfs-v2.csv");
+
+    if std::env::var_os("BLESS").is_some() {
+        let (recorded, _) = CoupledEngine::new(&cfg, &app).run_recorded();
+        let (live, trace) = recorded.expect("fixture recording failed");
+        assert!(
+            trace.meta.points.len() > 1,
+            "fixture must be multi-point to pin the raw-row layout"
+        );
+        std::fs::write(&dft_path, encode_v2(&trace)).unwrap();
+        let mut row = csv_row("dvfs-v2-fixture", &live);
+        row.push('\n');
+        std::fs::write(&csv_path, row).unwrap();
+        eprintln!("blessed {} and its pinned CSV", dft_path.display());
+        return;
+    }
+
+    let bytes = std::fs::read(&dft_path).unwrap_or_else(|e| {
+        panic!(
+            "missing v2 fixture {} ({e}); run with BLESS=1 to create it",
+            dft_path.display()
+        )
+    });
+    let trace = ActivityTrace::decode(&bytes).expect("v2 fixture no longer decodes");
+    assert_eq!(trace.meta.version, 2);
+    let dvfs = DvfsPolicy::paper_limit();
+    assert_eq!(
+        trace.meta.points,
+        vec![
+            PointKey::Nominal,
+            PointKey::dvfs(dvfs.f_scale, dvfs.v_scale)
+        ]
+    );
+    assert!(trace.meta.replay_safe);
+    // Re-encoding upgrades to v3 without touching the payload — the
+    // delta rows are a pure transport change — and shrinks the stream,
+    // which is the whole point of the format bump.
+    let reencoded = trace.encode();
+    assert!(
+        reencoded.len() < bytes.len(),
+        "v3 re-encode ({} B) is not smaller than the v2 fixture ({} B)",
+        reencoded.len(),
+        bytes.len()
+    );
+    let upgraded = ActivityTrace::decode(&reencoded).unwrap();
+    assert_eq!(upgraded.meta.version, 3);
+    assert_eq!(upgraded.intervals, trace.intervals);
+    assert_eq!(
+        upgraded.meta.capability_id(),
+        trace.meta.capability_id(),
+        "re-encoding must not change capability identity"
+    );
+
+    // And the decoded fixture still drives a replay to the exact bytes
+    // pinned when it was recorded.
+    let replayed = CoupledEngine::new(&cfg, &app)
+        .with_replay(Arc::new(trace))
+        .run()
+        .expect("v2 fixture no longer replays; if the core changed intentionally, re-bless");
+    let pinned = std::fs::read_to_string(&csv_path).unwrap();
+    assert_eq!(
+        format!("{}\n", csv_row("dvfs-v2-fixture", &replayed)),
+        pinned,
+        "v2 fixture replay diverged from its pinned CSV"
+    );
+}
