@@ -1,57 +1,147 @@
-//! Serial vs. parallel sweep, plus the warm-start cache under contention.
+//! Serial vs threads vs processes sweep head-to-head, plus the
+//! warm-start cache under contention.
 //!
-//! First the 26-application evaluation set runs under the baseline and the
-//! combined distributed frontend through the staged engine, once on a
-//! single worker and once across every available core, verifying the
-//! fault-tolerant reports are bit-identical and printing the wall-clock
-//! speedup (on a 4-core machine expect ≥ 2×; the grid is embarrassingly
-//! parallel, so the speedup tracks the core count).
+//! First the 26-application evaluation set runs under the baseline and
+//! the combined distributed frontend as one [`JobSpec`] grid three ways:
+//! one worker, every hardware thread, and sharded across OS processes
+//! via [`ShardRunner`] (the only configuration where cells do not share
+//! an address space — real multi-core contention, not timesharing).
+//! Byte-identity of all three reports is asserted before any number is
+//! reported. The process leg needs the `distfront-scenarios` worker
+//! binary next to the bench executable (`cargo build --release -p
+//! distfront`); it degrades to a printed skip when absent.
 //!
-//! Then the [`WarmStartCache`] is measured head-to-head: one shard (every
-//! lookup through a single lock — the pre-sharding design) against the
-//! default sharded layout, at 1 worker and at ≥ 4 workers. The numbers
-//! are written to `BENCH_sweep.json` at the workspace root (override with
-//! `DISTFRONT_BENCH_SWEEP_JSON`), giving CI a tracked baseline: sharding
-//! must be free serially and win under contention. The parallel number is
-//! only meaningful on a multicore host (`host_cores` in the JSON records
-//! it): on one core the workers timeshare and both layouts tie.
+//! Then the [`WarmStartCache`] is measured head-to-head: one shard
+//! (every lookup through a single lock — the pre-sharding design)
+//! against the default sharded layout, at 1 worker and at ≥ 4 workers.
+//!
+//! Both sections land in `BENCH_sweep.json` at the workspace root
+//! (override with `DISTFRONT_BENCH_SWEEP_JSON`), giving CI a tracked
+//! baseline: cache sharding must be free serially and win under
+//! contention, and the executor numbers record the thread vs process
+//! scaling on the recorded `host_cores`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use distfront::engine::{EngineError, WarmStartCache};
+use distfront::job::{JobEnv, JobSpec};
+use distfront::shard::ShardRunner;
 use distfront::{ExperimentConfig, SweepRunner};
 use distfront_bench::{bench_uops, evaluation_apps, kernel_app};
 use distfront_power::{LeakageModel, Machine};
 use std::hint::black_box;
+use std::path::PathBuf;
 use std::time::Instant;
 
-fn sweep_comparison() {
+/// Locates the `distfront-scenarios` worker binary next to this bench
+/// executable (`target/<profile>/deps/sweep-<hash>` → the profile dir).
+fn worker_binary() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let deps = exe.parent()?;
+    [
+        deps.join("distfront-scenarios"),
+        deps.parent()?.join("distfront-scenarios"),
+    ]
+    .into_iter()
+    .find(|p| p.is_file())
+}
+
+/// The three-way executor comparison; returns the `"executor"` JSON
+/// section.
+fn executor_head_to_head() -> String {
     let uops = bench_uops();
-    let configs = [
-        ExperimentConfig::baseline().with_uops(uops),
-        ExperimentConfig::combined().with_uops(uops),
-    ];
-    let apps = evaluation_apps();
+    let apps: Vec<&str> = evaluation_apps().iter().map(|a| a.name).collect();
+    let cells = 2 * apps.len();
+    let spec = JobSpec::grid(["baseline", "drc+bh+ab"], apps).with_uops(uops);
     let cores = SweepRunner::new().threads();
     println!(
-        "\nsweep: {} apps x {} configs x {uops} uops, serial vs {cores} workers...",
-        apps.len(),
-        configs.len()
+        "\nsweep executor: {cells} cells x {uops} uops, serial vs {cores} threads vs processes..."
     );
 
     let t0 = Instant::now();
-    let serial = SweepRunner::serial().try_grid(&configs, apps);
+    let serial = spec
+        .clone()
+        .with_workers(1)
+        .execute(&JobEnv::default(), |_| {})
+        .expect("bench grid resolves");
     let serial_s = t0.elapsed().as_secs_f64();
+    assert!(
+        serial.report.is_complete(),
+        "bench grid must have no failed cells"
+    );
 
     let t1 = Instant::now();
-    let parallel = SweepRunner::new().try_grid(&configs, apps);
-    let parallel_s = t1.elapsed().as_secs_f64();
-
-    assert_eq!(serial, parallel, "parallel sweep diverged from serial");
-    assert!(serial.is_complete(), "bench grid must have no failed cells");
-    println!(
-        "serial {serial_s:.2} s | parallel {parallel_s:.2} s | speedup {:.2}x on {cores} cores (results bit-identical)\n",
-        serial_s / parallel_s
+    let threads = spec
+        .clone()
+        .with_workers(0)
+        .execute(&JobEnv::default(), |_| {})
+        .expect("bench grid resolves");
+    let threads_s = t1.elapsed().as_secs_f64();
+    assert_eq!(
+        serial.csv_rows(),
+        threads.csv_rows(),
+        "threaded sweep diverged from serial"
     );
+
+    let processes = cores.max(2);
+    let process_leg = worker_binary().map(|worker| {
+        let dir =
+            std::env::temp_dir().join(format!("distfront-shard-bench-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let t2 = Instant::now();
+        let outcome = ShardRunner::new(spec.clone(), processes)
+            .with_dir(&dir)
+            .with_worker(&worker)
+            .run()
+            .expect("shard coordinator setup");
+        let processes_s = t2.elapsed().as_secs_f64();
+        assert!(
+            outcome.failed_shards.is_empty(),
+            "bench shards must not die: {:?}",
+            outcome.failed_shards
+        );
+        assert_eq!(
+            outcome.csv_rows,
+            serial.csv_rows(),
+            "multi-process sweep diverged from serial"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        processes_s
+    });
+
+    match process_leg {
+        Some(processes_s) => {
+            println!(
+                "serial {serial_s:.2} s | {cores} threads {threads_s:.2} s ({:.2}x) | \
+                 {processes} processes {processes_s:.2} s ({:.2}x) — all three byte-identical\n",
+                serial_s / threads_s,
+                serial_s / processes_s
+            );
+            format!(
+                "{{\n    \"grid_cells\": {cells},\n    \"uops\": {uops},\n    \
+                 \"serial_s\": {serial_s:.3},\n    \"threads\": {cores},\n    \
+                 \"threads_s\": {threads_s:.3},\n    \
+                 \"threads_speedup\": {:.2},\n    \"processes\": {processes},\n    \
+                 \"processes_s\": {processes_s:.3},\n    \"processes_speedup\": {:.2}\n  }}",
+                serial_s / threads_s,
+                serial_s / processes_s
+            )
+        }
+        None => {
+            println!(
+                "serial {serial_s:.2} s | {cores} threads {threads_s:.2} s ({:.2}x) | \
+                 processes skipped: distfront-scenarios not built \
+                 (run `cargo build --release -p distfront`)\n",
+                serial_s / threads_s
+            );
+            format!(
+                "{{\n    \"grid_cells\": {cells},\n    \"uops\": {uops},\n    \
+                 \"serial_s\": {serial_s:.3},\n    \"threads\": {cores},\n    \
+                 \"threads_s\": {threads_s:.3},\n    \
+                 \"threads_speedup\": {:.2},\n    \"processes\": null\n  }}",
+                serial_s / threads_s
+            )
+        }
+    }
 }
 
 /// Distinct nominal power profiles, every one a distinct cache key.
@@ -99,7 +189,9 @@ fn time_cache_lookups(cache: &WarmStartCache, machine: Machine, threads: usize) 
     t0.elapsed().as_secs_f64() * 1e9 / (threads * per_thread) as f64
 }
 
-fn cache_contention_comparison() {
+/// The warm-cache contention comparison; returns the `"warm_cache"` JSON
+/// section.
+fn cache_contention_comparison() -> String {
     let machine = Machine::new(2, 4, 3);
     let host_cores = SweepRunner::new().threads();
     let width = host_cores.max(4);
@@ -117,16 +209,24 @@ fn cache_contention_comparison() {
          | contended/sharded speedup {speedup:.1}x\n",
         sharded.shard_count()
     );
-
-    let json = format!(
-        "{{\n  \"bench\": \"sweep_warm_cache\",\n  \"shards\": {},\n  \"workers\": {width},\n  \
-         \"host_cores\": {host_cores},\n  \
-         \"contended_serial_ns_per_lookup\": {contended_serial_ns:.1},\n  \
-         \"sharded_serial_ns_per_lookup\": {sharded_serial_ns:.1},\n  \
-         \"contended_parallel_ns_per_lookup\": {contended_wide_ns:.1},\n  \
-         \"sharded_parallel_ns_per_lookup\": {sharded_wide_ns:.1},\n  \
-         \"parallel_speedup\": {speedup:.2}\n}}\n",
+    format!(
+        "{{\n    \"shards\": {},\n    \"workers\": {width},\n    \
+         \"contended_serial_ns_per_lookup\": {contended_serial_ns:.1},\n    \
+         \"sharded_serial_ns_per_lookup\": {sharded_serial_ns:.1},\n    \
+         \"contended_parallel_ns_per_lookup\": {contended_wide_ns:.1},\n    \
+         \"sharded_parallel_ns_per_lookup\": {sharded_wide_ns:.1},\n    \
+         \"parallel_speedup\": {speedup:.2}\n  }}",
         sharded.shard_count()
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let executor = executor_head_to_head();
+    let warm_cache = cache_contention_comparison();
+    let host_cores = SweepRunner::new().threads();
+    let json = format!(
+        "{{\n  \"bench\": \"sweep\",\n  \"host_cores\": {host_cores},\n  \
+         \"executor\": {executor},\n  \"warm_cache\": {warm_cache}\n}}\n"
     );
     let path = std::env::var("DISTFRONT_BENCH_SWEEP_JSON")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json").into());
@@ -134,11 +234,7 @@ fn cache_contention_comparison() {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("warning: could not write {path}: {e}"),
     }
-}
 
-fn bench(c: &mut Criterion) {
-    sweep_comparison();
-    cache_contention_comparison();
     let app = kernel_app();
     c.bench_function("sweep/parallel_two_config_grid", |b| {
         let configs = [

@@ -36,6 +36,22 @@
 //!                    ones run and are appended (local-only; excludes
 //!                    --record/--replay/--verify/--json)
 //!
+//! Multi-process mode (see [`distfront::shard`]):
+//!   --processes N    shard each scenario's grid across N worker
+//!                    processes sharing one state directory; the merged
+//!                    report is byte-identical to a serial run and dead
+//!                    workers are re-queued with bounded retries
+//!                    (excludes --connect/--state-dir/--record/--replay/
+//!                    --json; --verify compares against an in-process
+//!                    serial rerun)
+//!   --shard-retries N  re-queue a failed shard up to N times before
+//!                    declaring it dead (default 2)
+//!   --shard-dir DIR  the shared state directory (default: under the
+//!                    system temp dir); each scenario gets a subdirectory
+//!   --shard i/N      worker mode — run one shard of DIR's work order and
+//!                    exit (launched by the coordinator; needs
+//!                    --shard-dir)
+//!
 //! Server-client mode (see `distfront-sweepd`):
 //!   --connect ADDR   submit the selected scenarios as jobs to a running
 //!                    sweep daemon instead of executing locally; streams
@@ -56,7 +72,10 @@
 //! written), 3 when writing an output file or reaching the daemon
 //! failed, 4 when `--verify` detects batched replay diverging from
 //! serial replay (checked before the live comparison, so a batching bug
-//! is distinguishable from a replay-vs-live one), 64 on a usage error.
+//! is distinguishable from a replay-vs-live one), 5 when `--processes`
+//! lost a whole shard after exhausting its retries (survivors are still
+//! merged and written — distinct from 2, where every cell *ran*),
+//! 64 on a usage error.
 
 use std::io::Write as _;
 use std::path::Path;
@@ -67,6 +86,7 @@ use distfront::engine::{CellOutcome, TraceMode, TraceStore};
 use distfront::job::{JobClass, JobEnv, JobSpec, StatusCode};
 use distfront::scenarios::{self, RunOptions, Scenario, ScenarioReport};
 use distfront::server::{protocol, Client};
+use distfront::shard::{self, ShardError, ShardRunner, ShardSpec};
 use distfront::store::DurableStore;
 use distfront_thermal::Integrator;
 use distfront_trace::ActivityTrace;
@@ -91,6 +111,10 @@ struct Args {
     connect: Option<String>,
     class: JobClass,
     shutdown: bool,
+    processes: Option<usize>,
+    shard_retries: Option<usize>,
+    shard_dir: Option<String>,
+    shard: Option<String>,
 }
 
 fn usage() -> &'static str {
@@ -98,6 +122,8 @@ fn usage() -> &'static str {
      options: [--smoke] [--uops N] [--workers N] [--integrator rk4|expm] \
      [--csv PATH] [--json PATH] [--progress] [--verify] [--inject-fail] \
      [--record DIR | --replay DIR] [--batch | --no-batch] [--state-dir DIR]\n\
+     multi-process: [--processes N [--shard-retries N] [--shard-dir DIR]]\n\
+     worker:  [--shard i/N --shard-dir DIR]\n\
      client:  [--connect ADDR [--class interactive|deferrable] [--shutdown]]"
 }
 
@@ -122,6 +148,10 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         connect: None,
         class: JobClass::Interactive,
         shutdown: false,
+        processes: None,
+        shard_retries: None,
+        shard_dir: None,
+        shard: None,
     };
     argv.next(); // program name
     while let Some(a) = argv.next() {
@@ -163,12 +193,60 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
                 args.class = JobClass::parse(&v).ok_or_else(|| format!("bad --class value {v}"))?;
             }
             "--shutdown" => args.shutdown = true,
+            "--processes" => {
+                let v = value("--processes")?;
+                let p: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --processes value {v}"))?;
+                if p == 0 {
+                    return Err("--processes must be at least 1".into());
+                }
+                args.processes = Some(p);
+            }
+            "--shard-retries" => {
+                let v = value("--shard-retries")?;
+                args.shard_retries = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --shard-retries value {v}"))?,
+                );
+            }
+            "--shard-dir" => args.shard_dir = Some(value("--shard-dir")?),
+            "--shard" => args.shard = Some(value("--shard")?),
             other => return Err(format!("unknown argument {other}")),
         }
     }
     let shutdown_only = args.shutdown && args.connect.is_some();
-    if !args.list && !args.all && args.run.is_empty() && !args.inject_fail && !shutdown_only {
+    if !args.list
+        && !args.all
+        && args.run.is_empty()
+        && !args.inject_fail
+        && !shutdown_only
+        && args.shard.is_none()
+    {
         return Err("nothing to do".into());
+    }
+    if args.shard.is_some() {
+        if args.shard_dir.is_none() {
+            return Err("--shard (worker mode) needs --shard-dir".into());
+        }
+        if args.processes.is_some() || args.connect.is_some() || args.state_dir.is_some() {
+            return Err("--shard is worker mode; only --shard-dir applies".into());
+        }
+    }
+    if args.shard_dir.is_some() && args.shard.is_none() && args.processes.is_none() {
+        return Err("--shard-dir needs --processes or --shard".into());
+    }
+    if args.shard_retries.is_some() && args.processes.is_none() {
+        return Err("--shard-retries needs --processes".into());
+    }
+    if args.processes.is_some()
+        && (args.connect.is_some()
+            || args.state_dir.is_some()
+            || args.record.is_some()
+            || args.replay.is_some()
+            || args.json.is_some())
+    {
+        return Err("--processes excludes --connect/--state-dir/--record/--replay/--json".into());
     }
     if args.record.is_some() && args.replay.is_some() {
         return Err("--record and --replay are mutually exclusive".into());
@@ -548,6 +626,93 @@ fn state_dir_main(args: &Args, selected: &[Scenario]) -> StatusCode {
     status
 }
 
+/// Runs the selected scenarios sharded across `--processes` worker
+/// processes via [`ShardRunner`], merging each scenario's shard
+/// artifacts into rows byte-identical to a serial run. `--verify`
+/// cross-checks that claim against an in-process serial live rerun.
+fn processes_main(args: &Args, selected: &[Scenario]) -> StatusCode {
+    let n = args.processes.expect("checked by caller");
+    let base = match &args.shard_dir {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("distfront-shard-{}", std::process::id())),
+    };
+    let mut status = StatusCode::Ok;
+    let mut rows: Vec<String> = Vec::new();
+    for s in selected {
+        let mut runner = ShardRunner::new(spec_for(args, s.name), n).with_dir(base.join(s.name));
+        if let Some(retries) = args.shard_retries {
+            runner = runner.with_retries(retries);
+        }
+        println!(
+            "sharding {:<16} across {n} process(es) under {}",
+            s.name,
+            base.display()
+        );
+        let outcome = match runner.run() {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return match e {
+                    ShardError::Spec(_) => StatusCode::Usage,
+                    ShardError::Io(_) => StatusCode::Io,
+                };
+            }
+        };
+        println!(
+            "  {}: merged {}/{} cell(s), {} failed, launches per shard {:?}",
+            s.name,
+            outcome.merged,
+            outcome.cells,
+            outcome.failures.len(),
+            outcome.attempts
+        );
+        for (label, app, msg) in &outcome.failures {
+            eprintln!("error: cell {label}/{app}: {msg}");
+        }
+        if !outcome.failed_shards.is_empty() {
+            eprintln!(
+                "error: {}: shard(s) {:?} failed permanently; the merged report \
+                 is missing their cells",
+                s.name, outcome.failed_shards
+            );
+        }
+        rows.extend(outcome.csv_rows);
+        status = status.worst(outcome.status);
+    }
+    let mut merged = String::from(scenarios::CSV_HEADER);
+    merged.push('\n');
+    for row in &rows {
+        merged.push_str(row);
+        merged.push('\n');
+    }
+    if args.verify {
+        println!("verify: re-running serially in-process to check byte identity...");
+        let serial = run_all(
+            selected,
+            &options(args).with_workers(1),
+            &TraceMode::Live,
+            false,
+            None,
+        );
+        if scenarios::to_csv(&serial) != merged {
+            eprintln!(
+                "error: serial and {n}-process results diverge — the bit-identity \
+                 guarantee is broken"
+            );
+            return status.worst(StatusCode::VerifyDiverged);
+        }
+        println!("verify: serial and {n}-process CSV are byte-identical");
+    }
+    if let Some(path) = &args.csv {
+        if let Err(e) = std::fs::write(path, &merged) {
+            eprintln!("error: writing {path}: {e}");
+            return status.worst(StatusCode::Io);
+        }
+        println!("wrote {path}");
+    }
+    status
+}
+
 fn main() -> ExitCode {
     let args = match parse(std::env::args()) {
         Ok(a) => a,
@@ -556,6 +721,20 @@ fn main() -> ExitCode {
             return StatusCode::Usage.into();
         }
     };
+    // Worker mode: run one shard of a coordinator's work order and exit.
+    // No selection flags apply — the work arrives as a JobSpec artifact.
+    if let Some(shard) = &args.shard {
+        let spec = match ShardSpec::parse(shard) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("error: {e}\n{}", usage());
+                return StatusCode::Usage.into();
+            }
+        };
+        let dir = args.shard_dir.as_deref().expect("checked by parse");
+        return shard::run_worker(Path::new(dir), spec).into();
+    }
+
     if args.list {
         list();
         if !args.all && args.run.is_empty() && !args.inject_fail {
@@ -587,6 +766,9 @@ fn main() -> ExitCode {
     }
     if args.state_dir.is_some() {
         return state_dir_main(&args, &selected).into();
+    }
+    if args.processes.is_some() {
+        return processes_main(&args, &selected).into();
     }
 
     let opts = options(&args);

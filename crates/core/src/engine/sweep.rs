@@ -560,6 +560,51 @@ impl SweepReport {
         self.cells.iter().map(|c| c.wall_time_s).sum()
     }
 
+    /// Reassembles a report from per-cell outcomes produced out of band —
+    /// the merge point for sharded execution: the outcomes of several
+    /// [`SweepRunner::try_cells`] slices (in any order; shards complete
+    /// independently) are placed back into their grid slots by index,
+    /// exactly as `try_grid` places them, so a merged report compares
+    /// equal to the serial run of the whole grid — error cells included.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first coverage violation: a cell
+    /// whose coordinates fall outside the `configs × apps` grid, a
+    /// duplicate cell, or a missing cell. Exactly-once coverage is the
+    /// shard-merge contract; anything else means shards overlapped or a
+    /// slice went missing, and silently merging would fabricate a report.
+    pub fn assemble(
+        configs: usize,
+        apps: usize,
+        cells: impl IntoIterator<Item = CellOutcome>,
+    ) -> Result<SweepReport, String> {
+        let mut flat: Vec<Option<CellOutcome>> = (0..configs * apps).map(|_| None).collect();
+        for cell in cells {
+            if cell.config >= configs || cell.app >= apps {
+                return Err(format!(
+                    "cell ({}, {}) outside the {configs}x{apps} grid",
+                    cell.config, cell.app
+                ));
+            }
+            let i = cell.config * apps + cell.app;
+            if flat[i].is_some() {
+                return Err(format!("duplicate cell ({}, {})", cell.config, cell.app));
+            }
+            flat[i] = Some(cell);
+        }
+        let cells = flat
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| c.ok_or_else(|| format!("missing cell ({}, {})", i / apps, i % apps)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SweepReport {
+            configs,
+            apps,
+            cells,
+        })
+    }
+
     /// The strict view: every cell's `AppResult`, as
     /// `result[config][app]`, panicking if any cell failed — the
     /// pre-fault-tolerance contract, for callers (figures, calibration)
@@ -772,9 +817,38 @@ impl SweepRunner {
         configs: &[ExperimentConfig],
         workloads: &[Workload],
     ) -> SweepReport {
-        let cell_count = configs.len() * workloads.len();
-        let mut flat: Vec<Option<CellOutcome>> = (0..cell_count).map(|_| None).collect();
-        let tasks = self.plan_tasks(configs, workloads);
+        let cells = self.try_cells(configs, workloads, 0..configs.len() * workloads.len());
+        SweepReport {
+            configs: configs.len(),
+            apps: workloads.len(),
+            cells,
+        }
+    }
+
+    /// Runs only the grid cells whose flat index
+    /// (`config * workloads.len() + app`, row-major — the same order the
+    /// report stores) falls in `range`, returning their outcomes in
+    /// ascending index order. This is the shard primitive behind
+    /// [`distfront::shard`](crate::shard): a contiguous slice of the grid
+    /// runs in isolation, bit-identical to the same cells of a whole-grid
+    /// run, and [`SweepReport::assemble`] puts the slices back together.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` reaches past the grid's cell count.
+    pub fn try_cells(
+        &self,
+        configs: &[ExperimentConfig],
+        workloads: &[Workload],
+        range: std::ops::Range<usize>,
+    ) -> Vec<CellOutcome> {
+        assert!(
+            range.end <= configs.len() * workloads.len(),
+            "cell range {range:?} reaches past the grid"
+        );
+        let start = range.start;
+        let mut flat: Vec<Option<CellOutcome>> = (0..range.len()).map(|_| None).collect();
+        let tasks = self.plan_tasks(configs, workloads, range);
         let workers = self.threads.min(tasks.len());
         if workers <= 1 {
             for task in &tasks {
@@ -782,7 +856,7 @@ impl SweepRunner {
                     if let Some(cb) = &self.on_cell {
                         cb(&outcome);
                     }
-                    let i = outcome.config * workloads.len() + outcome.app;
+                    let i = outcome.config * workloads.len() + outcome.app - start;
                     flat[i] = Some(outcome);
                 }
             }
@@ -811,19 +885,14 @@ impl SweepRunner {
                     if let Some(cb) = &self.on_cell {
                         cb(&outcome);
                     }
-                    let i = outcome.config * workloads.len() + outcome.app;
+                    let i = outcome.config * workloads.len() + outcome.app - start;
                     flat[i] = Some(outcome);
                 }
             });
         }
-        SweepReport {
-            configs: configs.len(),
-            apps: workloads.len(),
-            cells: flat
-                .into_iter()
-                .map(|c| c.expect("worker died mid-sweep"))
-                .collect(),
-        }
+        flat.into_iter()
+            .map(|c| c.expect("worker died mid-sweep"))
+            .collect()
     }
 
     /// Runs one configuration over a whole application suite,
@@ -869,16 +938,21 @@ impl SweepRunner {
             .expect("one configuration in, one row out")
     }
 
-    /// Splits the grid into schedulable tasks: with batching off (or
-    /// outside replay mode) every cell is its own task; with batching on,
-    /// replayable cells sharing a machine shape coalesce into lockstep
-    /// cohorts (capped at [`MAX_COHORT`]) and everything else — live
-    /// fallbacks, RK4 cells, cohorts of one — stays a plain cell task.
-    fn plan_tasks(&self, configs: &[ExperimentConfig], workloads: &[Workload]) -> Vec<Task> {
-        let cell_count = configs.len() * workloads.len();
+    /// Splits the grid cells in `range` into schedulable tasks: with
+    /// batching off (or outside replay mode) every cell is its own task;
+    /// with batching on, replayable cells sharing a machine shape coalesce
+    /// into lockstep cohorts (capped at [`MAX_COHORT`]) and everything
+    /// else — live fallbacks, RK4 cells, cohorts of one — stays a plain
+    /// cell task.
+    fn plan_tasks(
+        &self,
+        configs: &[ExperimentConfig],
+        workloads: &[Workload],
+        range: std::ops::Range<usize>,
+    ) -> Vec<Task> {
         let store = match (&self.mode, self.batch) {
             (TraceMode::Replay(store), true) => store,
-            _ => return (0..cell_count).map(Task::Cell).collect(),
+            _ => return range.map(Task::Cell).collect(),
         };
         // Cohort key: everything the shared thermal network depends on —
         // the machine shape fixes the floorplan, hence the RC network and
@@ -889,7 +963,7 @@ impl SweepRunner {
         type Members = Vec<(usize, Arc<ActivityTrace>)>;
         let mut tasks: Vec<Task> = Vec::new();
         let mut cohorts: Vec<(CohortKey, Members)> = Vec::new();
-        for i in 0..cell_count {
+        for i in range {
             let cfg = &configs[i / workloads.len()];
             let workload = &workloads[i % workloads.len()];
             let trace = store
@@ -1057,6 +1131,27 @@ mod tests {
                 assert!(cell.wall_time_s >= 0.0);
             }
         }
+    }
+
+    #[test]
+    fn try_cells_slices_reassemble_into_the_whole_grid() {
+        let (cfgs, apps) = tiny_grid();
+        let workloads: Vec<Workload> = apps.iter().map(|p| Workload::Single(*p)).collect();
+        let whole = SweepRunner::serial().try_grid(&cfgs, &apps);
+        let runner = SweepRunner::serial();
+        let head = runner.try_cells(&cfgs, &workloads, 0..1);
+        let tail = runner.try_cells(&cfgs, &workloads, 1..4);
+        assert_eq!((head.len(), tail.len()), (1, 3));
+        // Slices merged out of order reassemble the exact serial report.
+        let merged = SweepReport::assemble(2, 2, tail.into_iter().chain(head)).unwrap();
+        assert_eq!(merged, whole);
+        // Coverage violations are errors, never a fabricated report.
+        let partial = runner.try_cells(&cfgs, &workloads, 0..2);
+        let missing = SweepReport::assemble(2, 2, partial.clone()).unwrap_err();
+        assert!(missing.contains("missing cell"), "{missing}");
+        let doubled: Vec<_> = partial.clone().into_iter().chain(partial).collect();
+        let duplicate = SweepReport::assemble(2, 2, doubled).unwrap_err();
+        assert!(duplicate.contains("duplicate cell"), "{duplicate}");
     }
 
     #[test]

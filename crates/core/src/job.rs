@@ -86,6 +86,14 @@ pub enum StatusCode {
     ///
     /// [`VerifyDiverged`]: StatusCode::VerifyDiverged
     BatchDiverged = 4,
+    /// A multi-process run lost a whole shard: one of the coordinator's
+    /// worker processes kept dying (or kept leaving an invalid result
+    /// artifact) until its bounded retries ran out, so the merged report
+    /// is missing that shard's cells. Distinct from
+    /// [`CellsFailed`](StatusCode::CellsFailed), which means every cell
+    /// *ran* and some produced `Err` outcomes — a shard failure means
+    /// cells never reported at all.
+    ShardFailed = 5,
     /// Command-line or request misuse (BSD `EX_USAGE`; a malformed or
     /// unresolvable [`JobSpec`] maps here).
     Usage = 64,
@@ -93,12 +101,13 @@ pub enum StatusCode {
 
 impl StatusCode {
     /// Every status, in ascending code order.
-    pub const ALL: [StatusCode; 6] = [
+    pub const ALL: [StatusCode; 7] = [
         StatusCode::Ok,
         StatusCode::VerifyDiverged,
         StatusCode::CellsFailed,
         StatusCode::Io,
         StatusCode::BatchDiverged,
+        StatusCode::ShardFailed,
         StatusCode::Usage,
     ];
 
@@ -108,7 +117,7 @@ impl StatusCode {
     }
 
     /// The stable wire name (`ok`, `verify-diverged`, `cells-failed`,
-    /// `io`, `batch-diverged`, `usage`).
+    /// `io`, `batch-diverged`, `shard-failed`, `usage`).
     pub fn name(self) -> &'static str {
         match self {
             StatusCode::Ok => "ok",
@@ -116,6 +125,7 @@ impl StatusCode {
             StatusCode::CellsFailed => "cells-failed",
             StatusCode::Io => "io",
             StatusCode::BatchDiverged => "batch-diverged",
+            StatusCode::ShardFailed => "shard-failed",
             StatusCode::Usage => "usage",
         }
     }
@@ -806,6 +816,19 @@ pub struct ResolvedJob {
     pub workloads: Vec<Workload>,
 }
 
+impl ResolvedJob {
+    /// The label a cell's CSV row carries in the `scenario` column —
+    /// the same labeling [`JobReport::row_label`] applies, available
+    /// before a full report exists so shard workers can label the cells
+    /// of a partial grid.
+    pub fn row_label(&self, cell: &CellOutcome) -> &'static str {
+        match self.label {
+            LabelSource::Scenario(name) => name,
+            LabelSource::ConfigName => cell.config_name,
+        }
+    }
+}
+
 /// The shared execution state a job runs against. One-shot runs use a
 /// fresh default; the daemon keeps one alive for its whole life, which
 /// is what makes warm starts and recorded traces outlive a job.
@@ -882,7 +905,7 @@ mod tests {
     #[test]
     fn status_codes_are_the_cli_contract() {
         let codes: Vec<u8> = StatusCode::ALL.iter().map(|s| s.code()).collect();
-        assert_eq!(codes, vec![0, 1, 2, 3, 4, 64]);
+        assert_eq!(codes, vec![0, 1, 2, 3, 4, 5, 64]);
         for s in StatusCode::ALL {
             assert_eq!(StatusCode::from_code(s.code()), Some(s));
             assert!(!s.name().is_empty());
@@ -897,6 +920,9 @@ mod tests {
         assert_eq!(CellsFailed.worst(Ok), CellsFailed);
         assert_eq!(Usage.worst(CellsFailed), CellsFailed);
         assert_eq!(VerifyDiverged.worst(Io), VerifyDiverged);
+        assert_eq!(Ok.worst(ShardFailed), ShardFailed);
+        assert_eq!(ShardFailed.worst(Usage), ShardFailed);
+        assert_eq!(CellsFailed.worst(ShardFailed), CellsFailed);
         assert_eq!(Ok.worst(Ok), Ok);
     }
 

@@ -50,6 +50,7 @@ pub mod report;
 pub mod runner;
 pub mod scenarios;
 pub mod server;
+pub mod shard;
 pub mod store;
 
 pub use distfront_thermal::Integrator;

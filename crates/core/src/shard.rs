@@ -1,0 +1,657 @@
+//! Multi-process sweep sharding: a coordinator that splits one sweep
+//! grid across N worker *processes* on the same host and merges their
+//! results back into a report byte-identical to a serial run.
+//!
+//! # Why processes
+//!
+//! The thread-pool executor in [`SweepRunner`](crate::engine::SweepRunner)
+//! already parallelizes a grid, but every cell shares one address space —
+//! one allocator, one warm-start cache, one set of page tables. Sharding
+//! across OS processes is the only way to measure real multi-core
+//! contention (the sweep bench's serial vs threads vs processes
+//! head-to-head), and it lifts PR 4's fault-isolation contract from cell
+//! granularity to process granularity: a worker that dies mid-cell — OOM
+//! kill, SIGKILL, a crash in native code — cannot poison the cells of any
+//! other shard.
+//!
+//! # Protocol
+//!
+//! Everything moves through artifacts in one shared state directory;
+//! there are no pipes or sockets to lose data in when a worker dies:
+//!
+//! ```text
+//! <dir>/
+//!   shard-000.job      work order: one JobSpec line (workers=1)
+//!   shard-000/         the shard's DurableStore
+//!     results.dfsg       ... holding one record of SCELL/SERRCELL/SDONE
+//!   shard-000.kill     test hook: present => worker self-SIGKILLs
+//!   shard-001.job      ...
+//! ```
+//!
+//! The coordinator ([`ShardRunner`]) partitions the grid's flat index
+//! space `0..configs*apps` into contiguous ranges ([`partition`]), writes
+//! one `.job` file per shard, and launches one worker per shard
+//! (`distfront-scenarios --shard i/N --shard-dir <dir>`). Each worker
+//! ([`run_worker`]) computes only its range via
+//! [`SweepRunner::try_cells`](crate::engine::SweepRunner::try_cells) and
+//! persists its result as **one atomic record** in its own
+//! [`DurableStore`] segment, keyed by the job's content fingerprint. DFSG
+//! records are checksummed and indivisible, so the record *exists* iff
+//! the worker finished — a worker killed mid-write leaves a repairable
+//! tail, not a half-result, and the coordinator's validity check is
+//! simply "is there a complete record covering exactly the range I
+//! assigned".
+//!
+//! Invalid or missing artifacts get the shard re-queued with bounded
+//! retries; a shard still failing after its last retry is reported in
+//! [`ShardOutcome::failed_shards`] with status
+//! [`StatusCode::ShardFailed`], and every *surviving* shard is still
+//! merged. Merging sorts cell frames by flat grid index, which
+//! reconstructs canonical grid order exactly — the merged CSV rows and
+//! failure lines are byte-identical to [`JobSpec::execute`] run
+//! serially, whatever order shards finished or retried in.
+
+use std::io;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+use crate::job::{JobEnv, JobSpec, JobSpecError, StatusCode};
+use crate::scenarios::csv_row;
+use crate::server::protocol::{shard_cell_frame, shard_done_frame, shard_err_frame, ShardFrame};
+use crate::store::DurableStore;
+
+/// Splits `cells` flat grid indices into exactly `shards` contiguous
+/// ranges that cover `0..cells` with no gap and no overlap. Sizes
+/// differ by at most one, larger ranges first; with more shards than
+/// cells the tail ranges are empty.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn partition(cells: usize, shards: usize) -> Vec<Range<usize>> {
+    assert!(shards > 0, "cannot partition into zero shards");
+    let base = cells / shards;
+    let extra = cells % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// One worker's identity in a sharded run: shard `index` of `of`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This worker's shard number (zero-based).
+    pub index: usize,
+    /// Total shard count.
+    pub of: usize,
+}
+
+impl ShardSpec {
+    /// Parses the CLI form `i/N` (e.g. `--shard 1/3`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for malformed input, `N == 0`, or
+    /// `i >= N`.
+    pub fn parse(s: &str) -> Result<ShardSpec, String> {
+        let (index, of) = s
+            .split_once('/')
+            .ok_or_else(|| format!("bad shard {s:?} (expected i/N, e.g. 1/3)"))?;
+        let index: usize = index
+            .parse()
+            .map_err(|_| format!("bad shard index in {s:?}"))?;
+        let of: usize = of
+            .parse()
+            .map_err(|_| format!("bad shard count in {s:?}"))?;
+        if of == 0 {
+            return Err("shard count must be positive".to_string());
+        }
+        if index >= of {
+            return Err(format!("shard index {index} out of range for {of} shards"));
+        }
+        Ok(ShardSpec { index, of })
+    }
+
+    /// The contiguous flat-index range this shard owns in a grid of
+    /// `cells` total cells — [`partition`]'s `index`-th range.
+    pub fn range(&self, cells: usize) -> Range<usize> {
+        partition(cells, self.of).swap_remove(self.index)
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.of)
+    }
+}
+
+fn job_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("shard-{index:03}.job"))
+}
+
+fn store_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("shard-{index:03}"))
+}
+
+fn kill_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("shard-{index:03}.kill"))
+}
+
+/// Runs one shard worker to completion: reads the work order
+/// `shard-<i>.job` under `dir`, computes the shard's index range, and
+/// persists the result record into `shard-<i>/`. This is the body of
+/// `distfront-scenarios --shard i/N --shard-dir <dir>`.
+///
+/// If a `shard-<i>.kill` marker is present the worker removes it, does
+/// the work, then SIGKILLs itself **before persisting** — a
+/// deterministic stand-in for an OOM kill mid-shard that the
+/// fault-injection tests and the CI gate use to exercise the
+/// coordinator's re-queue path (the removed marker makes the retry
+/// succeed).
+///
+/// Returns the exit status for the process: per-cell failures are
+/// [`StatusCode::CellsFailed`] (the record is still complete — the
+/// coordinator treats the shard as done), unreadable or malformed work
+/// orders are [`StatusCode::Usage`], and persistence failures are
+/// [`StatusCode::Io`].
+pub fn run_worker(dir: &Path, shard: ShardSpec) -> StatusCode {
+    let path = job_path(dir, shard.index);
+    let line = match std::fs::read_to_string(&path) {
+        Ok(line) => line,
+        Err(e) => {
+            eprintln!("shard {shard}: cannot read {}: {e}", path.display());
+            return StatusCode::Io;
+        }
+    };
+    let spec = match JobSpec::parse_line(line.trim()) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("shard {shard}: bad work order: {e}");
+            return StatusCode::Usage;
+        }
+    };
+    let (fingerprint, resolved) = match spec
+        .fingerprint()
+        .and_then(|fp| spec.resolve().map(|r| (fp, r)))
+    {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("shard {shard}: unresolvable work order: {e}");
+            return StatusCode::Usage;
+        }
+    };
+    let apps = resolved.workloads.len();
+    let range = shard.range(resolved.configs.len() * apps);
+
+    // Arm the kill hook *before* computing so a retry (which sees no
+    // marker) runs the exact same work unperturbed.
+    let kill = kill_path(dir, shard.index);
+    let die_before_persist = kill.exists() && std::fs::remove_file(&kill).is_ok();
+
+    let env = JobEnv::default();
+    let runner =
+        crate::engine::SweepRunner::from_spec(&spec).with_trace_mode(spec.trace.bind(&env.traces));
+    let cells = runner.try_cells(&resolved.configs, &resolved.workloads, range.clone());
+
+    if die_before_persist {
+        // std has no raise(2); go through kill(1) so the process dies by
+        // genuine SIGKILL — no destructors, no buffered writes, exactly
+        // the mid-shard death the coordinator must survive.
+        let _ = Command::new("kill")
+            .args(["-KILL", &std::process::id().to_string()])
+            .status();
+        std::thread::sleep(std::time::Duration::from_secs(5));
+        std::process::exit(137); // fallback if kill(1) is unavailable
+    }
+
+    let mut failed = 0usize;
+    let mut frames = Vec::with_capacity(cells.len() + 1);
+    for cell in &cells {
+        let index = cell.config * apps + cell.app;
+        match &cell.result {
+            Ok(r) => frames.push(shard_cell_frame(
+                index,
+                &csv_row(resolved.row_label(cell), r),
+            )),
+            Err(e) => {
+                failed += 1;
+                frames.push(shard_err_frame(
+                    index,
+                    resolved.row_label(cell),
+                    cell.app_name,
+                    &e.to_string(),
+                ));
+            }
+        }
+    }
+    let status = if failed > 0 {
+        StatusCode::CellsFailed
+    } else {
+        StatusCode::Ok
+    };
+    frames.push(shard_done_frame(&range, cells.len(), failed, status));
+
+    let persisted = DurableStore::open(store_path(dir, shard.index)).and_then(|(store, _)| {
+        store.append_result(fingerprint, &frames)?;
+        store.flush()
+    });
+    if let Err(e) = persisted {
+        eprintln!("shard {shard}: cannot persist result: {e}");
+        return StatusCode::Io;
+    }
+    status
+}
+
+/// Why a sharded run could not even start (once workers are launched,
+/// failures become re-queues and [`ShardOutcome::failed_shards`], never
+/// an `Err`).
+#[derive(Debug)]
+pub enum ShardError {
+    /// The job spec does not validate or resolve.
+    Spec(JobSpecError),
+    /// The shared state directory or a work order could not be written.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Spec(e) => write!(f, "{e}"),
+            ShardError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<JobSpecError> for ShardError {
+    fn from(e: JobSpecError) -> Self {
+        ShardError::Spec(e)
+    }
+}
+
+impl From<io::Error> for ShardError {
+    fn from(e: io::Error) -> Self {
+        ShardError::Io(e)
+    }
+}
+
+/// What a sharded run produced, merged across every surviving shard.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// CSV rows of every successful cell, canonical grid order —
+    /// byte-identical to [`JobReport::csv_rows`](crate::job::JobReport::csv_rows)
+    /// for the same spec run in one process.
+    pub csv_rows: Vec<String>,
+    /// `(label, app, message)` for every failed cell, canonical grid
+    /// order — matching
+    /// [`JobReport::failure_lines`](crate::job::JobReport::failure_lines).
+    pub failures: Vec<(String, String, String)>,
+    /// The run's exit status: [`StatusCode::ShardFailed`] if any shard
+    /// died permanently, else [`StatusCode::CellsFailed`] if any cell
+    /// failed, else [`StatusCode::Ok`].
+    pub status: StatusCode,
+    /// Worker launches per shard (1 = clean first run).
+    pub attempts: Vec<usize>,
+    /// Shards that failed permanently after exhausting retries.
+    pub failed_shards: Vec<usize>,
+    /// Total cells in the grid.
+    pub cells: usize,
+    /// Cells actually merged (`== cells` iff no shard died).
+    pub merged: usize,
+}
+
+/// The coordinator: partitions a [`JobSpec`]'s grid, drives worker
+/// processes, re-queues failures, and merges the shard artifacts.
+#[derive(Debug)]
+pub struct ShardRunner {
+    spec: JobSpec,
+    processes: usize,
+    retries: usize,
+    dir: Option<PathBuf>,
+    worker: Option<PathBuf>,
+}
+
+impl ShardRunner {
+    /// A coordinator for `spec` across `processes` worker processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes` is zero.
+    pub fn new(spec: JobSpec, processes: usize) -> ShardRunner {
+        assert!(processes > 0, "need at least one worker process");
+        ShardRunner {
+            spec,
+            processes,
+            retries: 2,
+            dir: None,
+            worker: None,
+        }
+    }
+
+    /// Sets how many times a failed shard is re-queued before being
+    /// declared dead (default 2, i.e. up to three launches per shard).
+    #[must_use]
+    pub fn with_retries(mut self, retries: usize) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the shared state directory (default: a per-process path
+    /// under the system temp dir). The directory and its artifacts are
+    /// left in place after the run — they *are* the audit trail.
+    #[must_use]
+    pub fn with_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the worker binary to launch (default: this executable —
+    /// correct when the coordinator *is* `distfront-scenarios`; tests
+    /// and benches point this at the built binary explicitly).
+    #[must_use]
+    pub fn with_worker(mut self, worker: impl Into<PathBuf>) -> Self {
+        self.worker = Some(worker.into());
+        self
+    }
+
+    /// Runs the sharded sweep to completion and merges the artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Only setup can fail: an invalid spec, or I/O writing the state
+    /// directory and work orders. Worker deaths are handled by re-queue
+    /// and surface in [`ShardOutcome::failed_shards`].
+    pub fn run(&self) -> Result<ShardOutcome, ShardError> {
+        let fingerprint = self.spec.fingerprint()?;
+        let resolved = self.spec.resolve()?;
+        let cells = resolved.configs.len() * resolved.workloads.len();
+        let n = self.processes;
+        let ranges = partition(cells, n);
+
+        let dir = match &self.dir {
+            Some(dir) => dir.clone(),
+            None => std::env::temp_dir().join(format!("distfront-shard-{}", std::process::id())),
+        };
+        let worker = match &self.worker {
+            Some(path) => path.clone(),
+            None => std::env::current_exe()?,
+        };
+        std::fs::create_dir_all(&dir)?;
+        // Ship each worker the same job at workers=1 — scheduling knobs
+        // are excluded from the fingerprint, so the shipped spec's
+        // content address still matches `fingerprint` above, and the
+        // processes themselves are the parallelism.
+        let mut order = self.spec.clone().with_workers(1).encode_line();
+        order.push('\n');
+        for i in 0..n {
+            std::fs::write(job_path(&dir, i), &order)?;
+        }
+
+        let mut pending: Vec<usize> = (0..n).collect();
+        let mut attempts = vec![0usize; n];
+        let mut completed: Vec<Option<Vec<ShardFrame>>> = (0..n).map(|_| None).collect();
+        let mut failed_shards = Vec::new();
+        while !pending.is_empty() {
+            // Launch the whole wave before waiting on any of it, so
+            // shards genuinely run concurrently.
+            let wave: Vec<(usize, io::Result<Child>)> = pending
+                .iter()
+                .map(|&i| (i, self.spawn(&worker, &dir, i, n)))
+                .collect();
+            let mut requeue = Vec::new();
+            for (i, child) in wave {
+                attempts[i] += 1;
+                let exit = describe_exit(child);
+                // A complete, range-exact record trumps the exit code:
+                // a worker that exited `cells-failed` still finished its
+                // shard, and per-cell errors are outcomes, not crashes.
+                match read_artifact(&dir, i, fingerprint, &ranges[i]) {
+                    Ok(frames) => completed[i] = Some(frames),
+                    Err(reason) if attempts[i] > self.retries => {
+                        eprintln!(
+                            "shard {i}/{n}: {exit}; {reason}; giving up after {} attempts",
+                            attempts[i]
+                        );
+                        failed_shards.push(i);
+                    }
+                    Err(reason) => {
+                        eprintln!(
+                            "shard {i}/{n}: {exit}; {reason}; re-queuing (attempt {} of {})",
+                            attempts[i],
+                            self.retries + 1
+                        );
+                        requeue.push(i);
+                    }
+                }
+            }
+            pending = requeue;
+        }
+
+        // Merge: strip each shard's terminal SDONE, then sort every cell
+        // frame by flat grid index. Ranges are disjoint and validated
+        // exactly-once per shard, so the sort alone restores canonical
+        // grid order.
+        let mut merged: Vec<ShardFrame> = completed
+            .into_iter()
+            .flatten()
+            .flat_map(|mut frames| {
+                frames.pop();
+                frames
+            })
+            .collect();
+        merged.sort_by_key(|frame| match frame {
+            ShardFrame::Cell { index, .. } | ShardFrame::ErrCell { index, .. } => *index,
+            ShardFrame::Done { .. } => usize::MAX,
+        });
+        let mut csv_rows = Vec::new();
+        let mut failures = Vec::new();
+        for frame in merged {
+            match frame {
+                ShardFrame::Cell { row, .. } => csv_rows.push(row),
+                ShardFrame::ErrCell {
+                    label, app, msg, ..
+                } => failures.push((label, app, msg)),
+                ShardFrame::Done { .. } => {}
+            }
+        }
+        let status = if !failed_shards.is_empty() {
+            StatusCode::ShardFailed
+        } else if !failures.is_empty() {
+            StatusCode::CellsFailed
+        } else {
+            StatusCode::Ok
+        };
+        Ok(ShardOutcome {
+            merged: csv_rows.len() + failures.len(),
+            csv_rows,
+            failures,
+            status,
+            attempts,
+            failed_shards,
+            cells,
+        })
+    }
+
+    fn spawn(&self, worker: &Path, dir: &Path, index: usize, of: usize) -> io::Result<Child> {
+        Command::new(worker)
+            .arg("--shard")
+            .arg(format!("{index}/{of}"))
+            .arg("--shard-dir")
+            .arg(dir)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+    }
+}
+
+fn describe_exit(child: io::Result<Child>) -> String {
+    match child {
+        Ok(mut child) => match child.wait() {
+            Ok(status) => match status.code() {
+                Some(code) => format!("exit {code}"),
+                None => "killed by signal".to_string(),
+            },
+            Err(e) => format!("wait failed: {e}"),
+        },
+        Err(e) => format!("spawn failed: {e}"),
+    }
+}
+
+/// Loads and validates shard `index`'s result artifact: the newest
+/// record under the job's fingerprint must parse as shard frames, end in
+/// an `SDONE` whose range equals the assigned one, and cover every index
+/// of that range exactly once. Anything less is grounds for re-queue.
+fn read_artifact(
+    dir: &Path,
+    index: usize,
+    fingerprint: u64,
+    range: &Range<usize>,
+) -> Result<Vec<ShardFrame>, String> {
+    let (_, snapshot) = DurableStore::open(store_path(dir, index))
+        .map_err(|e| format!("cannot open shard store: {e}"))?;
+    let lines = snapshot
+        .last_result(fingerprint)
+        .ok_or_else(|| "no completed result record".to_string())?;
+    let mut frames = Vec::with_capacity(lines.len());
+    for line in lines {
+        frames.push(
+            ShardFrame::parse(line).ok_or_else(|| format!("unparseable artifact line {line:?}"))?,
+        );
+    }
+    let Some(ShardFrame::Done {
+        start, end, cells, ..
+    }) = frames.last()
+    else {
+        return Err("record missing terminal SDONE".to_string());
+    };
+    if (*start, *end) != (range.start, range.end) {
+        return Err(format!(
+            "stale record covers {start}..{end}, assigned {}..{}",
+            range.start, range.end
+        ));
+    }
+    if *cells != range.len() {
+        return Err(format!(
+            "record claims {cells} cells for a {}-cell range",
+            range.len()
+        ));
+    }
+    let mut seen = vec![false; range.len()];
+    for frame in &frames[..frames.len() - 1] {
+        let i = match frame {
+            ShardFrame::Cell { index, .. } | ShardFrame::ErrCell { index, .. } => *index,
+            ShardFrame::Done { .. } => return Err("SDONE before end of record".to_string()),
+        };
+        if i < range.start || i >= range.end {
+            return Err(format!(
+                "cell index {i} outside assigned range {}..{}",
+                range.start, range.end
+            ));
+        }
+        if seen[i - range.start] {
+            return Err(format!("duplicate cell index {i}"));
+        }
+        seen[i - range.start] = true;
+    }
+    if seen.iter().any(|covered| !covered) {
+        return Err("record is missing cells of its range".to_string());
+    }
+    Ok(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_exactly_once_and_balances() {
+        assert_eq!(partition(10, 3), vec![0..4, 4..7, 7..10]);
+        assert_eq!(partition(6, 3), vec![0..2, 2..4, 4..6]);
+        assert_eq!(partition(2, 4), vec![0..1, 1..2, 2..2, 2..2]);
+        assert_eq!(partition(0, 2), vec![0..0, 0..0]);
+        let ranges = partition(52, 7);
+        assert_eq!(ranges.len(), 7);
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, 52);
+        for pair in ranges.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+    }
+
+    #[test]
+    fn shard_spec_parses_the_cli_form() {
+        let spec = ShardSpec::parse("1/3").unwrap();
+        assert_eq!(spec, ShardSpec { index: 1, of: 3 });
+        assert_eq!(spec.to_string(), "1/3");
+        assert_eq!(spec.range(10), 4..7);
+        assert!(ShardSpec::parse("3/3").is_err());
+        assert!(ShardSpec::parse("0/0").is_err());
+        assert!(ShardSpec::parse("x/2").is_err());
+        assert!(ShardSpec::parse("2").is_err());
+    }
+
+    #[test]
+    fn artifact_validation_rejects_bad_records() {
+        let dir = std::env::temp_dir().join(format!(
+            "distfront-shard-unit-{}-validation",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (store, _) = DurableStore::open(store_path(&dir, 0)).unwrap();
+
+        // No record at all.
+        assert!(read_artifact(&dir, 0, 1, &(0..2)).is_err());
+
+        // A stale record under a different fingerprint stays invisible.
+        store
+            .append_result(
+                99,
+                &[
+                    "SCELL 0 a,b".into(),
+                    "SDONE start=0 end=1 cells=1 failed=0 status=0".into(),
+                ],
+            )
+            .unwrap();
+        store.flush().unwrap();
+        assert!(read_artifact(&dir, 0, 1, &(0..2)).is_err());
+
+        // Wrong range: rejected as stale.
+        store
+            .append_result(
+                1,
+                &[
+                    "SCELL 0 a,b".into(),
+                    "SDONE start=0 end=1 cells=1 failed=0 status=0".into(),
+                ],
+            )
+            .unwrap();
+        store.flush().unwrap();
+        let err = read_artifact(&dir, 0, 1, &(0..2)).unwrap_err();
+        assert!(err.contains("stale record"), "{err}");
+
+        // Complete and range-exact: accepted, last-wins over the stale one.
+        store
+            .append_result(
+                1,
+                &[
+                    "SCELL 0 a,b".into(),
+                    "SERRCELL 1 lbl app solver diverged".into(),
+                    "SDONE start=0 end=2 cells=2 failed=1 status=2".into(),
+                ],
+            )
+            .unwrap();
+        store.flush().unwrap();
+        let frames = read_artifact(&dir, 0, 1, &(0..2)).unwrap();
+        assert_eq!(frames.len(), 3);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

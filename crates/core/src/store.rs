@@ -266,6 +266,21 @@ pub struct StoreSnapshot {
     pub skipped: usize,
 }
 
+impl StoreSnapshot {
+    /// The newest result record for `fingerprint`, honoring the
+    /// last-wins append order. This is how a shard coordinator reads a
+    /// worker's result artifact back: a record exists exactly when the
+    /// worker completed its append (segment records are atomic), so
+    /// `None` means the worker died before finishing.
+    pub fn last_result(&self, fingerprint: u64) -> Option<&[String]> {
+        self.results
+            .iter()
+            .rev()
+            .find(|(fp, _)| *fp == fingerprint)
+            .map(|(_, frames)| frames.as_slice())
+    }
+}
+
 /// The append-only persistence layer behind a daemon's `--state-dir`:
 /// one segment file for cached results, one for recorded traces.
 ///
